@@ -1,0 +1,66 @@
+"""Ablation (beyond the paper): ARiA vs the related-work design space.
+
+Same node pool and workload, five meta-schedulers: ARiA (± rescheduling),
+an omniscient centralized scheduler, the multiple-simultaneous-requests
+model of Subramani et al. [13], uniform random placement, and the
+gossip-cached state dissemination of Erdil & Lewis [25].
+"""
+
+import statistics
+
+from repro.baselines import run_baseline
+from repro.experiments import render_table
+from repro.experiments.figures import scenario_summary
+from repro.experiments.report import fmt_hours
+
+
+def test_ablation_baselines(benchmark, aria_scale, aria_seeds, report):
+    def build():
+        rows = []
+        for name in ("Mixed", "iMixed"):
+            summary = scenario_summary(name, aria_scale, aria_seeds)
+            rows.append(
+                (
+                    f"ARiA {name}",
+                    summary.average_completion_time,
+                    summary.average_waiting_time,
+                    0,
+                )
+            )
+        for baseline in ("centralized", "multirequest", "random", "gossip"):
+            runs = [
+                run_baseline(baseline, aria_scale, seed) for seed in aria_seeds
+            ]
+            rows.append(
+                (
+                    baseline,
+                    statistics.fmean(
+                        r.metrics.average_completion_time() for r in runs
+                    ),
+                    statistics.fmean(
+                        r.metrics.average_waiting_time() for r in runs
+                    ),
+                    statistics.fmean(r.revoked_copies for r in runs),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = render_table(
+        ["scheduler", "completion", "waiting", "revoked copies"],
+        [
+            [name, fmt_hours(ct), fmt_hours(wt), f"{rev:.0f}"]
+            for name, ct, wt, rev in rows
+        ],
+    )
+    report("Ablation: ARiA vs baseline meta-schedulers\n\n" + table)
+
+    by_name = {row[0]: row for row in rows}
+    # Sanity of the design space: the omniscient centralized scheduler is
+    # at least as good as plain ARiA; random placement is the worst.
+    assert by_name["centralized"][1] <= by_name["ARiA Mixed"][1] * 1.05
+    assert by_name["random"][1] == max(row[1] for row in rows)
+    # Dynamic rescheduling closes most of the gap to the centralized bound.
+    assert by_name["ARiA iMixed"][1] < by_name["ARiA Mixed"][1]
+    # The multirequest model wastes queue slots (the paper's critique).
+    assert by_name["multirequest"][3] > 0

@@ -1,0 +1,63 @@
+"""Ablation (beyond the paper): sustained membership churn.
+
+The paper's Expanding scenarios only grow the grid once.  This benchmark
+keeps the membership turning over — joins, graceful leaves and crashes —
+and measures how much of the workload survives, with and without the
+fail-safe extension.
+"""
+
+from repro.experiments import ChurnPlan, render_table, run_churn_experiment
+
+
+def _lost(metrics):
+    return sum(
+        1
+        for record in metrics.records.values()
+        if not record.completed and not record.unschedulable
+    )
+
+
+def test_ablation_churn(benchmark, aria_scale, aria_seeds, report):
+    plans = {
+        "join+leave": ChurnPlan(),
+        "join+leave+crash": ChurnPlan(crash_weight=0.5),
+        "join+leave+crash+failsafe": ChurnPlan(crash_weight=0.5),
+    }
+
+    def build():
+        rows = []
+        for label, plan in plans.items():
+            failsafe = "failsafe" in label
+            completed = lost = resubmitted = 0
+            for seed in aria_seeds:
+                run = run_churn_experiment(
+                    aria_scale, seed, plan, failsafe=failsafe
+                )
+                completed += run.metrics.completed_jobs
+                lost += _lost(run.metrics)
+                resubmitted += sum(
+                    r.resubmissions for r in run.metrics.records.values()
+                )
+                assert run.metrics.duplicate_executions == 0
+            n = len(aria_seeds)
+            rows.append((label, completed / n, lost / n, resubmitted / n))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = render_table(
+        ["churn mix", "completed", "lost", "resubmissions"],
+        [
+            [label, f"{done:.1f}", f"{lost:.1f}", f"{resub:.1f}"]
+            for label, done, lost, resub in rows
+        ],
+    )
+    report("Ablation: sustained membership churn (iMixed workload)\n\n" + table)
+
+    by_label = {row[0]: row for row in rows}
+    # Graceful-only churn loses nothing; crashes lose jobs; the fail-safe
+    # recovers most of them.
+    assert by_label["join+leave"][2] == 0
+    assert (
+        by_label["join+leave+crash+failsafe"][2]
+        <= by_label["join+leave+crash"][2]
+    )

@@ -1,0 +1,59 @@
+"""Ablation (the paper's future work, §VI): overlay-topology sensitivity.
+
+Runs the iMixed workload on the BLATANT overlay and on three static
+topologies (random-regular, small-world, scale-free) plus the pathological
+ring, quantifying how much the meta-scheduling performance depends on the
+overlay — the exact question the paper defers to future work.
+"""
+
+import dataclasses
+import statistics
+
+from repro.experiments import get_scenario, render_table, run_scenario
+from repro.experiments.report import fmt_hours
+
+OVERLAYS = ("blatant", "random_regular", "small_world", "scale_free", "ring")
+
+
+def test_ablation_overlays(benchmark, aria_scale, aria_seeds, report):
+    base = get_scenario("iMixed")
+
+    def build():
+        rows = []
+        for overlay in OVERLAYS:
+            scenario = dataclasses.replace(
+                base, name=f"iMixed@{overlay}", overlay=overlay
+            )
+            runs = [
+                run_scenario(scenario, aria_scale, seed) for seed in aria_seeds
+            ]
+            rows.append(
+                (
+                    overlay,
+                    statistics.fmean(
+                        r.metrics.average_completion_time() for r in runs
+                    ),
+                    statistics.fmean(
+                        r.metrics.unschedulable_count() for r in runs
+                    ),
+                    statistics.fmean(r.metrics.reschedules for r in runs),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = render_table(
+        ["overlay", "completion", "unreached jobs", "reschedules"],
+        [
+            [name, fmt_hours(ct), f"{unsched:.1f}", f"{resched:.0f}"]
+            for name, ct, unsched, resched in rows
+        ],
+    )
+    report("Ablation: overlay-topology sensitivity (iMixed)\n\n" + table)
+
+    by_name = {row[0]: row for row in rows}
+    # Bounded-path-length overlays all work; the ring's huge diameter makes
+    # REQUEST floods miss most of the grid (many unreached jobs).
+    assert by_name["ring"][2] >= by_name["blatant"][2]
+    for overlay in ("random_regular", "small_world", "scale_free"):
+        assert by_name[overlay][1] <= by_name["blatant"][1] * 1.5

@@ -1,0 +1,28 @@
+"""Figure 10: network overhead per message type."""
+
+from repro.experiments.figures import fig10_traffic, scenario_summary
+
+
+def test_fig10_traffic(benchmark, aria_scale, aria_seeds, report):
+    fig = benchmark.pedantic(
+        fig10_traffic,
+        args=(aria_scale, aria_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    report(fig.render())
+
+    def traffic(name):
+        return scenario_summary(name, aria_scale, aria_seeds).traffic_bytes
+
+    # Shapes (§V-E): REQUEST constant across static scenarios; ACCEPT and
+    # ASSIGN negligible; INFORM dominates the rescheduling overhead and
+    # shrinks with the per-round candidate budget.
+    requests = [
+        traffic(n).get("Request", 0.0)
+        for n in ("Mixed", "iMixed", "HighLoad", "iHighLoad")
+    ]
+    assert max(requests) <= 1.3 * min(requests)
+    imixed = traffic("iMixed")
+    assert imixed["Accept"] + imixed["Assign"] <= 0.05 * sum(imixed.values())
+    assert traffic("iInform1")["Inform"] < imixed["Inform"]

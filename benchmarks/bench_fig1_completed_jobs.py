@@ -1,0 +1,21 @@
+"""Figure 1: completed jobs over time (six policy scenarios)."""
+
+from repro.experiments.figures import fig1_completed_jobs
+
+
+def test_fig1_completed_jobs(benchmark, aria_scale, aria_seeds, report):
+    fig = benchmark.pedantic(
+        fig1_completed_jobs,
+        args=(aria_scale, aria_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        fig.render(points=12)
+        + "\n\nZoom (loaded phase, first quarter of the run):\n\n"
+        + fig.render(points=12, until=aria_scale.duration * 0.25)
+    )
+    # Shape check: every scenario eventually completes ~all jobs, and the
+    # rescheduling variants are never behind at mid-run.
+    for series in fig.series.values():
+        assert series[-1][1] >= 0.9 * aria_scale.jobs

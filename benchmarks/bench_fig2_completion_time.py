@@ -1,0 +1,20 @@
+"""Figure 2: average job completion time, waiting vs execution split."""
+
+from repro.experiments.figures import fig2_completion_time, scenario_summary
+
+
+def test_fig2_completion_time(benchmark, aria_scale, aria_seeds, report):
+    fig = benchmark.pedantic(
+        fig2_completion_time,
+        args=(aria_scale, aria_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    report(fig.render())
+    # Shape: rescheduling shortens SJF and Mixed completion times (§V-A).
+    for name in ("SJF", "Mixed"):
+        plain = scenario_summary(name, aria_scale, aria_seeds)
+        resched = scenario_summary(f"i{name}", aria_scale, aria_seeds)
+        assert (
+            resched.average_completion_time < plain.average_completion_time
+        )

@@ -1,0 +1,29 @@
+"""Figure 3: idle nodes over time (six policy scenarios)."""
+
+from repro.experiments.figures import fig3_idle_nodes, scenario_summary
+from repro.types import HOUR
+
+
+def test_fig3_idle_nodes(benchmark, aria_scale, aria_seeds, report):
+    fig = benchmark.pedantic(
+        fig3_idle_nodes,
+        args=(aria_scale, aria_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        fig.render(points=12)
+        + "\n\nZoom (loaded phase, first quarter of the run):\n\n"
+        + fig.render(points=12, until=aria_scale.duration * 0.25)
+    )
+    # Shape: iMixed keeps fewer nodes idle during the loaded phase.
+    start, end = scenario_summary(
+        "Mixed", aria_scale, aria_seeds
+    ).submission_window
+
+    def loaded_mean(name):
+        series = fig.series[name]
+        values = [v for t, v in series if start <= t <= end + 2 * HOUR]
+        return sum(values) / len(values)
+
+    assert loaded_mean("iMixed") < loaded_mean("Mixed")

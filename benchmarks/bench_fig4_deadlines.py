@@ -1,0 +1,26 @@
+"""Figure 4: deadline scheduling performance."""
+
+from repro.experiments.figures import fig4_deadlines, scenario_summary
+
+
+def test_fig4_deadlines(benchmark, aria_scale, aria_seeds, report):
+    fig = benchmark.pedantic(
+        fig4_deadlines,
+        args=(aria_scale, aria_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    report(fig.render())
+    # Shape: dynamic rescheduling reduces missed deadlines (187->4 and
+    # 236->59 at paper scale).  The strict inequality needs enough jobs to
+    # rise above noise; the tiny smoke scale only checks non-regression.
+    ih = scenario_summary("iDeadlineH", aria_scale, aria_seeds).missed_deadlines
+    h = scenario_summary("DeadlineH", aria_scale, aria_seeds).missed_deadlines
+    if aria_scale.jobs >= 100:
+        assert ih < h
+    else:
+        assert ih <= h
+    assert (
+        scenario_summary("iDeadline", aria_scale, aria_seeds).missed_deadlines
+        <= scenario_summary("Deadline", aria_scale, aria_seeds).missed_deadlines
+    )

@@ -1,0 +1,27 @@
+"""Figure 5: idle nodes in an expanding network (500 -> 700 at paper scale)."""
+
+from repro.experiments.figures import fig5_expanding
+from repro.types import HOUR
+
+
+def test_fig5_expanding(benchmark, aria_scale, aria_seeds, report):
+    fig = benchmark.pedantic(
+        fig5_expanding,
+        args=(aria_scale, aria_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        fig.render(points=12)
+        + "\n\nZoom (loaded phase, first quarter of the run):\n\n"
+        + fig.render(points=12, until=aria_scale.duration * 0.25)
+    )
+    # Shape: rescheduling exploits the newly joined nodes.
+    start = aria_scale.expanding_start
+    end = aria_scale.expanding_end + 2 * HOUR
+
+    def window_mean(name):
+        values = [v for t, v in fig.series[name] if start <= t <= end]
+        return sum(values) / len(values)
+
+    assert window_mean("iExpanding") < window_mean("Expanding")

@@ -1,0 +1,31 @@
+"""Figure 6: idle nodes under low / normal / high load."""
+
+from repro.experiments.figures import fig6_load_idle
+from repro.types import HOUR
+
+
+def test_fig6_load_idle(benchmark, aria_scale, aria_seeds, report):
+    fig = benchmark.pedantic(
+        fig6_load_idle,
+        args=(aria_scale, aria_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        fig.render(points=12)
+        + "\n\nZoom (loaded phase, first quarter of the run):\n\n"
+        + fig.render(points=12, until=aria_scale.duration * 0.25)
+    )
+    # Shape: at every load the i-variant keeps utilization higher.
+    for name in ("LowLoad", "Mixed", "HighLoad"):
+        start, end = fig.windows[name]
+
+        def loaded_mean(series_name):
+            values = [
+                v
+                for t, v in fig.series[series_name]
+                if start <= t <= end + 2 * HOUR
+            ]
+            return sum(values) / len(values)
+
+        assert loaded_mean(f"i{name}") < loaded_mean(name)

@@ -1,0 +1,22 @@
+"""Figure 7: job completion time under load."""
+
+from repro.experiments.figures import fig7_load_completion, scenario_summary
+
+
+def test_fig7_load_completion(benchmark, aria_scale, aria_seeds, report):
+    fig = benchmark.pedantic(
+        fig7_load_completion,
+        args=(aria_scale, aria_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    report(fig.render())
+    # Shape: iHighLoad is comparable to LowLoad despite 4x the submission
+    # rate (the paper's headline scalability result).
+    ihigh = scenario_summary(
+        "iHighLoad", aria_scale, aria_seeds
+    ).average_completion_time
+    low = scenario_summary(
+        "LowLoad", aria_scale, aria_seeds
+    ).average_completion_time
+    assert ihigh <= 1.5 * low

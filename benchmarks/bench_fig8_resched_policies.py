@@ -1,0 +1,19 @@
+"""Figure 8: completion time across rescheduling-policy settings."""
+
+from repro.experiments.figures import fig8_resched_policies, scenario_summary
+
+
+def test_fig8_resched_policies(benchmark, aria_scale, aria_seeds, report):
+    fig = benchmark.pedantic(
+        fig8_resched_policies,
+        args=(aria_scale, aria_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    report(fig.render())
+    # Shape: "minimal differences" between candidate counts and thresholds.
+    times = [
+        scenario_summary(n, aria_scale, aria_seeds).average_completion_time
+        for n in ("iInform1", "iMixed", "iInform4", "iInform15m", "iInform30m")
+    ]
+    assert max(times) <= 1.3 * min(times)

@@ -1,0 +1,20 @@
+"""Figure 9: sensitivity of the completion time to ERT accuracy."""
+
+from repro.experiments.figures import fig9_ert_accuracy, scenario_summary
+
+
+def test_fig9_ert_accuracy(benchmark, aria_scale, aria_seeds, report):
+    fig = benchmark.pedantic(
+        fig9_ert_accuracy,
+        args=(aria_scale, aria_seeds),
+        rounds=1,
+        iterations=1,
+    )
+    report(fig.render())
+    # Shape: homogeneous results; even always-optimistic estimates do not
+    # excessively worsen efficiency.
+    times = [
+        scenario_summary(n, aria_scale, aria_seeds).average_completion_time
+        for n in ("iPrecise", "iMixed", "iAccuracy25", "iAccuracyBad")
+    ]
+    assert max(times) <= 1.4 * min(times)

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Unlike the figure benchmarks (one long simulation, pedantic single round),
+these measure the hot primitives with pytest-benchmark's full statistical
+machinery: kernel event throughput, overlay BFS, cost quoting, and a
+complete tiny scenario run.
+"""
+
+import random
+
+from repro.overlay import average_path_length, build_blatant_overlay
+from repro.scheduling import SJFScheduler
+from repro.sim import Simulator
+from repro.types import HOUR
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule and execute 10k events."""
+
+    def run():
+        sim = Simulator(seed=0)
+        for i in range(10_000):
+            sim.call_at(float(i), lambda: None)
+        sim.run()
+        return sim.executed_events
+
+    assert benchmark(run) == 10_000
+
+
+def test_overlay_bfs_cost(benchmark):
+    """Average path length (24-source BFS) on a 200-node BLATANT overlay."""
+    graph = build_blatant_overlay(200, random.Random(0))
+    rng = random.Random(1)
+    result = benchmark(average_path_length, graph, rng, 24)
+    assert 0 < result < 20
+
+
+def test_cost_quote_throughput(benchmark):
+    """1000 ETTC quotes against a 50-job SJF queue."""
+    from repro.grid import JobRequirements, Architecture, OperatingSystem
+    from repro.workload import Job
+
+    requirements = JobRequirements(
+        architecture=Architecture.AMD64,
+        memory_gb=2,
+        disk_gb=2,
+        os=OperatingSystem.LINUX,
+    )
+    scheduler = SJFScheduler()
+    for job_id in range(1, 51):
+        ert = HOUR + job_id * 60.0
+        scheduler.enqueue(
+            Job(job_id=job_id, requirements=requirements, ert=ert),
+            ert,
+            now=0.0,
+        )
+    probe = Job(job_id=999, requirements=requirements, ert=2 * HOUR)
+
+    def quote():
+        total = 0.0
+        for _ in range(1000):
+            total += scheduler.cost_of(probe, 2 * HOUR, 0.0, 0.0)
+        return total
+
+    assert benchmark(quote) > 0
+
+
+def test_tiny_scenario_end_to_end(benchmark):
+    """A complete tiny iMixed run (16 nodes, 30 jobs, 60k simulated s)."""
+    from repro.experiments import ScenarioScale, get_scenario
+    from repro.experiments.runner import run_scenario
+
+    scale = ScenarioScale.tiny()
+    scenario = get_scenario("iMixed")
+
+    result = benchmark.pedantic(
+        run_scenario, args=(scenario, scale, 0), rounds=3, iterations=1
+    )
+    assert result.metrics.completed_jobs > 0

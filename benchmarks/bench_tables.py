@@ -1,0 +1,61 @@
+"""Tables I and II: protocol messages and the scenario catalog."""
+
+from repro.core import Accept, Assign, Inform, Request
+from repro.experiments import SCENARIOS, render_table
+from repro.grid import Architecture, JobRequirements, OperatingSystem
+from repro.net import wire_size
+from repro.types import HOUR
+from repro.workload import Job
+
+
+def _job():
+    return Job(
+        job_id=1,
+        requirements=JobRequirements(
+            architecture=Architecture.AMD64,
+            memory_gb=2,
+            disk_gb=2,
+            os=OperatingSystem.LINUX,
+        ),
+        ert=HOUR,
+    )
+
+
+def test_table1_protocol_messages(benchmark, report):
+    """Table I: message types, fields and wire sizes."""
+
+    def build():
+        job = _job()
+        messages = [
+            ("REQUEST", Request(0, job, 8, (0, 1)),
+             "initiator, job UUID, job profile"),
+            ("ACCEPT", Accept(0, 1, 3600.0), "node, job UUID, cost"),
+            ("INFORM", Inform(0, job, 3600.0, 7, (0, 2)),
+             "assignee, job UUID, job profile, cost"),
+            ("ASSIGN", Assign(0, job, False),
+             "initiator, job UUID, job profile"),
+        ]
+        rows = [
+            [name, fields, f"{wire_size(msg)} B"]
+            for name, msg, fields in messages
+        ]
+        return render_table(["message", "fields (Table I)", "size"], rows)
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("Table I: Protocol Messages and Fields\n\n" + table)
+    assert "1024 B" in table and "128 B" in table
+
+
+def test_table2_scenario_catalog(benchmark, report):
+    """Table II: the 26 evaluation scenarios."""
+
+    def build():
+        rows = [
+            [name, scenario.description]
+            for name, scenario in SCENARIOS.items()
+        ]
+        return render_table(["scenario", "description"], rows)
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("Table II: Summary of Evaluation Scenarios\n\n" + table)
+    assert len(SCENARIOS) == 26

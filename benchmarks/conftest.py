@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures and both
+prints it (visible with ``pytest benchmarks/ --benchmark-only -s``) and
+saves it under ``benchmarks/results/``.
+
+Environment knobs:
+
+* ``ARIA_BENCH_SCALE`` — ``tiny`` / ``small`` (default) / ``medium`` /
+  ``paper``.  ``paper`` runs the full 500-node, 1000-job setup.
+* ``ARIA_BENCH_SEEDS`` — number of seeds to average over (default 2;
+  the paper uses 10 runs per scenario).
+
+Scenario runs are cached across benchmarks within one session, so figures
+that share scenario sets (e.g. Figures 1-3) simulate each scenario once.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import bench_scale_from_env
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def aria_scale():
+    return bench_scale_from_env()
+
+
+@pytest.fixture(scope="session")
+def aria_seeds():
+    count = int(os.environ.get("ARIA_BENCH_SEEDS", "2"))
+    return tuple(range(count))
+
+
+@pytest.fixture
+def report(request):
+    """Print a rendered figure and persist it to benchmarks/results/."""
+
+    def _report(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _report

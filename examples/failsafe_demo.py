@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Crash recovery: the §III-D fail-safe extension in action.
+
+Ten percent of the grid crashes one hour into a standard iMixed run.
+Without the fail-safe, every job queued or running on a crashed node is
+simply lost.  With it, initiators track their jobs' assignees (Track/Done
+notifications), probe them periodically, and resubmit jobs whose assignee
+went silent — so the grid absorbs the failures.
+Run with ``python examples/failsafe_demo.py``.
+"""
+
+from repro.experiments import ScenarioScale
+from repro.experiments.failures import CrashPlan, run_crash_experiment
+
+
+def main() -> None:
+    scale = ScenarioScale.small()
+    plan = CrashPlan(fraction=0.10, start=3600.0)
+    print(
+        f"{scale.nodes}-node grid, {scale.jobs} jobs; "
+        f"{plan.fraction:.0%} of nodes crash from t=1h\n"
+    )
+    print(f"{'mode':<12} {'completed':>9} {'lost':>5} {'resubmitted':>11}")
+    for failsafe in (False, True):
+        run = run_crash_experiment(failsafe, scale, seed=0, plan=plan)
+        metrics = run.metrics
+        lost = sum(
+            1
+            for record in metrics.records.values()
+            if not record.completed and not record.unschedulable
+        )
+        resubmitted = sum(
+            record.resubmissions for record in metrics.records.values()
+        )
+        label = "failsafe" if failsafe else "baseline"
+        print(
+            f"{label:<12} {metrics.completed_jobs:>9} {lost:>5} "
+            f"{resubmitted:>11}"
+        )
+    print(
+        "\nThe fail-safe run recovers every job that died with its node:"
+        "\ninitiators notice two consecutive probe misses and re-run the"
+        "\ndiscovery phase for the lost jobs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Submit a real JSDL job description to the grid (paper §III-A).
+
+The protocol "does not specify ... the job submission formats"; the paper
+points at JSDL [29] as the schema real deployments would use.  This
+example writes a JSDL document, parses it into a simulator job, and runs
+it through a small ARiA grid.
+Run with ``python examples/jsdl_submission.py``.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import AriaConfig
+from repro.grid import AccuracyModel, GridNode, NodeProfile, Architecture, OperatingSystem
+from repro.metrics import GridMetrics
+from repro.net import Transport
+from repro.overlay import OverlayGraph
+from repro.scheduling import make_scheduler
+from repro.sim import Simulator
+from repro.types import format_duration
+from repro.workload import parse_jsdl_file
+
+JSDL = """<?xml version="1.0" encoding="UTF-8"?>
+<jsdl:JobDefinition xmlns:jsdl="http://schemas.ggf.org/jsdl/2005/11/jsdl"
+    xmlns:jsdl-posix="http://schemas.ggf.org/jsdl/2005/11/jsdl-posix">
+  <jsdl:JobDescription>
+    <jsdl:Application>
+      <jsdl-posix:POSIXApplication>
+        <jsdl-posix:Executable>/opt/render/trace</jsdl-posix:Executable>
+        <jsdl-posix:WallTimeLimit>7200</jsdl-posix:WallTimeLimit>
+      </jsdl-posix:POSIXApplication>
+    </jsdl:Application>
+    <jsdl:Resources>
+      <jsdl:CPUArchitecture>
+        <jsdl:CPUArchitectureName>x86_64</jsdl:CPUArchitectureName>
+      </jsdl:CPUArchitecture>
+      <jsdl:OperatingSystem>
+        <jsdl:OperatingSystemType>
+          <jsdl:OperatingSystemName>LINUX</jsdl:OperatingSystemName>
+        </jsdl:OperatingSystemType>
+      </jsdl:OperatingSystem>
+      <jsdl:TotalPhysicalMemory>
+        <jsdl:LowerBoundedRange>2147483648</jsdl:LowerBoundedRange>
+      </jsdl:TotalPhysicalMemory>
+      <jsdl:TotalDiskSpace>
+        <jsdl:LowerBoundedRange>1073741824</jsdl:LowerBoundedRange>
+      </jsdl:TotalDiskSpace>
+    </jsdl:Resources>
+  </jsdl:JobDescription>
+</jsdl:JobDefinition>
+"""
+
+
+def main() -> None:
+    path = Path(tempfile.gettempdir()) / "aria_example.jsdl"
+    path.write_text(JSDL)
+    job = parse_jsdl_file(path, job_id=1)
+    print(f"parsed {path.name}:")
+    print(
+        f"  ERT {format_duration(job.ert)}, "
+        f"arch {job.requirements.architecture.value}, "
+        f"{job.requirements.memory_gb} GB RAM, "
+        f"{job.requirements.disk_gb} GB disk, "
+        f"{job.requirements.os.value}"
+    )
+
+    sim = Simulator(seed=3)
+    metrics = GridMetrics()
+    transport = Transport(sim)
+    graph = OverlayGraph()
+    profile = NodeProfile(
+        architecture=Architecture.AMD64,
+        memory_gb=4,
+        disk_gb=4,
+        os=OperatingSystem.LINUX,
+    )
+    from repro.core import AriaAgent
+
+    agents = []
+    for node_id, speed in enumerate((1.0, 1.4, 1.9)):
+        graph.add_node(node_id)
+        node = GridNode(
+            node_id=node_id,
+            sim=sim,
+            profile=profile,
+            performance_index=speed,
+            scheduler=make_scheduler("FCFS"),
+            accuracy=AccuracyModel(),
+        )
+        agents.append(
+            AriaAgent(node, transport, graph, AriaConfig(), metrics)
+        )
+    for a in range(3):
+        graph.add_link(a, (a + 1) % 3)
+
+    agents[0].submit(job)
+    sim.run_until(6 * 3600.0)
+    record = metrics.records[1]
+    print(
+        f"\nexecuted on node {record.start_node} "
+        f"(fastest match), completed in "
+        f"{format_duration(record.completion_time)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""A grid under sustained churn — the paper's 'highly volatile' vision.
+
+Every two simulated minutes a node joins, leaves gracefully (handing off
+its queue) or crashes.  Dynamic rescheduling plus the fail-safe extension
+keep the workload flowing while the membership turns over.
+Run with ``python examples/volatile_grid.py``.
+"""
+
+from repro.experiments import ScenarioScale
+from repro.experiments.churn import ChurnPlan, run_churn_experiment
+from repro.experiments.report import render_series
+
+
+def lost_count(metrics):
+    return sum(
+        1
+        for record in metrics.records.values()
+        if not record.completed and not record.unschedulable
+    )
+
+
+def main() -> None:
+    scale = ScenarioScale.small()
+    plan = ChurnPlan(crash_weight=0.5)
+    print(
+        f"{scale.nodes}-node grid, {scale.jobs} jobs; one churn event "
+        f"(join / leave / crash) every {plan.interval:.0f}s\n"
+    )
+    print(f"{'mode':<22} {'completed':>9} {'lost':>5} {'resubmitted':>11}")
+    runs = {}
+    for failsafe in (False, True):
+        run = run_churn_experiment(
+            scale, seed=0, plan=plan, failsafe=failsafe
+        )
+        runs[failsafe] = run
+        resubmitted = sum(
+            r.resubmissions for r in run.metrics.records.values()
+        )
+        label = "churn + failsafe" if failsafe else "churn (paper protocol)"
+        print(
+            f"{label:<22} {run.metrics.completed_jobs:>9} "
+            f"{lost_count(run.metrics):>5} {resubmitted:>11}"
+        )
+
+    print("\ngrid size over time (fail-safe run):")
+    print(
+        render_series(
+            {"nodes": runs[True].node_count_series}, points=12
+        )
+    )
+    print(
+        "\nGraceful leavers hand their queues off before departing; crash"
+        "\nvictims' jobs are recovered by initiator-side probing. The"
+        "\nworkload survives a membership turnover the paper only"
+        "\nhypothesizes about."
+    )
+
+
+if __name__ == "__main__":
+    main()

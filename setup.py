@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517/660 editable installs fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` with this shim works everywhere.
+"""
+
+from setuptools import setup
+
+setup()

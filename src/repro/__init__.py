@@ -1,0 +1,50 @@
+"""ARiA: Dynamic Fully Distributed Grid Meta-Scheduling (ICDCS 2010).
+
+A complete reproduction of Brocco et al.'s ARiA protocol and the simulation
+study it was evaluated with.  The most common entry points:
+
+>>> from repro.experiments import ScenarioScale, get_scenario, run_scenario
+>>> run = run_scenario(get_scenario("iMixed"), ScenarioScale.tiny(), seed=0)
+>>> run.metrics.completed_jobs > 0
+True
+
+Subpackages
+-----------
+``repro.sim``
+    Deterministic discrete-event kernel, RNG streams, samplers.
+``repro.net``
+    Latency models, message transport, traffic accounting.
+``repro.overlay``
+    Overlay graph, BLATANT-S-style ant maintenance, selective flooding.
+``repro.grid``
+    Resource profiles, the ERT/ERTp/ART model, grid nodes.
+``repro.scheduling``
+    FCFS / SJF / EDF (+ extensions) and the ETTC / NAL cost functions.
+``repro.core``
+    The ARiA protocol agents and messages (the paper's contribution).
+``repro.workload``
+    The §IV-D job generator, submission schedules, workload traces.
+``repro.baselines``
+    Centralized / multi-request / random comparison schedulers.
+``repro.metrics``
+    Per-job records and grid-wide aggregation.
+``repro.experiments``
+    The Table II scenario catalog, runner, and figure extraction.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines",
+    "core",
+    "errors",
+    "experiments",
+    "grid",
+    "metrics",
+    "net",
+    "overlay",
+    "scheduling",
+    "sim",
+    "types",
+    "workload",
+]

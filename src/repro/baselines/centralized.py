@@ -1,0 +1,55 @@
+"""Idealized centralized meta-scheduler (upper-bound comparator).
+
+Models the "very efficient centralized meta-scheduling mechanisms that can
+take full advantage of a global view of the grid" the paper contrasts
+itself with (§II, [14]): every submission instantly inspects the true cost
+of *every* node and delegates to the cheapest one.  No discovery traffic,
+no stale information, no network latency in the decision — deliberately
+better-informed than any distributed protocol can be, which is exactly what
+makes it a useful upper bound (its scalability/robustness drawbacks are
+architectural and outside the simulation).
+
+Traffic accounting still charges one submission (1 KB, client → scheduler)
+and one delegation (1 KB, scheduler → node) per job so overhead comparisons
+against ARiA remain meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..grid.node import GridNode
+from ..metrics.collector import GridMetrics
+from ..net.traffic import TrafficMonitor
+from ..workload.jobs import Job
+from .base import BaselineScheduler
+
+__all__ = ["CentralizedMetaScheduler"]
+
+
+class CentralizedMetaScheduler(BaselineScheduler):
+    """Assigns every job to the globally cheapest matching node."""
+
+    def __init__(
+        self,
+        nodes: List[GridNode],
+        metrics: GridMetrics,
+        monitor: Optional[TrafficMonitor] = None,
+    ) -> None:
+        super().__init__(nodes, metrics)
+        self.monitor = monitor if monitor is not None else TrafficMonitor()
+
+    def submit(self, job: Job) -> None:
+        """Assign ``job`` to the globally cheapest matching node, instantly."""
+        self.metrics.job_submitted(job, initiator=-1, time=self.sim.now)
+        self.monitor.record("Request", 1024)
+        candidates = self.matching_nodes(job)
+        if not candidates:
+            self.metrics.job_unschedulable(job.job_id, self.sim.now)
+            return
+        best = min(candidates, key=lambda n: (n.cost_for(job), n.node_id))
+        self.monitor.record("Assign", 1024)
+        self.metrics.job_assigned(
+            job.job_id, best.node_id, self.sim.now, reschedule=False
+        )
+        best.accept_job(job)

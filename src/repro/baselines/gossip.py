@@ -1,0 +1,237 @@
+"""Gossip-based decentralized scheduling (after Erdil & Lewis [25]).
+
+The paper's related work contrasts ARiA with designs that "disseminate the
+state of the available resources across the grid; this information is
+cached by remote nodes and used to optimally allocate incoming jobs"
+(§II, [25]).  This baseline implements that family:
+
+* every node periodically gossips a **state digest** — the freshest cache
+  entries it knows (node id, profile, speed, queue backlog, timestamp) —
+  to a few random overlay neighbours;
+* an initiator serves a submission **instantly from its cache**: it
+  estimates each cached candidate's cost as ``backlog + ERT/speed`` and
+  assigns directly (no discovery round-trip);
+* there is no rescheduling: once assigned, a job stays put.
+
+The interesting failure mode is *staleness herding*: several initiators
+may dump jobs on the same recently-idle node before its next gossip round
+advertises the new backlog — exactly the coupling the INFORM phase of
+ARiA sidesteps by pulling fresh costs on demand.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..grid.node import GridNode
+from ..grid.profiles import NodeProfile
+from ..metrics.collector import GridMetrics
+from ..net.message import Message
+from ..net.transport import Transport
+from ..overlay.flooding import choose_targets
+from ..overlay.graph import OverlayGraph
+from ..types import MINUTE, NodeId
+from ..workload.jobs import Job
+from .base import wire_node_metrics
+
+__all__ = ["GossipConfig", "CacheEntry", "GossipAgent", "GossipDigest"]
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Dissemination parameters of the gossip scheduler."""
+
+    #: Period of the gossip rounds.
+    interval: float = 1 * MINUTE
+    #: Random neighbours contacted per round.
+    fanout: int = 2
+    #: Cache entries carried per digest message.
+    digest_size: int = 8
+    #: Cached entries kept per node.
+    cache_capacity: int = 128
+    #: How often a submission with no matching cache entry is retried
+    #: (waiting for gossip to surface a candidate), and how many times.
+    retry_interval: float = 1 * MINUTE
+    max_retries: int = 30
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0 or self.fanout < 1:
+            raise ConfigurationError("invalid gossip interval/fanout")
+        if self.digest_size < 1 or self.cache_capacity < self.digest_size:
+            raise ConfigurationError("invalid digest/cache sizes")
+        if self.retry_interval <= 0 or self.max_retries < 0:
+            raise ConfigurationError("invalid retry settings")
+
+
+class CacheEntry:
+    """One node's advertised state at some past moment."""
+
+    __slots__ = ("node_id", "profile", "speed", "backlog", "timestamp")
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        profile: NodeProfile,
+        speed: float,
+        backlog: float,
+        timestamp: float,
+    ) -> None:
+        self.node_id = node_id
+        self.profile = profile
+        self.speed = speed
+        self.backlog = backlog
+        self.timestamp = timestamp
+
+
+class GossipDigest(Message):
+    """A bundle of cache entries (1 KB like the other state messages)."""
+
+    SIZE_BYTES = 1024
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: List[CacheEntry]) -> None:
+        self.entries = entries
+
+
+class GossipAssign(Message):
+    """Direct delegation under the gossip scheduler."""
+
+    SIZE_BYTES = 1024
+    __slots__ = ("job",)
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+
+
+class GossipAgent:
+    """One node of the gossip-scheduled grid."""
+
+    def __init__(
+        self,
+        node: GridNode,
+        transport: Transport,
+        graph: OverlayGraph,
+        config: GossipConfig,
+        metrics: GridMetrics,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.node = node
+        self.transport = transport
+        self.graph = graph
+        self.config = config
+        self.metrics = metrics
+        self.sim = node.sim
+        self._rng = rng if rng is not None else self.sim.streams.get("gossip")
+        self._cache: Dict[NodeId, CacheEntry] = {}
+        transport.register(node.node_id, self._on_message)
+        wire_node_metrics(node, metrics)
+
+    @property
+    def node_id(self) -> NodeId:
+        return self.node.node_id
+
+    # ------------------------------------------------------------------
+    # State advertisement
+    # ------------------------------------------------------------------
+    def _own_entry(self) -> CacheEntry:
+        backlog = self.node.running_remaining() + sum(
+            entry.ertp for entry in self.node.scheduler.queued()
+        )
+        return CacheEntry(
+            node_id=self.node_id,
+            profile=self.node.profile,
+            speed=self.node.performance_index,
+            backlog=backlog,
+            timestamp=self.sim.now,
+        )
+
+    def start(self) -> None:
+        """Begin the periodic gossip rounds (random phase per node)."""
+        phase = self._rng.uniform(0.0, self.config.interval)
+        self.sim.every(
+            self.config.interval, self._gossip_round, start=self.sim.now + phase
+        )
+
+    def _gossip_round(self) -> None:
+        self._merge(self._own_entry())
+        # Anti-entropy selection: always carry our own fresh entry, fill
+        # the rest of the digest with a *random* cache sample — random
+        # selection propagates rarely-updated entries too, which pure
+        # "freshest first" digests starve.
+        own = self._cache[self.node_id]
+        others = [e for e in self._cache.values() if e.node_id != self.node_id]
+        sample_size = min(len(others), self.config.digest_size - 1)
+        entries = [own] + self._rng.sample(others, sample_size)
+        digest = GossipDigest(entries)
+        for target in choose_targets(
+            self.graph, self.node_id, self.config.fanout, self._rng
+        ):
+            self.transport.send(self.node_id, target, digest)
+
+    def _merge(self, entry: CacheEntry) -> None:
+        known = self._cache.get(entry.node_id)
+        if known is None or entry.timestamp > known.timestamp:
+            self._cache[entry.node_id] = entry
+        if len(self._cache) > self.config.cache_capacity:
+            stalest = min(self._cache.values(), key=lambda e: e.timestamp)
+            del self._cache[stalest.node_id]
+
+    # ------------------------------------------------------------------
+    # Scheduling from the cache
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Assign ``job`` using cached state (plus our own fresh state)."""
+        self.metrics.job_submitted(job, self.node_id, self.sim.now)
+        self._try_place(job, retries_left=self.config.max_retries)
+
+    def _try_place(self, job: Job, retries_left: int) -> None:
+        self._merge(self._own_entry())
+        candidates = [
+            entry
+            for entry in self._cache.values()
+            if entry.profile.satisfies(job.requirements)
+        ]
+        if not candidates:
+            if retries_left > 0:
+                # No matching state cached yet: wait for gossip to surface
+                # a candidate and try again.
+                self.sim.call_after(
+                    self.config.retry_interval,
+                    self._try_place,
+                    job,
+                    retries_left - 1,
+                )
+            else:
+                self.metrics.job_unschedulable(job.job_id, self.sim.now)
+            return
+        best = min(
+            candidates,
+            key=lambda e: (e.backlog + job.ert / e.speed, e.node_id),
+        )
+        # Optimistically age the cached backlog so immediate follow-up
+        # submissions do not all pile onto the same entry.
+        self._cache[best.node_id] = CacheEntry(
+            node_id=best.node_id,
+            profile=best.profile,
+            speed=best.speed,
+            backlog=best.backlog + job.ert / best.speed,
+            timestamp=best.timestamp,
+        )
+        self.metrics.job_assigned(
+            job.job_id, best.node_id, self.sim.now, reschedule=False
+        )
+        self.transport.send(self.node_id, best.node_id, GossipAssign(job))
+
+    # ------------------------------------------------------------------
+    def _on_message(self, src: NodeId, message: Message) -> None:
+        if isinstance(message, GossipDigest):
+            for entry in message.entries:
+                if entry.node_id != self.node_id:
+                    self._merge(entry)
+        elif isinstance(message, GossipAssign):
+            self.node.accept_job(message.job)
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError(f"unexpected message {message!r}")

@@ -1,0 +1,50 @@
+"""Uniform random placement (lower-bound comparator).
+
+Every job goes to a uniformly random node among those whose profile matches
+— discovery without any cost information.  Any scheduler that does worse
+than this is actively harmful; ARiA's gain over it quantifies the value of
+cost-based delegation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..grid.node import GridNode
+from ..metrics.collector import GridMetrics
+from ..net.traffic import TrafficMonitor
+from ..workload.jobs import Job
+from .base import BaselineScheduler
+
+__all__ = ["RandomAssignScheduler"]
+
+
+class RandomAssignScheduler(BaselineScheduler):
+    """Assigns each job to a uniformly random matching node."""
+
+    def __init__(
+        self,
+        nodes: List[GridNode],
+        metrics: GridMetrics,
+        rng: random.Random,
+        monitor: Optional[TrafficMonitor] = None,
+    ) -> None:
+        super().__init__(nodes, metrics)
+        self._rng = rng
+        self.monitor = monitor if monitor is not None else TrafficMonitor()
+
+    def submit(self, job: Job) -> None:
+        """Assign ``job`` to a uniformly random matching node."""
+        self.metrics.job_submitted(job, initiator=-1, time=self.sim.now)
+        self.monitor.record("Request", 1024)
+        candidates = self.matching_nodes(job)
+        if not candidates:
+            self.metrics.job_unschedulable(job.job_id, self.sim.now)
+            return
+        target = self._rng.choice(candidates)
+        self.monitor.record("Assign", 1024)
+        self.metrics.job_assigned(
+            job.job_id, target.node_id, self.sim.now, reschedule=False
+        )
+        target.accept_job(job)

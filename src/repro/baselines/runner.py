@@ -1,0 +1,164 @@
+"""Run the comparison meta-schedulers on the standard workload.
+
+Builds the same heterogeneous node pool and §IV-D workload as the ARiA
+scenario runner, but drives one of the baseline schedulers instead of the
+distributed protocol, so baseline and ARiA numbers are directly comparable
+(same seeds → same node profiles and jobs).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigurationError
+from ..grid.node import GridNode
+from ..grid.performance import AccuracyModel
+from ..grid.resources import random_node_profile, random_performance_index
+from ..metrics.collector import GridMetrics
+from ..net.traffic import TrafficReport
+from ..scheduling.registry import make_scheduler
+from ..sim import Simulator
+from ..workload.generator import JobGenerator
+from ..workload.submission import SubmissionProcess, SubmissionSchedule
+from .centralized import CentralizedMetaScheduler
+from .multirequest import MultiRequestScheduler
+from .randomassign import RandomAssignScheduler
+
+__all__ = ["BaselineRunResult", "run_baseline", "BASELINE_NAMES"]
+
+BASELINE_NAMES = ("centralized", "multirequest", "random", "gossip")
+
+
+@dataclass
+class BaselineRunResult:
+    """Outcome of one baseline run."""
+
+    baseline: str
+    seed: int
+    metrics: GridMetrics
+    traffic: TrafficReport
+    #: Duplicate queue entries cancelled (multirequest only, else 0).
+    revoked_copies: int
+
+
+def run_baseline(
+    baseline: str,
+    scale=None,
+    seed: int = 0,
+    policies=("FCFS", "SJF"),
+    submission_interval: float = 10.0,
+    multirequest_k: int = 3,
+) -> BaselineRunResult:
+    """Simulate one baseline run mirroring the Mixed workload setup."""
+    from ..experiments.scale import ScenarioScale
+
+    scale = scale if scale is not None else ScenarioScale.paper()
+    if baseline not in BASELINE_NAMES:
+        raise ConfigurationError(
+            f"unknown baseline {baseline!r}; known: {BASELINE_NAMES}"
+        )
+    sim = Simulator(seed=seed)
+    metrics = GridMetrics()
+    profile_rng = sim.streams.get("profiles")
+    policy_rng = sim.streams.get("policies")
+    accuracy = AccuracyModel(epsilon=0.1)
+    nodes: List[GridNode] = [
+        GridNode(
+            node_id=node_id,
+            sim=sim,
+            profile=random_node_profile(profile_rng),
+            performance_index=random_performance_index(profile_rng),
+            scheduler=make_scheduler(policy_rng.choice(policies)),
+            accuracy=accuracy,
+        )
+        for node_id in range(scale.nodes)
+    ]
+
+    if baseline == "gossip":
+        return _run_gossip(
+            scale, seed, sim, metrics, nodes, submission_interval
+        )
+    if baseline == "centralized":
+        scheduler = CentralizedMetaScheduler(nodes, metrics)
+    elif baseline == "multirequest":
+        scheduler = MultiRequestScheduler(nodes, metrics, k=multirequest_k)
+    else:
+        scheduler = RandomAssignScheduler(
+            nodes, metrics, rng=sim.streams.get("baseline.random")
+        )
+
+    profiles = [node.profile for node in nodes]
+    generator = JobGenerator(
+        sim.streams.get("workload"),
+        requirements_ok=lambda req: any(p.satisfies(req) for p in profiles),
+    )
+    schedule = SubmissionSchedule(
+        job_count=scale.jobs,
+        interval=submission_interval * scale.interval_factor,
+    )
+    SubmissionProcess(
+        sim,
+        agents=lambda: [scheduler],
+        generator=generator,
+        schedule=schedule,
+        rng=sim.streams.get("submission"),
+    )
+    sim.run_until(scale.duration)
+    return BaselineRunResult(
+        baseline=baseline,
+        seed=seed,
+        metrics=metrics,
+        traffic=scheduler.monitor.report(
+            node_count=scale.nodes, duration=scale.duration
+        ),
+        revoked_copies=getattr(scheduler, "revoked_copies", 0),
+    )
+
+
+def _run_gossip(
+    scale, seed, sim, metrics, nodes, submission_interval
+) -> BaselineRunResult:
+    """The gossip baseline is itself decentralized: one agent per node,
+    random initiators, a real overlay and transport underneath."""
+    from ..experiments.runner import _converged_overlay
+    from ..net.transport import Transport
+    from .gossip import GossipAgent, GossipConfig
+
+    transport = Transport(sim)
+    graph = _converged_overlay(scale.nodes, seed)
+    config = GossipConfig()
+    agents = [
+        GossipAgent(node, transport, graph, config, metrics)
+        for node in nodes
+    ]
+    for agent in agents:
+        agent.start()
+
+    profiles = [node.profile for node in nodes]
+    generator = JobGenerator(
+        sim.streams.get("workload"),
+        requirements_ok=lambda req: any(p.satisfies(req) for p in profiles),
+    )
+    schedule = SubmissionSchedule(
+        job_count=scale.jobs,
+        interval=submission_interval * scale.interval_factor,
+    )
+    SubmissionProcess(
+        sim,
+        agents=lambda: agents,
+        generator=generator,
+        schedule=schedule,
+        rng=sim.streams.get("submission"),
+    )
+    sim.run_until(scale.duration)
+    return BaselineRunResult(
+        baseline="gossip",
+        seed=seed,
+        metrics=metrics,
+        traffic=transport.monitor.report(
+            node_count=scale.nodes, duration=scale.duration
+        ),
+        revoked_copies=0,
+    )

@@ -1,0 +1,284 @@
+"""Command-line interface.
+
+Everything the library does is reachable from the shell::
+
+    python -m repro list                         # Table II catalog
+    python -m repro run iMixed --scale small     # one scenario
+    python -m repro figure fig4 --scale small    # regenerate a figure
+    python -m repro baseline centralized         # a comparison scheduler
+    python -m repro trace out.json --jobs 200    # freeze a workload trace
+
+All commands accept ``--scale tiny|small|medium|paper`` and ``--seeds N``
+(N seeds starting at ``--seed-base``, default 0; the paper averages 10).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .baselines import BASELINE_NAMES, run_baseline
+from .experiments import (
+    SCENARIOS,
+    ScenarioScale,
+    get_scenario,
+    render_table,
+    run_scenario,
+    summarize_runs,
+)
+from .experiments import figures as figures_module
+from .experiments.report import fmt_hours, fmt_opt
+
+__all__ = ["main"]
+
+_SCALES = {
+    "tiny": ScenarioScale.tiny,
+    "small": ScenarioScale.small,
+    "medium": ScenarioScale.medium,
+    "paper": ScenarioScale.paper,
+}
+
+_FIGURES = {
+    "fig1": figures_module.fig1_completed_jobs,
+    "fig2": figures_module.fig2_completion_time,
+    "fig3": figures_module.fig3_idle_nodes,
+    "fig4": figures_module.fig4_deadlines,
+    "fig5": figures_module.fig5_expanding,
+    "fig6": figures_module.fig6_load_idle,
+    "fig7": figures_module.fig7_load_completion,
+    "fig8": figures_module.fig8_resched_policies,
+    "fig9": figures_module.fig9_ert_accuracy,
+    "fig10": figures_module.fig10_traffic,
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="grid size (paper = 500 nodes / 1000 jobs)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=1, help="number of seeds to average"
+    )
+    parser.add_argument(
+        "--seed-base", type=int, default=0, help="first seed value"
+    )
+
+
+def _scale_and_seeds(args) -> tuple:
+    scale = _SCALES[args.scale]()
+    seeds = tuple(range(args.seed_base, args.seed_base + args.seeds))
+    return scale, seeds
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        [name, "yes" if scenario.rescheduling else "no", scenario.description]
+        for name, scenario in SCENARIOS.items()
+    ]
+    print(render_table(["scenario", "resched", "description"], rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    scale, seeds = _scale_and_seeds(args)
+    scenario = get_scenario(args.scenario)
+    summary = summarize_runs(
+        [run_scenario(scenario, scale, seed) for seed in seeds]
+    )
+    rows = [
+        ["completed jobs", fmt_opt(summary.completed_jobs, ".1f")],
+        ["unschedulable", fmt_opt(summary.unschedulable_jobs, ".1f")],
+        ["avg completion", fmt_hours(summary.average_completion_time)],
+        ["avg waiting", fmt_hours(summary.average_waiting_time)],
+        ["avg execution", fmt_hours(summary.average_execution_time)],
+        ["reschedules", fmt_opt(summary.reschedules, ".1f")],
+        ["missed deadlines", fmt_opt(summary.missed_deadlines, ".1f")],
+        ["avg lateness", fmt_hours(summary.average_lateness)],
+        ["avg missed time", fmt_hours(summary.average_missed_time)],
+        ["bandwidth/node", f"{summary.bandwidth_bps:.1f} bps"],
+    ]
+    for message_type, total in sorted(summary.traffic_bytes.items()):
+        rows.append([f"traffic {message_type}", f"{total / 1e6:.2f} MB"])
+    print(
+        f"{scenario.name} @ {args.scale} "
+        f"({scale.nodes} nodes, {scale.jobs} jobs), seeds {seeds}"
+    )
+    print(render_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    scale, seeds = _scale_and_seeds(args)
+    figure = _FIGURES[args.figure](scale, seeds)
+    print(figure.render())
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    scale, seeds = _scale_and_seeds(args)
+    import statistics
+
+    runs = [run_baseline(args.baseline, scale, seed) for seed in seeds]
+    completion = statistics.fmean(
+        r.metrics.average_completion_time() for r in runs
+    )
+    waiting = statistics.fmean(
+        r.metrics.average_waiting_time() for r in runs
+    )
+    print(
+        f"{args.baseline} @ {args.scale}: "
+        f"completion {fmt_hours(completion)}, waiting {fmt_hours(waiting)}, "
+        f"revoked copies {statistics.fmean(r.revoked_copies for r in runs):.1f}"
+    )
+    return 0
+
+
+def _cmd_run_file(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .experiments import Scenario
+
+    payload = json.loads(Path(args.path).read_text())
+    scenario = Scenario.from_dict(payload)
+    scale, seeds = _scale_and_seeds(args)
+    summary = summarize_runs(
+        [run_scenario(scenario, scale, seed) for seed in seeds]
+    )
+    print(
+        f"{scenario.name} (custom) @ {args.scale}: "
+        f"completion {fmt_hours(summary.average_completion_time)}, "
+        f"waiting {fmt_hours(summary.average_waiting_time)}, "
+        f"completed {summary.completed_jobs:.1f}, "
+        f"reschedules {summary.reschedules:.1f}"
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments.sweep import sweep_config_field, sweep_scenario_field
+
+    scale, seeds = _scale_and_seeds(args)
+    values = [float(v) if "." in v or "e" in v else int(v) for v in args.values]
+    sweep = (
+        sweep_config_field
+        if args.target == "config"
+        else sweep_scenario_field
+    )
+    points = sweep(args.scenario, args.field, values, scale, seeds)
+    rows = [
+        [
+            str(point.value),
+            fmt_hours(point.summary.average_completion_time),
+            fmt_hours(point.summary.average_waiting_time),
+            f"{sum(point.summary.traffic_bytes.values()) / 1e6:.1f}",
+        ]
+        for point in points
+    ]
+    print(f"sweep of {args.target}.{args.field} on {args.scenario}")
+    print(
+        render_table([args.field, "completion", "waiting", "traffic MB"], rows)
+    )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import random
+
+    from .types import HOUR
+    from .workload import JobGenerator, SubmissionSchedule, WorkloadTrace
+
+    generator = JobGenerator(
+        random.Random(args.seed_base),
+        deadline_slack_mean=args.deadline_slack * HOUR
+        if args.deadline_slack
+        else None,
+    )
+    schedule = SubmissionSchedule(
+        job_count=args.jobs, interval=args.interval
+    )
+    trace = WorkloadTrace.from_generator(generator, schedule.times())
+    trace.save(args.path)
+    print(f"wrote {len(trace)} jobs to {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ARiA grid meta-scheduling reproduction (ICDCS 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table II scenarios").set_defaults(
+        func=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="simulate one scenario")
+    run_parser.add_argument("scenario", choices=sorted(SCENARIOS))
+    _add_common(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("figure", choices=sorted(_FIGURES))
+    _add_common(figure_parser)
+    figure_parser.set_defaults(func=_cmd_figure)
+
+    baseline_parser = sub.add_parser(
+        "baseline", help="run a comparison meta-scheduler"
+    )
+    baseline_parser.add_argument("baseline", choices=BASELINE_NAMES)
+    _add_common(baseline_parser)
+    baseline_parser.set_defaults(func=_cmd_baseline)
+
+    run_file_parser = sub.add_parser(
+        "run-file", help="simulate a custom scenario from a JSON file"
+    )
+    run_file_parser.add_argument("path")
+    _add_common(run_file_parser)
+    run_file_parser.set_defaults(func=_cmd_run_file)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="sensitivity sweep over one scenario/config field"
+    )
+    sweep_parser.add_argument("scenario", choices=sorted(SCENARIOS))
+    sweep_parser.add_argument(
+        "target", choices=("scenario", "config"),
+        help="whether the field lives on the Scenario or the AriaConfig",
+    )
+    sweep_parser.add_argument("field")
+    sweep_parser.add_argument("values", nargs="+")
+    _add_common(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    trace_parser = sub.add_parser(
+        "trace", help="generate a workload trace file"
+    )
+    trace_parser.add_argument("path")
+    trace_parser.add_argument("--jobs", type=int, default=1000)
+    trace_parser.add_argument("--interval", type=float, default=10.0)
+    trace_parser.add_argument(
+        "--deadline-slack",
+        type=float,
+        default=None,
+        help="mean deadline slack in hours (omit for batch jobs)",
+    )
+    trace_parser.add_argument("--seed-base", type=int, default=0)
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

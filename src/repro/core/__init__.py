@@ -1,0 +1,30 @@
+"""The ARiA protocol: messages, configuration, and per-node agents."""
+
+from .config import AriaConfig
+from .messages import (
+    Accept,
+    Assign,
+    Done,
+    Inform,
+    Probe,
+    ProbeReply,
+    Request,
+    Track,
+)
+from .protocol import AriaAgent
+from .selection import current_queue_cost, select_inform_candidates
+
+__all__ = [
+    "Accept",
+    "AriaAgent",
+    "AriaConfig",
+    "Assign",
+    "Done",
+    "Inform",
+    "Probe",
+    "ProbeReply",
+    "Request",
+    "Track",
+    "current_queue_cost",
+    "select_inform_candidates",
+]

@@ -1,0 +1,91 @@
+"""ARiA protocol configuration.
+
+Defaults reproduce the paper's baseline evaluation settings (§IV-E):
+
+* REQUEST flooding: ≤ 9 hops, ≤ 4 random neighbours per step;
+* INFORM flooding: ≤ 8 hops, ≤ 2 neighbours ("a more lightweight approach");
+* INFORM cadence: at most 2 scheduled jobs every 5 minutes;
+* rescheduling improvement threshold: 3 minutes (the baseline the
+  iInform15m / iInform30m scenarios vary).
+
+The acceptance *timelapse* (how long an initiator collects ACCEPT replies,
+§III-B) is not quantified in the paper; the default of 5 s comfortably
+covers a 9-hop flood at WAN latencies while staying negligible against
+multi-hour job runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..overlay.flooding import FloodPolicy
+from ..types import MINUTE
+
+__all__ = ["AriaConfig"]
+
+
+@dataclass(frozen=True)
+class AriaConfig:
+    """Tunable parameters of the ARiA protocol."""
+
+    #: Whether the dynamic rescheduling phase (INFORM traffic) is active.
+    #: Scenarios prefixed with ``i`` in the paper enable it.
+    rescheduling: bool = True
+    #: Flood bounds for REQUEST messages.
+    request_flood: FloodPolicy = field(
+        default_factory=lambda: FloodPolicy(max_hops=9, fanout=4)
+    )
+    #: Flood bounds for INFORM messages.
+    inform_flood: FloodPolicy = field(
+        default_factory=lambda: FloodPolicy(max_hops=8, fanout=2)
+    )
+    #: How long an initiator collects ACCEPT offers before assigning.
+    accept_wait: float = 5.0
+    #: Period of the per-node INFORM generation activity.
+    inform_interval: float = 5 * MINUTE
+    #: Maximum jobs advertised per INFORM round (paper baseline: 2).
+    inform_count: int = 2
+    #: Minimum cost improvement a rescheduling must provide (batch: seconds
+    #: of ETTC; deadline: NAL units).  Paper baseline: 3 minutes.
+    improvement_threshold: float = 3 * MINUTE
+    #: If no ACCEPT arrives, re-broadcast the REQUEST after this long.
+    request_retry_interval: float = 2 * MINUTE
+    #: Give up on a job after this many fruitless REQUEST broadcasts.
+    max_request_retries: int = 24
+    #: Send Track notifications to initiators on reschedules (§III-D
+    #: "may be notified"; off by default to match Figure 10's traffic).
+    notify_initiator: bool = False
+    #: Fail-safe mode (§III-D's crash-recovery sketch): initiators track
+    #: their jobs' current assignees (implies Track notifications), probe
+    #: them periodically, and resubmit jobs whose assignee looks dead for
+    #: two consecutive probe rounds.
+    failsafe: bool = False
+    #: Period of the fail-safe probing activity.
+    probe_interval: float = 10 * MINUTE
+    #: How long to wait for a ProbeReply before counting a miss.
+    probe_timeout: float = 30.0
+    #: Grace period a gracefully leaving node lingers after its plate is
+    #: clean, so in-flight ASSIGNs still find it (and get re-delegated)
+    #: instead of vanishing with the departure.
+    departure_grace: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.accept_wait <= 0:
+            raise ConfigurationError("accept_wait must be positive")
+        if self.inform_interval <= 0:
+            raise ConfigurationError("inform_interval must be positive")
+        if self.inform_count < 1:
+            raise ConfigurationError("inform_count must be >= 1")
+        if self.improvement_threshold < 0:
+            raise ConfigurationError("improvement_threshold must be >= 0")
+        if self.request_retry_interval <= 0:
+            raise ConfigurationError("request_retry_interval must be positive")
+        if self.max_request_retries < 0:
+            raise ConfigurationError("max_request_retries must be >= 0")
+        if self.probe_interval <= 0:
+            raise ConfigurationError("probe_interval must be positive")
+        if self.probe_timeout <= 0:
+            raise ConfigurationError("probe_timeout must be positive")
+        if self.departure_grace < 0:
+            raise ConfigurationError("departure_grace must be >= 0")

@@ -1,0 +1,153 @@
+"""The four ARiA protocol messages (paper Table I).
+
+=========  ==========================================================
+Message    Fields (Table I)
+=========  ==========================================================
+REQUEST    Initiator's address · Job UUID · Job Profile
+ACCEPT     Node's address · Job UUID · Cost
+INFORM     Assignee's address · Job UUID · Job Profile · Cost
+ASSIGN     Initiator's address · Job UUID · Job Profile
+=========  ==========================================================
+
+Sizes follow §V-E: REQUEST, INFORM and ASSIGN carry 1 KB, ACCEPT 128 B.
+
+The job *profile* of the paper (requirements + ERT + deadline) is our
+immutable :class:`~repro.workload.jobs.Job`, which also carries the UUID —
+so messages hold one ``job`` field for both Table I columns.  Flooded
+messages (REQUEST, INFORM) additionally carry the remaining hop budget and
+a per-broadcast identifier for duplicate suppression; both would be plain
+header fields in a wire format and are covered by the 1 KB size.
+"""
+
+from __future__ import annotations
+
+from ..net.message import Message
+from ..types import JobId, NodeId
+from ..workload.jobs import Job
+
+__all__ = ["Request", "Accept", "Inform", "Assign"]
+
+
+class Request(Message):
+    """Resource-discovery query broadcast by a job's initiator (§III-B)."""
+
+    SIZE_BYTES = 1024
+    __slots__ = ("initiator", "job", "hops_left", "broadcast_id")
+
+    def __init__(
+        self, initiator: NodeId, job: Job, hops_left: int, broadcast_id: int
+    ) -> None:
+        self.initiator = initiator
+        self.job = job
+        self.hops_left = hops_left
+        self.broadcast_id = broadcast_id
+
+
+class Accept(Message):
+    """Cost offer: answers a REQUEST (to the initiator) or an INFORM
+    (to the current assignee) (§III-C, §III-D)."""
+
+    SIZE_BYTES = 128
+    __slots__ = ("node", "job_id", "cost")
+
+    def __init__(self, node: NodeId, job_id: JobId, cost: float) -> None:
+        self.node = node
+        self.job_id = job_id
+        self.cost = cost
+
+
+class Inform(Message):
+    """Rescheduling advertisement flooded by a job's current assignee;
+    carries the assignee's own cost so candidates only answer when they
+    can beat it (§III-D)."""
+
+    SIZE_BYTES = 1024
+    __slots__ = ("assignee", "job", "cost", "hops_left", "broadcast_id")
+
+    def __init__(
+        self,
+        assignee: NodeId,
+        job: Job,
+        cost: float,
+        hops_left: int,
+        broadcast_id: int,
+    ) -> None:
+        self.assignee = assignee
+        self.job = job
+        self.cost = cost
+        self.hops_left = hops_left
+        self.broadcast_id = broadcast_id
+
+
+class Assign(Message):
+    """Job delegation to the selected node; sent by the initiator after the
+    acceptance phase, or by the current assignee on rescheduling."""
+
+    SIZE_BYTES = 1024
+    __slots__ = ("initiator", "job", "reschedule")
+
+    def __init__(self, initiator: NodeId, job: Job, reschedule: bool) -> None:
+        self.initiator = initiator
+        self.job = job
+        self.reschedule = reschedule
+
+
+class Track(Message):
+    """Optional reschedule notification to the job's initiator (§III-D:
+    "rescheduling actions may be notified to the job's initiator").
+
+    Disabled by default so the traffic profile matches Figure 10; enabling
+    it (``AriaConfig.notify_initiator``) supports the paper's fail-safe
+    tracking discussion.
+    """
+
+    SIZE_BYTES = 128
+    __slots__ = ("job_id", "new_assignee")
+
+    def __init__(self, job_id: JobId, new_assignee: NodeId) -> None:
+        self.job_id = job_id
+        self.new_assignee = new_assignee
+
+
+__all__.append("Track")
+
+
+class Probe(Message):
+    """Fail-safe liveness check: the initiator asks a job's believed
+    assignee whether it still holds the job.
+
+    Part of the fail-safe extension sketched in §III-D; only sent when
+    ``AriaConfig.failsafe`` is on.
+    """
+
+    SIZE_BYTES = 128
+    __slots__ = ("job_id", "initiator")
+
+    def __init__(self, job_id: JobId, initiator: NodeId) -> None:
+        self.job_id = job_id
+        self.initiator = initiator
+
+
+class ProbeReply(Message):
+    """Answer to a :class:`Probe`: whether the node holds the job."""
+
+    SIZE_BYTES = 128
+    __slots__ = ("job_id", "holds")
+
+    def __init__(self, job_id: JobId, holds: bool) -> None:
+        self.job_id = job_id
+        self.holds = holds
+
+
+class Done(Message):
+    """Completion notification to the job's initiator (fail-safe mode),
+    so the initiator stops tracking the job."""
+
+    SIZE_BYTES = 128
+    __slots__ = ("job_id",)
+
+    def __init__(self, job_id: JobId) -> None:
+        self.job_id = job_id
+
+
+__all__ += ["Probe", "ProbeReply", "Done"]

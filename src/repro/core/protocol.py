@@ -1,0 +1,655 @@
+"""The ARiA protocol agent (§III of the paper).
+
+One :class:`AriaAgent` runs on every grid node and implements the three
+protocol phases:
+
+* **Job submission** (§III-B): the node a job is submitted to (its
+  *initiator*) floods a REQUEST over the overlay and collects ACCEPT cost
+  offers for a fixed timelapse.  The initiator evaluates its own resources
+  too — submission to a node never guarantees local execution, but the
+  local node is a candidate like any other (at zero network cost).
+* **Job acceptance** (§III-C): nodes whose profile matches the job answer
+  with their cost (ETTC for batch schedulers, NAL for deadline schedulers);
+  non-matching nodes relay the message.  The initiator delegates the job to
+  the cheapest offer with an ASSIGN; assigned jobs can never be declined.
+* **Dynamic rescheduling** (§III-D): while a job waits in a queue, its
+  current assignee periodically advertises it with INFORM messages carrying
+  the current cost.  A node that can beat that cost by more than the
+  improvement threshold answers with an ACCEPT; the assignee withdraws the
+  job (if it has not started) and re-ASSIGNs it to the better node.
+
+Flooding rule (uniform for REQUEST and INFORM): a node that *answers* a
+message does not relay it; every other node relays it while the hop budget
+lasts.  For REQUEST this is literally the paper's rule ("if the request
+cannot be satisfied, the message is further forwarded", §III-C); the paper
+leaves the INFORM relay rule implicit and we apply the same answer-or-relay
+principle.
+
+Race conditions are resolved exactly as the paper's assumptions demand:
+a job that started executing is never withdrawn (no preemption/migration),
+late or duplicate ACCEPTs for a job that already left the queue are
+ignored, and every re-ASSIGN re-checks the assignee's *fresh* cost rather
+than the possibly stale value advertised in the INFORM.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError
+from ..grid.node import GridNode, RunningJob
+from ..metrics.collector import GridMetrics
+from ..net.message import Message
+from ..net.transport import Transport
+from ..overlay.flooding import SeenCache, choose_targets
+from ..overlay.graph import OverlayGraph
+from ..scheduling.base import DEADLINE
+from ..sim.events import Event
+from ..types import JobId, NodeId
+from ..workload.jobs import Job
+from .config import AriaConfig
+from .messages import (
+    Accept,
+    Assign,
+    Done,
+    Inform,
+    Probe,
+    ProbeReply,
+    Request,
+    Track,
+)
+from .selection import current_queue_cost, select_inform_candidates
+
+__all__ = ["AriaAgent"]
+
+#: A cost offer: (cost, offering node) — tuple order gives deterministic
+#: minimum selection with node id as tie-breaker.
+Offer = Tuple[float, NodeId]
+
+
+class _PendingRequest:
+    """Discovery state of one job waiting for ACCEPT offers.
+
+    ``reschedule`` marks a *hand-off* discovery: the job is already
+    assigned to this (leaving) node and is being re-delegated, so the final
+    ASSIGN is a reschedule and the node itself is the fallback executor.
+    """
+
+    __slots__ = ("job", "offers", "retries", "timer", "reschedule")
+
+    def __init__(self, job: Job, reschedule: bool = False) -> None:
+        self.job = job
+        self.offers: List[Offer] = []
+        self.retries = 0
+        self.timer: Optional[Event] = None
+        self.reschedule = reschedule
+
+
+class AriaAgent:
+    """Protocol endpoint attached to one :class:`~repro.grid.GridNode`."""
+
+    def __init__(
+        self,
+        node: GridNode,
+        transport: Transport,
+        graph: OverlayGraph,
+        config: AriaConfig,
+        metrics: GridMetrics,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.node = node
+        self.transport = transport
+        self.graph = graph
+        self.config = config
+        self.metrics = metrics
+        self.sim = node.sim
+        self._rng = rng if rng is not None else self.sim.streams.get("aria")
+        self._pending: Dict[JobId, _PendingRequest] = {}
+        self._seen_requests = SeenCache()
+        self._seen_informs = SeenCache()
+        self._job_initiators: Dict[JobId, NodeId] = {}
+        self._broadcast_seq = 0
+        self._inform_stop = None
+        # Fail-safe state (initiator side): job -> (descriptor, assignee).
+        self._tracked: Dict[JobId, Tuple[Job, NodeId]] = {}
+        self._probe_timeouts: Dict[JobId, Event] = {}
+        self._suspect: Dict[JobId, int] = {}
+        self._failsafe_stop = None
+        self.failed = False
+        #: Graceful-departure state: a leaving node hands its queue off,
+        #: finishes any running job, then departs the grid.
+        self.leaving = False
+        self.departed = False
+        self._depart_timer: Optional[Event] = None
+        transport.register(node.node_id, self._on_message)
+        node.on_job_started.append(self._on_job_started)
+        node.on_job_finished.append(self._on_job_finished)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> NodeId:
+        return self.node.node_id
+
+    def start(self) -> None:
+        """Begin the periodic protocol activities.
+
+        Starts the INFORM loop (when rescheduling is on) and the fail-safe
+        probing loop (when fail-safe mode is on).  Each node's clocks get a
+        random phase so the grid does not act in synchronized bursts.
+        """
+        if self.config.rescheduling and self._inform_stop is None:
+            phase = self._rng.uniform(0.0, self.config.inform_interval)
+            self._inform_stop = self.sim.every(
+                self.config.inform_interval,
+                self._inform_round,
+                start=self.sim.now + phase,
+            )
+        if self.config.failsafe and self._failsafe_stop is None:
+            phase = self._rng.uniform(0.0, self.config.probe_interval)
+            self._failsafe_stop = self.sim.every(
+                self.config.probe_interval,
+                self._failsafe_round,
+                start=self.sim.now + phase,
+            )
+
+    def stop(self) -> None:
+        """Stop the periodic protocol activities."""
+        if self._inform_stop is not None:
+            self._inform_stop()
+            self._inform_stop = None
+        if self._failsafe_stop is not None:
+            self._failsafe_stop()
+            self._failsafe_stop = None
+
+    def fail(self, leave_overlay: bool = True) -> List[Job]:
+        """Crash this node: it stops executing, replying and relaying.
+
+        Returns the jobs lost from its queue/executor.  With fail-safe mode
+        on, the initiators of those jobs detect the silence through probe
+        misses and resubmit them (§III-D's fail-safe sketch).
+        """
+        if self.failed:
+            raise ProtocolError(f"node {self.node_id} already failed")
+        self.failed = True
+        self.stop()
+        # A dead node abandons its initiator duties too: pending discovery
+        # retries, fail-safe probes and tracking state all die with it.
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                self.sim.cancel(pending.timer)
+        self._pending.clear()
+        for timeout in self._probe_timeouts.values():
+            self.sim.cancel(timeout)
+        self._probe_timeouts.clear()
+        self._tracked.clear()
+        self._suspect.clear()
+        if self._depart_timer is not None:
+            self.sim.cancel(self._depart_timer)
+            self._depart_timer = None
+        if self.transport.is_registered(self.node_id):
+            self.transport.unregister(self.node_id)
+        if leave_overlay and self.graph.has_node(self.node_id):
+            self.graph.remove_node(self.node_id)
+        lost = self.node.crash()
+        for job in lost:
+            self.metrics.job_lost(job.job_id, self.sim.now)
+        return lost
+
+    def leave(self) -> int:
+        """Begin a graceful departure (the volatile-resource case).
+
+        The node immediately stops offering on REQUEST/INFORM, re-delegates
+        every *waiting* job through hand-off discoveries (the final ASSIGNs
+        count as reschedules and notify initiators when tracking is on),
+        lets any running job finish, and departs once its plate is clean.
+        If a hand-off finds no taker the node executes that job itself
+        before departing — an accepted job is never dropped (§III-A).
+
+        Returns the number of hand-off discoveries started.
+        """
+        if self.failed:
+            raise ProtocolError(f"node {self.node_id} has crashed")
+        if self.leaving:
+            raise ProtocolError(f"node {self.node_id} is already leaving")
+        self.leaving = True
+        if self._inform_stop is not None:
+            self._inform_stop()
+            self._inform_stop = None
+        handed_off = 0
+        for entry in self.node.scheduler.queued():
+            removed = self.node.withdraw_job(entry.job.job_id)
+            if removed is not None:
+                self._begin_discovery(removed.job, reschedule=True)
+                handed_off += 1
+        self._maybe_depart()
+        return handed_off
+
+    def _departure_blocked(self) -> bool:
+        return (
+            self.node.running is not None
+            or len(self.node.scheduler) > 0
+            or bool(self._pending)  # hand-offs / own submissions in flight
+        )
+
+    def _maybe_depart(self) -> None:
+        """Arm the departure grace timer once nothing remains to do.
+
+        The node lingers for ``departure_grace`` so that ASSIGNs already in
+        flight still find it — they get re-delegated rather than silently
+        dropped by an unregistered transport endpoint.
+        """
+        if not self.leaving or self.departed or self.failed:
+            return
+        if self._departure_blocked() or self._depart_timer is not None:
+            return
+        self._depart_timer = self.sim.call_after(
+            self.config.departure_grace, self._complete_departure
+        )
+
+    def _complete_departure(self) -> None:
+        self._depart_timer = None
+        if self.departed or self.failed:
+            return
+        if self._departure_blocked():
+            return  # a late ASSIGN arrived; its hand-off will re-trigger
+        self.departed = True
+        self.stop()
+        self.transport.unregister(self.node_id)
+        if self.graph.has_node(self.node_id):
+            self.graph.remove_node(self.node_id)
+
+    # ------------------------------------------------------------------
+    # Phase 1: job submission (this node is the initiator)
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Accept a user's job submission and start the discovery phase."""
+        if self.failed or self.departed:
+            raise ProtocolError(
+                f"node {self.node_id} is no longer part of the grid"
+            )
+        if job.job_id in self._pending:
+            raise ProtocolError(f"job {job.job_id} already pending here")
+        self.metrics.job_submitted(job, self.node_id, self.sim.now)
+        self._begin_discovery(job)
+
+    def _begin_discovery(self, job: Job, reschedule: bool = False) -> None:
+        pending = _PendingRequest(job, reschedule=reschedule)
+        self._pending[job.job_id] = pending
+        self._broadcast_request(job)
+        pending.timer = self.sim.call_after(
+            self.config.accept_wait, self._finalize_request, job.job_id
+        )
+
+    def _next_broadcast_id(self) -> Tuple[NodeId, int]:
+        self._broadcast_seq += 1
+        return (self.node_id, self._broadcast_seq)
+
+    def _broadcast_request(self, job: Job) -> None:
+        policy = self.config.request_flood
+        broadcast_id = self._next_broadcast_id()
+        self._seen_requests.seen_before(broadcast_id)  # ignore echoes
+        message = Request(
+            initiator=self.node_id,
+            job=job,
+            hops_left=policy.max_hops - 1,
+            broadcast_id=broadcast_id,
+        )
+        for target in choose_targets(
+            self.graph, self.node_id, policy.fanout, self._rng
+        ):
+            self.transport.send(self.node_id, target, message)
+
+    def _finalize_request(self, job_id: JobId) -> None:
+        pending = self._pending.get(job_id)
+        if pending is None:  # pragma: no cover - defensive
+            return
+        job = pending.job
+        # The initiator quotes itself at decision time (no network cost).
+        if self._can_host(job):
+            pending.offers.append((self.node.cost_for(job), self.node_id))
+        if not pending.offers:
+            pending.retries += 1
+            if pending.retries > self.config.max_request_retries:
+                del self._pending[job_id]
+                if pending.reschedule and not self.failed:
+                    # Hand-off found no taker: a leaving node falls back to
+                    # executing the job itself before departing (a job may
+                    # never be dropped once accepted, §III-A).
+                    self.node.accept_job(job)
+                    return
+                self._untrack(job_id)
+                self.metrics.job_unschedulable(job_id, self.sim.now)
+                return
+            self._broadcast_request(job)
+            pending.timer = self.sim.call_after(
+                self.config.request_retry_interval,
+                self._finalize_request,
+                job_id,
+            )
+            return
+        del self._pending[job_id]
+        _cost, winner = min(pending.offers)
+        if self.config.failsafe and not pending.reschedule:
+            self._tracked[job_id] = (job, winner)
+            self._suspect.pop(job_id, None)
+        self._send_assign(winner, job, reschedule=pending.reschedule)
+        if pending.reschedule:
+            self._maybe_depart()
+
+    def _send_assign(self, target: NodeId, job: Job, reschedule: bool) -> None:
+        """Delegate ``job`` to ``target`` (initial assignment or reschedule).
+
+        Reschedules resolve the job's original initiator, release the local
+        initiator bookkeeping, and notify the initiator (Track) when
+        tracking is active.
+        """
+        if reschedule:
+            initiator = self._job_initiators.pop(job.job_id, self.node_id)
+        else:
+            initiator = self.node_id
+        message = Assign(initiator=initiator, job=job, reschedule=reschedule)
+        self.transport.send(self.node_id, target, message)
+        if reschedule and (
+            self.config.notify_initiator or self.config.failsafe
+        ):
+            if initiator == self.node_id:
+                if job.job_id in self._tracked:
+                    self._tracked[job.job_id] = (job, target)
+                    self._suspect.pop(job.job_id, None)
+            else:
+                self.transport.send(
+                    self.node_id, initiator, Track(job.job_id, target)
+                )
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def _on_message(self, src: NodeId, message: Message) -> None:
+        if isinstance(message, Request):
+            self._handle_request(src, message)
+        elif isinstance(message, Accept):
+            self._handle_accept(src, message)
+        elif isinstance(message, Inform):
+            self._handle_inform(src, message)
+        elif isinstance(message, Assign):
+            self._handle_assign(src, message)
+        elif isinstance(message, Track):
+            self._handle_track(message)
+        elif isinstance(message, Probe):
+            # A job in a pending hand-off discovery counts as held: the
+            # leaving node is still responsible for it, and reporting
+            # otherwise would trigger a spurious fail-safe resubmission.
+            holds = (
+                self.node.holds_job(message.job_id)
+                or message.job_id in self._pending
+            )
+            self.transport.send(
+                self.node_id,
+                message.initiator,
+                ProbeReply(message.job_id, holds),
+            )
+        elif isinstance(message, ProbeReply):
+            self._handle_probe_reply(message)
+        elif isinstance(message, Done):
+            self._untrack(message.job_id)
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"unexpected message {message!r}")
+
+    def _hosts_family(self, job: Job) -> bool:
+        """Scheduler-family match: deadline jobs on deadline schedulers,
+        batch jobs on batch schedulers (§III-C — "deadline scheduling
+        offers are not mixed with batch ones"; EDF cannot order a job that
+        has no deadline), and advance reservations only on policies that
+        honour them."""
+        if job.has_deadline != (self.node.scheduler.kind == DEADLINE):
+            return False
+        if job.not_before is not None:
+            return self.node.scheduler.supports_reservations
+        return True
+
+    def _can_host(self, job: Job) -> bool:
+        """Whether this node may *offer* to execute ``job`` right now.
+
+        Requires the profile and scheduler-family match, and that the node
+        is neither leaving nor failed (a departing node sheds load, it does
+        not attract more).
+        """
+        if self.leaving or self.failed:
+            return False
+        return self._hosts_family(job) and self.node.can_execute(job)
+
+    # ------------------------------------------------------------------
+    # Phase 2: acceptance
+    # ------------------------------------------------------------------
+    def _handle_request(self, src: NodeId, message: Request) -> None:
+        if self._seen_requests.seen_before(message.broadcast_id):
+            return
+        if self._can_host(message.job):
+            cost = self.node.cost_for(message.job)
+            self.transport.send(
+                self.node_id,
+                message.initiator,
+                Accept(self.node_id, message.job.job_id, cost),
+            )
+            return  # answering nodes do not relay (§III-C)
+        self._relay_request(src, message)
+
+    def _relay_request(self, src: NodeId, message: Request) -> None:
+        if message.hops_left <= 0:
+            return
+        relayed = Request(
+            initiator=message.initiator,
+            job=message.job,
+            hops_left=message.hops_left - 1,
+            broadcast_id=message.broadcast_id,
+        )
+        for target in choose_targets(
+            self.graph,
+            self.node_id,
+            self.config.request_flood.fanout,
+            self._rng,
+            exclude=src,
+        ):
+            self.transport.send(self.node_id, target, relayed)
+
+    def _handle_accept(self, src: NodeId, message: Accept) -> None:
+        pending = self._pending.get(message.job_id)
+        if pending is not None:
+            pending.offers.append((message.cost, message.node))
+            return
+        self._consider_reschedule_offer(message)
+
+    # ------------------------------------------------------------------
+    # Phase 3: dynamic rescheduling
+    # ------------------------------------------------------------------
+    def _inform_round(self) -> None:
+        """Advertise up to ``inform_count`` waiting jobs (assignee side)."""
+        candidates = select_inform_candidates(
+            self.node.scheduler,
+            self.config.inform_count,
+            self.sim.now,
+            self.node.running_remaining(),
+        )
+        policy = self.config.inform_flood
+        self.metrics.inform_broadcasts += len(candidates)
+        for entry in candidates:
+            cost = current_queue_cost(
+                self.node.scheduler,
+                entry.job.job_id,
+                self.sim.now,
+                self.node.running_remaining(),
+            )
+            broadcast_id = self._next_broadcast_id()
+            self._seen_informs.seen_before(broadcast_id)
+            message = Inform(
+                assignee=self.node_id,
+                job=entry.job,
+                cost=cost,
+                hops_left=policy.max_hops - 1,
+                broadcast_id=broadcast_id,
+            )
+            for target in choose_targets(
+                self.graph, self.node_id, policy.fanout, self._rng
+            ):
+                self.transport.send(self.node_id, target, message)
+
+    def _handle_inform(self, src: NodeId, message: Inform) -> None:
+        if self._seen_informs.seen_before(message.broadcast_id):
+            return
+        if message.assignee == self.node_id:
+            return
+        if self._can_host(message.job):
+            cost = self.node.cost_for(message.job)
+            if cost < message.cost - self.config.improvement_threshold:
+                self.transport.send(
+                    self.node_id,
+                    message.assignee,
+                    Accept(self.node_id, message.job.job_id, cost),
+                )
+                return  # answering nodes do not relay
+        self._relay_inform(src, message)
+
+    def _relay_inform(self, src: NodeId, message: Inform) -> None:
+        if message.hops_left <= 0:
+            return
+        relayed = Inform(
+            assignee=message.assignee,
+            job=message.job,
+            cost=message.cost,
+            hops_left=message.hops_left - 1,
+            broadcast_id=message.broadcast_id,
+        )
+        for target in choose_targets(
+            self.graph,
+            self.node_id,
+            self.config.inform_flood.fanout,
+            self._rng,
+            exclude=src,
+        ):
+            self.transport.send(self.node_id, target, relayed)
+
+    def _consider_reschedule_offer(self, message: Accept) -> None:
+        """Assignee side: a node offers to take one of our waiting jobs."""
+        entry = self.node.scheduler.find(message.job_id)
+        if entry is None:
+            return  # job started, finished, or already rescheduled: stale
+        own_cost = current_queue_cost(
+            self.node.scheduler,
+            message.job_id,
+            self.sim.now,
+            self.node.running_remaining(),
+        )
+        if message.cost >= own_cost - self.config.improvement_threshold:
+            return  # the offer no longer beats our fresh cost
+        removed = self.node.withdraw_job(message.job_id)
+        if removed is None:  # pragma: no cover - guarded by find() above
+            return
+        self._send_assign(message.node, removed.job, reschedule=True)
+
+    # ------------------------------------------------------------------
+    # Assignment receipt and execution hooks
+    # ------------------------------------------------------------------
+    def _handle_assign(self, src: NodeId, message: Assign) -> None:
+        job = message.job
+        if not self._hosts_family(job) or not self.node.can_execute(job):
+            raise ProtocolError(
+                f"node {self.node_id} received job {job.job_id} it cannot "
+                "host — nodes may not decline accepted jobs (§III-A)"
+            )
+        if self.node.holds_job(job.job_id) or job.job_id in self._pending:
+            # Duplicate delegation (e.g. a fail-safe resubmission raced a
+            # Track update): accepting twice would double-execute, so the
+            # second copy is dropped idempotently.
+            return
+        self._job_initiators[job.job_id] = message.initiator
+        self.metrics.job_assigned(
+            job.job_id, self.node_id, self.sim.now, message.reschedule
+        )
+        if self.leaving:
+            # An ASSIGN that raced our departure cannot be declined; the
+            # leaving node immediately re-delegates it instead of queueing.
+            self._begin_discovery(job, reschedule=True)
+            return
+        self.node.accept_job(job)
+
+    def _on_job_started(self, node: GridNode, running: RunningJob) -> None:
+        self.metrics.job_started(
+            running.job.job_id, node.node_id, self.sim.now
+        )
+
+    def _on_job_finished(self, node: GridNode, finished: RunningJob) -> None:
+        job_id = finished.job.job_id
+        initiator = self._job_initiators.pop(job_id, None)
+        self.metrics.job_finished(job_id, node.node_id, self.sim.now)
+        if self.config.failsafe and initiator is not None:
+            if initiator == self.node_id:
+                self._untrack(job_id)
+            else:
+                self.transport.send(self.node_id, initiator, Done(job_id))
+        self._maybe_depart()
+
+    # ------------------------------------------------------------------
+    # Fail-safe mode (§III-D crash-recovery sketch)
+    # ------------------------------------------------------------------
+    def _untrack(self, job_id: JobId) -> None:
+        self._tracked.pop(job_id, None)
+        self._suspect.pop(job_id, None)
+        timeout = self._probe_timeouts.pop(job_id, None)
+        if timeout is not None:
+            self.sim.cancel(timeout)
+
+    def _handle_track(self, message: Track) -> None:
+        entry = self._tracked.get(message.job_id)
+        if entry is None:
+            return
+        self._tracked[message.job_id] = (entry[0], message.new_assignee)
+        # Fresh assignment news clears any suspicion built by stale probes.
+        self._suspect.pop(message.job_id, None)
+
+    def _failsafe_round(self) -> None:
+        """Probe the believed assignee of every tracked, unfinished job."""
+        for job_id, (_job, assignee) in list(self._tracked.items()):
+            if job_id in self._pending or job_id in self._probe_timeouts:
+                continue  # being rediscovered / probe already in flight
+            if assignee == self.node_id:
+                continue  # local job: completion is observed directly
+            self.transport.send(
+                self.node_id, assignee, Probe(job_id, self.node_id)
+            )
+            self._probe_timeouts[job_id] = self.sim.call_after(
+                self.config.probe_timeout, self._probe_missed, job_id
+            )
+
+    def _handle_probe_reply(self, message: ProbeReply) -> None:
+        timeout = self._probe_timeouts.pop(message.job_id, None)
+        if timeout is not None:
+            self.sim.cancel(timeout)
+        if message.job_id not in self._tracked:
+            return
+        if message.holds:
+            self._suspect.pop(message.job_id, None)
+        else:
+            # The assignee answered but does not hold the job: either a
+            # Track/Done notification is still in flight (wait it out) or
+            # the job was really lost.  Two consecutive misses resubmit.
+            self._record_probe_miss(message.job_id)
+
+    def _probe_missed(self, job_id: JobId) -> None:
+        self._probe_timeouts.pop(job_id, None)
+        if job_id in self._tracked:
+            self._record_probe_miss(job_id)
+
+    def _record_probe_miss(self, job_id: JobId) -> None:
+        misses = self._suspect.get(job_id, 0) + 1
+        self._suspect[job_id] = misses
+        if misses < 2:
+            return
+        job, _assignee = self._tracked[job_id]
+        self._untrack(job_id)
+        if job_id in self._pending:  # pragma: no cover - defensive
+            return
+        self.metrics.job_resubmitted(job_id, self.sim.now)
+        self._begin_discovery(job)

@@ -1,0 +1,70 @@
+"""INFORM candidate selection (§III-D).
+
+"Nodes will typically generate INFORM messages for a set of jobs in their
+queue according to a selection mechanism.  For batch schedulers jobs with
+the largest waiting times are preferentially selected, whereas for deadline
+schedulers jobs with the least lateness are chosen."
+
+*Least lateness* uses the paper's Fig. 4 definition of lateness — the time
+left from (expected) completion to the deadline — so the jobs most at risk
+(smallest slack) are advertised first.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..scheduling.base import DEADLINE, LocalScheduler, QueuedJob
+from ..scheduling.costs import completion_times
+
+__all__ = ["select_inform_candidates", "current_queue_cost"]
+
+
+def select_inform_candidates(
+    scheduler: LocalScheduler,
+    count: int,
+    now: float,
+    running_remaining: float,
+) -> List[QueuedJob]:
+    """Pick up to ``count`` waiting jobs to advertise for rescheduling."""
+    waiting = scheduler.queued()
+    if not waiting:
+        return []
+    if scheduler.kind == DEADLINE:
+        order = scheduler.ordered_queue()
+        etcs = completion_times(order, now, running_remaining)
+        slack = {
+            entry.job.job_id: entry.job.deadline - etc
+            for entry, etc in zip(order, etcs)
+        }
+        ranked = sorted(
+            waiting, key=lambda e: (slack[e.job.job_id], e.enqueue_time)
+        )
+    else:
+        # Batch: largest waiting time first (earliest enqueue first).
+        ranked = sorted(waiting, key=lambda e: e.enqueue_time)
+    return ranked[:count]
+
+
+def current_queue_cost(
+    scheduler: LocalScheduler,
+    job_id: int,
+    now: float,
+    running_remaining: float,
+) -> float:
+    """The assignee's own current cost for a waiting job.
+
+    This is the value carried inside INFORM messages and the reference an
+    assignee compares incoming rescheduling ACCEPTs against.  For batch
+    schedulers it is the job's ETTC within the *current* queue; for
+    deadline schedulers it is the NAL of the current queue (the same
+    whole-queue quantity a remote EDF node quotes).
+    """
+    order = scheduler.ordered_queue()
+    if scheduler.kind == DEADLINE:
+        from ..scheduling.costs import nal
+
+        return nal(order, now, running_remaining)
+    from ..scheduling.costs import ettc
+
+    return ettc(order, job_id, now, running_remaining)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ARiA reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers embedding the simulator can catch one base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event kernel (e.g. scheduling in the past)."""
+
+
+class TopologyError(ReproError):
+    """Invalid overlay topology operation (unknown node, self-link, ...)."""
+
+
+class SchedulingError(ReproError):
+    """Violation of a local-scheduling invariant.
+
+    Raised for instance when a job is started while another one is running
+    (the paper allows one running job per node), or when a job is removed
+    from a queue it does not belong to.
+    """
+
+
+class ProtocolError(ReproError):
+    """Violation of an ARiA protocol invariant.
+
+    Raised for instance when a node attempts to decline a job it already
+    accepted — the paper explicitly forbids that (§III-A).
+    """
+
+
+class ConfigurationError(ReproError):
+    """Invalid scenario or protocol configuration."""

@@ -1,0 +1,44 @@
+"""Experiment framework: Table II catalog, runner, figures, reporting."""
+
+from .aggregate import ScenarioSummary, average_series, summarize_runs
+from .catalog import SCENARIOS, get_scenario, scenario_names, with_rescheduling
+from .churn import ChurnPlan, run_churn_experiment
+from .failures import CrashPlan, run_crash_experiment
+from .report import fmt_hours, fmt_opt, render_series, render_table
+from .runner import (
+    GridSetup,
+    RunResult,
+    build_grid,
+    run_scenario,
+    run_scenario_batch,
+)
+from .scale import ScenarioScale, bench_scale_from_env
+from .scenario import Scenario
+from .validation import validate_run
+
+__all__ = [
+    "ChurnPlan",
+    "CrashPlan",
+    "GridSetup",
+    "RunResult",
+    "build_grid",
+    "run_churn_experiment",
+    "run_crash_experiment",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioScale",
+    "ScenarioSummary",
+    "average_series",
+    "bench_scale_from_env",
+    "fmt_hours",
+    "fmt_opt",
+    "get_scenario",
+    "render_series",
+    "render_table",
+    "run_scenario",
+    "run_scenario_batch",
+    "scenario_names",
+    "summarize_runs",
+    "validate_run",
+    "with_rescheduling",
+]

@@ -1,0 +1,146 @@
+"""Multi-run aggregation (the paper averages 10 runs per scenario)."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim import TimeSeries
+from .runner import RunResult
+
+__all__ = ["average_series", "ScenarioSummary", "summarize_runs"]
+
+
+def average_series(series_list: Sequence[TimeSeries]) -> TimeSeries:
+    """Pointwise average of aligned time series.
+
+    Runs of one scenario share sample times by construction; series are
+    truncated to the shortest length defensively.
+    """
+    if not series_list:
+        return []
+    length = min(len(series) for series in series_list)
+    averaged: TimeSeries = []
+    for index in range(length):
+        time = series_list[0][index][0]
+        value = statistics.fmean(series[index][1] for series in series_list)
+        averaged.append((time, value))
+    return averaged
+
+
+def _mean_of(values: List[Optional[float]]) -> Optional[float]:
+    present = [v for v in values if v is not None]
+    return statistics.fmean(present) if present else None
+
+
+@dataclass
+class ScenarioSummary:
+    """Cross-run averages of everything the paper's figures report."""
+
+    scenario_name: str
+    runs: int
+    completed_jobs: float
+    unschedulable_jobs: float
+    average_completion_time: Optional[float]
+    average_waiting_time: Optional[float]
+    average_execution_time: Optional[float]
+    reschedules: float
+    inform_broadcasts: float
+    missed_deadlines: float
+    average_lateness: Optional[float]
+    average_missed_time: Optional[float]
+    #: Jain's fairness index of per-node busy time (1.0 = perfectly even).
+    load_fairness: Optional[float] = None
+    #: Mean total bytes per message type across runs.
+    traffic_bytes: Dict[str, float] = field(default_factory=dict)
+    bandwidth_bps: float = 0.0
+    completed_series: TimeSeries = field(default_factory=list)
+    idle_series: TimeSeries = field(default_factory=list)
+    node_count_series: TimeSeries = field(default_factory=list)
+    submission_window: Tuple[float, float] = (0.0, 0.0)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation (for archiving experiment runs)."""
+        import dataclasses
+
+        payload = dataclasses.asdict(self)
+        payload["completed_series"] = [list(p) for p in self.completed_series]
+        payload["idle_series"] = [list(p) for p in self.idle_series]
+        payload["node_count_series"] = [
+            list(p) for p in self.node_count_series
+        ]
+        payload["submission_window"] = list(self.submission_window)
+        return payload
+
+    def save(self, path) -> None:
+        """Write the summary as JSON to ``path``."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+
+
+def summarize_runs(results: Sequence[RunResult]) -> ScenarioSummary:
+    """Average a batch of same-scenario runs into one summary."""
+    if not results:
+        raise ValueError("no runs to summarize")
+    names = {run.scenario.name for run in results}
+    if len(names) != 1:
+        raise ValueError(f"mixed scenarios in one summary: {sorted(names)}")
+    metrics = [run.metrics for run in results]
+    message_types = sorted(
+        {t for run in results for t in run.traffic.bytes_by_type}
+    )
+    traffic = {
+        t: statistics.fmean(
+            run.traffic.bytes_by_type.get(t, 0) for run in results
+        )
+        for t in message_types
+    }
+    return ScenarioSummary(
+        scenario_name=results[0].scenario.name,
+        runs=len(results),
+        completed_jobs=statistics.fmean(m.completed_jobs for m in metrics),
+        unschedulable_jobs=statistics.fmean(
+            m.unschedulable_count() for m in metrics
+        ),
+        average_completion_time=_mean_of(
+            [m.average_completion_time() for m in metrics]
+        ),
+        average_waiting_time=_mean_of(
+            [m.average_waiting_time() for m in metrics]
+        ),
+        average_execution_time=_mean_of(
+            [m.average_execution_time() for m in metrics]
+        ),
+        reschedules=statistics.fmean(m.reschedules for m in metrics),
+        inform_broadcasts=statistics.fmean(
+            m.inform_broadcasts for m in metrics
+        ),
+        missed_deadlines=statistics.fmean(
+            m.missed_deadline_count() for m in metrics
+        ),
+        average_lateness=_mean_of([m.average_lateness() for m in metrics]),
+        average_missed_time=_mean_of(
+            [m.average_missed_time() for m in metrics]
+        ),
+        load_fairness=_mean_of(
+            [
+                run.metrics.load_fairness(run.final_node_count)
+                for run in results
+            ]
+        ),
+        traffic_bytes=traffic,
+        bandwidth_bps=statistics.fmean(
+            run.traffic.bandwidth_bps for run in results
+        ),
+        completed_series=average_series(
+            [run.completed_series for run in results]
+        ),
+        idle_series=average_series([run.idle_series for run in results]),
+        node_count_series=average_series(
+            [run.node_count_series for run in results]
+        ),
+        submission_window=results[0].submission_window,
+    )

@@ -1,0 +1,173 @@
+"""The 26 evaluation scenarios of the paper's Table II."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from ..types import HOUR, MINUTE
+from .scenario import Scenario
+
+__all__ = ["SCENARIOS", "get_scenario", "scenario_names", "with_rescheduling"]
+
+_BATCH_MIXED = ("FCFS", "SJF")
+
+
+def _build_catalog() -> Dict[str, Scenario]:
+    scenarios: List[Scenario] = []
+
+    def add(scenario: Scenario) -> None:
+        scenarios.append(scenario)
+
+    def add_pair(name: str, description: str, **kwargs) -> None:
+        """Add a scenario and its dynamic-rescheduling twin (``i`` prefix)."""
+        add(Scenario(name=name, description=description, **kwargs))
+        add(
+            Scenario(
+                name=f"i{name}",
+                description=f"Like {name} but with dynamic rescheduling.",
+                rescheduling=True,
+                **kwargs,
+            )
+        )
+
+    # -- scheduling-policy scenarios -----------------------------------
+    add_pair(
+        "FCFS",
+        "All nodes implement a FCFS batch scheduling policy.",
+        policies=("FCFS",),
+    )
+    add_pair(
+        "SJF",
+        "All nodes implement a SJF scheduling policy.",
+        policies=("SJF",),
+    )
+    add_pair(
+        "Mixed",
+        "Nodes implement either a FCFS or a SJF policy (uniformly at random).",
+        policies=_BATCH_MIXED,
+    )
+    add_pair(
+        "Deadline",
+        "All nodes implement the EDF scheduling policy.",
+        policies=("EDF",),
+        deadline_slack_mean=7.5 * HOUR,
+    )
+
+    # -- load scenarios -------------------------------------------------
+    add_pair(
+        "LowLoad",
+        "Like Mixed but the submission rate is halved (1 job / 20 s).",
+        policies=_BATCH_MIXED,
+        submission_interval=20.0,
+    )
+    add_pair(
+        "HighLoad",
+        "Like Mixed but the submission rate is doubled (1 job / 5 s).",
+        policies=_BATCH_MIXED,
+        submission_interval=5.0,
+    )
+    add_pair(
+        "DeadlineH",
+        "Like Deadline but with deadlines closer to the expected completion "
+        "time (2h30m average slack instead of 7h30m).",
+        policies=("EDF",),
+        deadline_slack_mean=2.5 * HOUR,
+    )
+
+    # -- scalability ------------------------------------------------------
+    add_pair(
+        "Expanding",
+        "Like Mixed but the network grows from 500 to 700 nodes "
+        "(one join every 50 s from 1h23m to about 4h10m).",
+        policies=_BATCH_MIXED,
+        expanding=True,
+    )
+
+    # -- ERT accuracy -----------------------------------------------------
+    add_pair(
+        "Precise",
+        "Like Mixed but the actual running time matches the ERT exactly.",
+        policies=_BATCH_MIXED,
+        epsilon=0.0,
+    )
+    add_pair(
+        "Accuracy25",
+        "Like Mixed but the relative ERT error is +/-25%.",
+        policies=_BATCH_MIXED,
+        epsilon=0.25,
+    )
+    add_pair(
+        "AccuracyBad",
+        "Like Mixed but the ERT is always lower than the actual running time.",
+        policies=_BATCH_MIXED,
+        epsilon=0.1,
+        optimistic_only=True,
+    )
+
+    # -- rescheduling-policy sensitivity (rescheduling always on) --------
+    add(
+        Scenario(
+            name="iInform1",
+            description="Like iMixed but INFORM covers only 1 job per round.",
+            policies=_BATCH_MIXED,
+            rescheduling=True,
+            inform_count=1,
+        )
+    )
+    add(
+        Scenario(
+            name="iInform4",
+            description="Like iMixed but INFORM covers up to 4 jobs per round.",
+            policies=_BATCH_MIXED,
+            rescheduling=True,
+            inform_count=4,
+        )
+    )
+    add(
+        Scenario(
+            name="iInform15m",
+            description="Like iMixed but rescheduling requires a 15 m gain.",
+            policies=_BATCH_MIXED,
+            rescheduling=True,
+            improvement_threshold=15 * MINUTE,
+        )
+    )
+    add(
+        Scenario(
+            name="iInform30m",
+            description="Like iMixed but rescheduling requires a 30 m gain.",
+            policies=_BATCH_MIXED,
+            rescheduling=True,
+            improvement_threshold=30 * MINUTE,
+        )
+    )
+
+    catalog = {scenario.name: scenario for scenario in scenarios}
+    if len(catalog) != len(scenarios):  # pragma: no cover - sanity
+        raise ConfigurationError("duplicate scenario names in catalog")
+    return catalog
+
+
+#: All 26 scenarios of Table II, keyed by name.
+SCENARIOS: Dict[str, Scenario] = _build_catalog()
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a Table II scenario by its exact name (e.g. ``iMixed``)."""
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        )
+    return scenario
+
+
+def scenario_names() -> List[str]:
+    """Names of all Table II scenarios, in catalog order."""
+    return list(SCENARIOS)
+
+
+def with_rescheduling(name: str) -> Scenario:
+    """The dynamic-rescheduling twin of a scenario (``X`` → ``iX``)."""
+    return get_scenario(name if name.startswith("i") else f"i{name}")

@@ -1,0 +1,107 @@
+"""Continuous churn experiments (beyond the paper's evaluation).
+
+The paper motivates ARiA with "very large sets of highly volatile and
+heterogeneous resources" (§I) but evaluates only a one-shot expansion.
+This module simulates sustained churn: throughout a window, nodes keep
+*joining* (fresh resources, integrated by the BLATANT ants), *leaving
+gracefully* (handing their queues off), and optionally *crashing*
+(recovered by the fail-safe extension when enabled).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..overlay.blatant import BlatantConfig, BlatantMaintainer
+from ..types import MINUTE, NodeId
+from .catalog import get_scenario
+from .runner import RunResult, build_grid
+from .scale import ScenarioScale
+
+__all__ = ["ChurnPlan", "run_churn_experiment"]
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """Shape of the churn.
+
+    Every ``interval`` seconds inside ``[start, end]`` one churn event
+    happens; its kind is drawn as join / graceful leave / crash with the
+    given weights.  The grid never shrinks below ``min_fraction`` of its
+    initial size.
+    """
+
+    interval: float = 2 * MINUTE
+    start: float = 30 * MINUTE
+    end: float = 4 * 3600.0
+    join_weight: float = 1.0
+    leave_weight: float = 1.0
+    crash_weight: float = 0.0
+    min_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ConfigurationError("churn interval must be positive")
+        if not 0 <= self.start < self.end:
+            raise ConfigurationError("invalid churn window")
+        weights = (self.join_weight, self.leave_weight, self.crash_weight)
+        if any(w < 0 for w in weights) or not any(weights):
+            raise ConfigurationError("churn weights must be >= 0, not all 0")
+        if not 0 < self.min_fraction <= 1:
+            raise ConfigurationError("min_fraction must be in (0, 1]")
+
+
+def run_churn_experiment(
+    scale: Optional[ScenarioScale] = None,
+    seed: int = 0,
+    plan: Optional[ChurnPlan] = None,
+    scenario_name: str = "iMixed",
+    failsafe: bool = False,
+) -> RunResult:
+    """One run of ``scenario_name`` under sustained node churn."""
+    plan = plan if plan is not None else ChurnPlan()
+    base = get_scenario(scenario_name)
+    scenario = dataclasses.replace(base, name=f"{base.name}+churn")
+    setup = build_grid(
+        scenario,
+        scale,
+        seed,
+        config_overrides={"failsafe": True} if failsafe else None,
+    )
+
+    rng = setup.sim.streams.get("churn")
+    maintainer = BlatantMaintainer(
+        setup.graph, setup.sim.streams.get("churn.overlay"), BlatantConfig()
+    )
+    maintainer.start(setup.sim)
+    state = {"next_id": max(n.node_id for n in setup.nodes) + 1}
+    min_nodes = max(2, int(plan.min_fraction * len(setup.nodes)))
+    kinds = ["join", "leave", "crash"]
+    weights = [plan.join_weight, plan.leave_weight, plan.crash_weight]
+
+    def churn_event() -> None:
+        kind = rng.choices(kinds, weights=weights)[0]
+        live = setup.live_agents()
+        if kind == "join":
+            node_id = NodeId(state["next_id"])
+            state["next_id"] += 1
+            maintainer.join(node_id)
+            setup.add_node(node_id)
+            return
+        # leave / crash need a victim and a grid that stays large enough.
+        victims = [a for a in live if not a.leaving]
+        if len(victims) <= min_nodes:
+            return
+        victim = rng.choice(victims)
+        if kind == "leave":
+            victim.leave()
+        else:
+            victim.fail()
+
+    setup.sim.every(
+        plan.interval, churn_event, start=plan.start, until=plan.end
+    )
+    return setup.run()

@@ -1,0 +1,308 @@
+"""Data behind every figure of the paper's evaluation (Figures 1–10).
+
+Each ``figN_*`` function simulates the scenarios that figure compares
+(averaging over ``seeds``; the paper uses 10 runs) and returns a figure
+object whose ``render()`` prints the same series/rows the paper plots.
+Summaries are cached per (scenario, scale, seeds) within the process, so
+figures sharing scenarios — e.g. Figures 1/2/3 — simulate each scenario
+only once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .aggregate import ScenarioSummary, summarize_runs
+from .catalog import get_scenario
+from .report import fmt_hours, fmt_opt, render_series, render_table
+from .runner import run_scenario
+from .scale import ScenarioScale
+
+__all__ = [
+    "SeriesFigure",
+    "TableFigure",
+    "scenario_summary",
+    "fig1_completed_jobs",
+    "fig2_completion_time",
+    "fig3_idle_nodes",
+    "fig4_deadlines",
+    "fig5_expanding",
+    "fig6_load_idle",
+    "fig7_load_completion",
+    "fig8_resched_policies",
+    "fig9_ert_accuracy",
+    "fig10_traffic",
+]
+
+_SUMMARY_CACHE: Dict[Tuple[str, ScenarioScale, Tuple[int, ...]], ScenarioSummary] = {}
+
+
+def scenario_summary(
+    name: str,
+    scale: Optional[ScenarioScale] = None,
+    seeds: Sequence[int] = (0,),
+) -> ScenarioSummary:
+    """Simulate (or fetch cached) runs of a Table II scenario."""
+    scale = scale if scale is not None else ScenarioScale.paper()
+    key = (name, scale, tuple(seeds))
+    summary = _SUMMARY_CACHE.get(key)
+    if summary is None:
+        scenario = get_scenario(name)
+        summary = summarize_runs(
+            [run_scenario(scenario, scale, seed) for seed in seeds]
+        )
+        _SUMMARY_CACHE[key] = summary
+    return summary
+
+
+def _summaries(
+    names: Sequence[str],
+    scale: Optional[ScenarioScale],
+    seeds: Sequence[int],
+) -> Dict[str, ScenarioSummary]:
+    return {name: scenario_summary(name, scale, seeds) for name in names}
+
+
+@dataclass
+class SeriesFigure:
+    """A time-series figure (completed jobs / idle nodes over time)."""
+
+    title: str
+    series: Dict[str, List[Tuple[float, float]]]
+    #: Scenario submission windows, as in the paper's vertical bars/arrows.
+    windows: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def render_chart(
+        self,
+        width: int = 72,
+        height: int = 16,
+        until: Optional[float] = None,
+    ) -> str:
+        """Render the series as an ASCII line chart."""
+        from .plotting import ascii_line_chart
+
+        return (
+            self.title
+            + "\n\n"
+            + ascii_line_chart(
+                self.series, width=width, height=height, until=until
+            )
+        )
+
+    def render(self, points: int = 10, until: Optional[float] = None) -> str:
+        """Render the series table; ``until`` zooms into the loaded phase."""
+        lines = [self.title, ""]
+        lines.append(render_series(self.series, points=points, until=until))
+        if self.windows:
+            lines.append("")
+            lines.append("submission windows:")
+            for name, (start, end) in self.windows.items():
+                lines.append(
+                    f"  {name}: {fmt_hours(start)} .. {fmt_hours(end)}"
+                )
+        return "\n".join(lines)
+
+
+@dataclass
+class TableFigure:
+    """A bar-chart-like figure rendered as a table."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]]
+
+    def render(self) -> str:
+        """Render the figure as an aligned text table."""
+        return f"{self.title}\n\n{render_table(self.headers, self.rows)}"
+
+
+# ----------------------------------------------------------------------
+# Scenario groups used by the figures
+# ----------------------------------------------------------------------
+POLICY_SET = ("FCFS", "SJF", "Mixed", "iFCFS", "iSJF", "iMixed")
+DEADLINE_SET = ("Deadline", "iDeadline", "DeadlineH", "iDeadlineH")
+LOAD_SET = ("LowLoad", "Mixed", "HighLoad", "iLowLoad", "iMixed", "iHighLoad")
+RESCHED_SET = ("iInform1", "iMixed", "iInform4", "iInform15m", "iInform30m")
+ACCURACY_SET = (
+    "Precise",
+    "Mixed",
+    "Accuracy25",
+    "AccuracyBad",
+    "iPrecise",
+    "iMixed",
+    "iAccuracy25",
+    "iAccuracyBad",
+)
+TRAFFIC_SET = (
+    "Mixed",
+    "iMixed",
+    "iInform1",
+    "iInform4",
+    "HighLoad",
+    "iHighLoad",
+    "iExpanding",
+    "iDeadline",
+)
+
+
+def _completion_table(
+    title: str,
+    names: Sequence[str],
+    scale: Optional[ScenarioScale],
+    seeds: Sequence[int],
+) -> TableFigure:
+    """The Fig. 2/7/8/9 layout: completion time split into wait + exec."""
+    summaries = _summaries(names, scale, seeds)
+    rows = []
+    for name, summary in summaries.items():
+        rows.append(
+            [
+                name,
+                fmt_hours(summary.average_waiting_time),
+                fmt_hours(summary.average_execution_time),
+                fmt_hours(summary.average_completion_time),
+                fmt_opt(summary.reschedules, ".0f"),
+            ]
+        )
+    return TableFigure(
+        title=title,
+        headers=["scenario", "waiting", "execution", "completion", "resched"],
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 1-3: local scheduling policies
+# ----------------------------------------------------------------------
+def fig1_completed_jobs(scale=None, seeds=(0,)) -> SeriesFigure:
+    """Figure 1: completed jobs over time, six policy scenarios."""
+    summaries = _summaries(POLICY_SET, scale, seeds)
+    return SeriesFigure(
+        title="Figure 1: Completed Jobs",
+        series={n: s.completed_series for n, s in summaries.items()},
+        windows={"all": summaries["Mixed"].submission_window},
+    )
+
+
+def fig2_completion_time(scale=None, seeds=(0,)) -> TableFigure:
+    """Figure 2: average job completion time (waiting vs execution)."""
+    return _completion_table(
+        "Figure 2: Job Completion Time", POLICY_SET, scale, seeds
+    )
+
+
+def fig3_idle_nodes(scale=None, seeds=(0,)) -> SeriesFigure:
+    """Figure 3: idle nodes over time, six policy scenarios."""
+    summaries = _summaries(POLICY_SET, scale, seeds)
+    return SeriesFigure(
+        title="Figure 3: Idle Nodes",
+        series={n: s.idle_series for n, s in summaries.items()},
+        windows={"all": summaries["Mixed"].submission_window},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4: deadline scheduling
+# ----------------------------------------------------------------------
+def fig4_deadlines(scale=None, seeds=(0,)) -> TableFigure:
+    """Figure 4: missed deadlines, lateness, missed time."""
+    summaries = _summaries(DEADLINE_SET, scale, seeds)
+    rows = []
+    for name, summary in summaries.items():
+        rows.append(
+            [
+                name,
+                fmt_opt(summary.missed_deadlines, ".1f"),
+                fmt_hours(summary.average_lateness),
+                fmt_hours(summary.average_missed_time),
+                fmt_opt(summary.completed_jobs, ".0f"),
+            ]
+        )
+    return TableFigure(
+        title="Figure 4: Deadline Scheduling Performance",
+        headers=["scenario", "missed", "lateness", "missed time", "completed"],
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5: expanding network
+# ----------------------------------------------------------------------
+def fig5_expanding(scale=None, seeds=(0,)) -> SeriesFigure:
+    """Figure 5: idle nodes while the overlay grows 500 → 700."""
+    summaries = _summaries(("Expanding", "iExpanding"), scale, seeds)
+    series = {n: s.idle_series for n, s in summaries.items()}
+    series["connected nodes"] = summaries["Expanding"].node_count_series
+    return SeriesFigure(
+        title="Figure 5: Idle Nodes (Expanding Network)",
+        series=series,
+        windows={"all": summaries["Expanding"].submission_window},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 6-7: load sensitivity
+# ----------------------------------------------------------------------
+def fig6_load_idle(scale=None, seeds=(0,)) -> SeriesFigure:
+    """Figure 6: idle nodes under low / normal / high load."""
+    summaries = _summaries(LOAD_SET, scale, seeds)
+    return SeriesFigure(
+        title="Figure 6: Idle Nodes (Load)",
+        series={n: s.idle_series for n, s in summaries.items()},
+        windows={n: s.submission_window for n, s in summaries.items()},
+    )
+
+
+def fig7_load_completion(scale=None, seeds=(0,)) -> TableFigure:
+    """Figure 7: job completion time under load."""
+    return _completion_table(
+        "Figure 7: Job Completion Time (Load)", LOAD_SET, scale, seeds
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8: rescheduling policies
+# ----------------------------------------------------------------------
+def fig8_resched_policies(scale=None, seeds=(0,)) -> TableFigure:
+    """Figure 8: completion time across INFORM count / threshold settings."""
+    return _completion_table(
+        "Figure 8: Job Completion Time (Rescheduling Policies)",
+        RESCHED_SET,
+        scale,
+        seeds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9: ERT accuracy
+# ----------------------------------------------------------------------
+def fig9_ert_accuracy(scale=None, seeds=(0,)) -> TableFigure:
+    """Figure 9: sensitivity of the completion time to ERT accuracy."""
+    return _completion_table(
+        "Figure 9: Sensitivity to ERT", ACCURACY_SET, scale, seeds
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 10: traffic
+# ----------------------------------------------------------------------
+def fig10_traffic(scale=None, seeds=(0,)) -> TableFigure:
+    """Figure 10: network overhead per message type."""
+    summaries = _summaries(TRAFFIC_SET, scale, seeds)
+    types = ["Request", "Accept", "Inform", "Assign"]
+    rows = []
+    for name, summary in summaries.items():
+        rows.append(
+            [name]
+            + [
+                f"{summary.traffic_bytes.get(t, 0.0) / 1e6:.2f}"
+                for t in types
+            ]
+            + [f"{summary.bandwidth_bps:.0f}"]
+        )
+    return TableFigure(
+        title="Figure 10: Network Overhead Comparison (MB by type)",
+        headers=["scenario"] + types + ["bps/node"],
+        rows=rows,
+    )

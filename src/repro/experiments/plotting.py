@@ -1,0 +1,113 @@
+"""Terminal plotting: ASCII line charts and bar charts.
+
+The benchmark harness prints figures as sampled tables; these helpers add
+a visual rendering for terminals, used by the examples and available to
+library users.  Pure text, no dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..sim import TimeSeries
+from ..types import HOUR
+
+__all__ = ["ascii_line_chart", "ascii_bar_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _scale_to_rows(value: float, low: float, high: float, rows: int) -> int:
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return min(rows - 1, max(0, round(fraction * (rows - 1))))
+
+
+def ascii_line_chart(
+    series_by_name: Dict[str, TimeSeries],
+    width: int = 72,
+    height: int = 16,
+    until: Optional[float] = None,
+) -> str:
+    """Plot several time series as an ASCII chart.
+
+    Each series gets a marker character; later series overwrite earlier
+    ones where they collide.  The x-axis is simulated time (hours).
+    """
+    if width < 10 or height < 4:
+        raise ConfigurationError("chart needs width >= 10 and height >= 4")
+    data = {
+        name: (
+            [(t, v) for t, v in series if until is None or t <= until]
+        )
+        for name, series in series_by_name.items()
+    }
+    data = {name: series for name, series in data.items() if series}
+    if not data:
+        return "(no data)"
+    t_max = max(series[-1][0] for series in data.values())
+    t_min = min(series[0][0] for series in data.values())
+    v_all = [v for series in data.values() for _, v in series]
+    v_min, v_max = min(v_all), max(v_all)
+    if v_max == v_min:
+        v_max = v_min + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for index, (name, series) in enumerate(data.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for t, v in series:
+            if t_max == t_min:
+                column = 0
+            else:
+                column = min(
+                    width - 1, round((t - t_min) / (t_max - t_min) * (width - 1))
+                )
+            row = _scale_to_rows(v, v_min, v_max, height)
+            grid[height - 1 - row][column] = marker
+
+    label_width = max(len(f"{v_max:.0f}"), len(f"{v_min:.0f}"))
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{v_max:.0f}".rjust(label_width)
+        elif row_index == height - 1:
+            label = f"{v_min:.0f}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    left = f"{t_min / HOUR:.1f}h"
+    right = f"{t_max / HOUR:.1f}h"
+    padding = " " * max(1, width - len(left) - len(right))
+    lines.append(axis)
+    lines.append(" " * (label_width + 2) + left + padding + right)
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    values_by_name: Dict[str, float],
+    width: int = 50,
+    unit: str = "",
+    value_format: str = ".1f",
+) -> str:
+    """Horizontal bar chart of named values."""
+    if not values_by_name:
+        return "(no data)"
+    peak = max(values_by_name.values())
+    name_width = max(len(name) for name in values_by_name)
+    lines = []
+    for name, value in values_by_name.items():
+        bar_length = (
+            0 if peak <= 0 else max(0, round(value / peak * width))
+        )
+        rendered = format(value, value_format)
+        lines.append(
+            f"{name.ljust(name_width)} |{'#' * bar_length}"
+            f" {rendered}{unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Plain-text rendering of figures and tables.
+
+The benchmark harness prints the same rows/series the paper's figures plot;
+these helpers keep that output compact and aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim import TimeSeries
+from ..types import HOUR, format_duration
+
+__all__ = ["render_table", "render_series", "fmt_hours", "fmt_opt"]
+
+
+def fmt_hours(seconds: Optional[float]) -> str:
+    """Format a duration in seconds as the paper writes it (e.g. 2h30m)."""
+    if seconds is None:
+        return "-"
+    return format_duration(seconds)
+
+
+def fmt_opt(value: Optional[float], spec: str = ".1f") -> str:
+    """Format an optional number (``None`` renders as ``-``)."""
+    return "-" if value is None else format(value, spec)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned fixed-width text table."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index in range(columns):
+            widths[index] = max(widths[index], len(str(row[index])))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            str(cell).ljust(widths[index]) if index == 0 else str(cell).rjust(widths[index])
+            for index, cell in enumerate(cells)
+        )
+
+    separator = "  ".join("-" * width for width in widths)
+    body = [line(headers), separator]
+    body.extend(line(row) for row in rows)
+    return "\n".join(body)
+
+
+def render_series(
+    series_by_name: Dict[str, TimeSeries],
+    points: int = 10,
+    value_format: str = ".0f",
+    until: Optional[float] = None,
+) -> str:
+    """Render several aligned time series as a table sampled at ``points``.
+
+    Column headers are simulated hours; one row per series.  ``until``
+    restricts the rendering to samples at or before that time — useful to
+    zoom into the loaded phase of a run whose tail is flat.
+    """
+    if not series_by_name:
+        return "(no series)"
+    if until is not None:
+        series_by_name = {
+            name: [(t, v) for t, v in series if t <= until]
+            for name, series in series_by_name.items()
+        }
+    lengths = [len(s) for s in series_by_name.values() if s]
+    if not lengths:
+        return "(empty series)"
+    length = min(lengths)
+    count = min(points, length)
+    if count == 0:
+        return "(empty series)"
+    indices = [
+        round(i * (length - 1) / max(1, count - 1)) for i in range(count)
+    ]
+    reference = next(iter(series_by_name.values()))
+    headers = ["t"] + [
+        f"{reference[i][0] / HOUR:.1f}h" for i in indices
+    ]
+    rows: List[List[str]] = []
+    for name, series in series_by_name.items():
+        rows.append(
+            [name]
+            + [format(series[i][1], value_format) for i in indices]
+        )
+    return render_table(headers, rows)

@@ -1,0 +1,111 @@
+"""Scenario specification (one row of the paper's Table II)."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..types import MINUTE
+
+__all__ = ["Scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Everything that varies between the paper's 26 scenarios.
+
+    Time-valued fields are expressed at *paper scale*; the runner rescales
+    the submission interval when a smaller grid is simulated (see
+    :class:`~repro.experiments.scale.ScenarioScale`).
+    """
+
+    name: str
+    description: str
+    #: Local scheduling policies, assigned to nodes uniformly at random
+    #: (§IV-C).  ``("FCFS", "SJF")`` reproduces the Mixed scenarios.
+    policies: Tuple[str, ...]
+    #: Dynamic rescheduling on/off (the ``i`` prefix in Table II).
+    rescheduling: bool = False
+    #: Seconds between submissions at paper scale (10 = baseline,
+    #: 20 = LowLoad, 5 = HighLoad).
+    submission_interval: float = 10.0
+    #: Mean deadline slack (None = batch jobs; 7h30m = Deadline,
+    #: 2h30m = DeadlineH).
+    deadline_slack_mean: Optional[float] = None
+    #: Relative ERT estimation error ε (§IV-D).
+    epsilon: float = 0.1
+    #: AccuracyBad: the estimate is always optimistic (drift = |drift|).
+    optimistic_only: bool = False
+    #: Whether the overlay grows during the run (Expanding scenarios).
+    expanding: bool = False
+    #: Jobs advertised per INFORM round (iInform1 / baseline 2 / iInform4).
+    inform_count: int = 2
+    #: Required cost improvement for rescheduling (3 m baseline,
+    #: 15 m / 30 m in the iInform15m / iInform30m scenarios).
+    improvement_threshold: float = 3 * MINUTE
+    #: Overlay topology: ``"blatant"`` (the paper's BLATANT-S overlay) or a
+    #: key of :data:`repro.overlay.TOPOLOGY_BUILDERS` — the paper's
+    #: future-work axis of "different types of peer-to-peer overlays".
+    overlay: str = "blatant"
+    #: Optional job priority levels (uniform draw), for the priority /
+    #: aging local-scheduler extensions.  ``None`` leaves priority at 0.
+    priority_levels: Optional[Tuple[int, ...]] = None
+    #: Fraction of jobs carrying an advance reservation, and the mean
+    #: reservation delay (reservation/backfill extensions; off by default).
+    reservation_probability: float = 0.0
+    reservation_delay_mean: Optional[float] = None
+    #: Probability that any network message is silently lost (robustness
+    #: extension; the paper assumes reliable delivery, i.e. 0.0).
+    message_loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.policies:
+            raise ConfigurationError(f"scenario {self.name}: no policies")
+        if self.submission_interval <= 0:
+            raise ConfigurationError(
+                f"scenario {self.name}: non-positive submission interval"
+            )
+        if self.epsilon < 0:
+            raise ConfigurationError(f"scenario {self.name}: negative epsilon")
+        if not 0.0 <= self.message_loss < 1.0:
+            raise ConfigurationError(
+                f"scenario {self.name}: message_loss out of [0, 1)"
+            )
+
+    @property
+    def is_deadline(self) -> bool:
+        """Whether this scenario uses deadline scheduling (EDF + NAL)."""
+        return self.deadline_slack_mean is not None
+
+    # ------------------------------------------------------------------
+    # Serialization (custom scenarios from JSON, used by the CLI)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible representation of this scenario."""
+        payload = dataclasses.asdict(self)
+        payload["policies"] = list(self.policies)
+        if self.priority_levels is not None:
+            payload["priority_levels"] = list(self.priority_levels)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Scenario":
+        """Build a scenario from :meth:`to_dict`-style data.
+
+        Unknown keys are rejected (catching typos in hand-written files);
+        list fields are normalized back to tuples.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario fields: {sorted(unknown)}"
+            )
+        data = dict(payload)
+        if "policies" in data:
+            data["policies"] = tuple(data["policies"])
+        if data.get("priority_levels") is not None:
+            data["priority_levels"] = tuple(data["priority_levels"])
+        return cls(**data)

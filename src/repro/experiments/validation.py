@@ -1,0 +1,121 @@
+"""Run-level invariant validation.
+
+:func:`validate_run` audits a finished :class:`~repro.experiments.RunResult`
+against the invariants every correct ARiA execution must satisfy — whatever
+the scenario, scale, seed, churn or failure injection:
+
+1. **Conservation** — every submitted job is accounted for exactly once:
+   completed, unschedulable, lost to a crash, or still in flight at the
+   horizon.
+2. **Timeline coherence** — submit ≤ assignments ≤ start ≤ finish for every
+   record, with a monotone assignment history.
+3. **Placement coherence** — a completed job ran on its final assignee.
+4. **Mutual exclusion** — no node ever executed two jobs simultaneously.
+5. **Reservation compliance** — no job started before its reservation.
+6. **Deadline bookkeeping** — lateness / missed-time figures match the
+   recorded times.
+
+Returns a list of human-readable violations (empty = clean).  The property
+suite runs it over randomized grids; users can call it on their own
+experiment results as a cheap sanity gate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..types import NodeId
+from .runner import RunResult
+
+__all__ = ["validate_run"]
+
+_EPSILON = 1e-6
+
+
+def validate_run(result: RunResult) -> List[str]:
+    """Audit one run; returns violation descriptions (empty = clean)."""
+    violations: List[str] = []
+    metrics = result.metrics
+
+    # 1. Conservation ---------------------------------------------------
+    completed = sum(1 for r in metrics.records.values() if r.completed)
+    if completed != metrics.completed_jobs:
+        violations.append(
+            f"completed counter {metrics.completed_jobs} != "
+            f"{completed} completed records"
+        )
+    if metrics.duplicate_executions:
+        violations.append(
+            f"{metrics.duplicate_executions} duplicate executions"
+        )
+    for record in metrics.records.values():
+        if record.completed and record.unschedulable:
+            violations.append(
+                f"job {record.job.job_id} both completed and unschedulable"
+            )
+
+    intervals: Dict[NodeId, List[Tuple[float, float]]] = {}
+    for record in metrics.records.values():
+        job_id = record.job.job_id
+        # 2. Timeline coherence -----------------------------------------
+        times = [t for t, _ in record.assignments]
+        if times != sorted(times):
+            violations.append(f"job {job_id}: assignment history not sorted")
+        if record.assignments and times[0] + _EPSILON < record.submit_time:
+            violations.append(f"job {job_id}: assigned before submission")
+        if record.start_time is not None:
+            if record.start_time + _EPSILON < record.submit_time:
+                violations.append(f"job {job_id}: started before submission")
+            if times and record.start_time + _EPSILON < times[-1]:
+                violations.append(
+                    f"job {job_id}: reassigned after execution started"
+                )
+        if record.finish_time is not None:
+            if record.start_time is None:
+                violations.append(f"job {job_id}: finished without starting")
+            elif record.finish_time < record.start_time:
+                violations.append(f"job {job_id}: finished before starting")
+
+        # 3. Placement coherence ----------------------------------------
+        if record.completed and record.assignments:
+            if record.start_node != record.assignments[-1][1]:
+                violations.append(
+                    f"job {job_id}: ran on {record.start_node}, last "
+                    f"assignee was {record.assignments[-1][1]}"
+                )
+
+        # 5. Reservation compliance -------------------------------------
+        if (
+            record.job.not_before is not None
+            and record.start_time is not None
+            and record.start_time + _EPSILON < record.job.not_before
+        ):
+            violations.append(
+                f"job {job_id}: started {record.start_time:.0f} before "
+                f"reservation {record.job.not_before:.0f}"
+            )
+
+        # 6. Deadline bookkeeping ---------------------------------------
+        if record.completed and record.job.deadline is not None:
+            expected_late = record.finish_time > record.job.deadline
+            if record.missed_deadline is not expected_late:
+                violations.append(
+                    f"job {job_id}: inconsistent missed_deadline flag"
+                )
+
+        if record.completed and record.start_node is not None:
+            intervals.setdefault(record.start_node, []).append(
+                (record.start_time, record.finish_time)
+            )
+
+    # 4. Mutual exclusion ------------------------------------------------
+    for node, spans in intervals.items():
+        spans.sort()
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            if start_b + _EPSILON < end_a:
+                violations.append(
+                    f"node {node}: overlapping executions "
+                    f"({end_a:.0f} > {start_b:.0f})"
+                )
+                break
+    return violations

@@ -1,0 +1,238 @@
+"""The grid node: profile + local scheduler + single-slot executor.
+
+Per the paper's assumptions (§III-A): "every node may hold several jobs
+within its scheduling queue, only one job at a time can be executed", jobs
+are independent, and "preemption and migration of running jobs are not
+considered".  :class:`GridNode` enforces exactly that contract:
+
+* waiting jobs live in the node's :class:`~repro.scheduling.LocalScheduler`;
+* one job at most is *running*; once started it always runs to completion;
+* a waiting job can be withdrawn (dynamic rescheduling), a running one not.
+
+Cost quotes use the node's **estimated** view of its load: the running
+job's remaining ERTp plus the queue's ERTp values.  The Actual Running Time
+(sampled from the :class:`~repro.grid.performance.AccuracyModel` when the
+job starts) stays hidden until the completion event fires, exactly as in
+the paper ("the ART ... is unknown until execution completes", §IV-D).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from ..errors import SchedulingError
+from ..scheduling.base import LocalScheduler, QueuedJob
+from ..sim import Simulator
+from ..types import JobId, NodeId
+from .performance import AccuracyModel, scaled_ert
+from .profiles import NodeProfile
+
+if TYPE_CHECKING:  # avoid the workload -> grid -> workload import cycle
+    from ..workload.jobs import Job
+
+__all__ = ["RunningJob", "GridNode"]
+
+
+class RunningJob:
+    """The job currently executing on a node."""
+
+    __slots__ = ("job", "start_time", "ertp", "art", "enqueue_time")
+
+    def __init__(
+        self,
+        job: "Job",
+        start_time: float,
+        ertp: float,
+        art: float,
+        enqueue_time: float,
+    ) -> None:
+        self.job = job
+        self.start_time = start_time
+        self.ertp = ertp
+        self.art = art
+        self.enqueue_time = enqueue_time
+
+    def estimated_remaining(self, now: float) -> float:
+        """Remaining time according to the ERTp estimate (floor 0)."""
+        return max(0.0, self.start_time + self.ertp - now)
+
+
+#: ``callback(node, running)`` fired when a job starts / finishes.
+NodeJobCallback = Callable[["GridNode", RunningJob], None]
+
+
+class GridNode:
+    """One grid site: resources, a local scheduler, and an executor."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        sim: Simulator,
+        profile: NodeProfile,
+        performance_index: float,
+        scheduler: LocalScheduler,
+        accuracy: AccuracyModel,
+        art_rng: Optional[random.Random] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.profile = profile
+        self.performance_index = performance_index
+        self.scheduler = scheduler
+        self.accuracy = accuracy
+        self._art_rng = art_rng if art_rng is not None else sim.streams.get("grid.art")
+        self.running: Optional[RunningJob] = None
+        self._completion_event = None
+        #: A crashed node executes nothing and loses its queue (§III-D
+        #: fail-safe discussion).
+        self.crashed = False
+        #: Fired right after a job begins execution.
+        self.on_job_started: List[NodeJobCallback] = []
+        #: Fired right after a job completes.
+        self.on_job_finished: List[NodeJobCallback] = []
+        #: Completed-job counter (cheap probe for utilization series).
+        self.completed_jobs = 0
+
+    # ------------------------------------------------------------------
+    # Matching and cost quoting
+    # ------------------------------------------------------------------
+    def can_execute(self, job: "Job") -> bool:
+        """Whether this node's profile satisfies the job's requirements."""
+        return self.profile.satisfies(job.requirements)
+
+    def ertp(self, job: "Job") -> float:
+        """The job's estimated running time scaled to this node (ERTp)."""
+        return scaled_ert(job.ert, self.performance_index)
+
+    def running_remaining(self) -> float:
+        """Estimated remaining time of the running job (0 when idle)."""
+        if self.running is None:
+            return 0.0
+        return self.running.estimated_remaining(self.sim.now)
+
+    def cost_for(self, job: "Job") -> float:
+        """Quote the cost of accepting ``job`` now (lower = better offer)."""
+        return self.scheduler.cost_of(
+            job, self.ertp(job), self.sim.now, self.running_remaining()
+        )
+
+    # ------------------------------------------------------------------
+    # Queue mutation (driven by the protocol layer)
+    # ------------------------------------------------------------------
+    def accept_job(self, job: "Job") -> None:
+        """Enqueue an assigned job; nodes may not decline (§III-A)."""
+        if self.crashed:
+            raise SchedulingError(
+                f"node {self.node_id} is crashed and cannot accept jobs"
+            )
+        if not self.can_execute(job):
+            raise SchedulingError(
+                f"node {self.node_id} assigned job {job.job_id} it cannot run"
+            )
+        if job.not_before is not None and not self.scheduler.supports_reservations:
+            raise SchedulingError(
+                f"node {self.node_id} ({self.scheduler.name}) cannot honour "
+                f"the advance reservation of job {job.job_id}"
+            )
+        self.scheduler.enqueue(job, self.ertp(job), self.sim.now)
+        self._maybe_start()
+
+    def withdraw_job(self, job_id: JobId) -> Optional[QueuedJob]:
+        """Remove a *waiting* job for rescheduling elsewhere.
+
+        Returns ``None`` when the job is not withdrawable anymore — it
+        already started (running jobs never migrate) or already left this
+        node.  The protocol layer treats ``None`` as "rescheduling lost the
+        race", which the paper's design explicitly tolerates.
+        """
+        if self.running is not None and self.running.job.job_id == job_id:
+            return None
+        if job_id not in self.scheduler:
+            return None
+        return self.scheduler.remove(job_id)
+
+    def holds_job(self, job_id: JobId) -> bool:
+        """Whether the job is waiting or running on this node."""
+        if self.running is not None and self.running.job.job_id == job_id:
+            return True
+        return job_id in self.scheduler
+
+    # ------------------------------------------------------------------
+    # Executor
+    # ------------------------------------------------------------------
+    def _maybe_start(self) -> None:
+        if self.running is not None or self.crashed:
+            return
+        entry = self.scheduler.pop_next(self.sim.now)
+        if entry is None:
+            # Reservation-aware queues may block while holding jobs; wake
+            # the executor when the earliest reservation arrives.
+            wakeup = self.scheduler.next_wakeup(self.sim.now)
+            if wakeup is not None and wakeup > self.sim.now:
+                self.sim.call_at(wakeup, self._maybe_start)
+            return
+        art = self.accuracy.actual_running_time(
+            entry.job.ert, entry.ertp, self._art_rng
+        )
+        self.running = RunningJob(
+            job=entry.job,
+            start_time=self.sim.now,
+            ertp=entry.ertp,
+            art=art,
+            enqueue_time=entry.enqueue_time,
+        )
+        for callback in self.on_job_started:
+            callback(self, self.running)
+        self._completion_event = self.sim.call_after(art, self._complete_running)
+
+    def _complete_running(self) -> None:
+        finished = self.running
+        if finished is None:  # pragma: no cover - defensive
+            raise SchedulingError(f"node {self.node_id}: completion while idle")
+        self.running = None
+        self.completed_jobs += 1
+        for callback in self.on_job_finished:
+            callback(self, finished)
+        self._maybe_start()
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def crash(self) -> List["Job"]:
+        """Crash the node: execution stops and all held jobs are lost.
+
+        Returns the jobs that were lost (running + waiting), so callers can
+        assert on what a fail-safe mechanism must recover.
+        """
+        if self.crashed:
+            raise SchedulingError(f"node {self.node_id} already crashed")
+        self.crashed = True
+        lost: List["Job"] = []
+        if self.running is not None:
+            if self._completion_event is not None:
+                self.sim.cancel(self._completion_event)
+            lost.append(self.running.job)
+            self.running = None
+        while True:
+            entry = self.scheduler.pop_next()
+            if entry is None:
+                break
+            lost.append(entry.job)
+        return lost
+
+    # ------------------------------------------------------------------
+    # State probes (metrics)
+    # ------------------------------------------------------------------
+    @property
+    def is_idle(self) -> bool:
+        """True when nothing runs and the scheduling queue is empty."""
+        return self.running is None and len(self.scheduler) == 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.scheduler)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "idle" if self.is_idle else f"q={self.queue_length}"
+        return f"<GridNode {self.node_id} {self.scheduler.name} {state}>"

@@ -1,0 +1,77 @@
+"""Estimated vs. actual running times (§IV-B and §IV-D of the paper).
+
+Every job carries an **ERT** (Estimated job Running Time) expressed against
+a grid-wide baseline machine.  A node with performance index ``p`` expects
+to run the job in ``ERTp = ERT / p``.  The **ART** (Actual Running Time) is
+unknown until execution completes and deviates from ERTp by a drift term
+controlled by the relative estimation error ε:
+
+    ART = ERTp + drift,   drift = U[-1, 1] · ERT · ε
+
+The *AccuracyBad* scenarios replace ``drift`` with ``|drift|`` ("the ERT is
+always lower than the actual running time"), and the *Precise* scenarios use
+ε = 0.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["scaled_ert", "AccuracyModel"]
+
+
+def scaled_ert(ert: float, performance_index: float) -> float:
+    """ERTp: the estimated running time on a node of the given index."""
+    if ert <= 0:
+        raise ConfigurationError(f"non-positive ERT {ert!r}")
+    if performance_index < 1.0:
+        raise ConfigurationError(
+            f"performance index {performance_index!r} below the baseline 1.0"
+        )
+    return ert / performance_index
+
+
+@dataclass(frozen=True)
+class AccuracyModel:
+    """ERT accuracy model producing Actual Running Times.
+
+    Parameters
+    ----------
+    epsilon:
+        Relative estimation error ε.  The paper's baseline is 0.1 (±10 %);
+        the Accuracy25 scenarios use 0.25; Precise uses 0.0.
+    optimistic_only:
+        When true (the AccuracyBad scenarios), the drift is folded to its
+        absolute value so the estimate is always optimistic.
+    """
+
+    epsilon: float = 0.1
+    optimistic_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ConfigurationError(f"negative epsilon {self.epsilon!r}")
+
+    def actual_running_time(
+        self, ert: float, ertp: float, rng: random.Random
+    ) -> float:
+        """Sample the ART for a job of estimate ``ert`` scaled to ``ertp``."""
+        if self.epsilon == 0.0:
+            return ertp
+        drift = rng.uniform(-1.0, 1.0) * ert * self.epsilon
+        if self.optimistic_only:
+            drift = abs(drift)
+        # An extremely pessimistic draw cannot make a job finish instantly.
+        return max(ertp + drift, ertp * 0.01)
+
+
+#: The accuracy models named by the paper's scenarios.
+PRECISE = AccuracyModel(epsilon=0.0)
+BASELINE_10 = AccuracyModel(epsilon=0.1)
+ACCURACY_25 = AccuracyModel(epsilon=0.25)
+ACCURACY_BAD = AccuracyModel(epsilon=0.1, optimistic_only=True)
+
+__all__ += ["PRECISE", "BASELINE_10", "ACCURACY_25", "ACCURACY_BAD"]

@@ -1,0 +1,89 @@
+"""Resource profiles of grid nodes and resource requirements of jobs.
+
+Per §IV-B, every node is "characterized by a different profile ... the
+implemented architecture (e.g. AMD64, POWER, etc.), available memory,
+available disk space, and operating system".  Jobs carry the same fields as
+*requirements* (§IV-D): a node matches a job when architectures and
+operating systems are equal and the node's memory and disk are at least the
+required amounts.
+
+The protocol itself "does not specify neither the resource profiles and job
+submission formats, nor the matching logic" (§III-A); this module is the
+concrete instantiation the paper's simulator uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["Architecture", "OperatingSystem", "NodeProfile", "JobRequirements"]
+
+
+class Architecture(str, enum.Enum):
+    """Hardware architectures, from the paper's TOP500-derived list."""
+
+    AMD64 = "AMD64"
+    POWER = "POWER"
+    IA64 = "IA-64"
+    SPARC = "SPARC"
+    MIPS = "MIPS"
+    NEC = "NEC"
+
+
+class OperatingSystem(str, enum.Enum):
+    """Operating systems, from the paper's TOP500-derived list."""
+
+    LINUX = "LINUX"
+    SOLARIS = "SOLARIS"
+    UNIX = "UNIX"
+    WINDOWS = "WINDOWS"
+    BSD = "BSD"
+
+
+#: The paper draws memory and disk independently from this set (GiB).
+CAPACITY_CHOICES = (1, 2, 4, 8, 16)
+__all__.append("CAPACITY_CHOICES")
+
+
+@dataclass(frozen=True)
+class NodeProfile:
+    """Hardware/software profile of one grid node."""
+
+    architecture: Architecture
+    memory_gb: int
+    disk_gb: int
+    os: OperatingSystem
+
+    def __post_init__(self) -> None:
+        if self.memory_gb <= 0 or self.disk_gb <= 0:
+            raise ConfigurationError(
+                f"non-positive capacity in profile {self!r}"
+            )
+
+    def satisfies(self, requirements: "JobRequirements") -> bool:
+        """Whether this node can execute a job with the given requirements."""
+        return (
+            self.architecture is requirements.architecture
+            and self.os is requirements.os
+            and self.memory_gb >= requirements.memory_gb
+            and self.disk_gb >= requirements.disk_gb
+        )
+
+
+@dataclass(frozen=True)
+class JobRequirements:
+    """Resource requirements carried in a job's profile."""
+
+    architecture: Architecture
+    memory_gb: int
+    disk_gb: int
+    os: OperatingSystem
+
+    def __post_init__(self) -> None:
+        if self.memory_gb <= 0 or self.disk_gb <= 0:
+            raise ConfigurationError(
+                f"non-positive requirement in {self!r}"
+            )

@@ -1,0 +1,94 @@
+"""Random profile generation following the paper's distributions (§IV-B/D).
+
+Architectures and operating systems follow the TOP500 list as published at
+the time of the paper's writing; memory and disk are uniform over
+{1, 2, 4, 8, 16} GB.  Job requirements use the *same* distributions, which
+makes most jobs runnable on most nodes (AMD64 + LINUX dominate) while
+leaving a tail of jobs that only a few nodes can host.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple, TypeVar
+
+from .profiles import (
+    CAPACITY_CHOICES,
+    Architecture,
+    JobRequirements,
+    NodeProfile,
+    OperatingSystem,
+)
+
+__all__ = [
+    "ARCHITECTURE_DISTRIBUTION",
+    "OS_DISTRIBUTION",
+    "weighted_choice",
+    "random_node_profile",
+    "random_job_requirements",
+    "random_performance_index",
+]
+
+T = TypeVar("T")
+
+#: §IV-B: architecture shares of the TOP500 list used by the paper.
+ARCHITECTURE_DISTRIBUTION: Tuple[Tuple[Architecture, float], ...] = (
+    (Architecture.AMD64, 0.872),
+    (Architecture.POWER, 0.110),
+    (Architecture.IA64, 0.012),
+    (Architecture.SPARC, 0.002),
+    (Architecture.MIPS, 0.002),
+    (Architecture.NEC, 0.002),
+)
+
+#: §IV-B: operating-system shares of the TOP500 list used by the paper.
+OS_DISTRIBUTION: Tuple[Tuple[OperatingSystem, float], ...] = (
+    (OperatingSystem.LINUX, 0.886),
+    (OperatingSystem.SOLARIS, 0.058),
+    (OperatingSystem.UNIX, 0.044),
+    (OperatingSystem.WINDOWS, 0.010),
+    (OperatingSystem.BSD, 0.002),
+)
+
+
+def weighted_choice(
+    distribution: Sequence[Tuple[T, float]], rng: random.Random
+) -> T:
+    """Draw one item from a ``(value, weight)`` table.
+
+    Weights need not sum exactly to one (the paper's tables sum to 1.0, but
+    floating-point drift is tolerated by renormalizing on the fly).
+    """
+    total = sum(weight for _, weight in distribution)
+    point = rng.random() * total
+    cumulative = 0.0
+    for value, weight in distribution:
+        cumulative += weight
+        if point < cumulative:
+            return value
+    return distribution[-1][0]
+
+
+def random_node_profile(rng: random.Random) -> NodeProfile:
+    """Draw a node profile with the paper's §IV-B distributions."""
+    return NodeProfile(
+        architecture=weighted_choice(ARCHITECTURE_DISTRIBUTION, rng),
+        memory_gb=rng.choice(CAPACITY_CHOICES),
+        disk_gb=rng.choice(CAPACITY_CHOICES),
+        os=weighted_choice(OS_DISTRIBUTION, rng),
+    )
+
+
+def random_job_requirements(rng: random.Random) -> JobRequirements:
+    """Draw job requirements; §IV-D uses the node-profile distributions."""
+    return JobRequirements(
+        architecture=weighted_choice(ARCHITECTURE_DISTRIBUTION, rng),
+        memory_gb=rng.choice(CAPACITY_CHOICES),
+        disk_gb=rng.choice(CAPACITY_CHOICES),
+        os=weighted_choice(OS_DISTRIBUTION, rng),
+    )
+
+
+def random_performance_index(rng: random.Random) -> float:
+    """Performance index p ∈ [1, 2] (§IV-B), uniform."""
+    return rng.uniform(1.0, 2.0)

@@ -1,0 +1,6 @@
+"""Metrics: per-job records, grid-wide collection, run aggregation."""
+
+from .collector import GridMetrics
+from .records import JobRecord
+
+__all__ = ["GridMetrics", "JobRecord"]

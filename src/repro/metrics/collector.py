@@ -1,0 +1,202 @@
+"""Grid-wide metrics hub.
+
+All protocol and node events funnel into one :class:`GridMetrics` per run;
+figure extractors and reports then read aggregated views from it.  The hub
+is intentionally passive (no simulator dependency) so it can also serve the
+centralized baseline schedulers.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+from ..types import JobId, NodeId
+from ..workload.jobs import Job
+from .records import JobRecord
+
+__all__ = ["GridMetrics"]
+
+
+class GridMetrics:
+    """Collects per-job records and grid-level counters for one run."""
+
+    def __init__(self) -> None:
+        self.records: Dict[JobId, JobRecord] = {}
+        #: Completed-job counter (probe for the Fig. 1 time series).
+        self.completed_jobs = 0
+        #: INFORM-triggered reassignments that actually happened.
+        self.reschedules = 0
+        #: Jobs advertised for rescheduling (INFORM broadcasts initiated).
+        self.inform_broadcasts = 0
+        #: Completions of already finished jobs (fail-safe at-least-once
+        #: races; zero in every nominal scenario).
+        self.duplicate_executions = 0
+
+    # ------------------------------------------------------------------
+    # Event sinks (called by protocol agents and nodes)
+    # ------------------------------------------------------------------
+    def job_submitted(self, job: Job, initiator: NodeId, time: float) -> None:
+        """Record a job submission (creates the job's lifecycle record)."""
+        if job.job_id in self.records:
+            raise ReproError(f"job {job.job_id} submitted twice")
+        self.records[job.job_id] = JobRecord(
+            job=job, initiator=initiator, submit_time=time
+        )
+
+    def _record(self, job_id: JobId) -> JobRecord:
+        record = self.records.get(job_id)
+        if record is None:
+            raise ReproError(f"no record for job {job_id}")
+        return record
+
+    def job_assigned(
+        self, job_id: JobId, node: NodeId, time: float, reschedule: bool
+    ) -> None:
+        """Record an ASSIGN: initial delegation or dynamic reschedule."""
+        record = self._record(job_id)
+        record.assignments.append((time, node))
+        if reschedule:
+            self.reschedules += 1
+
+    def job_started(self, job_id: JobId, node: NodeId, time: float) -> None:
+        """Record the start of execution on ``node``."""
+        record = self._record(job_id)
+        record.start_time = time
+        record.start_node = node
+
+    def job_finished(self, job_id: JobId, node: NodeId, time: float) -> None:
+        """Record a completion (duplicates are counted, not double-booked)."""
+        record = self._record(job_id)
+        if record.finish_time is not None:
+            # A fail-safe resubmission can race recovery and execute a job
+            # twice (at-least-once semantics).  Keep the first completion
+            # and surface the anomaly instead of corrupting the averages.
+            self.duplicate_executions += 1
+            return
+        record.finish_time = time
+        self.completed_jobs += 1
+
+    def job_unschedulable(self, job_id: JobId, time: float) -> None:
+        """Record that discovery gave up on the job (REQUEST retries spent)."""
+        self._record(job_id).unschedulable = True
+
+    def job_resubmitted(self, job_id: JobId, time: float) -> None:
+        """Fail-safe resubmission after a suspected assignee crash."""
+        self._record(job_id).resubmissions += 1
+
+    def job_lost(self, job_id: JobId, time: float) -> None:
+        """Record that a crashing node took the job down with it.
+
+        Any in-progress execution is void (the machine is gone), so the
+        start bookkeeping is cleared; a fail-safe resubmission may set it
+        again later.
+        """
+        record = self._record(job_id)
+        record.lost_count += 1
+        if not record.completed:
+            record.start_time = None
+            record.start_node = None
+
+    # ------------------------------------------------------------------
+    # Aggregated views (the paper's reported quantities)
+    # ------------------------------------------------------------------
+    def completed_records(self) -> List[JobRecord]:
+        """Records of all completed jobs."""
+        return [r for r in self.records.values() if r.completed]
+
+    def unschedulable_count(self) -> int:
+        """Number of jobs discovery gave up on."""
+        return sum(1 for r in self.records.values() if r.unschedulable)
+
+    def _mean(self, values: List[float]) -> Optional[float]:
+        return statistics.fmean(values) if values else None
+
+    def average_completion_time(self) -> Optional[float]:
+        """Mean submission-to-completion time over completed jobs (Fig. 2)."""
+        return self._mean(
+            [r.completion_time for r in self.records.values() if r.completed]
+        )
+
+    def average_waiting_time(self) -> Optional[float]:
+        """Mean submission-to-start time over completed jobs (Fig. 2)."""
+        return self._mean(
+            [
+                r.waiting_time
+                for r in self.records.values()
+                if r.waiting_time is not None and r.completed
+            ]
+        )
+
+    def average_execution_time(self) -> Optional[float]:
+        """Mean actual running time over completed jobs (Fig. 2)."""
+        return self._mean(
+            [
+                r.execution_time
+                for r in self.records.values()
+                if r.execution_time is not None
+            ]
+        )
+
+    def average_reschedules(self) -> Optional[float]:
+        """Mean dynamic-reschedule count per completed job."""
+        completed = self.completed_records()
+        if not completed:
+            return None
+        return self._mean([float(r.reschedule_count) for r in completed])
+
+    # -- deadline metrics (Fig. 4) -------------------------------------
+    def missed_deadline_count(self) -> int:
+        """Number of completed jobs that finished past their deadline (Fig. 4)."""
+        return sum(
+            1 for r in self.records.values() if r.missed_deadline is True
+        )
+
+    def average_lateness(self) -> Optional[float]:
+        """Mean slack over jobs that met their deadline (paper's lateness)."""
+        return self._mean(
+            [
+                r.lateness
+                for r in self.records.values()
+                if r.missed_deadline is False
+            ]
+        )
+
+    def average_missed_time(self) -> Optional[float]:
+        """Mean time past the deadline over late jobs (paper's missed time)."""
+        return self._mean(
+            [
+                r.missed_time
+                for r in self.records.values()
+                if r.missed_time is not None
+            ]
+        )
+
+    # -- load balancing (the paper's Fig. 3 claim, quantified) ---------
+    def busy_time_by_node(self) -> Dict[NodeId, float]:
+        """Total execution time each node performed (completed jobs)."""
+        busy: Dict[NodeId, float] = {}
+        for record in self.records.values():
+            if record.completed and record.start_node is not None:
+                busy[record.start_node] = (
+                    busy.get(record.start_node, 0.0) + record.execution_time
+                )
+        return busy
+
+    def load_fairness(self, node_count: int) -> Optional[float]:
+        """Jain's fairness index over per-node busy time.
+
+        1.0 = perfectly even work distribution across all ``node_count``
+        nodes; 1/node_count = all work on one node.  Nodes that executed
+        nothing count as zero, so the index captures the paper's
+        idle-node story as a single number.
+        """
+        if node_count <= 0:
+            return None
+        busy = list(self.busy_time_by_node().values())
+        total = sum(busy)
+        if total == 0:
+            return None
+        squares = sum(value * value for value in busy)
+        return (total * total) / (node_count * squares)

@@ -1,0 +1,23 @@
+"""Simulated network: messages, latency models, transport, traffic stats."""
+
+from .latency import (
+    ConstantLatency,
+    LatencyModel,
+    PairwiseLogNormalLatency,
+    UniformLatency,
+)
+from .message import Message, wire_size
+from .traffic import TrafficMonitor, TrafficReport
+from .transport import Transport
+
+__all__ = [
+    "ConstantLatency",
+    "LatencyModel",
+    "Message",
+    "PairwiseLogNormalLatency",
+    "TrafficMonitor",
+    "TrafficReport",
+    "Transport",
+    "UniformLatency",
+    "wire_size",
+]

@@ -1,0 +1,111 @@
+"""One-way latency models for the simulated wide-area network.
+
+The paper only states that its simulator reproduces "realistic round-trip
+delays" (§IV-A) without giving a distribution.  We provide three models:
+
+* :class:`ConstantLatency` — fixed delay, handy for unit tests;
+* :class:`UniformLatency` — uniform in a range;
+* :class:`PairwiseLogNormalLatency` — the default for experiments: every
+  (src, dst) pair gets a base one-way delay drawn once from a log-normal
+  distribution (median ≈ 25 ms one-way, i.e. ≈ 50 ms RTT — typical of
+  geographically dispersed grid sites), plus a small per-message jitter.
+  Base delays are symmetric (same for both directions of a pair).
+
+Latency is orders of magnitude smaller than job runtimes (hours), so the
+precise shape does not drive the paper's results; what matters is that
+protocol phases take realistic, nonzero, heterogeneous time.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Tuple
+
+from ..errors import ConfigurationError
+from ..types import NodeId
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "PairwiseLogNormalLatency",
+]
+
+
+class LatencyModel:
+    """Interface: sample a one-way delay in seconds for a (src, dst) pair."""
+
+    def sample(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        """One-way delay in seconds for a message ``src`` -> ``dst``."""
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``delay`` seconds."""
+
+    def __init__(self, delay: float = 0.025) -> None:
+        if delay < 0:
+            raise ConfigurationError(f"negative latency {delay!r}")
+        self.delay = delay
+
+    def sample(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        """The fixed delay, regardless of the pair."""
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high]`` for every message."""
+
+    def __init__(self, low: float = 0.01, high: float = 0.05) -> None:
+        if not 0 <= low <= high:
+            raise ConfigurationError(f"invalid latency range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        """A fresh uniform draw per message."""
+        return rng.uniform(self.low, self.high)
+
+
+class PairwiseLogNormalLatency(LatencyModel):
+    """Log-normal per-pair base delay plus uniform per-message jitter.
+
+    Parameters
+    ----------
+    median:
+        Median one-way base delay in seconds (default 25 ms).
+    sigma:
+        Shape parameter of the log-normal (default 0.5, giving a long but
+        not extreme tail; ~95 % of pairs fall within [9 ms, 66 ms]).
+    jitter:
+        Per-message jitter, uniform in ``[0, jitter]`` seconds.
+    """
+
+    def __init__(
+        self, median: float = 0.025, sigma: float = 0.5, jitter: float = 0.005
+    ) -> None:
+        if median <= 0 or sigma < 0 or jitter < 0:
+            raise ConfigurationError(
+                f"invalid log-normal parameters median={median} sigma={sigma} "
+                f"jitter={jitter}"
+            )
+        self.mu = math.log(median)
+        self.sigma = sigma
+        self.jitter = jitter
+        self._base: Dict[Tuple[NodeId, NodeId], float] = {}
+
+    def _base_delay(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        key = (src, dst) if src <= dst else (dst, src)
+        base = self._base.get(key)
+        if base is None:
+            base = rng.lognormvariate(self.mu, self.sigma)
+            self._base[key] = base
+        return base
+
+    def sample(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        """The pair's cached base delay plus per-message jitter."""
+        base = self._base_delay(src, dst, rng)
+        if self.jitter:
+            return base + rng.uniform(0.0, self.jitter)
+        return base

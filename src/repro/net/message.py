@@ -1,0 +1,34 @@
+"""Wire-message base class and size accounting.
+
+The paper's traffic evaluation (§V-E) assigns fixed on-the-wire sizes to
+each message type: REQUEST, INFORM and ASSIGN carry 1 KiB, ACCEPT only
+128 bytes.  Concrete message classes (in :mod:`repro.core.messages`) declare
+their size through the ``SIZE_BYTES`` class attribute.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Message", "wire_size"]
+
+
+class Message:
+    """Base class for anything sent through the :class:`~repro.net.Transport`.
+
+    Subclasses set ``SIZE_BYTES`` to their fixed wire size and get their
+    traffic-accounting label from the class name.
+    """
+
+    #: Fixed serialized size in bytes, used for traffic accounting.
+    SIZE_BYTES: int = 0
+
+    __slots__ = ()
+
+    @classmethod
+    def type_name(cls) -> str:
+        """Label under which this message type is accounted (class name)."""
+        return cls.__name__
+
+
+def wire_size(message: "Message") -> int:
+    """Serialized size of ``message`` in bytes."""
+    return message.SIZE_BYTES

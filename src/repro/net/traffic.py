@@ -1,0 +1,90 @@
+"""Per-message-type traffic accounting.
+
+Reproduces the bookkeeping behind the paper's Figure 10 (network overhead
+comparison): total bytes and message counts per protocol message type, plus
+derived per-node and bandwidth figures (the paper reports ≈3 MB per node
+over ≈42 h, i.e. ≈149 bps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = ["TrafficMonitor", "TrafficReport"]
+
+
+class TrafficMonitor:
+    """Accumulates message counts and byte totals keyed by message type."""
+
+    def __init__(self) -> None:
+        self.bytes_by_type: Dict[str, int] = {}
+        self.count_by_type: Dict[str, int] = {}
+
+    def record(self, type_name: str, size_bytes: int) -> None:
+        """Account one message of ``type_name`` of ``size_bytes`` bytes."""
+        self.bytes_by_type[type_name] = (
+            self.bytes_by_type.get(type_name, 0) + size_bytes
+        )
+        self.count_by_type[type_name] = self.count_by_type.get(type_name, 0) + 1
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_type.values())
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.count_by_type.values())
+
+    def report(self, node_count: int, duration: float) -> "TrafficReport":
+        """Summarize totals into the paper's per-node / bandwidth figures."""
+        return TrafficReport(
+            bytes_by_type=dict(self.bytes_by_type),
+            count_by_type=dict(self.count_by_type),
+            node_count=node_count,
+            duration=duration,
+        )
+
+
+class TrafficReport:
+    """Immutable summary of a run's traffic (the data behind Figure 10)."""
+
+    def __init__(
+        self,
+        bytes_by_type: Mapping[str, int],
+        count_by_type: Mapping[str, int],
+        node_count: int,
+        duration: float,
+    ) -> None:
+        self.bytes_by_type = dict(bytes_by_type)
+        self.count_by_type = dict(count_by_type)
+        self.node_count = node_count
+        self.duration = duration
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_type.values())
+
+    @property
+    def bytes_per_node(self) -> float:
+        """Average traffic share per node, in bytes."""
+        if self.node_count == 0:
+            return 0.0
+        return self.total_bytes / self.node_count
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Average per-node bandwidth consumption in bits per second."""
+        if self.duration <= 0 or self.node_count == 0:
+            return 0.0
+        return self.bytes_per_node * 8.0 / self.duration
+
+    def megabytes(self, type_name: str) -> float:
+        """Total traffic of one message type, in megabytes (10^6 bytes)."""
+        return self.bytes_by_type.get(type_name, 0) / 1e6
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        per_type = ", ".join(
+            f"{name}={total / 1e6:.2f}MB"
+            for name, total in sorted(self.bytes_by_type.items())
+        )
+        return f"<TrafficReport {per_type} bw={self.bandwidth_bps:.0f}bps>"

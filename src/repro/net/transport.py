@@ -1,0 +1,94 @@
+"""Point-to-point message transport over the simulated network.
+
+Nodes register a receive handler under their :class:`~repro.types.NodeId`;
+:meth:`Transport.send` delivers a payload after a latency drawn from the
+configured :class:`~repro.net.latency.LatencyModel`, and accounts its wire
+size in the :class:`~repro.net.traffic.TrafficMonitor`.
+
+Messages to unregistered (departed / crashed) nodes are counted as sent but
+silently dropped on delivery, mirroring a real datagram overlay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import ConfigurationError
+from ..sim import Simulator
+from ..types import NodeId
+from .latency import LatencyModel, PairwiseLogNormalLatency
+from .message import Message, wire_size
+from .traffic import TrafficMonitor
+
+__all__ = ["Transport"]
+
+#: Signature of a node's message handler: ``handler(src, message)``.
+Handler = Callable[[NodeId, Message], None]
+
+
+class Transport:
+    """Delivers messages between registered nodes with simulated latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        monitor: Optional[TrafficMonitor] = None,
+        loss_probability: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ConfigurationError(
+                f"loss_probability {loss_probability} out of [0, 1)"
+            )
+        self._sim = sim
+        self._latency = latency if latency is not None else PairwiseLogNormalLatency()
+        self.monitor = monitor if monitor is not None else TrafficMonitor()
+        self._handlers: Dict[NodeId, Handler] = {}
+        self._rng = sim.streams.get("net.latency")
+        self._loss_rng = sim.streams.get("net.loss")
+        self.loss_probability = loss_probability
+        #: Messages dropped because the destination was not registered.
+        self.dropped = 0
+        #: Messages lost to the datagram network itself.
+        self.lost = 0
+
+    def register(self, node_id: NodeId, handler: Handler) -> None:
+        """Attach ``handler`` as the receive callback of ``node_id``."""
+        if node_id in self._handlers:
+            raise ConfigurationError(f"node {node_id} already registered")
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: NodeId) -> None:
+        """Detach a node; in-flight messages to it will be dropped."""
+        self._handlers.pop(node_id, None)
+
+    def is_registered(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` currently has a receive handler attached."""
+        return node_id in self._handlers
+
+    def send(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        """Send ``message`` from ``src`` to ``dst`` (asynchronously).
+
+        Local deliveries (``src == dst``) are free and immediate-but-
+        asynchronous: they are scheduled at the current time so handlers
+        never re-enter each other, and they do not count as network traffic.
+        """
+        if src == dst:
+            self._sim.call_after(0.0, self._deliver, src, dst, message)
+            return
+        self.monitor.record(message.type_name(), wire_size(message))
+        if (
+            self.loss_probability
+            and self._loss_rng.random() < self.loss_probability
+        ):
+            self.lost += 1  # sent (and accounted) but never delivered
+            return
+        delay = self._latency.sample(src, dst, self._rng)
+        self._sim.call_after(delay, self._deliver, src, dst, message)
+
+    def _deliver(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.dropped += 1
+            return
+        handler(src, message)

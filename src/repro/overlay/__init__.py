@@ -1,0 +1,43 @@
+"""Peer-to-peer overlay substrate: graph, BLATANT-S maintenance, flooding."""
+
+from .ants import DiscoveryAnt, PruningAnt, random_walk
+from .blatant import BlatantConfig, BlatantMaintainer, build_blatant_overlay
+from .flooding import FloodPolicy, SeenCache, choose_targets
+from .graph import OverlayGraph
+from .metrics import (
+    average_path_length,
+    bfs_distances,
+    estimated_diameter,
+    hop_distance,
+    is_connected,
+)
+from .topologies import (
+    TOPOLOGY_BUILDERS,
+    random_regular,
+    ring,
+    scale_free,
+    small_world,
+)
+
+__all__ = [
+    "BlatantConfig",
+    "BlatantMaintainer",
+    "DiscoveryAnt",
+    "FloodPolicy",
+    "OverlayGraph",
+    "PruningAnt",
+    "SeenCache",
+    "TOPOLOGY_BUILDERS",
+    "average_path_length",
+    "bfs_distances",
+    "build_blatant_overlay",
+    "choose_targets",
+    "estimated_diameter",
+    "hop_distance",
+    "is_connected",
+    "random_regular",
+    "random_walk",
+    "ring",
+    "scale_free",
+    "small_world",
+]

@@ -1,0 +1,119 @@
+"""Ant-like agents used by the BLATANT-S-style topology maintainer.
+
+The original BLATANT-S algorithm [28] maintains the overlay through "the
+autonomic behavior of different species of ant-like agents, which are
+exchanged between nodes of the network": some species discover distant peers
+and create shortcut links, others prune links that no longer contribute to
+the bounded-diameter solution.  We reproduce both species:
+
+* :class:`DiscoveryAnt` — performs a bounded random walk from its nest and
+  reports the endpoint together with the true hop distance from the nest;
+  the maintainer turns far-away endpoints into new links.
+* :class:`PruningAnt` — inspects one link of its nest and reports whether
+  the link is *redundant*, i.e. removing it leaves its two ends within the
+  target distance of each other via an alternative path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..types import NodeId
+from .graph import OverlayGraph
+from .metrics import hop_distance
+
+__all__ = ["DiscoveryAnt", "PruningAnt", "random_walk"]
+
+
+def random_walk(
+    graph: OverlayGraph, start: NodeId, length: int, rng: random.Random
+) -> List[NodeId]:
+    """A simple random walk of at most ``length`` steps; returns the path.
+
+    The walk avoids immediately backtracking when the current node has
+    another option, which spreads ants faster over the topology.
+    """
+    path = [start]
+    current = start
+    previous: Optional[NodeId] = None
+    for _ in range(length):
+        neighbors = graph.neighbors(current)
+        if not neighbors:
+            break
+        if previous is not None and len(neighbors) > 1:
+            choices = [n for n in neighbors if n != previous]
+        else:
+            choices = neighbors
+        nxt = rng.choice(choices)
+        path.append(nxt)
+        previous = current
+        current = nxt
+    return path
+
+
+class DiscoveryAnt:
+    """Walks away from its nest and measures how far it ended up.
+
+    Attributes
+    ----------
+    nest:
+        The node that emitted the ant.
+    endpoint:
+        Where the walk stopped.
+    distance:
+        True hop distance nest→endpoint (``None`` if disconnected), measured
+        on arrival; the maintainer compares it with the target path length.
+    """
+
+    __slots__ = ("nest", "endpoint", "distance")
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        nest: NodeId,
+        walk_length: int,
+        rng: random.Random,
+    ) -> None:
+        self.nest = nest
+        path = random_walk(graph, nest, walk_length, rng)
+        self.endpoint = path[-1]
+        if self.endpoint == nest:
+            self.distance: Optional[int] = 0
+        else:
+            self.distance = hop_distance(graph, nest, self.endpoint)
+
+    def suggests_link(self, target_path_length: float) -> bool:
+        """Whether the nest should open a shortcut to the endpoint."""
+        if self.endpoint == self.nest:
+            return False
+        return self.distance is None or self.distance > target_path_length
+
+
+class PruningAnt:
+    """Checks whether one link of its nest is redundant.
+
+    A link (nest, neighbour) is redundant when an alternative path of at
+    most ``ceil(target_path_length)`` hops connects the two ends, so its
+    removal cannot push their distance beyond the bound.
+    """
+
+    __slots__ = ("nest", "neighbor", "redundant")
+
+    def __init__(
+        self,
+        graph: OverlayGraph,
+        nest: NodeId,
+        neighbor: NodeId,
+        target_path_length: float,
+    ) -> None:
+        self.nest = nest
+        self.neighbor = neighbor
+        bound = int(target_path_length)
+        # Evaluate the alternative route with the link temporarily removed.
+        graph.remove_link(nest, neighbor)
+        try:
+            alt = hop_distance(graph, nest, neighbor, max_depth=bound)
+        finally:
+            graph.add_link(nest, neighbor)
+        self.redundant = alt is not None

@@ -1,0 +1,86 @@
+"""Bounded selective flooding over the overlay.
+
+ARiA disseminates REQUEST and INFORM messages with "a low-overhead selective
+flooding protocol" (§III-D): a message is forwarded for a bounded number of
+hops, each node relaying it to a bounded number of random neighbours, and
+duplicates are suppressed.  The paper's evaluation uses ≤9 hops / ≤4
+neighbours for REQUEST and ≤8 hops / ≤2 neighbours for INFORM (§IV-E).
+
+This module provides the policy object, the neighbour-selection helper and
+the per-node duplicate cache; the protocol agents in :mod:`repro.core` wire
+them to the transport.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, List, Optional
+
+from ..errors import ConfigurationError
+from ..types import NodeId
+from .graph import OverlayGraph
+
+__all__ = ["FloodPolicy", "choose_targets", "SeenCache"]
+
+
+@dataclass(frozen=True)
+class FloodPolicy:
+    """Hop and fan-out bounds of a selective flood."""
+
+    max_hops: int
+    fanout: int
+
+    def __post_init__(self) -> None:
+        if self.max_hops < 1:
+            raise ConfigurationError(f"max_hops must be >= 1, got {self.max_hops}")
+        if self.fanout < 1:
+            raise ConfigurationError(f"fanout must be >= 1, got {self.fanout}")
+
+
+def choose_targets(
+    graph: OverlayGraph,
+    node: NodeId,
+    fanout: int,
+    rng: random.Random,
+    exclude: Optional[NodeId] = None,
+) -> List[NodeId]:
+    """Pick up to ``fanout`` random distinct neighbours of ``node``.
+
+    ``exclude`` (typically the hop the message arrived from) is skipped
+    when other neighbours exist, which avoids trivially bouncing messages
+    back and forth.
+    """
+    neighbors = graph.neighbors(node)
+    if exclude is not None and len(neighbors) > 1:
+        neighbors = [n for n in neighbors if n != exclude]
+    if len(neighbors) <= fanout:
+        return list(neighbors)
+    return rng.sample(neighbors, fanout)
+
+
+class SeenCache:
+    """Bounded LRU set of message identifiers for duplicate suppression."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def seen_before(self, key: Hashable) -> bool:
+        """Record ``key``; return ``True`` if it had been recorded already."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True
+        self._entries[key] = None
+        if len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return False
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

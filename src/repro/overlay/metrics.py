@@ -1,0 +1,128 @@
+"""Topology metrics: path lengths, diameter, connectivity.
+
+BLATANT-S maintains "an overlay network with bounded average path length and
+minimal number of links" (§IV-A); these helpers measure exactly those
+observables, both exactly (BFS from every node) and by source sampling for
+large graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, Optional, Sequence
+
+from ..types import NodeId
+from .graph import OverlayGraph
+
+__all__ = [
+    "bfs_distances",
+    "hop_distance",
+    "average_path_length",
+    "estimated_diameter",
+    "is_connected",
+]
+
+
+def bfs_distances(
+    graph: OverlayGraph, source: NodeId, max_depth: Optional[int] = None
+) -> Dict[NodeId, int]:
+    """Hop distances from ``source`` to every reachable node (BFS).
+
+    ``max_depth`` bounds the search radius; nodes farther away are omitted.
+    """
+    distances: Dict[NodeId, int] = {source: 0}
+    frontier = deque((source,))
+    while frontier:
+        node = frontier.popleft()
+        depth = distances[node]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                frontier.append(neighbor)
+    return distances
+
+
+def hop_distance(
+    graph: OverlayGraph, a: NodeId, b: NodeId, max_depth: Optional[int] = None
+) -> Optional[int]:
+    """Hop distance between two nodes, or ``None`` if unreachable in bound."""
+    if a == b:
+        return 0
+    distances: Dict[NodeId, int] = {a: 0}
+    frontier = deque((a,))
+    while frontier:
+        node = frontier.popleft()
+        depth = distances[node]
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor == b:
+                return depth + 1
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                frontier.append(neighbor)
+    return None
+
+
+def average_path_length(
+    graph: OverlayGraph,
+    rng: Optional[random.Random] = None,
+    sources: Optional[int] = None,
+) -> float:
+    """Average shortest-path length over reachable pairs.
+
+    With ``sources`` set, BFS runs only from that many sampled source nodes
+    (an unbiased estimator for connected graphs); otherwise from every node.
+    Returns 0.0 for graphs with fewer than two nodes.
+    """
+    nodes = graph.nodes()
+    if len(nodes) < 2:
+        return 0.0
+    if sources is not None and sources < len(nodes):
+        if rng is None:
+            rng = random.Random(0)
+        sample: Sequence[NodeId] = rng.sample(nodes, sources)
+    else:
+        sample = nodes
+    total = 0
+    pairs = 0
+    for source in sample:
+        for node, dist in bfs_distances(graph, source).items():
+            if node != source:
+                total += dist
+                pairs += 1
+    return total / pairs if pairs else 0.0
+
+
+def estimated_diameter(
+    graph: OverlayGraph,
+    rng: Optional[random.Random] = None,
+    sources: Optional[int] = None,
+) -> int:
+    """Largest eccentricity observed from (sampled) BFS sources."""
+    nodes = graph.nodes()
+    if len(nodes) < 2:
+        return 0
+    if sources is not None and sources < len(nodes):
+        if rng is None:
+            rng = random.Random(0)
+        sample: Sequence[NodeId] = rng.sample(nodes, sources)
+    else:
+        sample = nodes
+    diameter = 0
+    for source in sample:
+        distances = bfs_distances(graph, source)
+        if distances:
+            diameter = max(diameter, max(distances.values()))
+    return diameter
+
+
+def is_connected(graph: OverlayGraph) -> bool:
+    """Whether every node is reachable from the first one."""
+    nodes = graph.nodes()
+    if len(nodes) <= 1:
+        return True
+    return len(bfs_distances(graph, nodes[0])) == len(nodes)

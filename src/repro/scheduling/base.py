@@ -1,0 +1,154 @@
+"""Local-scheduler interface.
+
+ARiA "does not enforce any particular local scheduling policy" (§III-A);
+every node runs one :class:`LocalScheduler` that owns the node's waiting
+queue.  A scheduler is *batch* (cost = ETTC) or *deadline* (cost = NAL);
+the two families are never mixed in one cost comparison (§III-C).
+
+Schedulers are deliberately simulator-agnostic: they know nothing about the
+kernel or the network, only about jobs, their node-scaled estimates (ERTp)
+and the current time — which keeps them unit-testable in isolation and
+reusable by the centralized baselines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, List, Optional
+
+from ..errors import SchedulingError
+from ..types import JobId
+
+if TYPE_CHECKING:  # imported lazily to avoid a workload<->scheduling cycle
+    from ..workload.jobs import Job
+
+__all__ = ["QueuedJob", "LocalScheduler", "BATCH", "DEADLINE"]
+
+#: Scheduler family labels.
+BATCH = "batch"
+DEADLINE = "deadline"
+
+
+class QueuedJob:
+    """A job waiting in a node's queue, with node-local bookkeeping."""
+
+    __slots__ = ("job", "ertp", "enqueue_time")
+
+    def __init__(self, job: "Job", ertp: float, enqueue_time: float) -> None:
+        self.job = job
+        self.ertp = ertp
+        self.enqueue_time = enqueue_time
+
+    def waiting_time(self, now: float) -> float:
+        """How long the job has been waiting on this node."""
+        return now - self.enqueue_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<QueuedJob {self.job.job_id} ertp={self.ertp:.0f}s>"
+
+
+class LocalScheduler:
+    """Base class: a policy-ordered waiting queue for one node."""
+
+    #: ``BATCH`` or ``DEADLINE`` — selects the cost function family.
+    kind: ClassVar[str] = BATCH
+    #: Human-readable policy name ("FCFS", "SJF", "EDF", ...).
+    name: ClassVar[str] = "?"
+    #: Whether the policy honours advance reservations (``Job.not_before``).
+    #: Jobs carrying a reservation may only be hosted by such schedulers.
+    supports_reservations: ClassVar[bool] = False
+
+    def __init__(self) -> None:
+        self._queue: List[QueuedJob] = []
+
+    # ------------------------------------------------------------------
+    # Policy hooks
+    # ------------------------------------------------------------------
+    def execution_order(self, entries: List[QueuedJob]) -> List[QueuedJob]:
+        """Return ``entries`` in the order this policy would run them.
+
+        Subclasses override this single hook; enqueueing, removal, cost and
+        candidate selection all derive from it.  The default is arrival
+        order (FCFS).
+        """
+        return list(entries)
+
+    # ------------------------------------------------------------------
+    # Queue operations
+    # ------------------------------------------------------------------
+    def enqueue(self, job: "Job", ertp: float, now: float) -> QueuedJob:
+        """Append a newly assigned job to the waiting queue."""
+        if any(e.job.job_id == job.job_id for e in self._queue):
+            raise SchedulingError(f"job {job.job_id} already queued")
+        entry = QueuedJob(job, ertp, now)
+        self._queue.append(entry)
+        return entry
+
+    def remove(self, job_id: JobId) -> QueuedJob:
+        """Remove a waiting job (it is being rescheduled elsewhere)."""
+        for index, entry in enumerate(self._queue):
+            if entry.job.job_id == job_id:
+                del self._queue[index]
+                return entry
+        raise SchedulingError(f"job {job_id} not in queue")
+
+    def find(self, job_id: JobId) -> Optional[QueuedJob]:
+        """The queue entry for ``job_id``, or ``None``."""
+        for entry in self._queue:
+            if entry.job.job_id == job_id:
+                return entry
+        return None
+
+    def pop_next(self, now: float = float("inf")) -> Optional[QueuedJob]:
+        """Remove and return the job the policy runs next.
+
+        Returns ``None`` when the queue is empty — or, for
+        reservation-aware policies, when nothing may start at ``now``
+        (see :meth:`next_wakeup`).
+        """
+        if not self._queue:
+            return None
+        entry = self.execution_order(self._queue)[0]
+        self._queue.remove(entry)
+        return entry
+
+    def next_wakeup(self, now: float) -> Optional[float]:
+        """Earliest future time at which :meth:`pop_next` could succeed
+        even without new arrivals (``None`` for non-reservation policies,
+        whose queues never block)."""
+        return None
+
+    def ordered_queue(self) -> List[QueuedJob]:
+        """The current queue in execution order (non-destructive)."""
+        return self.execution_order(self._queue)
+
+    def queued(self) -> List[QueuedJob]:
+        """The current queue in arrival order (non-destructive)."""
+        return list(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __contains__(self, job_id: JobId) -> bool:
+        return self.find(job_id) is not None
+
+    # ------------------------------------------------------------------
+    # Cost (dispatches to repro.scheduling.costs; see subclasses)
+    # ------------------------------------------------------------------
+    def cost_of(
+        self, job: "Job", ertp: float, now: float, running_remaining: float
+    ) -> float:
+        """Cost of accepting ``job`` given the current queue and load.
+
+        Lower values are better offers (§III-C).  Implemented by the two
+        family mixins in :mod:`repro.scheduling.costs`.
+        """
+        raise NotImplementedError
+
+    def hypothetical_order(self, job: "Job", ertp: float) -> List[QueuedJob]:
+        """Execution order if ``job`` were enqueued now (for cost probes).
+
+        The probe entry uses ``enqueue_time = +inf`` so arrival-ordered
+        policies place it last, matching a real enqueue.
+        """
+        probe = QueuedJob(job, ertp, float("inf"))
+        return self.execution_order(self._queue + [probe])

@@ -1,0 +1,36 @@
+"""Name → scheduler-class registry used by scenario configuration."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import ConfigurationError
+from .base import LocalScheduler
+from .batch import FCFSScheduler, LJFScheduler, SJFScheduler
+from .edf import EDFScheduler
+from .priority import AgingPriorityScheduler, PriorityScheduler
+from .reservation import BackfillScheduler, ReservationScheduler
+
+__all__ = ["SCHEDULER_FACTORIES", "make_scheduler"]
+
+SCHEDULER_FACTORIES: Dict[str, Callable[[], LocalScheduler]] = {
+    "FCFS": FCFSScheduler,
+    "SJF": SJFScheduler,
+    "LJF": LJFScheduler,
+    "EDF": EDFScheduler,
+    "PRIORITY": PriorityScheduler,
+    "AGING": AgingPriorityScheduler,
+    "RESERVATION": ReservationScheduler,
+    "BACKFILL": BackfillScheduler,
+}
+
+
+def make_scheduler(name: str) -> LocalScheduler:
+    """Instantiate a local scheduler by policy name (case-insensitive)."""
+    factory = SCHEDULER_FACTORIES.get(name.upper())
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown scheduling policy {name!r}; known: "
+            f"{sorted(SCHEDULER_FACTORIES)}"
+        )
+    return factory()

@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel.
+
+This package is the substrate for every experiment in the reproduction: a
+deterministic event-list simulator (:class:`Simulator`), cancellable events,
+periodic callbacks, named random streams and time-series samplers.
+"""
+
+from .events import Event, EventQueue
+from .kernel import Simulator
+from .rng import RandomStreams, derive_seed
+from .sampler import PeriodicSampler, TimeSeries
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "RandomStreams",
+    "derive_seed",
+    "PeriodicSampler",
+    "TimeSeries",
+]

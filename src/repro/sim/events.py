@@ -1,0 +1,107 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a callback bound to a point in simulated time.  Events
+are ordered by ``(time, priority, sequence)``; the sequence number makes the
+ordering total and deterministic, which keeps whole simulations reproducible
+from a single seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Event", "EventQueue"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Events support cancellation: a cancelled event stays in the heap but is
+    skipped when popped, which is O(1) and avoids linear-time heap surgery.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when its time comes."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.3f} seq={self.seq}{state} {self.callback!r}>"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at ``time``; returns the event."""
+        event = Event(time, self._seq, callback, args, priority)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without removing it."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def notify_cancelled(self) -> None:
+        """Account for one externally cancelled event (see :meth:`Event.cancel`)."""
+        self._live -= 1

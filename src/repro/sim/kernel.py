@@ -1,0 +1,174 @@
+"""The discrete-event simulation kernel.
+
+The paper evaluates ARiA inside "a custom simulator reproducing realistic
+round-trip delays" (§IV-A).  :class:`Simulator` is that substrate: a classic
+event-list kernel with a virtual clock, deterministic event ordering and
+named random streams (see :mod:`repro.sim.rng`).
+
+Typical usage::
+
+    sim = Simulator(seed=42)
+    sim.call_at(10.0, handler, payload)
+    sim.call_after(5.0, other_handler)
+    sim.run_until(3600.0)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .events import Event, EventQueue
+from .rng import RandomStreams
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Every named random stream obtained through
+        :attr:`streams` derives from it, so a ``Simulator(seed=s)`` replays
+        identically.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.streams = RandomStreams(seed)
+        self.seed = seed
+        #: Number of events executed so far (useful for performance reports).
+        self.executed_events = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time:.6f} < now={self._now:.6f}"
+            )
+        return self._queue.push(time, callback, args, priority)
+
+    def call_after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.push(self._now + delay, callback, args, priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event; cancelling twice is a no-op."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.notify_cancelled()
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> Callable[[], None]:
+        """Run ``callback(*args)`` periodically.
+
+        Returns a zero-argument function that stops the recurrence when
+        called.  The first call happens at ``start`` (default: one interval
+        from now); no call is scheduled at or after ``until``.
+        """
+        if interval <= 0:
+            raise SimulationError(f"non-positive interval {interval!r}")
+        state = {"event": None, "stopped": False}
+
+        def fire() -> None:
+            callback(*args)
+            schedule(self._now + interval)
+
+        def schedule(time: float) -> None:
+            if state["stopped"]:
+                return
+            if until is not None and time >= until:
+                return
+            state["event"] = self.call_at(time, fire)
+
+        def stop() -> None:
+            state["stopped"] = True
+            event = state["event"]
+            if event is not None:
+                self.cancel(event)
+
+        schedule(self._now + interval if start is None else start)
+        return stop
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` if none remained."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        self.executed_events += 1
+        event.callback(*event.args)
+        return True
+
+    def run_until(self, end_time: float) -> None:
+        """Run events up to and including ``end_time``, then set now there.
+
+        The clock always lands exactly on ``end_time`` so that periodic
+        samplers and scenario phases line up between runs.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time:.6f} is in the past (now={self._now:.6f})"
+            )
+        self._stopped = False
+        queue = self._queue
+        while not self._stopped:
+            next_time = queue.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            self.step()
+        self._now = max(self._now, end_time)
+
+    def run(self) -> None:
+        """Run until the event queue drains (or :meth:`stop` is called)."""
+        self._stopped = False
+        while not self._stopped and self.step():
+            pass
+
+    def stop(self) -> None:
+        """Stop :meth:`run`/:meth:`run_until` after the current event."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still scheduled."""
+        return len(self._queue)

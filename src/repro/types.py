@@ -1,0 +1,51 @@
+"""Shared primitive types and time constants.
+
+All simulated time in this package is expressed as a ``float`` number of
+seconds.  The paper describes durations in hours and minutes (e.g. jobs with
+an estimated running time of 2 h 30 m); the constants below keep scenario
+definitions readable.
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+#: One simulated second (the base unit).
+SECOND: float = 1.0
+#: One simulated minute.
+MINUTE: float = 60.0
+#: One simulated hour.
+HOUR: float = 3600.0
+
+#: Identifier of a grid node (also its overlay address).
+NodeId = NewType("NodeId", int)
+
+#: Universal unique identifier of a job.  The paper assigns every job a UUID
+#: for univocal tracking across the grid; a monotonically increasing integer
+#: provides the same guarantee inside one simulation while staying cheap and
+#: deterministic.
+JobId = NewType("JobId", int)
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration the way the paper writes them, e.g. ``2h30m``.
+
+    >>> format_duration(9000)
+    '2h30m'
+    >>> format_duration(45)
+    '45s'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    total = int(round(seconds))
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    if hours and minutes:
+        return f"{hours}h{minutes:02d}m"
+    if hours:
+        return f"{hours}h"
+    if minutes and secs:
+        return f"{minutes}m{secs:02d}s"
+    if minutes:
+        return f"{minutes}m"
+    return f"{secs}s"

@@ -1,0 +1,20 @@
+"""Workload: job descriptors, random generation, submission schedules."""
+
+from .generator import ERT_DISTRIBUTION, BoundedNormal, JobGenerator
+from .jobs import Job
+from .jsdl import parse_jsdl, parse_jsdl_file
+from .submission import SubmissionProcess, SubmissionSchedule
+from .traces import TraceEntry, WorkloadTrace
+
+__all__ = [
+    "BoundedNormal",
+    "ERT_DISTRIBUTION",
+    "Job",
+    "JobGenerator",
+    "parse_jsdl",
+    "parse_jsdl_file",
+    "SubmissionProcess",
+    "SubmissionSchedule",
+    "TraceEntry",
+    "WorkloadTrace",
+]

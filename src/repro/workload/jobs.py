@@ -1,0 +1,77 @@
+"""Job descriptors.
+
+A job is an immutable description: requirements, an Estimated Running Time
+(ERT, against the grid baseline machine) and, for deadline scenarios, an
+absolute deadline.  All lifecycle state (where the job currently sits, when
+it started, ...) lives in the owning node's queue and in
+:mod:`repro.metrics.records` — the descriptor itself never mutates, so it
+can be shared freely between simulated nodes like a wire payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..grid.profiles import JobRequirements
+from ..types import JobId
+
+__all__ = ["Job"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One user-submitted job.
+
+    Attributes
+    ----------
+    job_id:
+        Grid-wide unique identifier (the paper's UUID).
+    requirements:
+        Resource profile a node must satisfy to host the job.
+    ert:
+        Estimated running time on the baseline machine, seconds.
+    deadline:
+        Absolute completion deadline (``None`` for batch jobs).
+    submit_time:
+        Absolute time the user submitted the job to its initiator.
+    priority:
+        Optional priority used by the priority local scheduler extension
+        (larger = more urgent; the paper's core scenarios leave it at 0).
+    not_before:
+        Optional advance reservation: absolute earliest start time.  Used
+        by the reservation/backfill local-scheduler extensions (the
+        paper's §VI future work); ``None`` (the paper's scenarios) means
+        the job may start at any time.
+    """
+
+    job_id: JobId
+    requirements: JobRequirements
+    ert: float
+    deadline: Optional[float] = None
+    submit_time: float = 0.0
+    priority: int = 0
+    not_before: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.ert <= 0:
+            raise ConfigurationError(f"job {self.job_id}: non-positive ERT")
+        if self.deadline is not None and self.deadline <= self.submit_time:
+            raise ConfigurationError(
+                f"job {self.job_id}: deadline {self.deadline} not after "
+                f"submission {self.submit_time}"
+            )
+        if self.not_before is not None and self.not_before < self.submit_time:
+            raise ConfigurationError(
+                f"job {self.job_id}: reservation {self.not_before} before "
+                f"submission {self.submit_time}"
+            )
+
+    @property
+    def has_deadline(self) -> bool:
+        return self.deadline is not None
+
+    def eligible_at(self, now: float) -> bool:
+        """Whether the job's advance reservation (if any) has been reached."""
+        return self.not_before is None or self.not_before <= now

@@ -1,0 +1,161 @@
+"""JSDL job-description import (paper §III-A).
+
+"Actual implementations may choose to use one of the available job
+description schemas such as JSDL [29]."  This module reads the subset of
+the OGF Job Submission Description Language (GFD.56) that maps onto the
+simulator's job model:
+
+* ``jsdl:Application/jsdl-posix:POSIXApplication/jsdl-posix:WallTimeLimit``
+  → the ERT, in seconds;
+* ``jsdl:Resources/jsdl:CPUArchitecture/jsdl:CPUArchitectureName`` → the
+  required architecture;
+* ``jsdl:Resources/jsdl:OperatingSystem/.../jsdl:OperatingSystemName`` →
+  the required OS;
+* ``jsdl:Resources/jsdl:TotalPhysicalMemory/jsdl:LowerBoundedRange`` →
+  required memory (bytes → GB, rounded up);
+* ``jsdl:Resources/jsdl:TotalDiskSpace/jsdl:LowerBoundedRange`` → required
+  disk (bytes → GB, rounded up).
+
+JSDL names are normalized onto the paper's TOP500-derived enums (e.g.
+``x86_64`` → AMD64, ``LINUX``/``Linux`` → LINUX).  Unknown or missing
+elements raise :class:`~repro.errors.ConfigurationError` with the XPath
+that failed, so malformed descriptors are loud, not silently defaulted.
+"""
+
+from __future__ import annotations
+
+import math
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..errors import ConfigurationError
+from ..grid.profiles import Architecture, JobRequirements, OperatingSystem
+from ..types import JobId
+from .jobs import Job
+
+__all__ = ["parse_jsdl", "parse_jsdl_file"]
+
+_NS = {
+    "jsdl": "http://schemas.ggf.org/jsdl/2005/11/jsdl",
+    "jsdl-posix": "http://schemas.ggf.org/jsdl/2005/11/jsdl-posix",
+}
+
+#: JSDL CPUArchitectureName values → the paper's architectures.
+_ARCHITECTURES: Dict[str, Architecture] = {
+    "x86_64": Architecture.AMD64,
+    "amd64": Architecture.AMD64,
+    "powerpc": Architecture.POWER,
+    "power": Architecture.POWER,
+    "ia64": Architecture.IA64,
+    "sparc": Architecture.SPARC,
+    "mips": Architecture.MIPS,
+    "nec": Architecture.NEC,
+}
+
+_OPERATING_SYSTEMS: Dict[str, OperatingSystem] = {
+    "linux": OperatingSystem.LINUX,
+    "solaris": OperatingSystem.SOLARIS,
+    "unix": OperatingSystem.UNIX,
+    "windows_xp": OperatingSystem.WINDOWS,
+    "windows": OperatingSystem.WINDOWS,
+    "freebsd": OperatingSystem.BSD,
+    "bsd": OperatingSystem.BSD,
+}
+
+_GIB = 1024**3
+
+
+def _find_text(root: ET.Element, path: str) -> str:
+    node = root.find(path, _NS)
+    if node is None or node.text is None or not node.text.strip():
+        raise ConfigurationError(f"JSDL: missing element {path!r}")
+    return node.text.strip()
+
+
+def _bytes_to_gb(text: str, path: str) -> int:
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise ConfigurationError(f"JSDL: non-numeric value at {path!r}") from exc
+    if value <= 0:
+        raise ConfigurationError(f"JSDL: non-positive value at {path!r}")
+    return max(1, math.ceil(value / _GIB))
+
+
+def parse_jsdl(
+    xml_text: str,
+    job_id: int = 1,
+    submit_time: float = 0.0,
+    deadline: Optional[float] = None,
+) -> Job:
+    """Parse one JSDL ``JobDefinition`` document into a :class:`Job`."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise ConfigurationError(f"JSDL: malformed XML ({exc})") from exc
+
+    wall = _find_text(
+        root,
+        ".//jsdl:Application/jsdl-posix:POSIXApplication/"
+        "jsdl-posix:WallTimeLimit",
+    )
+    try:
+        ert = float(wall)
+    except ValueError as exc:
+        raise ConfigurationError("JSDL: WallTimeLimit is not a number") from exc
+
+    arch_name = _find_text(
+        root, ".//jsdl:Resources/jsdl:CPUArchitecture/jsdl:CPUArchitectureName"
+    ).lower()
+    architecture = _ARCHITECTURES.get(arch_name)
+    if architecture is None:
+        raise ConfigurationError(
+            f"JSDL: unknown CPUArchitectureName {arch_name!r}"
+        )
+
+    os_name = _find_text(
+        root,
+        ".//jsdl:Resources/jsdl:OperatingSystem/jsdl:OperatingSystemType/"
+        "jsdl:OperatingSystemName",
+    ).lower()
+    operating_system = _OPERATING_SYSTEMS.get(os_name)
+    if operating_system is None:
+        raise ConfigurationError(
+            f"JSDL: unknown OperatingSystemName {os_name!r}"
+        )
+
+    memory_path = (
+        ".//jsdl:Resources/jsdl:TotalPhysicalMemory/jsdl:LowerBoundedRange"
+    )
+    disk_path = ".//jsdl:Resources/jsdl:TotalDiskSpace/jsdl:LowerBoundedRange"
+    memory_gb = _bytes_to_gb(_find_text(root, memory_path), memory_path)
+    disk_gb = _bytes_to_gb(_find_text(root, disk_path), disk_path)
+
+    return Job(
+        job_id=JobId(job_id),
+        requirements=JobRequirements(
+            architecture=architecture,
+            memory_gb=memory_gb,
+            disk_gb=disk_gb,
+            os=operating_system,
+        ),
+        ert=ert,
+        deadline=deadline,
+        submit_time=submit_time,
+    )
+
+
+def parse_jsdl_file(
+    path: Union[str, Path],
+    job_id: int = 1,
+    submit_time: float = 0.0,
+    deadline: Optional[float] = None,
+) -> Job:
+    """Parse a JSDL file into a :class:`Job`."""
+    return parse_jsdl(
+        Path(path).read_text(),
+        job_id=job_id,
+        submit_time=submit_time,
+        deadline=deadline,
+    )

@@ -1,0 +1,84 @@
+"""Submission schedules and the submission process (§IV-E).
+
+"In all scenarios a total of 1000 jobs is submitted to random nodes on the
+grid.  Unless otherwise specified, jobs are submitted at 10 seconds
+intervals, starting from 20 minutes into the simulation" — LowLoad halves
+the rate (20 s), HighLoad doubles it (5 s).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Sequence
+
+from ..errors import ConfigurationError
+from ..sim import Simulator
+from ..types import MINUTE
+from .generator import JobGenerator
+
+if TYPE_CHECKING:  # protocol agents are only referenced in annotations
+    from ..core.protocol import AriaAgent
+
+__all__ = ["SubmissionSchedule", "SubmissionProcess"]
+
+
+@dataclass(frozen=True)
+class SubmissionSchedule:
+    """Evenly spaced job submissions."""
+
+    job_count: int = 1000
+    interval: float = 10.0
+    start: float = 20 * MINUTE
+
+    def __post_init__(self) -> None:
+        if self.job_count < 1:
+            raise ConfigurationError("job_count must be >= 1")
+        if self.interval <= 0:
+            raise ConfigurationError("interval must be positive")
+        if self.start < 0:
+            raise ConfigurationError("start must be >= 0")
+
+    def times(self) -> List[float]:
+        """Absolute submission times of every job."""
+        return [self.start + i * self.interval for i in range(self.job_count)]
+
+    @property
+    def end(self) -> float:
+        """Time of the last submission."""
+        return self.start + (self.job_count - 1) * self.interval
+
+
+class SubmissionProcess:
+    """Feeds generated jobs to random initiators on schedule.
+
+    ``agents`` is a zero-argument callable returning the *currently
+    connected* protocol agents, so expanding-grid scenarios automatically
+    include newly joined nodes in the pool of possible initiators.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agents: Callable[[], Sequence["AriaAgent"]],
+        generator: JobGenerator,
+        schedule: SubmissionSchedule,
+        rng: random.Random,
+    ) -> None:
+        self._sim = sim
+        self._agents = agents
+        self._generator = generator
+        self._rng = rng
+        self.schedule = schedule
+        self.submitted = 0
+        for time in schedule.times():
+            sim.call_at(time, self._submit_one)
+
+    def _submit_one(self) -> None:
+        agents = self._agents()
+        if not agents:
+            raise ConfigurationError("no connected agents to submit to")
+        initiator = self._rng.choice(list(agents))
+        job = self._generator.make_job(self._sim.now)
+        initiator.submit(job)
+        self.submitted += 1

@@ -1,0 +1,126 @@
+"""Synthetic workload traces: record, save, load, replay.
+
+The paper's conclusions call for a "full-scale evaluation with real grid
+workload traces" as future work (§VI).  Real traces (e.g. the Grid
+Workloads Archive) are not redistributable here, so this module provides
+the substitute: a portable JSON trace format that any external trace can be
+converted into, plus converters from the §IV-D random generator — so the
+same experiment code path runs on synthetic and (user-supplied) real
+traces alike.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..errors import ConfigurationError
+from ..grid.profiles import Architecture, JobRequirements, OperatingSystem
+from ..types import JobId
+from .generator import JobGenerator
+from .jobs import Job
+
+__all__ = ["TraceEntry", "WorkloadTrace"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One job of a workload trace (all times absolute, in seconds)."""
+
+    submit_time: float
+    ert: float
+    architecture: str
+    memory_gb: int
+    disk_gb: int
+    os: str
+    deadline: Optional[float] = None
+    priority: int = 0
+
+    def to_job(self, job_id: int) -> Job:
+        """Materialize this entry as a :class:`Job` with the given id."""
+        return Job(
+            job_id=JobId(job_id),
+            requirements=JobRequirements(
+                architecture=Architecture(self.architecture),
+                memory_gb=self.memory_gb,
+                disk_gb=self.disk_gb,
+                os=OperatingSystem(self.os),
+            ),
+            ert=self.ert,
+            deadline=self.deadline,
+            submit_time=self.submit_time,
+            priority=self.priority,
+        )
+
+    @classmethod
+    def from_job(cls, job: Job) -> "TraceEntry":
+        return cls(
+            submit_time=job.submit_time,
+            ert=job.ert,
+            architecture=job.requirements.architecture.value,
+            memory_gb=job.requirements.memory_gb,
+            disk_gb=job.requirements.disk_gb,
+            os=job.requirements.os.value,
+            deadline=job.deadline,
+            priority=job.priority,
+        )
+
+
+class WorkloadTrace:
+    """An ordered collection of :class:`TraceEntry` with JSON round-trip."""
+
+    def __init__(self, entries: Optional[List[TraceEntry]] = None) -> None:
+        self.entries: List[TraceEntry] = list(entries or [])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def jobs(self) -> List[Job]:
+        """Materialize the trace as :class:`Job` descriptors (ids 1..n)."""
+        return [
+            entry.to_job(index + 1) for index, entry in enumerate(self.entries)
+        ]
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_generator(
+        cls,
+        generator: JobGenerator,
+        submit_times: List[float],
+    ) -> "WorkloadTrace":
+        """Freeze the §IV-D random workload into a replayable trace."""
+        return cls(
+            [TraceEntry.from_job(job) for job in generator.jobs(iter(submit_times))]
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace as versioned JSON."""
+        payload = {
+            "format": "aria-workload-trace",
+            "version": _FORMAT_VERSION,
+            "jobs": [asdict(entry) for entry in self.entries],
+        }
+        Path(path).write_text(json.dumps(payload, indent=1))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "WorkloadTrace":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("format") != "aria-workload-trace":
+            raise ConfigurationError(f"{path}: not an ARiA workload trace")
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"{path}: unsupported trace version {payload.get('version')!r}"
+            )
+        return cls([TraceEntry(**entry) for entry in payload["jobs"]])

@@ -1,0 +1,176 @@
+"""Unit tests for the comparison meta-schedulers."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    CentralizedMetaScheduler,
+    MultiRequestScheduler,
+    RandomAssignScheduler,
+)
+from repro.grid import AccuracyModel, Architecture, GridNode, NodeProfile, OperatingSystem
+from repro.metrics import GridMetrics
+from repro.scheduling import make_scheduler
+from repro.sim import Simulator
+from repro.types import HOUR
+
+from ..helpers import LINUX_AMD64, make_job
+
+POWER_PROFILE = NodeProfile(
+    architecture=Architecture.POWER,
+    memory_gb=16,
+    disk_gb=16,
+    os=OperatingSystem.LINUX,
+)
+
+
+def make_pool(indices, profiles=None, seed=0):
+    sim = Simulator(seed=seed)
+    metrics = GridMetrics()
+    nodes = [
+        GridNode(
+            node_id=i,
+            sim=sim,
+            profile=(profiles[i] if profiles else LINUX_AMD64),
+            performance_index=p,
+            scheduler=make_scheduler("FCFS"),
+            accuracy=AccuracyModel(epsilon=0.0),
+        )
+        for i, p in enumerate(indices)
+    ]
+    return sim, metrics, nodes
+
+
+def test_centralized_picks_globally_cheapest():
+    sim, metrics, nodes = make_pool([1.0, 2.0, 1.5])
+    sched = CentralizedMetaScheduler(nodes, metrics)
+    sched.submit(make_job(1, ert=2 * HOUR))
+    sim.run_until(10.0)
+    assert metrics.records[1].start_node == 1  # fastest node
+
+
+def test_centralized_skips_non_matching_nodes():
+    sim, metrics, nodes = make_pool(
+        [2.0, 1.0], profiles=[POWER_PROFILE, LINUX_AMD64]
+    )
+    sched = CentralizedMetaScheduler(nodes, metrics)
+    sched.submit(make_job(1))
+    sim.run_until(10.0)
+    assert metrics.records[1].start_node == 1
+
+
+def test_centralized_unschedulable_job():
+    sim, metrics, nodes = make_pool([1.0], profiles=[POWER_PROFILE])
+    sched = CentralizedMetaScheduler(nodes, metrics)
+    sched.submit(make_job(1))
+    assert metrics.records[1].unschedulable
+
+
+def test_centralized_traffic_accounting():
+    sim, metrics, nodes = make_pool([1.0, 1.0])
+    sched = CentralizedMetaScheduler(nodes, metrics)
+    sched.submit(make_job(1))
+    sched.submit(make_job(2))
+    assert sched.monitor.count_by_type == {"Request": 2, "Assign": 2}
+
+
+def test_centralized_balances_load_over_time():
+    sim, metrics, nodes = make_pool([1.0, 1.0])
+    sched = CentralizedMetaScheduler(nodes, metrics)
+    for jid in range(1, 5):
+        sched.submit(make_job(jid, ert=HOUR))
+    sim.run_until(10.0)
+    # 4 equal jobs over 2 equal nodes: 2 each.
+    held = sorted(sum(n.holds_job(j) for j in range(1, 5)) for n in nodes)
+    assert held == [2, 2]
+
+
+def test_multirequest_enqueues_k_copies_and_revokes():
+    sim, metrics, nodes = make_pool([1.0, 1.0, 1.0])
+    sched = MultiRequestScheduler(nodes, metrics, k=3)
+    sched.submit(make_job(1, ert=HOUR))
+    sim.run_until(1.0)
+    # One copy started; the two others were revoked synchronously.
+    assert sched.revoked_copies == 2
+    assert sum(n.running is not None for n in nodes) == 1
+    assert sched.monitor.count_by_type["Assign"] == 3
+    assert sched.monitor.count_by_type["Cancel"] == 2
+
+
+def test_multirequest_never_runs_two_copies():
+    sim, metrics, nodes = make_pool([1.0, 1.0], seed=3)
+    sched = MultiRequestScheduler(nodes, metrics, k=2)
+    for jid in range(1, 6):
+        sched.submit(make_job(jid, ert=HOUR))
+    sim.run_until(20 * HOUR)
+    assert metrics.completed_jobs == 5
+    # Every record finished exactly once (no duplicate execution).
+    for record in metrics.records.values():
+        assert record.completed
+
+
+def test_multirequest_k_capped_by_candidates():
+    sim, metrics, nodes = make_pool([1.0])
+    sched = MultiRequestScheduler(nodes, metrics, k=5)
+    sched.submit(make_job(1, ert=HOUR))
+    sim.run_until(1.0)
+    assert sched.revoked_copies == 0
+
+
+def test_multirequest_validates_k():
+    sim, metrics, nodes = make_pool([1.0])
+    with pytest.raises(ValueError):
+        MultiRequestScheduler(nodes, metrics, k=0)
+
+
+def test_random_assign_spreads_jobs():
+    sim, metrics, nodes = make_pool([1.0] * 4)
+    sched = RandomAssignScheduler(nodes, metrics, rng=random.Random(0))
+    for jid in range(1, 41):
+        sched.submit(make_job(jid, ert=HOUR))
+    targets = {record.assignments[0][1] for record in metrics.records.values()}
+    assert len(targets) == 4  # all nodes were used
+
+
+def test_random_assign_only_matching_nodes():
+    sim, metrics, nodes = make_pool(
+        [1.0, 1.0], profiles=[POWER_PROFILE, LINUX_AMD64]
+    )
+    sched = RandomAssignScheduler(nodes, metrics, rng=random.Random(1))
+    for jid in range(1, 11):
+        sched.submit(make_job(jid))
+    assert all(
+        record.assignments[0][1] == 1 for record in metrics.records.values()
+    )
+
+
+def test_random_assign_unschedulable():
+    sim, metrics, nodes = make_pool([1.0], profiles=[POWER_PROFILE])
+    sched = RandomAssignScheduler(nodes, metrics, rng=random.Random(2))
+    sched.submit(make_job(1))
+    assert metrics.records[1].unschedulable
+
+
+def test_centralized_beats_random_on_completion_time():
+    def run(factory):
+        sim, metrics, nodes = make_pool([1.0, 1.3, 1.6, 2.0], seed=9)
+        sched = factory(nodes, metrics)
+        for jid in range(1, 21):
+            sched.submit(make_job(jid, ert=2 * HOUR))
+        sim.run_until(100 * HOUR)
+        assert metrics.completed_jobs == 20
+        return metrics.average_completion_time()
+
+    central = run(CentralizedMetaScheduler)
+    rand = run(
+        lambda nodes, metrics: RandomAssignScheduler(
+            nodes, metrics, rng=random.Random(4)
+        )
+    )
+    assert central < rand
+
+
+def test_empty_pool_rejected():
+    with pytest.raises(ValueError):
+        CentralizedMetaScheduler([], GridMetrics())

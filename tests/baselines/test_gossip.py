@@ -1,0 +1,77 @@
+"""Tests for the gossip-based scheduling baseline ([25]-style)."""
+
+import pytest
+
+from repro.baselines import run_baseline
+from repro.baselines.gossip import CacheEntry, GossipConfig
+from repro.errors import ConfigurationError
+from repro.experiments import ScenarioScale
+from repro.experiments.figures import scenario_summary
+
+TINY = ScenarioScale.tiny()
+
+
+def test_gossip_config_validation():
+    with pytest.raises(ConfigurationError):
+        GossipConfig(interval=0.0)
+    with pytest.raises(ConfigurationError):
+        GossipConfig(fanout=0)
+    with pytest.raises(ConfigurationError):
+        GossipConfig(digest_size=0)
+    with pytest.raises(ConfigurationError):
+        GossipConfig(digest_size=10, cache_capacity=5)
+    with pytest.raises(ConfigurationError):
+        GossipConfig(retry_interval=0.0)
+
+
+@pytest.fixture(scope="module")
+def gossip_run():
+    return run_baseline("gossip", TINY, seed=1)
+
+
+def test_gossip_completes_the_workload(gossip_run):
+    metrics = gossip_run.metrics
+    assert (
+        metrics.completed_jobs + metrics.unschedulable_count() == TINY.jobs
+    )
+    assert metrics.completed_jobs >= 0.9 * TINY.jobs
+
+
+def test_gossip_traffic_is_digest_dominated(gossip_run):
+    by_type = gossip_run.traffic.bytes_by_type
+    assert by_type["GossipDigest"] > by_type["GossipAssign"]
+    # No ARiA discovery traffic in this design.
+    assert "Request" not in by_type
+    assert "Inform" not in by_type
+
+
+def test_gossip_jobs_execute_where_assigned(gossip_run):
+    for record in gossip_run.metrics.records.values():
+        if record.completed:
+            assert record.start_node == record.assignments[0][1]
+            assert record.reschedule_count == 0
+
+
+def test_gossip_is_deterministic():
+    a = run_baseline("gossip", TINY, seed=4)
+    b = run_baseline("gossip", TINY, seed=4)
+    assert (
+        a.metrics.average_completion_time()
+        == b.metrics.average_completion_time()
+    )
+
+
+def test_stale_caches_herd_worse_than_aria():
+    # The design's documented weakness: cached (stale) state spreads work
+    # less evenly than ARiA's pull-based fresh costs.
+    gossip = run_baseline("gossip", TINY, seed=1)
+    aria = scenario_summary("iMixed", TINY, (1,))
+    gossip_fairness = gossip.metrics.load_fairness(TINY.nodes)
+    assert gossip_fairness is not None
+    assert aria.load_fairness >= gossip_fairness * 0.9  # ARiA not worse
+
+
+def test_cache_entry_slots():
+    entry = CacheEntry(1, None, 1.0, 0.0, 0.0)
+    with pytest.raises(AttributeError):
+        entry.extra = 1

@@ -1,0 +1,48 @@
+"""Tests for the baseline experiment runner."""
+
+import pytest
+
+from repro.baselines import run_baseline
+from repro.errors import ConfigurationError
+from repro.experiments import ScenarioScale
+
+TINY = ScenarioScale.tiny()
+
+
+@pytest.mark.parametrize("name", ["centralized", "multirequest", "random"])
+def test_baselines_complete_the_workload(name):
+    result = run_baseline(name, TINY, seed=1)
+    metrics = result.metrics
+    assert result.baseline == name
+    assert metrics.completed_jobs + metrics.unschedulable_count() >= 0.9 * TINY.jobs
+    assert metrics.average_completion_time() is not None
+    assert result.traffic.count_by_type["Request"] == TINY.jobs
+
+
+def test_unknown_baseline_rejected():
+    with pytest.raises(ConfigurationError):
+        run_baseline("oracle", TINY)
+
+
+def test_baselines_share_workload_across_seeds():
+    # Same seed => identical workload => identical submitted job set.
+    a = run_baseline("centralized", TINY, seed=3)
+    b = run_baseline("random", TINY, seed=3)
+    jobs_a = {(r.job.job_id, r.job.ert) for r in a.metrics.records.values()}
+    jobs_b = {(r.job.job_id, r.job.ert) for r in b.metrics.records.values()}
+    assert jobs_a == jobs_b
+
+
+def test_multirequest_reports_revocations():
+    result = run_baseline("multirequest", TINY, seed=1, multirequest_k=3)
+    assert result.revoked_copies > 0
+    assert result.traffic.count_by_type.get("Cancel", 0) == result.revoked_copies
+
+
+def test_centralized_is_deterministic():
+    a = run_baseline("centralized", TINY, seed=5)
+    b = run_baseline("centralized", TINY, seed=5)
+    assert (
+        a.metrics.average_completion_time()
+        == b.metrics.average_completion_time()
+    )

@@ -1,0 +1,41 @@
+"""Unit tests for the protocol configuration defaults and validation."""
+
+import pytest
+
+from repro.core import AriaConfig
+from repro.errors import ConfigurationError
+from repro.types import MINUTE
+
+
+def test_defaults_match_paper_baseline():
+    cfg = AriaConfig()
+    assert cfg.request_flood.max_hops == 9
+    assert cfg.request_flood.fanout == 4
+    assert cfg.inform_flood.max_hops == 8
+    assert cfg.inform_flood.fanout == 2
+    assert cfg.inform_interval == 5 * MINUTE
+    assert cfg.inform_count == 2
+    assert cfg.improvement_threshold == 3 * MINUTE
+    assert cfg.rescheduling is True
+    assert cfg.notify_initiator is False
+
+
+def test_validation_rejects_bad_values():
+    with pytest.raises(ConfigurationError):
+        AriaConfig(accept_wait=0.0)
+    with pytest.raises(ConfigurationError):
+        AriaConfig(inform_interval=-1.0)
+    with pytest.raises(ConfigurationError):
+        AriaConfig(inform_count=0)
+    with pytest.raises(ConfigurationError):
+        AriaConfig(improvement_threshold=-1.0)
+    with pytest.raises(ConfigurationError):
+        AriaConfig(request_retry_interval=0.0)
+    with pytest.raises(ConfigurationError):
+        AriaConfig(max_request_retries=-1)
+
+
+def test_config_is_frozen():
+    cfg = AriaConfig()
+    with pytest.raises(AttributeError):
+        cfg.inform_count = 4

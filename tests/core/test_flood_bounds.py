@@ -1,0 +1,83 @@
+"""Behavioral tests: flood hop budgets actually bound message reach.
+
+A line topology with non-matching relay nodes makes reach measurable: a
+REQUEST with a 9-hop budget finds a matching node 9 hops away but not one
+10 hops away (§IV-E: "REQUEST messages are forwarded on the overlay for at
+most 9 hops").
+"""
+
+from repro.core import AriaConfig
+from repro.grid import Architecture, NodeProfile, OperatingSystem
+from repro.overlay import FloodPolicy
+from repro.types import HOUR, MINUTE
+
+from ..helpers import LINUX_AMD64, make_job
+from .conftest import MiniGrid
+
+POWER = NodeProfile(
+    architecture=Architecture.POWER,
+    memory_gb=16,
+    disk_gb=16,
+    os=OperatingSystem.LINUX,
+)
+
+
+def line_grid(length, matcher_at, config):
+    """A line of POWER relays with one AMD64 node at ``matcher_at``."""
+    profiles = [POWER] * length
+    profiles[matcher_at] = LINUX_AMD64
+    grid = MiniGrid(
+        ["FCFS"] * length,
+        config=config,
+        profiles=profiles,
+        topology="ring",
+    )
+    # Break the ring into a line so distance is unambiguous.
+    grid.graph.remove_link(0, length - 1)
+    return grid
+
+
+def no_retry_config(max_hops):
+    return AriaConfig(
+        rescheduling=False,
+        request_flood=FloodPolicy(max_hops=max_hops, fanout=4),
+        max_request_retries=0,
+    )
+
+
+def test_request_reaches_matching_node_within_budget():
+    grid = line_grid(12, matcher_at=9, config=no_retry_config(max_hops=9))
+    grid.agents[0].submit(make_job(1, ert=HOUR))
+    grid.sim.run_until(10 * MINUTE)
+    record = grid.record(1)
+    assert not record.unschedulable
+    assert record.assignments[0][1] == 9
+
+
+def test_request_cannot_pass_hop_budget():
+    grid = line_grid(12, matcher_at=10, config=no_retry_config(max_hops=9))
+    grid.agents[0].submit(make_job(1, ert=HOUR))
+    grid.sim.run_until(10 * MINUTE)
+    assert grid.record(1).unschedulable
+
+
+def test_larger_budget_extends_reach():
+    grid = line_grid(13, matcher_at=10, config=no_retry_config(max_hops=10))
+    grid.agents[0].submit(make_job(1, ert=HOUR))
+    grid.sim.run_until(10 * MINUTE)
+    assert not grid.record(1).unschedulable
+
+
+def test_duplicate_suppression_bounds_request_traffic():
+    # On a mesh, every node forwards a given REQUEST at most once: the
+    # number of Request transmissions is bounded by nodes * fanout + fanout.
+    n = 10
+    config = AriaConfig(rescheduling=False, max_request_retries=0)
+    grid = MiniGrid(
+        ["FCFS"] * n, config=config, profiles=[POWER] * n, topology="mesh"
+    )
+    grid.agents[0].submit(make_job(1, ert=HOUR))  # matches nobody
+    grid.sim.run_until(10 * MINUTE)
+    sent = grid.transport.monitor.count_by_type["Request"]
+    fanout = config.request_flood.fanout
+    assert sent <= (n + 1) * fanout

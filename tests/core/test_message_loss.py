@@ -1,0 +1,111 @@
+"""Protocol robustness under message loss (extension; paper assumes
+reliable delivery).
+
+Which losses matter: REQUEST/ACCEPT losses are absorbed by the initiator's
+retry loop; INFORM/rescheduling-ACCEPT losses only forgo an optimization;
+an ASSIGN loss orphans the job under the plain protocol — and the
+fail-safe extension recovers exactly that case.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ScenarioScale, get_scenario, run_scenario
+from repro.net import ConstantLatency, Message, Transport
+from repro.sim import Simulator
+
+TINY = ScenarioScale.tiny()
+
+
+class Ping(Message):
+    SIZE_BYTES = 8
+    __slots__ = ()
+
+
+def test_transport_loss_rate_is_respected():
+    sim = Simulator(seed=0)
+    transport = Transport(
+        sim, latency=ConstantLatency(0.01), loss_probability=0.3
+    )
+    received = []
+    transport.register(1, lambda src, msg: None)
+    transport.register(2, lambda src, msg: received.append(msg))
+    for _ in range(2000):
+        transport.send(1, 2, Ping())
+    sim.run()
+    assert transport.lost + len(received) == 2000
+    assert 0.25 < transport.lost / 2000 < 0.35
+    # Lost messages still count as traffic (they were transmitted).
+    assert transport.monitor.count_by_type["Ping"] == 2000
+
+
+def test_local_delivery_never_lost():
+    sim = Simulator(seed=0)
+    transport = Transport(sim, loss_probability=0.9)
+    received = []
+    transport.register(1, lambda src, msg: received.append(msg))
+    for _ in range(50):
+        transport.send(1, 1, Ping())
+    sim.run()
+    assert len(received) == 50
+
+
+def test_loss_probability_validation():
+    sim = Simulator(seed=0)
+    with pytest.raises(ConfigurationError):
+        Transport(sim, loss_probability=1.0)
+    with pytest.raises(ConfigurationError):
+        Transport(sim, loss_probability=-0.1)
+
+
+def lossy_scenario(loss, failsafe=False):
+    scenario = dataclasses.replace(
+        get_scenario("iMixed"), name=f"iMixed@loss{loss}", message_loss=loss
+    )
+    return scenario
+
+
+def test_retries_absorb_moderate_loss():
+    from repro.experiments import build_grid
+
+    result = run_scenario(lossy_scenario(0.05), TINY, seed=2)
+    metrics = result.metrics
+    # 5% loss: the retry loop still gets almost every job placed and done.
+    assert (
+        metrics.completed_jobs + metrics.unschedulable_count()
+        >= 0.9 * TINY.jobs
+    )
+
+
+def test_failsafe_recovers_lost_assigns():
+    from repro.experiments import build_grid
+
+    def run(failsafe):
+        setup = build_grid(
+            lossy_scenario(0.10),
+            TINY,
+            seed=2,
+            config_overrides=(
+                {"failsafe": True, "probe_interval": 300.0}
+                if failsafe
+                else None
+            ),
+        )
+        return setup.run().metrics
+
+    plain = run(False)
+    safe = run(True)
+
+    def unresolved(metrics):
+        return sum(
+            1
+            for r in metrics.records.values()
+            if not r.completed and not r.unschedulable
+        )
+
+    # The fail-safe must resolve at least as many jobs under a lossy
+    # network as the plain protocol.
+    assert safe.completed_jobs >= plain.completed_jobs
+    assert unresolved(safe) <= unresolved(plain)

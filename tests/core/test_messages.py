@@ -1,0 +1,53 @@
+"""Table I: protocol messages, fields and wire sizes."""
+
+from repro.core import Accept, Assign, Inform, Request, Track
+from repro.net import wire_size
+from repro.types import HOUR
+
+from ..helpers import make_job
+
+
+def test_request_fields_match_table_i():
+    job = make_job(7)
+    msg = Request(initiator=3, job=job, hops_left=8, broadcast_id=(3, 1))
+    assert msg.initiator == 3  # Initiator's address
+    assert msg.job.job_id == 7  # Job UUID
+    assert msg.job.requirements is job.requirements  # Job Profile
+
+
+def test_accept_fields_match_table_i():
+    msg = Accept(node=5, job_id=7, cost=42.0)
+    assert msg.node == 5  # Node's address
+    assert msg.job_id == 7  # Job UUID
+    assert msg.cost == 42.0  # Cost
+
+
+def test_inform_fields_match_table_i():
+    job = make_job(7, ert=HOUR)
+    msg = Inform(assignee=2, job=job, cost=9.0, hops_left=7, broadcast_id=(2, 1))
+    assert msg.assignee == 2  # Assignee's address
+    assert msg.job.job_id == 7  # Job UUID + Job Profile
+    assert msg.cost == 9.0  # Cost
+
+
+def test_assign_fields_match_table_i():
+    job = make_job(7)
+    msg = Assign(initiator=1, job=job, reschedule=False)
+    assert msg.initiator == 1  # Initiator's address
+    assert msg.job.job_id == 7  # Job UUID + Job Profile
+
+
+def test_wire_sizes_match_paper_section_v_e():
+    job = make_job(1)
+    assert wire_size(Request(0, job, 8, (0, 1))) == 1024
+    assert wire_size(Inform(0, job, 0.0, 7, (0, 1))) == 1024
+    assert wire_size(Assign(0, job, False)) == 1024
+    assert wire_size(Accept(0, 1, 0.0)) == 128
+    assert wire_size(Track(1, 2)) == 128
+
+
+def test_type_names_used_for_traffic_accounting():
+    assert Request.type_name() == "Request"
+    assert Accept.type_name() == "Accept"
+    assert Inform.type_name() == "Inform"
+    assert Assign.type_name() == "Assign"

@@ -1,0 +1,139 @@
+"""Fine-grained protocol unit tests (agent internals via public effects)."""
+
+import pytest
+
+from repro.core import AriaConfig
+from repro.types import HOUR, MINUTE
+
+from ..helpers import make_job
+from .conftest import MiniGrid
+
+
+def test_self_offer_uses_cost_at_decision_time():
+    # The initiator quotes itself when the wait expires, not at submit:
+    # work accepted during the window raises its own quote, so the job
+    # goes to the other (now cheaper) node.
+    grid = MiniGrid(["FCFS", "FCFS"], config=AriaConfig(rescheduling=False))
+    grid.agents[0].submit(make_job(1, ert=HOUR))
+    # Inject a big job directly into node 0 during the accept window.
+    blocker = make_job(99, ert=8 * HOUR)
+    grid.metrics.job_submitted(blocker, 0, 0.0)
+    grid.sim.call_at(2.0, grid.agents[0].node.accept_job, blocker)
+    grid.sim.run_until(10 * MINUTE)
+    assert grid.record(1).start_node == 1
+
+
+def test_retry_uses_fresh_broadcast():
+    # First flood finds nobody (matching node joins the overlay later);
+    # the retry discovers it.
+    from repro.grid import Architecture, NodeProfile, OperatingSystem
+
+    from ..helpers import LINUX_AMD64
+
+    power = NodeProfile(
+        architecture=Architecture.POWER,
+        memory_gb=16,
+        disk_gb=16,
+        os=OperatingSystem.LINUX,
+    )
+    cfg = AriaConfig(
+        rescheduling=False, request_retry_interval=60.0, max_request_retries=5
+    )
+    grid = MiniGrid(
+        ["FCFS", "FCFS"], config=cfg, profiles=[power, power]
+    )
+    grid.agents[0].submit(make_job(1, ert=HOUR))
+    # A capable node appears 90 s in (between retry 1 and 2).
+    from repro.core import AriaAgent
+    from repro.grid import AccuracyModel, GridNode
+    from repro.scheduling import make_scheduler
+
+    def add_capable():
+        node = GridNode(
+            node_id=2,
+            sim=grid.sim,
+            profile=LINUX_AMD64,
+            performance_index=1.0,
+            scheduler=make_scheduler("FCFS"),
+            accuracy=AccuracyModel(epsilon=0.0),
+        )
+        grid.graph.add_node(2)
+        grid.graph.add_link(2, 0)
+        grid.graph.add_link(2, 1)
+        AriaAgent(node, grid.transport, grid.graph, cfg, grid.metrics)
+
+    grid.sim.call_at(90.0, add_capable)
+    grid.sim.run_until(2 * HOUR)
+    record = grid.record(1)
+    assert record.start_node == 2
+    assert not record.unschedulable
+
+
+def test_request_traffic_counts_relays():
+    # Non-matching middle node relays: more Request transmissions than the
+    # initiator's own fanout.
+    from repro.grid import Architecture, NodeProfile, OperatingSystem
+
+    from ..helpers import LINUX_AMD64
+
+    power = NodeProfile(
+        architecture=Architecture.POWER,
+        memory_gb=16,
+        disk_gb=16,
+        os=OperatingSystem.LINUX,
+    )
+    grid = MiniGrid(
+        ["FCFS", "FCFS", "FCFS"],
+        config=AriaConfig(rescheduling=False),
+        profiles=[power, power, LINUX_AMD64],
+        topology="ring",
+    )
+    grid.graph.remove_link(0, 2)  # line: 0 - 1 - 2
+    grid.agents[0].submit(make_job(1, ert=HOUR))
+    grid.sim.run_until(10 * MINUTE)
+    assert grid.record(1).start_node == 2
+    # 0->1 plus the relay 1->2: at least two Request transmissions.
+    assert grid.transport.monitor.count_by_type["Request"] >= 2
+
+
+def test_agents_do_not_reprocess_duplicate_broadcasts():
+    grid = MiniGrid(["FCFS"] * 4, config=AriaConfig(rescheduling=False))
+    grid.agents[0].submit(make_job(1, ert=HOUR))
+    grid.sim.run_until(10 * MINUTE)
+    # Full mesh of 4: everyone matches, so everyone answers exactly once.
+    assert grid.transport.monitor.count_by_type["Accept"] == 3
+
+
+def test_stopped_agent_sends_no_more_informs():
+    cfg = AriaConfig(rescheduling=True, inform_interval=MINUTE)
+    grid = MiniGrid(["FCFS", "FCFS"], config=cfg)
+    for jid in (1, 2, 3, 4):
+        grid.agents[0].submit(make_job(jid, ert=5 * HOUR))
+    grid.sim.run_until(10 * MINUTE)
+    before = grid.transport.monitor.count_by_type.get("Inform", 0)
+    for agent in grid.agents:
+        agent.stop()
+    grid.sim.run_until(30 * MINUTE)
+    after = grid.transport.monitor.count_by_type.get("Inform", 0)
+    assert after == before
+
+
+def test_start_is_idempotent():
+    cfg = AriaConfig(rescheduling=True, inform_interval=MINUTE)
+    grid = MiniGrid(["FCFS", "FCFS"], config=cfg)
+    agent = grid.agents[0]
+    agent.start()  # second call must not double the INFORM cadence
+    agent.node.accept_job(make_job_with_metrics(grid, 1, 5 * HOUR))
+    agent.node.accept_job(make_job_with_metrics(grid, 2, 5 * HOUR))
+    grid.sim.run_until(10 * MINUTE + 1)
+    informs = grid.metrics.inform_broadcasts
+    # At most one candidate per round per configured schedule (2 per round
+    # for 10 rounds = 20 max with a single clock; a doubled clock would
+    # exceed it).
+    assert informs <= 11  # one waiting job advertised per ~minute
+
+
+def make_job_with_metrics(grid, jid, ert):
+    job = make_job(jid, ert=ert)
+    grid.metrics.job_submitted(job, 0, grid.sim.now)
+    return job

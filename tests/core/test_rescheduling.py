@@ -1,0 +1,181 @@
+"""Protocol tests: the dynamic rescheduling phase (§III-D)."""
+
+import pytest
+
+from repro.core import AriaConfig
+from repro.types import HOUR, MINUTE
+
+from ..helpers import make_job
+from .conftest import MiniGrid
+
+
+def fast_resched_config(**overrides):
+    """Rescheduling config with a short INFORM period for test speed."""
+    defaults = dict(
+        rescheduling=True,
+        inform_interval=MINUTE,
+        inform_count=2,
+        improvement_threshold=3 * MINUTE,
+    )
+    defaults.update(overrides)
+    return AriaConfig(**defaults)
+
+
+def loaded_two_node_grid(config):
+    """Node 0 busy with a long queue; node 1 joins later via the overlay."""
+    grid = MiniGrid(["FCFS", "FCFS"], config=config, topology="mesh")
+    return grid
+
+
+def test_waiting_jobs_rebalance_through_informs():
+    grid = loaded_two_node_grid(fast_resched_config())
+    a0 = grid.agents[0]
+    # Three 4h jobs submitted together to node 0.  The concurrent REQUEST
+    # phases see stale costs, so the initial allocation is lopsided; the
+    # INFORM phase must rebalance the waiting jobs across both nodes.
+    for jid in (1, 2, 3):
+        a0.submit(make_job(jid, ert=4 * HOUR))
+    grid.sim.run_until(HOUR)
+    # Rebalanced: both nodes are executing, at most one job still waits.
+    assert all(n.running is not None for n in grid.nodes)
+    assert sum(n.queue_length for n in grid.nodes) == 1
+    assert grid.metrics.reschedules >= 1
+    # Optimal makespan for 3x4h on 2 nodes is 8h.
+    grid.sim.run_until(9 * HOUR)
+    assert grid.metrics.completed_jobs == 3
+    # A rescheduled job ends up executing on its final assignee.
+    for record in grid.metrics.records.values():
+        assert record.start_node == record.assignments[-1][1]
+
+
+def test_no_rescheduling_when_disabled():
+    grid = loaded_two_node_grid(
+        AriaConfig(rescheduling=False)
+    )
+    for jid in (1, 2, 3):
+        grid.agents[0].submit(make_job(jid, ert=4 * HOUR))
+    grid.sim.run_until(10 * HOUR)
+    assert grid.metrics.reschedules == 0
+    assert all(
+        r.reschedule_count == 0 for r in grid.metrics.records.values()
+    )
+
+
+def test_rescheduling_improves_completion_time():
+    def run(rescheduling):
+        cfg = fast_resched_config() if rescheduling else AriaConfig(
+            rescheduling=False
+        )
+        grid = MiniGrid(["FCFS"] * 3, config=cfg, seed=7)
+        # Node 0 initiates 6 jobs of 2h each; with 3 equal nodes each gets
+        # ~2; later jobs queue. Rescheduling lets queues rebalance when
+        # estimates drift.
+        for jid in range(1, 7):
+            grid.agents[0].submit(make_job(jid, ert=2 * HOUR))
+        grid.sim.run_until(24 * HOUR)
+        assert grid.metrics.completed_jobs == 6
+        return grid.metrics.average_completion_time()
+
+    assert run(True) <= run(False) + 1.0
+
+
+def test_running_jobs_are_never_rescheduled():
+    grid = loaded_two_node_grid(fast_resched_config())
+    grid.agents[0].submit(make_job(1, ert=4 * HOUR))
+    grid.sim.run_until(2 * HOUR)
+    record = grid.record(1)
+    started_on = record.start_node
+    grid.sim.run_until(6 * HOUR)
+    assert record.completed
+    # Finished where it started: no migration of a running job.
+    assert record.assignments[-1][1] == started_on
+    assert record.reschedule_count == 0
+
+
+def test_improvement_threshold_blocks_marginal_gains():
+    # With a huge threshold, even a clearly better node is not used.
+    grid = loaded_two_node_grid(
+        fast_resched_config(improvement_threshold=100 * HOUR)
+    )
+    for jid in (1, 2, 3):
+        grid.agents[0].submit(make_job(jid, ert=4 * HOUR))
+    grid.sim.run_until(10 * HOUR)
+    assert grid.metrics.reschedules == 0
+
+
+def test_inform_count_limits_candidates_per_round():
+    cfg = fast_resched_config(inform_count=1)
+    grid = MiniGrid(["FCFS", "FCFS"], config=cfg)
+    for jid in range(1, 8):
+        grid.agents[0].submit(make_job(jid, ert=3 * HOUR))
+    grid.sim.run_until(30 * HOUR)
+    # All jobs complete eventually even with the tighter INFORM budget.
+    assert grid.metrics.completed_jobs == 7
+
+
+def test_reschedule_assignments_are_tracked_in_history():
+    grid = loaded_two_node_grid(fast_resched_config())
+    for jid in (1, 2, 3):
+        grid.agents[0].submit(make_job(jid, ert=4 * HOUR))
+    grid.sim.run_until(12 * HOUR)
+    moved = [
+        r for r in grid.metrics.records.values() if r.reschedule_count > 0
+    ]
+    assert moved
+    record = moved[0]
+    # History: initial assignment plus one reschedule, different nodes.
+    assert len(record.assignments) == 2
+    assert record.assignments[0][1] != record.assignments[1][1]
+    assert record.start_node == record.assignments[1][1]
+
+
+def test_deadline_rescheduling_reduces_missed_deadlines():
+    def run(rescheduling):
+        cfg = fast_resched_config() if rescheduling else AriaConfig(
+            rescheduling=False
+        )
+        grid = MiniGrid(["EDF"] * 3, config=cfg, seed=11)
+        t = grid.sim.now
+        for jid in range(1, 10):
+            grid.agents[0].submit(
+                make_job(jid, ert=2 * HOUR, deadline=t + 6.5 * HOUR)
+            )
+        grid.sim.run_until(30 * HOUR)
+        assert grid.metrics.completed_jobs == 9
+        return grid.metrics.missed_deadline_count()
+
+    assert run(True) <= run(False)
+
+
+def test_track_notification_sent_when_enabled():
+    from repro.grid import Architecture, NodeProfile, OperatingSystem
+
+    cfg = fast_resched_config(notify_initiator=True)
+    power = NodeProfile(
+        architecture=Architecture.POWER,
+        memory_gb=16,
+        disk_gb=16,
+        os=OperatingSystem.LINUX,
+    )
+    from ..helpers import LINUX_AMD64
+
+    # Node 2 initiates but cannot host, so the assignee always differs from
+    # the initiator and reschedules must produce Track notifications.
+    grid = MiniGrid(
+        ["FCFS", "FCFS", "FCFS"],
+        config=cfg,
+        profiles=[LINUX_AMD64, LINUX_AMD64, power],
+    )
+    for jid in (1, 2, 3, 4):
+        grid.agents[2].submit(make_job(jid, ert=4 * HOUR))
+    grid.sim.run_until(12 * HOUR)
+    assert grid.metrics.reschedules >= 1
+    assert grid.transport.monitor.count_by_type.get("Track", 0) >= 1
+
+
+def test_no_track_traffic_by_default():
+    grid = loaded_two_node_grid(fast_resched_config())
+    for jid in (1, 2, 3):
+        grid.agents[0].submit(make_job(jid, ert=4 * HOUR))
+    grid.sim.run_until(12 * HOUR)
+    assert "Track" not in grid.transport.monitor.count_by_type

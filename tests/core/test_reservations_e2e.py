@@ -1,0 +1,93 @@
+"""End-to-end tests: advance reservations through executor and protocol."""
+
+import random
+
+import pytest
+
+from repro.core import AriaConfig
+from repro.errors import ConfigurationError, SchedulingError
+from repro.scheduling import make_scheduler
+from repro.types import HOUR, MINUTE
+from repro.workload import JobGenerator
+
+from ..helpers import make_job, make_node
+from .conftest import MiniGrid
+
+
+def test_executor_waits_for_reservation():
+    sim, node = make_node(scheduler=make_scheduler("RESERVATION"))
+    node.accept_job(make_job(1, ert=HOUR, not_before=2 * HOUR))
+    sim.run_until(HOUR)
+    assert node.running is None  # machine held for the reservation
+    sim.run_until(2 * HOUR)
+    assert node.running is not None
+    sim.run_until(3 * HOUR)
+    assert node.completed_jobs == 1
+
+
+def test_executor_backfills_while_waiting():
+    sim, node = make_node(scheduler=make_scheduler("BACKFILL"))
+    starts = []
+    node.on_job_started.append(lambda n, r: starts.append((r.job.job_id, sim.now)))
+    node.accept_job(make_job(1, ert=HOUR, not_before=4 * HOUR))
+    node.accept_job(make_job(2, ert=2 * HOUR))
+    sim.run_until(10 * HOUR)
+    assert starts[0][0] == 2 and starts[0][1] == 0.0  # backfilled at once
+    assert starts[1][0] == 1 and starts[1][1] == pytest.approx(4 * HOUR)
+
+
+def test_non_reservation_scheduler_rejects_reserved_jobs():
+    sim, node = make_node()  # FCFS
+    with pytest.raises(SchedulingError):
+        node.accept_job(make_job(1, ert=HOUR, not_before=HOUR))
+
+
+def test_protocol_routes_reserved_jobs_to_capable_nodes():
+    grid = MiniGrid(
+        ["FCFS", "RESERVATION"],
+        config=AriaConfig(rescheduling=False),
+        indices=[2.0, 1.0],  # the FCFS node is faster but incapable
+    )
+    grid.agents[0].submit(make_job(1, ert=HOUR, not_before=2 * HOUR))
+    grid.sim.run_until(10 * HOUR)
+    record = grid.record(1)
+    assert record.start_node == 1
+    assert record.start_time >= 2 * HOUR
+    assert record.completed
+
+
+def test_reserved_job_with_no_capable_node_is_unschedulable():
+    cfg = AriaConfig(
+        rescheduling=False, max_request_retries=1, request_retry_interval=30.0
+    )
+    grid = MiniGrid(["FCFS", "FCFS"], config=cfg)
+    grid.agents[0].submit(make_job(1, ert=HOUR, not_before=HOUR))
+    grid.sim.run_until(30 * MINUTE)
+    assert grid.record(1).unschedulable
+
+
+def test_generator_reservation_support():
+    gen = JobGenerator(
+        random.Random(0),
+        reservation_probability=0.5,
+        reservation_delay_mean=2 * HOUR,
+    )
+    jobs = [gen.make_job(100.0) for _ in range(300)]
+    reserved = [j for j in jobs if j.not_before is not None]
+    assert 100 < len(reserved) < 200  # ~50%
+    for job in reserved:
+        delay = job.not_before - job.submit_time
+        assert 0.8 * HOUR <= delay <= 3.2 * HOUR  # 0.4x .. 1.6x of mean
+
+
+def test_generator_reservation_validation():
+    with pytest.raises(ConfigurationError):
+        JobGenerator(random.Random(0), reservation_probability=1.5,
+                     reservation_delay_mean=HOUR)
+    with pytest.raises(ConfigurationError):
+        JobGenerator(random.Random(0), reservation_probability=0.5)
+
+
+def test_job_reservation_validation():
+    with pytest.raises(ConfigurationError):
+        make_job(1, ert=HOUR, submit_time=2 * HOUR, not_before=HOUR)

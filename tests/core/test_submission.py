@@ -1,0 +1,142 @@
+"""Protocol tests: submission and acceptance phases (§III-B, §III-C)."""
+
+import pytest
+
+from repro.core import AriaConfig
+from repro.errors import ProtocolError
+from repro.grid import Architecture, NodeProfile, OperatingSystem
+from repro.types import HOUR, MINUTE
+
+from ..helpers import make_job
+from .conftest import MiniGrid
+
+
+def test_job_goes_to_cheapest_node():
+    # Node 2 is the fastest (p=2.0) and idle: lowest ETTC must win.
+    grid = MiniGrid(["FCFS", "FCFS", "FCFS"], indices=[1.0, 1.0, 2.0])
+    grid.agents[0].submit(make_job(1, ert=2 * HOUR))
+    grid.sim.run_until(30.0)
+    record = grid.record(1)
+    assert record.assignments[0][1] == 2
+    assert record.start_node == 2
+
+
+def test_submission_does_not_imply_local_execution():
+    grid = MiniGrid(["FCFS", "FCFS"], indices=[1.0, 2.0])
+    grid.agents[0].submit(make_job(1, ert=HOUR))
+    grid.sim.run_until(30.0)
+    assert grid.record(1).start_node == 1
+
+
+def test_initiator_can_win_its_own_request():
+    # Initiator is the fastest node: the job stays local.
+    grid = MiniGrid(["FCFS", "FCFS"], indices=[2.0, 1.0])
+    grid.agents[0].submit(make_job(1, ert=HOUR))
+    grid.sim.run_until(30.0)
+    assert grid.record(1).start_node == 0
+
+
+def test_busy_nodes_quote_higher_costs():
+    grid = MiniGrid(["FCFS", "FCFS"], indices=[1.0, 1.0])
+    # Pre-load node 1 with work so node 0 wins the next submission.
+    grid.agents[1].submit(make_job(1, ert=4 * HOUR))
+    grid.sim.run_until(60.0)
+    assert grid.record(1).start_node in (0, 1)
+    busy = grid.record(1).start_node
+    idle = 1 - busy
+    grid.agents[busy].submit(make_job(2, ert=HOUR))
+    grid.sim.run_until(120.0)
+    assert grid.record(2).start_node == idle
+
+
+def test_only_matching_nodes_offer():
+    power = NodeProfile(
+        architecture=Architecture.POWER,
+        memory_gb=16,
+        disk_gb=16,
+        os=OperatingSystem.LINUX,
+    )
+    amd = NodeProfile(
+        architecture=Architecture.AMD64,
+        memory_gb=4,
+        disk_gb=4,
+        os=OperatingSystem.LINUX,
+    )
+    # Node 1 (POWER) is faster but cannot host an AMD64 job.
+    grid = MiniGrid(
+        ["FCFS", "FCFS", "FCFS"],
+        profiles=[amd, power, amd],
+        indices=[1.0, 2.0, 1.5],
+    )
+    grid.agents[0].submit(make_job(1, ert=HOUR))
+    grid.sim.run_until(30.0)
+    assert grid.record(1).start_node == 2
+
+
+def test_unmatchable_job_retries_then_gives_up():
+    cfg = AriaConfig(
+        rescheduling=False, max_request_retries=2, request_retry_interval=10.0
+    )
+    power = NodeProfile(
+        architecture=Architecture.POWER,
+        memory_gb=16,
+        disk_gb=16,
+        os=OperatingSystem.LINUX,
+    )
+    grid = MiniGrid(["FCFS", "FCFS"], profiles=[power, power], config=cfg)
+    grid.agents[0].submit(make_job(1, ert=HOUR))  # needs AMD64
+    grid.sim.run_until(5 * MINUTE)
+    record = grid.record(1)
+    assert record.unschedulable
+    assert not record.assignments
+
+
+def test_batch_jobs_do_not_land_on_deadline_schedulers():
+    grid = MiniGrid(["EDF", "FCFS"], indices=[2.0, 1.0])
+    grid.agents[0].submit(make_job(1, ert=HOUR))  # no deadline: batch job
+    grid.sim.run_until(30.0)
+    assert grid.record(1).start_node == 1  # EDF node may not host it
+
+
+def test_deadline_jobs_only_land_on_deadline_schedulers():
+    grid = MiniGrid(["EDF", "FCFS"], indices=[1.0, 2.0])
+    grid.agents[0].submit(make_job(1, ert=HOUR, deadline=10 * HOUR))
+    grid.sim.run_until(30.0)
+    assert grid.record(1).start_node == 0
+
+
+def test_duplicate_submission_raises():
+    grid = MiniGrid(["FCFS"], topology="ring")
+    job = make_job(1)
+    grid.agents[0].submit(job)
+    with pytest.raises(ProtocolError):
+        grid.agents[0].submit(job)
+
+
+def test_assignment_recorded_before_start():
+    grid = MiniGrid(["FCFS", "FCFS"])
+    grid.agents[0].submit(make_job(1, ert=HOUR))
+    grid.sim.run_until(30.0)
+    record = grid.record(1)
+    assert len(record.assignments) == 1
+    assign_time, node = record.assignments[0]
+    assert assign_time <= record.start_time
+    assert node == record.start_node
+
+
+def test_completion_metrics_flow():
+    grid = MiniGrid(["FCFS", "FCFS"])
+    grid.agents[0].submit(make_job(1, ert=HOUR))
+    grid.sim.run_until(2 * HOUR)
+    record = grid.record(1)
+    assert record.completed
+    assert record.execution_time == pytest.approx(HOUR)
+    assert grid.metrics.completed_jobs == 1
+
+
+def test_ties_break_deterministically_by_node_id():
+    grid = MiniGrid(["FCFS", "FCFS", "FCFS"])  # identical nodes
+    grid.agents[2].submit(make_job(1, ert=HOUR))
+    grid.sim.run_until(30.0)
+    # All quotes are equal (1h); the lowest node id must win.
+    assert grid.record(1).assignments[0][1] == 0

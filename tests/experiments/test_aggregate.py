@@ -1,0 +1,69 @@
+"""Unit tests for multi-run aggregation."""
+
+import pytest
+
+from repro.experiments import (
+    ScenarioScale,
+    average_series,
+    get_scenario,
+    run_scenario_batch,
+    summarize_runs,
+)
+
+TINY = ScenarioScale.tiny()
+
+
+def test_average_series_pointwise():
+    a = [(0.0, 1.0), (1.0, 3.0)]
+    b = [(0.0, 3.0), (1.0, 5.0)]
+    assert average_series([a, b]) == [(0.0, 2.0), (1.0, 4.0)]
+
+
+def test_average_series_truncates_to_shortest():
+    a = [(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]
+    b = [(0.0, 3.0), (1.0, 3.0)]
+    assert len(average_series([a, b])) == 2
+
+
+def test_average_series_empty():
+    assert average_series([]) == []
+
+
+def test_summarize_runs_averages_metrics():
+    runs = run_scenario_batch(get_scenario("Mixed"), TINY, seeds=(1, 2))
+    summary = summarize_runs(runs)
+    assert summary.runs == 2
+    assert summary.scenario_name == "Mixed"
+    expected = (
+        runs[0].metrics.completed_jobs + runs[1].metrics.completed_jobs
+    ) / 2
+    assert summary.completed_jobs == expected
+    assert summary.average_completion_time is not None
+    assert len(summary.idle_series) == len(runs[0].idle_series)
+    assert summary.traffic_bytes["Request"] > 0
+
+
+def test_summarize_runs_rejects_mixed_scenarios():
+    a = run_scenario_batch(get_scenario("Mixed"), TINY, seeds=(1,))
+    b = run_scenario_batch(get_scenario("iMixed"), TINY, seeds=(1,))
+    with pytest.raises(ValueError):
+        summarize_runs(a + b)
+
+
+def test_summarize_runs_rejects_empty():
+    with pytest.raises(ValueError):
+        summarize_runs([])
+
+
+def test_summary_json_roundtrip(tmp_path):
+    import json
+
+    runs = run_scenario_batch(get_scenario("Mixed"), TINY, seeds=(1,))
+    summary = summarize_runs(runs)
+    path = tmp_path / "summary.json"
+    summary.save(path)
+    loaded = json.loads(path.read_text())
+    assert loaded["scenario_name"] == "Mixed"
+    assert loaded["completed_jobs"] == summary.completed_jobs
+    assert loaded["traffic_bytes"]["Request"] > 0
+    assert loaded["idle_series"][0] == [0.0, float(TINY.nodes)]

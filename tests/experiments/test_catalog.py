@@ -1,0 +1,89 @@
+"""Table II: the catalog must match the paper's 26 scenarios exactly."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import SCENARIOS, get_scenario, with_rescheduling
+from repro.types import HOUR, MINUTE
+
+EXPECTED_NAMES = {
+    "FCFS", "SJF", "Mixed", "Deadline", "LowLoad", "HighLoad", "DeadlineH",
+    "Expanding", "Precise", "Accuracy25", "AccuracyBad",
+    "iFCFS", "iSJF", "iMixed", "iDeadline", "iLowLoad", "iHighLoad",
+    "iDeadlineH", "iExpanding", "iPrecise", "iAccuracy25", "iAccuracyBad",
+    "iInform1", "iInform4", "iInform15m", "iInform30m",
+}
+
+
+def test_catalog_has_exactly_the_26_scenarios():
+    assert set(SCENARIOS) == EXPECTED_NAMES
+    assert len(SCENARIOS) == 26
+
+
+def test_i_prefix_means_rescheduling():
+    for name, scenario in SCENARIOS.items():
+        assert scenario.rescheduling == name.startswith("i"), name
+
+
+def test_policy_assignments():
+    assert get_scenario("FCFS").policies == ("FCFS",)
+    assert get_scenario("SJF").policies == ("SJF",)
+    assert get_scenario("Mixed").policies == ("FCFS", "SJF")
+    assert get_scenario("Deadline").policies == ("EDF",)
+
+
+def test_load_scenarios_change_submission_interval():
+    assert get_scenario("Mixed").submission_interval == 10.0
+    assert get_scenario("LowLoad").submission_interval == 20.0
+    assert get_scenario("HighLoad").submission_interval == 5.0
+
+
+def test_deadline_scenarios_slack():
+    assert get_scenario("Deadline").deadline_slack_mean == 7.5 * HOUR
+    assert get_scenario("DeadlineH").deadline_slack_mean == 2.5 * HOUR
+    assert get_scenario("Mixed").deadline_slack_mean is None
+    assert get_scenario("iDeadline").is_deadline
+
+
+def test_accuracy_scenarios():
+    assert get_scenario("Precise").epsilon == 0.0
+    assert get_scenario("Accuracy25").epsilon == 0.25
+    bad = get_scenario("AccuracyBad")
+    assert bad.epsilon == 0.1 and bad.optimistic_only
+    assert get_scenario("Mixed").epsilon == 0.1
+
+
+def test_inform_sensitivity_scenarios():
+    assert get_scenario("iInform1").inform_count == 1
+    assert get_scenario("iInform4").inform_count == 4
+    assert get_scenario("iMixed").inform_count == 2
+    assert get_scenario("iInform15m").improvement_threshold == 15 * MINUTE
+    assert get_scenario("iInform30m").improvement_threshold == 30 * MINUTE
+    assert get_scenario("iMixed").improvement_threshold == 3 * MINUTE
+
+
+def test_expanding_scenarios():
+    assert get_scenario("Expanding").expanding
+    assert get_scenario("iExpanding").expanding
+    assert not get_scenario("Mixed").expanding
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(ConfigurationError):
+        get_scenario("NoSuchScenario")
+
+
+def test_with_rescheduling_maps_to_twin():
+    assert with_rescheduling("Mixed").name == "iMixed"
+    assert with_rescheduling("iMixed").name == "iMixed"
+
+
+def test_scenario_validation():
+    from repro.experiments import Scenario
+
+    with pytest.raises(ConfigurationError):
+        Scenario(name="x", description="", policies=())
+    with pytest.raises(ConfigurationError):
+        Scenario(name="x", description="", policies=("FCFS",), submission_interval=0)
+    with pytest.raises(ConfigurationError):
+        Scenario(name="x", description="", policies=("FCFS",), epsilon=-1)

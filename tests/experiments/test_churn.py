@@ -1,0 +1,72 @@
+"""Tests for the sustained-churn experiment."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ScenarioScale
+from repro.experiments.churn import ChurnPlan, run_churn_experiment
+
+TINY = ScenarioScale.tiny()
+
+
+def test_churn_plan_validation():
+    with pytest.raises(ConfigurationError):
+        ChurnPlan(interval=0.0)
+    with pytest.raises(ConfigurationError):
+        ChurnPlan(start=10.0, end=5.0)
+    with pytest.raises(ConfigurationError):
+        ChurnPlan(join_weight=0.0, leave_weight=0.0, crash_weight=0.0)
+    with pytest.raises(ConfigurationError):
+        ChurnPlan(leave_weight=-1.0)
+    with pytest.raises(ConfigurationError):
+        ChurnPlan(min_fraction=0.0)
+
+
+@pytest.fixture(scope="module")
+def graceful_churn():
+    plan = ChurnPlan(interval=120.0, start=1800.0, end=14000.0)
+    return run_churn_experiment(TINY, seed=2, plan=plan)
+
+
+def test_graceful_churn_loses_no_jobs(graceful_churn):
+    m = graceful_churn.metrics
+    # Graceful leaves hand every job off: nothing is ever lost.
+    lost = [
+        r
+        for r in m.records.values()
+        if not r.completed and not r.unschedulable
+    ]
+    assert not lost
+    assert m.duplicate_executions == 0
+
+
+def test_churn_changes_grid_size(graceful_churn):
+    counts = [v for _, v in graceful_churn.node_count_series]
+    assert len(set(counts)) > 1  # the grid actually churned
+
+
+def test_grid_never_shrinks_below_min_fraction(graceful_churn):
+    counts = [v for _, v in graceful_churn.node_count_series]
+    assert min(counts) >= max(2, int(0.5 * TINY.nodes)) - 1
+
+
+def test_crash_churn_failsafe_recovers():
+    plan = ChurnPlan(
+        interval=180.0, start=1800.0, end=10000.0, crash_weight=1.0
+    )
+    plain = run_churn_experiment(TINY, seed=3, plan=plan, failsafe=False)
+    safe = run_churn_experiment(TINY, seed=3, plan=plan, failsafe=True)
+
+    def lost(metrics):
+        return sum(
+            1
+            for r in metrics.records.values()
+            if not r.completed and not r.unschedulable
+        )
+
+    assert lost(safe.metrics) <= lost(plain.metrics)
+    assert safe.metrics.duplicate_executions == 0
+
+
+def test_churn_scenario_is_labelled(graceful_churn):
+    assert graceful_churn.scenario.name == "iMixed+churn"

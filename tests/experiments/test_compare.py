@@ -1,0 +1,70 @@
+"""Tests for the statistical scenario comparison."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ScenarioScale
+from repro.experiments.compare import ComparisonResult, compare_scenarios
+
+TINY = ScenarioScale.tiny()
+
+
+def test_welch_on_clearly_different_scenarios():
+    # HighLoad vs LowLoad waiting times differ sharply and consistently.
+    result = compare_scenarios(
+        "HighLoad", "LowLoad", "waiting_time", TINY, seeds=(0, 1, 2, 3)
+    )
+    assert result.mean_a > result.mean_b
+    assert result.p_value is not None
+    assert result.t_statistic > 0
+    assert result.exact  # scipy available in the dev environment
+
+
+def test_identical_scenarios_are_not_significant():
+    result = compare_scenarios(
+        "Mixed", "Mixed", "completion_time", TINY, seeds=(0, 1, 2)
+    )
+    assert result.mean_a == result.mean_b
+    # Zero variance difference => no t statistic at all.
+    assert result.p_value is None or not result.significant
+
+
+def test_unknown_metric_rejected():
+    with pytest.raises(ConfigurationError):
+        compare_scenarios("Mixed", "iMixed", "happiness", TINY, seeds=(0, 1))
+
+
+def test_too_few_seeds_rejected():
+    with pytest.raises(ConfigurationError):
+        compare_scenarios("Mixed", "iMixed", scale=TINY, seeds=(0,))
+
+
+def test_custom_metric_function():
+    result = compare_scenarios(
+        "Mixed",
+        "iMixed",
+        metric="events",
+        scale=TINY,
+        seeds=(0, 1),
+        metric_fn=lambda run: float(run.executed_events),
+    )
+    # Rescheduling produces strictly more protocol events.
+    assert result.mean_b > result.mean_a
+
+
+def test_render_mentions_verdict():
+    result = ComparisonResult(
+        scenario_a="A",
+        scenario_b="B",
+        metric="m",
+        values_a=[1.0, 2.0],
+        values_b=[10.0, 11.0],
+        mean_a=1.5,
+        mean_b=10.5,
+        t_statistic=-5.0,
+        p_value=0.01,
+        exact=True,
+    )
+    out = result.render()
+    assert "p=0.0100" in out and "significant" in out
+    assert result.significant

@@ -1,0 +1,22 @@
+"""Tests for the chart rendering of figures."""
+
+from repro.experiments import ScenarioScale
+from repro.experiments.figures import fig1_completed_jobs
+
+TINY = ScenarioScale.tiny()
+
+
+def test_render_chart_produces_plot_with_legend():
+    fig = fig1_completed_jobs(TINY, seeds=(0,))
+    out = fig.render_chart(width=40, height=8)
+    assert fig.title in out
+    assert "legend:" in out
+    for name in fig.series:
+        assert name in out
+
+
+def test_render_chart_until_zooms():
+    fig = fig1_completed_jobs(TINY, seeds=(0,))
+    full = fig.render_chart()
+    zoomed = fig.render_chart(until=TINY.duration * 0.25)
+    assert full != zoomed

@@ -1,0 +1,90 @@
+"""Figure extraction: every paper figure renders and has the right shape.
+
+These run at tiny scale with one seed; the quantitative shape assertions
+(who wins) live in tests/test_paper_claims.py at a slightly larger scale.
+"""
+
+import pytest
+
+from repro.experiments import ScenarioScale
+from repro.experiments import figures as F
+
+TINY = ScenarioScale.tiny()
+SEEDS = (0,)
+
+
+def test_fig1_series_for_all_six_scenarios():
+    fig = F.fig1_completed_jobs(TINY, SEEDS)
+    assert set(fig.series) == set(F.POLICY_SET)
+    for series in fig.series.values():
+        values = [v for _, v in series]
+        assert values[-1] >= 0.9 * TINY.jobs
+    assert "Figure 1" in fig.render()
+
+
+def test_fig2_rows_and_render():
+    fig = F.fig2_completion_time(TINY, SEEDS)
+    assert [row[0] for row in fig.rows] == list(F.POLICY_SET)
+    out = fig.render()
+    assert "waiting" in out and "completion" in out
+
+
+def test_fig3_idle_series():
+    fig = F.fig3_idle_nodes(TINY, SEEDS)
+    assert set(fig.series) == set(F.POLICY_SET)
+    for series in fig.series.values():
+        assert all(0 <= v <= TINY.nodes for _, v in series)
+
+
+def test_fig4_deadline_rows():
+    fig = F.fig4_deadlines(TINY, SEEDS)
+    assert [row[0] for row in fig.rows] == list(F.DEADLINE_SET)
+    assert "missed" in fig.render()
+
+
+def test_fig5_expanding_includes_node_count():
+    fig = F.fig5_expanding(TINY, SEEDS)
+    assert "Expanding" in fig.series and "iExpanding" in fig.series
+    assert "connected nodes" in fig.series
+    counts = [v for _, v in fig.series["connected nodes"]]
+    assert counts[-1] > counts[0]
+
+
+def test_fig6_windows_differ_by_load():
+    fig = F.fig6_load_idle(TINY, SEEDS)
+    low = fig.windows["LowLoad"]
+    high = fig.windows["HighLoad"]
+    assert low[1] > high[1]  # LowLoad submits over a longer window
+
+
+def test_fig7_and_fig8_and_fig9_render():
+    for fig in (
+        F.fig7_load_completion(TINY, SEEDS),
+        F.fig8_resched_policies(TINY, SEEDS),
+        F.fig9_ert_accuracy(TINY, SEEDS),
+    ):
+        out = fig.render()
+        assert "completion" in out
+
+
+def test_fig10_traffic_shape():
+    fig = F.fig10_traffic(TINY, SEEDS)
+    by_name = {row[0]: row for row in fig.rows}
+    # REQUEST traffic is roughly constant across non-expanding scenarios.
+    requests = [
+        float(by_name[n][1])
+        for n in ("Mixed", "iMixed", "HighLoad", "iHighLoad")
+    ]
+    assert max(requests) <= 1.5 * min(requests) + 0.01
+    # Rescheduling scenarios generate INFORM traffic; plain ones none.
+    assert float(by_name["Mixed"][3]) == 0.0
+    assert float(by_name["iMixed"][3]) > 0.0
+
+
+def test_summary_cache_reuses_runs():
+    before = len(F._SUMMARY_CACHE)
+    F.fig1_completed_jobs(TINY, SEEDS)
+    mid = len(F._SUMMARY_CACHE)
+    F.fig3_idle_nodes(TINY, SEEDS)  # same scenario set: no new entries
+    assert len(F._SUMMARY_CACHE) == mid
+    assert mid >= before

@@ -1,0 +1,65 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.plotting import ascii_bar_chart, ascii_line_chart
+from repro.types import HOUR
+
+
+def test_line_chart_contains_markers_and_axes():
+    series = {
+        "a": [(i * HOUR, float(i)) for i in range(10)],
+        "b": [(i * HOUR, float(10 - i)) for i in range(10)],
+    }
+    out = ascii_line_chart(series, width=40, height=8)
+    assert "*" in out and "o" in out
+    assert "legend: * a   o b" in out
+    assert "0.0h" in out and "9.0h" in out
+
+
+def test_line_chart_scales_extremes_to_edges():
+    series = {"x": [(0.0, 0.0), (HOUR, 100.0)]}
+    out = ascii_line_chart(series, width=20, height=6)
+    lines = out.splitlines()
+    assert lines[0].lstrip().startswith("100")  # top label
+    assert any(line.lstrip().startswith("0 |") for line in lines)
+
+
+def test_line_chart_until_restricts_domain():
+    series = {"x": [(0.0, 1.0), (HOUR, 2.0), (10 * HOUR, 3.0)]}
+    out = ascii_line_chart(series, until=2 * HOUR)
+    assert "10.0h" not in out
+    assert "1.0h" in out
+
+
+def test_line_chart_flat_series():
+    out = ascii_line_chart({"flat": [(0.0, 5.0), (HOUR, 5.0)]})
+    assert "flat" in out  # must not divide by zero
+
+
+def test_line_chart_empty():
+    assert ascii_line_chart({}) == "(no data)"
+    assert ascii_line_chart({"x": []}) == "(no data)"
+
+
+def test_line_chart_validation():
+    with pytest.raises(ConfigurationError):
+        ascii_line_chart({"x": [(0.0, 1.0)]}, width=5)
+    with pytest.raises(ConfigurationError):
+        ascii_line_chart({"x": [(0.0, 1.0)]}, height=2)
+
+
+def test_bar_chart_proportional_lengths():
+    out = ascii_bar_chart({"big": 100.0, "half": 50.0, "none": 0.0}, width=20)
+    lines = out.splitlines()
+    assert lines[0].count("#") == 20
+    assert lines[1].count("#") == 10
+    assert lines[2].count("#") == 0
+    assert "100.0" in lines[0]
+
+
+def test_bar_chart_units_and_empty():
+    out = ascii_bar_chart({"x": 3.0}, unit=" MB")
+    assert "3.0 MB" in out
+    assert ascii_bar_chart({}) == "(no data)"

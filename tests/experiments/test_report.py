@@ -1,0 +1,49 @@
+"""Unit tests for text rendering helpers."""
+
+from repro.experiments import render_series, render_table
+from repro.experiments.report import fmt_hours, fmt_opt
+from repro.types import HOUR
+
+
+def test_fmt_hours():
+    assert fmt_hours(2.5 * HOUR) == "2h30m"
+    assert fmt_hours(None) == "-"
+    assert fmt_hours(90.0) == "1m30s"
+
+
+def test_fmt_opt():
+    assert fmt_opt(None) == "-"
+    assert fmt_opt(1.234, ".2f") == "1.23"
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "v"], [["a", "1"], ["longer", "22"]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+def test_render_series_samples_requested_points():
+    series = {"x": [(float(i) * HOUR, float(i)) for i in range(100)]}
+    out = render_series(series, points=5)
+    lines = out.splitlines()
+    header = lines[0].split()
+    assert header[0] == "t"
+    assert len(header) == 6  # t + 5 samples
+    assert "0.0h" in header[1]
+    assert "99.0h" in header[-1]
+
+
+def test_render_series_handles_empty():
+    assert "series" in render_series({})
+    assert "series" in render_series({"x": []})
+
+
+def test_render_series_multiple_rows():
+    series = {
+        "a": [(0.0, 1.0), (HOUR, 2.0)],
+        "b": [(0.0, 3.0), (HOUR, 4.0)],
+    }
+    out = render_series(series, points=2)
+    assert "a" in out and "b" in out

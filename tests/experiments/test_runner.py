@@ -1,0 +1,109 @@
+"""Integration tests: full scenario runs at tiny scale."""
+
+import pytest
+
+from repro.experiments import ScenarioScale, get_scenario, run_scenario
+
+TINY = ScenarioScale.tiny()
+
+
+@pytest.fixture(scope="module")
+def mixed_run():
+    return run_scenario(get_scenario("Mixed"), TINY, seed=1)
+
+
+@pytest.fixture(scope="module")
+def imixed_run():
+    return run_scenario(get_scenario("iMixed"), TINY, seed=1)
+
+
+def test_all_schedulable_jobs_complete(mixed_run):
+    m = mixed_run.metrics
+    assert m.completed_jobs + m.unschedulable_count() == TINY.jobs
+    assert m.completed_jobs >= 0.9 * TINY.jobs
+
+
+def test_submission_window_matches_scaled_schedule(mixed_run):
+    start, end = mixed_run.submission_window
+    assert start == 1200.0  # 20 minutes
+    interval = 10.0 * TINY.interval_factor
+    assert end == pytest.approx(start + (TINY.jobs - 1) * interval)
+
+
+def test_series_are_sampled_over_full_duration(mixed_run):
+    times = [t for t, _ in mixed_run.idle_series]
+    assert times[0] == 0.0
+    assert times[-1] >= TINY.duration - TINY.sample_interval
+    assert len(mixed_run.idle_series) == len(mixed_run.completed_series)
+
+
+def test_completed_series_is_monotonic(mixed_run):
+    values = [v for _, v in mixed_run.completed_series]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+    assert values[-1] == mixed_run.metrics.completed_jobs
+
+
+def test_idle_series_within_node_count(mixed_run):
+    assert all(0 <= v <= TINY.nodes for _, v in mixed_run.idle_series)
+    # Everything drains by the end of the run: all nodes idle again.
+    assert mixed_run.idle_series[-1][1] == TINY.nodes
+
+
+def test_no_rescheduling_without_i(mixed_run):
+    assert mixed_run.metrics.reschedules == 0
+    assert "Inform" not in mixed_run.traffic.bytes_by_type
+
+
+def test_rescheduling_produces_inform_traffic(imixed_run):
+    assert imixed_run.metrics.reschedules > 0
+    assert imixed_run.traffic.bytes_by_type["Inform"] > 0
+
+
+def test_rescheduling_does_not_lose_jobs(imixed_run):
+    m = imixed_run.metrics
+    assert m.completed_jobs + m.unschedulable_count() == TINY.jobs
+
+
+def test_same_seed_reproduces_exactly():
+    a = run_scenario(get_scenario("Mixed"), TINY, seed=5)
+    b = run_scenario(get_scenario("Mixed"), TINY, seed=5)
+    assert a.metrics.completed_jobs == b.metrics.completed_jobs
+    assert a.completed_series == b.completed_series
+    assert a.traffic.bytes_by_type == b.traffic.bytes_by_type
+    assert a.executed_events == b.executed_events
+
+
+def test_different_seeds_differ():
+    a = run_scenario(get_scenario("Mixed"), TINY, seed=5)
+    b = run_scenario(get_scenario("Mixed"), TINY, seed=6)
+    assert a.completed_series != b.completed_series
+
+
+def test_expanding_grid_grows():
+    run = run_scenario(get_scenario("iExpanding"), TINY, seed=2)
+    assert run.final_node_count == TINY.nodes + TINY.expanding_extra_nodes
+    counts = [v for _, v in run.node_count_series]
+    assert counts[0] == TINY.nodes
+    assert counts[-1] == run.final_node_count
+    assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+
+def test_deadline_scenario_produces_deadline_metrics():
+    run = run_scenario(get_scenario("DeadlineH"), TINY, seed=3)
+    m = run.metrics
+    assert m.completed_jobs > 0
+    records = list(m.records.values())
+    assert all(r.job.has_deadline for r in records)
+    assert m.average_lateness() is not None
+
+
+def test_traffic_report_covers_protocol_messages(imixed_run):
+    types = set(imixed_run.traffic.bytes_by_type)
+    assert {"Request", "Accept", "Assign", "Inform"} <= types
+
+
+def test_batch_runner():
+    from repro.experiments import run_scenario_batch
+
+    runs = run_scenario_batch(get_scenario("Mixed"), TINY, seeds=(1, 2))
+    assert [r.seed for r in runs] == [1, 2]

@@ -1,0 +1,57 @@
+"""Unit tests for scenario scaling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ScenarioScale, bench_scale_from_env
+
+
+def test_paper_scale_matches_evaluation_section():
+    scale = ScenarioScale.paper()
+    assert scale.nodes == 500
+    assert scale.jobs == 1000
+    assert scale.duration == 150_000.0  # 41 h 40 m
+    assert scale.expanding_extra_nodes == 200  # 500 -> 700
+    assert scale.expanding_start == 5_000.0  # 1 h 23 m
+    assert scale.expanding_end == 15_000.0  # ~4 h 10 m
+    assert scale.interval_factor == 1.0
+
+
+def test_interval_factor_preserves_per_node_rate():
+    small = ScenarioScale.small()
+    # nodes scaled by f, interval scaled by 1/f: per-node arrival unchanged.
+    assert small.interval_factor * small.nodes == pytest.approx(500)
+
+
+def test_stock_scales_are_valid_and_ordered():
+    tiny, small, medium, paper = (
+        ScenarioScale.tiny(),
+        ScenarioScale.small(),
+        ScenarioScale.medium(),
+        ScenarioScale.paper(),
+    )
+    assert tiny.nodes < small.nodes < medium.nodes < paper.nodes
+    assert tiny.jobs < small.jobs < medium.jobs < paper.jobs
+
+
+def test_scale_validation():
+    with pytest.raises(ConfigurationError):
+        ScenarioScale(nodes=1)
+    with pytest.raises(ConfigurationError):
+        ScenarioScale(jobs=0)
+    with pytest.raises(ConfigurationError):
+        ScenarioScale(expanding_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        ScenarioScale(expanding_start=10.0, expanding_end=5.0)
+
+
+def test_bench_scale_from_env(monkeypatch):
+    monkeypatch.setenv("ARIA_BENCH_SCALE", "tiny")
+    assert bench_scale_from_env().nodes == ScenarioScale.tiny().nodes
+    monkeypatch.setenv("ARIA_BENCH_SCALE", "paper")
+    assert bench_scale_from_env().nodes == 500
+    monkeypatch.delenv("ARIA_BENCH_SCALE")
+    assert bench_scale_from_env().nodes == ScenarioScale.small().nodes
+    monkeypatch.setenv("ARIA_BENCH_SCALE", "bogus")
+    with pytest.raises(ConfigurationError):
+        bench_scale_from_env()

@@ -1,0 +1,88 @@
+"""Tests for parameter sweeps and scenario serialization."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import Scenario, ScenarioScale, get_scenario
+from repro.experiments.sweep import sweep_config_field, sweep_scenario_field
+
+TINY = ScenarioScale.tiny()
+
+
+def test_scenario_field_sweep_produces_one_point_per_value():
+    points = sweep_scenario_field(
+        "iMixed", "inform_count", [1, 4], TINY, seeds=(1,)
+    )
+    assert [p.value for p in points] == [1, 4]
+    for point in points:
+        assert point.field == "inform_count"
+        assert point.summary.completed_jobs > 0
+    # More candidates per round => at least as much INFORM traffic.
+    assert (
+        points[0].summary.traffic_bytes["Inform"]
+        <= points[1].summary.traffic_bytes["Inform"] * 1.05
+    )
+
+
+def test_config_field_sweep():
+    points = sweep_config_field(
+        "iMixed", "inform_interval", [120.0, 1200.0], TINY, seeds=(1,)
+    )
+    # A 10x slower INFORM cadence produces less INFORM traffic.
+    assert (
+        points[1].summary.traffic_bytes.get("Inform", 0)
+        < points[0].summary.traffic_bytes.get("Inform", 0)
+    )
+
+
+def test_sweep_rejects_unknown_fields():
+    with pytest.raises(ConfigurationError):
+        sweep_scenario_field("iMixed", "warp_speed", [1], TINY)
+    with pytest.raises(ConfigurationError):
+        sweep_config_field("iMixed", "warp_speed", [1], TINY)
+
+
+def test_scenario_roundtrips_through_dict():
+    scenario = get_scenario("iDeadlineH")
+    clone = Scenario.from_dict(scenario.to_dict())
+    assert clone == scenario
+
+
+def test_scenario_from_dict_rejects_unknown_keys():
+    payload = get_scenario("Mixed").to_dict()
+    payload["warp"] = 9
+    with pytest.raises(ConfigurationError):
+        Scenario.from_dict(payload)
+
+
+def test_custom_scenario_from_dict_runs(tmp_path):
+    import json
+
+    from repro.cli import main
+
+    payload = {
+        "name": "CustomTest",
+        "description": "custom scenario for the CLI test",
+        "policies": ["FCFS", "SJF", "LJF"],
+        "rescheduling": True,
+        "submission_interval": 15.0,
+    }
+    path = tmp_path / "custom.json"
+    path.write_text(json.dumps(payload))
+    assert main(["run-file", str(path), "--scale", "tiny"]) == 0
+
+
+def test_cli_sweep(capsys):
+    from repro.cli import main
+
+    assert (
+        main(
+            [
+                "sweep", "iMixed", "config", "accept_wait", "2.0", "10.0",
+                "--scale", "tiny",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "accept_wait" in out and "completion" in out

@@ -1,0 +1,60 @@
+"""Tests for the run-validation audit — and audits of real runs."""
+
+import pytest
+
+from repro.experiments import ScenarioScale, get_scenario, run_scenario
+from repro.experiments.churn import ChurnPlan, run_churn_experiment
+from repro.experiments.failures import run_crash_experiment
+from repro.experiments.validation import validate_run
+
+TINY = ScenarioScale.tiny()
+
+
+@pytest.mark.parametrize(
+    "name", ["Mixed", "iMixed", "iDeadlineH", "iExpanding"]
+)
+def test_scenario_runs_validate_clean(name):
+    result = run_scenario(get_scenario(name), TINY, seed=4)
+    assert validate_run(result) == []
+
+
+def test_crash_runs_validate_clean():
+    for failsafe in (False, True):
+        result = run_crash_experiment(failsafe, TINY, seed=4)
+        assert validate_run(result) == []
+
+
+def test_churn_runs_validate_clean():
+    plan = ChurnPlan(interval=180.0, start=1800.0, end=9000.0, crash_weight=0.5)
+    result = run_churn_experiment(TINY, seed=4, plan=plan, failsafe=True)
+    assert validate_run(result) == []
+
+
+def test_validation_detects_corruption():
+    result = run_scenario(get_scenario("Mixed"), TINY, seed=4)
+    record = next(r for r in result.metrics.records.values() if r.completed)
+    # Corrupt the record: execution "started" before submission.
+    record.start_time = record.submit_time - 100.0
+    violations = validate_run(result)
+    assert any("started before submission" in v for v in violations)
+
+
+def test_validation_detects_overlap():
+    result = run_scenario(get_scenario("Mixed"), TINY, seed=4)
+    completed = [r for r in result.metrics.records.values() if r.completed]
+    a, b = completed[0], completed[1]
+    # Force both executions onto one node at overlapping times.
+    b.start_node = a.start_node
+    b.start_time = a.start_time
+    b.finish_time = a.finish_time
+    b.assignments[-1] = (b.assignments[-1][0], a.start_node)
+    violations = validate_run(result)
+    assert any("overlapping executions" in v for v in violations)
+
+
+def test_validation_detects_placement_mismatch():
+    result = run_scenario(get_scenario("Mixed"), TINY, seed=4)
+    record = next(r for r in result.metrics.records.values() if r.completed)
+    record.start_node = 9999
+    violations = validate_run(result)
+    assert any("ran on 9999" in v for v in violations)

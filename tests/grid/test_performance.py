@@ -1,0 +1,86 @@
+"""Unit tests for the ERT/ERTp/ART pipeline."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grid import (
+    ACCURACY_25,
+    ACCURACY_BAD,
+    BASELINE_10,
+    PRECISE,
+    AccuracyModel,
+    scaled_ert,
+)
+from repro.types import HOUR
+
+
+def test_scaled_ert_divides_by_index():
+    assert scaled_ert(2 * HOUR, 2.0) == HOUR
+    assert scaled_ert(HOUR, 1.0) == HOUR
+
+
+def test_scaled_ert_validation():
+    with pytest.raises(ConfigurationError):
+        scaled_ert(0.0, 1.5)
+    with pytest.raises(ConfigurationError):
+        scaled_ert(HOUR, 0.5)
+
+
+def test_precise_model_returns_ertp_exactly():
+    rng = random.Random(0)
+    assert PRECISE.actual_running_time(HOUR, HOUR / 1.5, rng) == HOUR / 1.5
+
+
+def test_baseline_drift_is_bounded_by_epsilon_times_ert():
+    rng = random.Random(1)
+    ert, ertp = HOUR, HOUR / 1.3
+    for _ in range(500):
+        art = BASELINE_10.actual_running_time(ert, ertp, rng)
+        assert abs(art - ertp) <= 0.1 * ert + 1e-9
+
+
+def test_accuracy25_has_wider_drift():
+    rng = random.Random(2)
+    ert, ertp = HOUR, HOUR
+    drifts = [
+        abs(ACCURACY_25.actual_running_time(ert, ertp, rng) - ertp)
+        for _ in range(500)
+    ]
+    assert max(drifts) > 0.1 * ert  # beyond the ±10% envelope
+    assert max(drifts) <= 0.25 * ert + 1e-9
+
+
+def test_accuracy_bad_is_always_optimistic():
+    rng = random.Random(3)
+    ert, ertp = HOUR, HOUR / 1.8
+    for _ in range(500):
+        art = ACCURACY_BAD.actual_running_time(ert, ertp, rng)
+        assert art >= ertp
+
+
+def test_drift_scales_with_ert_not_ertp():
+    # The paper defines drift = U[-1,1] * ERT * eps: a fast node (small
+    # ERTp) still sees drift proportional to the baseline ERT.
+    rng = random.Random(4)
+    ert = 4 * HOUR
+    ertp = ert / 2.0
+    drifts = [
+        abs(BASELINE_10.actual_running_time(ert, ertp, rng) - ertp)
+        for _ in range(500)
+    ]
+    assert max(drifts) > 0.1 * ertp  # exceeds what ERTp-scaling would allow
+
+
+def test_art_never_non_positive():
+    rng = random.Random(5)
+    model = AccuracyModel(epsilon=0.9)
+    for _ in range(500):
+        art = model.actual_running_time(100.0, 10.0, rng)
+        assert art > 0
+
+
+def test_negative_epsilon_rejected():
+    with pytest.raises(ConfigurationError):
+        AccuracyModel(epsilon=-0.1)

@@ -1,0 +1,56 @@
+"""Unit tests for node profiles and matching logic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grid import Architecture, JobRequirements, NodeProfile, OperatingSystem
+
+
+def node(arch=Architecture.AMD64, mem=8, disk=8, os=OperatingSystem.LINUX):
+    return NodeProfile(architecture=arch, memory_gb=mem, disk_gb=disk, os=os)
+
+
+def reqs(arch=Architecture.AMD64, mem=4, disk=4, os=OperatingSystem.LINUX):
+    return JobRequirements(architecture=arch, memory_gb=mem, disk_gb=disk, os=os)
+
+
+def test_matching_profile_satisfies():
+    assert node().satisfies(reqs())
+
+
+def test_exact_capacity_satisfies():
+    assert node(mem=4, disk=4).satisfies(reqs(mem=4, disk=4))
+
+
+def test_insufficient_memory_fails():
+    assert not node(mem=2).satisfies(reqs(mem=4))
+
+
+def test_insufficient_disk_fails():
+    assert not node(disk=2).satisfies(reqs(disk=4))
+
+
+def test_architecture_mismatch_fails():
+    assert not node(arch=Architecture.POWER).satisfies(reqs())
+
+
+def test_os_mismatch_fails():
+    assert not node(os=OperatingSystem.SOLARIS).satisfies(reqs())
+
+
+def test_profile_validation():
+    with pytest.raises(ConfigurationError):
+        node(mem=0)
+    with pytest.raises(ConfigurationError):
+        node(disk=-1)
+    with pytest.raises(ConfigurationError):
+        reqs(mem=0)
+
+
+def test_profiles_are_hashable_and_frozen():
+    a = node()
+    b = node()
+    assert a == b
+    assert hash(a) == hash(b)
+    with pytest.raises(AttributeError):
+        a.memory_gb = 16

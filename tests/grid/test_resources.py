@@ -1,0 +1,78 @@
+"""Unit tests for random profile generation (paper §IV-B distributions)."""
+
+import random
+from collections import Counter
+
+from repro.grid import (
+    ARCHITECTURE_DISTRIBUTION,
+    OS_DISTRIBUTION,
+    Architecture,
+    OperatingSystem,
+    random_job_requirements,
+    random_node_profile,
+    random_performance_index,
+    weighted_choice,
+)
+from repro.grid.profiles import CAPACITY_CHOICES
+
+
+def test_distributions_sum_to_one():
+    assert abs(sum(w for _, w in ARCHITECTURE_DISTRIBUTION) - 1.0) < 1e-9
+    assert abs(sum(w for _, w in OS_DISTRIBUTION) - 1.0) < 1e-9
+
+
+def test_weighted_choice_respects_weights():
+    rng = random.Random(0)
+    counts = Counter(
+        weighted_choice((("a", 0.9), ("b", 0.1)), rng) for _ in range(5000)
+    )
+    assert 0.85 < counts["a"] / 5000 < 0.95
+
+
+def test_weighted_choice_handles_unnormalized_weights():
+    rng = random.Random(1)
+    counts = Counter(
+        weighted_choice((("a", 9.0), ("b", 1.0)), rng) for _ in range(5000)
+    )
+    assert 0.85 < counts["a"] / 5000 < 0.95
+
+
+def test_node_profiles_follow_top500_shares():
+    rng = random.Random(2)
+    profiles = [random_node_profile(rng) for _ in range(5000)]
+    arch_share = sum(
+        p.architecture is Architecture.AMD64 for p in profiles
+    ) / len(profiles)
+    os_share = sum(p.os is OperatingSystem.LINUX for p in profiles) / len(profiles)
+    assert 0.84 < arch_share < 0.90  # paper: 87.2%
+    assert 0.86 < os_share < 0.92  # paper: 88.6%
+
+
+def test_capacities_come_from_paper_choices():
+    rng = random.Random(3)
+    for _ in range(200):
+        profile = random_node_profile(rng)
+        assert profile.memory_gb in CAPACITY_CHOICES
+        assert profile.disk_gb in CAPACITY_CHOICES
+
+
+def test_job_requirements_use_same_distributions():
+    rng = random.Random(4)
+    reqs = [random_job_requirements(rng) for _ in range(5000)]
+    share = sum(r.architecture is Architecture.AMD64 for r in reqs) / len(reqs)
+    assert 0.84 < share < 0.90
+    assert all(r.memory_gb in CAPACITY_CHOICES for r in reqs[:100])
+
+
+def test_performance_index_range_and_spread():
+    rng = random.Random(5)
+    draws = [random_performance_index(rng) for _ in range(2000)]
+    assert all(1.0 <= p <= 2.0 for p in draws)
+    mean = sum(draws) / len(draws)
+    assert 1.45 < mean < 1.55  # uniform over [1, 2]
+
+
+def test_generation_is_deterministic_per_seed():
+    a = random_node_profile(random.Random(9))
+    b = random_node_profile(random.Random(9))
+    assert a == b

@@ -1,0 +1,63 @@
+"""Shared test fixtures and builders."""
+
+from repro.grid import (
+    AccuracyModel,
+    Architecture,
+    GridNode,
+    JobRequirements,
+    NodeProfile,
+    OperatingSystem,
+)
+from repro.scheduling import FCFSScheduler
+from repro.sim import Simulator
+from repro.types import HOUR
+from repro.workload import Job
+
+LINUX_AMD64 = NodeProfile(
+    architecture=Architecture.AMD64,
+    memory_gb=8,
+    disk_gb=8,
+    os=OperatingSystem.LINUX,
+)
+
+SMALL_REQS = JobRequirements(
+    architecture=Architecture.AMD64,
+    memory_gb=2,
+    disk_gb=2,
+    os=OperatingSystem.LINUX,
+)
+
+
+def make_job(job_id=1, ert=1 * HOUR, deadline=None, submit_time=0.0, priority=0,
+             requirements=SMALL_REQS, not_before=None):
+    return Job(
+        job_id=job_id,
+        requirements=requirements,
+        ert=ert,
+        deadline=deadline,
+        submit_time=submit_time,
+        priority=priority,
+        not_before=not_before,
+    )
+
+
+def make_node(
+    node_id=0,
+    sim=None,
+    profile=LINUX_AMD64,
+    performance_index=1.0,
+    scheduler=None,
+    accuracy=None,
+):
+    sim = sim if sim is not None else Simulator(seed=0)
+    scheduler = scheduler if scheduler is not None else FCFSScheduler()
+    accuracy = accuracy if accuracy is not None else AccuracyModel(epsilon=0.0)
+    node = GridNode(
+        node_id=node_id,
+        sim=sim,
+        profile=profile,
+        performance_index=performance_index,
+        scheduler=scheduler,
+        accuracy=accuracy,
+    )
+    return sim, node

@@ -1,0 +1,107 @@
+"""Unit tests for the grid metrics hub."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics import GridMetrics
+from repro.types import HOUR
+
+from ..helpers import make_job
+
+
+def test_full_lifecycle_flow():
+    m = GridMetrics()
+    job = make_job(1, ert=HOUR, submit_time=0.0)
+    m.job_submitted(job, initiator=3, time=0.0)
+    m.job_assigned(1, node=5, time=2.0, reschedule=False)
+    m.job_assigned(1, node=7, time=50.0, reschedule=True)
+    m.job_started(1, node=7, time=100.0)
+    m.job_finished(1, node=7, time=100.0 + HOUR)
+    record = m.records[1]
+    assert record.initiator == 3
+    assert record.assignments == [(2.0, 5), (50.0, 7)]
+    assert record.start_node == 7
+    assert m.completed_jobs == 1
+    assert m.reschedules == 1
+    assert m.average_completion_time() == pytest.approx(100.0 + HOUR)
+    assert m.average_waiting_time() == pytest.approx(100.0)
+    assert m.average_execution_time() == pytest.approx(HOUR)
+    assert m.average_reschedules() == 1.0
+
+
+def test_double_submission_rejected():
+    m = GridMetrics()
+    job = make_job(1)
+    m.job_submitted(job, 0, 0.0)
+    with pytest.raises(ReproError):
+        m.job_submitted(job, 0, 1.0)
+
+
+def test_events_for_unknown_job_rejected():
+    m = GridMetrics()
+    with pytest.raises(ReproError):
+        m.job_started(42, 0, 0.0)
+    with pytest.raises(ReproError):
+        m.job_finished(42, 0, 0.0)
+    with pytest.raises(ReproError):
+        m.job_assigned(42, 0, 0.0, reschedule=False)
+
+
+def test_empty_hub_aggregates_to_none():
+    m = GridMetrics()
+    assert m.average_completion_time() is None
+    assert m.average_waiting_time() is None
+    assert m.average_execution_time() is None
+    assert m.average_reschedules() is None
+    assert m.average_lateness() is None
+    assert m.average_missed_time() is None
+    assert m.missed_deadline_count() == 0
+    assert m.unschedulable_count() == 0
+    assert m.completed_records() == []
+
+
+def test_unschedulable_counting():
+    m = GridMetrics()
+    m.job_submitted(make_job(1), 0, 0.0)
+    m.job_submitted(make_job(2), 0, 1.0)
+    m.job_unschedulable(1, 10.0)
+    assert m.unschedulable_count() == 1
+    assert m.records[1].unschedulable
+    assert not m.records[2].unschedulable
+
+
+def test_resubmission_counting():
+    m = GridMetrics()
+    m.job_submitted(make_job(1), 0, 0.0)
+    m.job_resubmitted(1, 500.0)
+    m.job_resubmitted(1, 900.0)
+    assert m.records[1].resubmissions == 2
+
+
+def test_deadline_aggregates_split_met_and_missed():
+    m = GridMetrics()
+    # job 1 meets its deadline with 1h to spare; job 2 misses by 30 min.
+    for jid, deadline, finish in (
+        (1, 5 * HOUR, 4 * HOUR),
+        (2, 5 * HOUR, 5.5 * HOUR),
+    ):
+        m.job_submitted(
+            make_job(jid, ert=HOUR, deadline=deadline), 0, 0.0
+        )
+        m.job_assigned(jid, 1, 0.0, reschedule=False)
+        m.job_started(jid, 1, finish - HOUR)
+        m.job_finished(jid, 1, finish)
+    assert m.missed_deadline_count() == 1
+    assert m.average_lateness() == pytest.approx(HOUR)
+    assert m.average_missed_time() == pytest.approx(HOUR / 2)
+
+
+def test_incomplete_jobs_excluded_from_averages():
+    m = GridMetrics()
+    m.job_submitted(make_job(1, ert=HOUR), 0, 0.0)
+    m.job_assigned(1, 1, 0.0, reschedule=False)
+    m.job_started(1, 1, 10.0)  # never finishes
+    assert m.average_completion_time() is None
+    assert m.average_waiting_time() is None
+    # execution time is undefined until completion
+    assert m.average_execution_time() is None

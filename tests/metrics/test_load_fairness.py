@@ -1,0 +1,66 @@
+"""Unit tests for the Jain load-fairness metric."""
+
+import pytest
+
+from repro.metrics import GridMetrics
+from repro.types import HOUR
+
+from ..helpers import make_job
+
+
+def completed_job(metrics, jid, node, execution=HOUR):
+    metrics.job_submitted(make_job(jid, ert=execution), 0, 0.0)
+    metrics.job_assigned(jid, node, 0.0, reschedule=False)
+    metrics.job_started(jid, node, 0.0)
+    metrics.job_finished(jid, node, execution)
+
+
+def test_busy_time_accumulates_per_node():
+    m = GridMetrics()
+    completed_job(m, 1, node=5, execution=HOUR)
+    completed_job(m, 2, node=5, execution=2 * HOUR)
+    completed_job(m, 3, node=7, execution=HOUR)
+    assert m.busy_time_by_node() == {5: 3 * HOUR, 7: HOUR}
+
+
+def test_perfectly_even_load_scores_one():
+    m = GridMetrics()
+    for jid, node in enumerate([0, 1, 2, 3], start=1):
+        completed_job(m, jid, node)
+    assert m.load_fairness(node_count=4) == pytest.approx(1.0)
+
+
+def test_all_on_one_node_scores_inverse_node_count():
+    m = GridMetrics()
+    for jid in (1, 2, 3):
+        completed_job(m, jid, node=0)
+    assert m.load_fairness(node_count=10) == pytest.approx(0.1)
+
+
+def test_fairness_accounts_for_idle_nodes():
+    m = GridMetrics()
+    completed_job(m, 1, node=0)
+    completed_job(m, 2, node=1)
+    # Same busy profile, larger grid => lower fairness.
+    assert m.load_fairness(node_count=2) > m.load_fairness(node_count=8)
+
+
+def test_no_work_means_no_index():
+    assert GridMetrics().load_fairness(node_count=5) is None
+    assert GridMetrics().load_fairness(node_count=0) is None
+
+
+def test_summary_carries_fairness():
+    from repro.experiments import (
+        ScenarioScale,
+        get_scenario,
+        run_scenario_batch,
+        summarize_runs,
+    )
+
+    runs = run_scenario_batch(
+        get_scenario("Mixed"), ScenarioScale.tiny(), seeds=(1,)
+    )
+    summary = summarize_runs(runs)
+    assert summary.load_fairness is not None
+    assert 0 < summary.load_fairness <= 1.0

@@ -1,0 +1,74 @@
+"""Unit tests for per-job lifecycle records."""
+
+from repro.metrics import JobRecord
+from repro.types import HOUR
+
+from ..helpers import make_job
+
+
+def record(job=None):
+    return JobRecord(
+        job=job if job is not None else make_job(1, ert=HOUR),
+        initiator=0,
+        submit_time=100.0,
+    )
+
+
+def test_fresh_record_has_no_derived_metrics():
+    r = record()
+    assert not r.completed
+    assert r.waiting_time is None
+    assert r.execution_time is None
+    assert r.completion_time is None
+    assert r.missed_deadline is None
+    assert r.lateness is None
+    assert r.missed_time is None
+    assert r.reschedule_count == 0
+    assert r.resubmissions == 0
+
+
+def test_reschedule_count_is_assignments_minus_one():
+    r = record()
+    assert r.reschedule_count == 0
+    r.assignments.append((100.0, 1))
+    assert r.reschedule_count == 0
+    r.assignments.append((200.0, 2))
+    r.assignments.append((300.0, 3))
+    assert r.reschedule_count == 2
+
+
+def test_time_decomposition():
+    r = record()
+    r.start_time = 400.0
+    r.start_node = 2
+    r.finish_time = 1000.0
+    assert r.waiting_time == 300.0
+    assert r.execution_time == 600.0
+    assert r.completion_time == 900.0
+    assert r.completed
+
+
+def test_deadline_metrics_met():
+    r = record(make_job(1, ert=HOUR, deadline=2000.0, submit_time=100.0))
+    r.start_time = 200.0
+    r.finish_time = 1500.0
+    assert r.missed_deadline is False
+    assert r.lateness == 500.0
+    assert r.missed_time is None
+
+
+def test_deadline_metrics_missed():
+    r = record(make_job(1, ert=HOUR, deadline=2000.0, submit_time=100.0))
+    r.start_time = 200.0
+    r.finish_time = 2600.0
+    assert r.missed_deadline is True
+    assert r.lateness == -600.0
+    assert r.missed_time == 600.0
+
+
+def test_batch_job_has_no_deadline_metrics_even_when_done():
+    r = record()
+    r.start_time = 200.0
+    r.finish_time = 2600.0
+    assert r.missed_deadline is None
+    assert r.missed_time is None

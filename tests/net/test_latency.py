@@ -1,0 +1,82 @@
+"""Unit tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import ConstantLatency, PairwiseLogNormalLatency, UniformLatency
+
+
+def test_constant_latency_returns_fixed_delay():
+    model = ConstantLatency(0.1)
+    rng = random.Random(0)
+    assert model.sample(1, 2, rng) == 0.1
+    assert model.sample(5, 9, rng) == 0.1
+
+
+def test_constant_latency_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        ConstantLatency(-0.1)
+
+
+def test_uniform_latency_within_range():
+    model = UniformLatency(0.01, 0.05)
+    rng = random.Random(0)
+    for _ in range(200):
+        assert 0.01 <= model.sample(1, 2, rng) <= 0.05
+
+
+def test_uniform_latency_rejects_bad_range():
+    with pytest.raises(ConfigurationError):
+        UniformLatency(0.05, 0.01)
+    with pytest.raises(ConfigurationError):
+        UniformLatency(-1.0, 0.01)
+
+
+def test_lognormal_base_delay_is_stable_per_pair():
+    model = PairwiseLogNormalLatency(jitter=0.0)
+    rng = random.Random(0)
+    first = model.sample(1, 2, rng)
+    second = model.sample(1, 2, rng)
+    assert first == second
+
+
+def test_lognormal_base_delay_is_symmetric():
+    model = PairwiseLogNormalLatency(jitter=0.0)
+    rng = random.Random(0)
+    assert model.sample(1, 2, rng) == model.sample(2, 1, rng)
+
+
+def test_lognormal_pairs_differ():
+    model = PairwiseLogNormalLatency(jitter=0.0)
+    rng = random.Random(0)
+    assert model.sample(1, 2, rng) != model.sample(3, 4, rng)
+
+
+def test_lognormal_jitter_adds_bounded_noise():
+    model = PairwiseLogNormalLatency(jitter=0.005)
+    rng = random.Random(0)
+    base_model = PairwiseLogNormalLatency(jitter=0.0)
+    base_rng = random.Random(0)
+    base = base_model.sample(1, 2, base_rng)
+    for _ in range(100):
+        delay = model.sample(1, 2, rng)
+        assert base <= delay <= base + 0.005
+
+
+def test_lognormal_median_is_roughly_respected():
+    model = PairwiseLogNormalLatency(median=0.025, sigma=0.5, jitter=0.0)
+    rng = random.Random(7)
+    delays = sorted(model.sample(i, i + 1, rng) for i in range(0, 2000, 2))
+    median = delays[len(delays) // 2]
+    assert 0.02 < median < 0.032
+
+
+def test_lognormal_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        PairwiseLogNormalLatency(median=0.0)
+    with pytest.raises(ConfigurationError):
+        PairwiseLogNormalLatency(sigma=-1.0)
+    with pytest.raises(ConfigurationError):
+        PairwiseLogNormalLatency(jitter=-0.1)

@@ -1,0 +1,37 @@
+"""Unit tests for the wire-message base class."""
+
+from repro.net import Message, wire_size
+
+
+class Small(Message):
+    SIZE_BYTES = 128
+    __slots__ = ()
+
+
+class Big(Message):
+    SIZE_BYTES = 1024
+    __slots__ = ("payload",)
+
+    def __init__(self, payload):
+        self.payload = payload
+
+
+def test_wire_size_reads_class_attribute():
+    assert wire_size(Small()) == 128
+    assert wire_size(Big("x" * 10_000)) == 1024  # fixed, not content-based
+
+
+def test_type_name_is_class_name():
+    assert Small.type_name() == "Small"
+    assert Big("x").type_name() == "Big"
+
+
+def test_base_message_has_zero_size():
+    assert wire_size(Message()) == 0
+
+
+def test_slots_prevent_arbitrary_attributes():
+    import pytest
+
+    with pytest.raises(AttributeError):
+        Small().stray = 1

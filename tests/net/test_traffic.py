@@ -1,0 +1,50 @@
+"""Unit tests for traffic accounting."""
+
+from repro.net import TrafficMonitor
+
+
+def test_record_accumulates_bytes_and_counts():
+    mon = TrafficMonitor()
+    mon.record("Request", 1024)
+    mon.record("Request", 1024)
+    mon.record("Accept", 128)
+    assert mon.bytes_by_type == {"Request": 2048, "Accept": 128}
+    assert mon.count_by_type == {"Request": 2, "Accept": 1}
+    assert mon.total_bytes == 2176
+    assert mon.total_messages == 3
+
+
+def test_report_per_node_and_bandwidth():
+    mon = TrafficMonitor()
+    # 3 MB per node over 42 h for 500 nodes is the paper's ballpark: 149 bps.
+    per_node = 3e6
+    nodes = 500
+    duration = 42 * 3600.0
+    mon.record("Inform", int(per_node * nodes))
+    report = mon.report(node_count=nodes, duration=duration)
+    assert report.bytes_per_node == per_node
+    assert abs(report.bandwidth_bps - per_node * 8 / duration) < 1e-9
+    assert 140 < report.bandwidth_bps < 170
+
+
+def test_report_handles_empty_grid():
+    report = TrafficMonitor().report(node_count=0, duration=0.0)
+    assert report.bytes_per_node == 0.0
+    assert report.bandwidth_bps == 0.0
+    assert report.total_bytes == 0
+
+
+def test_report_megabytes_accessor():
+    mon = TrafficMonitor()
+    mon.record("Assign", 2_500_000)
+    report = mon.report(node_count=10, duration=100.0)
+    assert report.megabytes("Assign") == 2.5
+    assert report.megabytes("Missing") == 0.0
+
+
+def test_report_copies_are_independent():
+    mon = TrafficMonitor()
+    mon.record("Request", 100)
+    report = mon.report(node_count=1, duration=1.0)
+    mon.record("Request", 100)
+    assert report.bytes_by_type["Request"] == 100

@@ -1,0 +1,105 @@
+"""Unit tests for the message transport."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import ConstantLatency, Message, Transport
+from repro.sim import Simulator
+
+
+class Ping(Message):
+    SIZE_BYTES = 64
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: str = "") -> None:
+        self.tag = tag
+
+
+def make_transport(delay=0.05):
+    sim = Simulator(seed=1)
+    transport = Transport(sim, latency=ConstantLatency(delay))
+    return sim, transport
+
+
+def test_send_delivers_after_latency():
+    sim, transport = make_transport(0.05)
+    got = []
+    transport.register(2, lambda src, msg: got.append((sim.now, src, msg.tag)))
+    transport.register(1, lambda src, msg: None)
+    transport.send(1, 2, Ping("hello"))
+    sim.run()
+    assert got == [(0.05, 1, "hello")]
+
+
+def test_send_records_traffic():
+    sim, transport = make_transport()
+    transport.register(1, lambda src, msg: None)
+    transport.register(2, lambda src, msg: None)
+    transport.send(1, 2, Ping())
+    transport.send(2, 1, Ping())
+    sim.run()
+    assert transport.monitor.bytes_by_type == {"Ping": 128}
+    assert transport.monitor.count_by_type == {"Ping": 2}
+
+
+def test_local_send_is_free_and_still_async():
+    sim, transport = make_transport()
+    got = []
+    transport.register(1, lambda src, msg: got.append(sim.now))
+    transport.send(1, 1, Ping())
+    assert got == []  # not delivered synchronously
+    sim.run()
+    assert got == [0.0]
+    assert transport.monitor.total_bytes == 0
+
+
+def test_message_to_unregistered_node_is_dropped():
+    sim, transport = make_transport()
+    transport.register(1, lambda src, msg: None)
+    transport.send(1, 99, Ping())
+    sim.run()
+    assert transport.dropped == 1
+
+
+def test_unregister_drops_in_flight_messages():
+    sim, transport = make_transport(0.05)
+    got = []
+    transport.register(1, lambda src, msg: None)
+    transport.register(2, lambda src, msg: got.append(msg))
+    transport.send(1, 2, Ping())
+    transport.unregister(2)
+    sim.run()
+    assert got == []
+    assert transport.dropped == 1
+
+
+def test_double_register_raises():
+    _, transport = make_transport()
+    transport.register(1, lambda src, msg: None)
+    with pytest.raises(ConfigurationError):
+        transport.register(1, lambda src, msg: None)
+
+
+def test_is_registered():
+    _, transport = make_transport()
+    transport.register(5, lambda src, msg: None)
+    assert transport.is_registered(5)
+    assert not transport.is_registered(6)
+    transport.unregister(5)
+    assert not transport.is_registered(5)
+
+
+def test_unregister_unknown_node_is_noop():
+    _, transport = make_transport()
+    transport.unregister(123)  # must not raise
+
+
+def test_messages_preserve_fifo_order_with_constant_latency():
+    sim, transport = make_transport(0.01)
+    got = []
+    transport.register(2, lambda src, msg: got.append(msg.tag))
+    transport.register(1, lambda src, msg: None)
+    for tag in ("a", "b", "c"):
+        transport.send(1, 2, Ping(tag))
+    sim.run()
+    assert got == ["a", "b", "c"]

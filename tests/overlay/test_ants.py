@@ -1,0 +1,73 @@
+"""Unit tests for the ant agents."""
+
+import random
+
+from repro.overlay import DiscoveryAnt, OverlayGraph, PruningAnt, random_walk, ring
+
+
+def test_random_walk_stays_on_links():
+    g = ring(10)
+    rng = random.Random(0)
+    path = random_walk(g, 0, 20, rng)
+    assert path[0] == 0
+    for a, b in zip(path, path[1:]):
+        assert g.has_link(a, b)
+
+
+def test_random_walk_on_isolated_node_stops():
+    g = OverlayGraph()
+    g.add_node(1)
+    assert random_walk(g, 1, 5, random.Random(0)) == [1]
+
+
+def test_random_walk_avoids_backtracking_when_possible():
+    # On a ring every node has 2 neighbours; after the first step the walk
+    # must always move forward (never return to the previous node).
+    g = ring(10)
+    rng = random.Random(1)
+    path = random_walk(g, 0, 9, rng)
+    assert len(set(path)) == len(path)
+
+
+def test_discovery_ant_reports_distance():
+    g = ring(20)
+    rng = random.Random(2)
+    ant = DiscoveryAnt(g, 0, walk_length=6, rng=rng)
+    assert ant.nest == 0
+    assert ant.distance is not None
+    assert 0 <= ant.distance <= 6
+
+
+def test_discovery_ant_suggests_link_beyond_target():
+    g = ring(40)
+    rng = random.Random(3)
+    # Long walks on a big ring end far away: with target 2 a link is due.
+    for _ in range(10):
+        ant = DiscoveryAnt(g, 0, walk_length=12, rng=rng)
+        if ant.distance and ant.distance > 2:
+            assert ant.suggests_link(2.0)
+            return
+    raise AssertionError("no ant walked further than 2 hops on a 40-ring")
+
+
+def test_discovery_ant_never_links_to_self():
+    g = ring(4)
+    rng = random.Random(4)
+    for _ in range(20):
+        ant = DiscoveryAnt(g, 0, walk_length=4, rng=rng)
+        if ant.endpoint == ant.nest:
+            assert not ant.suggests_link(1.0)
+
+
+def test_pruning_ant_detects_redundant_link():
+    g = ring(4)  # on a 4-ring each link has a 3-hop alternative
+    ant = PruningAnt(g, 0, 1, target_path_length=3.0)
+    assert ant.redundant
+    assert g.has_link(0, 1)  # probe must restore the link
+
+
+def test_pruning_ant_detects_essential_link():
+    g = ring(10)  # alternative path is 9 hops: beyond a target of 3
+    ant = PruningAnt(g, 0, 1, target_path_length=3.0)
+    assert not ant.redundant
+    assert g.has_link(0, 1)

@@ -1,0 +1,117 @@
+"""Tests for the BLATANT-S-style maintainer."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.overlay import (
+    BlatantConfig,
+    BlatantMaintainer,
+    OverlayGraph,
+    average_path_length,
+    build_blatant_overlay,
+    is_connected,
+    ring,
+)
+from repro.sim import Simulator
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        BlatantConfig(target_path_length=0.5)
+    with pytest.raises(ConfigurationError):
+        BlatantConfig(min_degree=0)
+
+
+def test_converge_bounds_average_path_length():
+    rng = random.Random(0)
+    graph = ring(120)
+    cfg = BlatantConfig(target_path_length=6.0)
+    maintainer = BlatantMaintainer(graph, rng, cfg)
+    apl = maintainer.converge()
+    assert apl <= 6.5
+    assert is_connected(graph)
+    assert maintainer.links_added > 0
+
+
+def test_converge_on_disconnected_graph_raises():
+    graph = OverlayGraph()
+    graph.add_node(1)
+    graph.add_node(2)
+    with pytest.raises(TopologyError):
+        BlatantMaintainer(graph, random.Random(0)).converge()
+
+
+def test_converge_gives_modest_degree():
+    rng = random.Random(1)
+    graph = build_blatant_overlay(150, rng, BlatantConfig(target_path_length=6.0))
+    # bounded APL with a minimal number of links: degree stays small
+    assert 2.0 <= graph.average_degree() <= 8.0
+
+
+def test_build_blatant_overlay_size_validation():
+    with pytest.raises(ConfigurationError):
+        build_blatant_overlay(1, random.Random(0))
+
+
+def test_join_connects_new_node():
+    rng = random.Random(2)
+    graph = ring(30)
+    maintainer = BlatantMaintainer(graph, rng)
+    maintainer.join(100)
+    assert graph.has_node(100)
+    assert graph.degree(100) == maintainer.config.bootstrap_degree
+
+
+def test_join_first_node_into_empty_overlay():
+    graph = OverlayGraph()
+    maintainer = BlatantMaintainer(graph, random.Random(0))
+    maintainer.join(0)
+    assert graph.has_node(0)
+    assert graph.degree(0) == 0
+
+
+def test_online_maintenance_repairs_expanding_overlay():
+    rng = random.Random(3)
+    cfg = BlatantConfig(target_path_length=5.0, tick_interval=1.0)
+    graph = ring(40)
+    maintainer = BlatantMaintainer(graph, rng, cfg)
+    maintainer.converge()
+    sim = Simulator(seed=3)
+    maintainer.start(sim)
+    # Join 20 new nodes over time, then let ants integrate them.
+    for i in range(20):
+        sim.call_at(float(i), maintainer.join, 100 + i)
+    sim.run_until(300.0)
+    assert is_connected(graph)
+    apl = average_path_length(graph, rng, sources=20)
+    assert apl <= cfg.target_path_length + 1.5
+
+
+def test_start_twice_raises():
+    maintainer = BlatantMaintainer(ring(10), random.Random(0))
+    sim = Simulator()
+    maintainer.start(sim)
+    with pytest.raises(ConfigurationError):
+        maintainer.start(sim)
+
+
+def test_tick_noop_on_tiny_graph():
+    graph = OverlayGraph()
+    graph.add_node(1)
+    maintainer = BlatantMaintainer(graph, random.Random(0))
+    maintainer.tick()  # must not raise
+    assert maintainer.links_added == 0
+
+
+def test_pruning_respects_min_degree():
+    rng = random.Random(4)
+    cfg = BlatantConfig(target_path_length=4.0, min_degree=2)
+    graph = ring(60)
+    maintainer = BlatantMaintainer(graph, rng, cfg)
+    maintainer.converge()
+    for _ in range(200):
+        maintainer.tick()
+    assert min(graph.degree(n) for n in graph.nodes()) >= cfg.min_degree
+    assert is_connected(graph)

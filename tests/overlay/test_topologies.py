@@ -1,0 +1,93 @@
+"""Unit tests for static topology builders."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overlay import (
+    TOPOLOGY_BUILDERS,
+    is_connected,
+    random_regular,
+    ring,
+    scale_free,
+    small_world,
+)
+
+
+def test_ring_structure():
+    g = ring(6)
+    assert len(g) == 6
+    assert g.link_count == 6
+    assert all(g.degree(n) == 2 for n in g.nodes())
+    assert is_connected(g)
+
+
+def test_ring_minimum_size():
+    with pytest.raises(ConfigurationError):
+        ring(1)
+
+
+def test_random_regular_has_exact_degree():
+    g = random_regular(50, 4, random.Random(0))
+    assert all(g.degree(n) == 4 for n in g.nodes())
+    assert is_connected(g)
+    assert g.link_count == 100
+
+
+def test_random_regular_validation():
+    rng = random.Random(0)
+    with pytest.raises(ConfigurationError):
+        random_regular(10, 1, rng)
+    with pytest.raises(ConfigurationError):
+        random_regular(10, 10, rng)
+    with pytest.raises(ConfigurationError):
+        random_regular(9, 3, rng)  # odd size * odd degree
+
+
+def test_small_world_is_connected_with_right_link_count():
+    g = small_world(60, 4, random.Random(1))
+    assert is_connected(g)
+    assert g.link_count == 120  # rewiring preserves link count
+    assert abs(g.average_degree() - 4.0) < 1e-9
+
+
+def test_small_world_validation():
+    rng = random.Random(0)
+    with pytest.raises(ConfigurationError):
+        small_world(10, 3, rng)  # odd degree
+    with pytest.raises(ConfigurationError):
+        small_world(10, 12, rng)
+    with pytest.raises(ConfigurationError):
+        small_world(10, 4, rng, rewire_p=1.5)
+
+
+def test_small_world_zero_rewire_is_lattice():
+    g = small_world(10, 4, random.Random(0), rewire_p=0.0)
+    for n in range(10):
+        for offset in (1, 2):
+            assert g.has_link(n, (n + offset) % 10)
+
+
+def test_scale_free_connected_with_hubs():
+    g = scale_free(100, 2, random.Random(2))
+    assert is_connected(g)
+    degrees = sorted((g.degree(n) for n in g.nodes()), reverse=True)
+    # preferential attachment produces hubs well above the minimum degree
+    assert degrees[0] >= 3 * degrees[-1]
+    assert degrees[-1] >= 2
+
+
+def test_scale_free_validation():
+    rng = random.Random(0)
+    with pytest.raises(ConfigurationError):
+        scale_free(10, 0, rng)
+    with pytest.raises(ConfigurationError):
+        scale_free(3, 3, rng)
+
+
+def test_registry_builders_produce_connected_graphs():
+    for name, builder in TOPOLOGY_BUILDERS.items():
+        g = builder(40, random.Random(5))
+        assert is_connected(g), name
+        assert len(g) == 40, name

@@ -1,0 +1,73 @@
+"""Property-based tests for the network layer."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import (
+    ConstantLatency,
+    Message,
+    PairwiseLogNormalLatency,
+    Transport,
+    UniformLatency,
+)
+from repro.sim import Simulator
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class Packet(Message):
+    SIZE_BYTES = 64
+    __slots__ = ("tag",)
+
+    def __init__(self, tag):
+        self.tag = tag
+
+
+@given(
+    seeds,
+    st.floats(min_value=0.001, max_value=0.2),
+    st.floats(min_value=0.1, max_value=2.0),
+)
+@settings(max_examples=30)
+def test_lognormal_latency_positive_and_stable(seed, median, sigma):
+    model = PairwiseLogNormalLatency(median=median, sigma=sigma, jitter=0.0)
+    rng = random.Random(seed)
+    first = model.sample(1, 2, rng)
+    assert first > 0
+    assert model.sample(2, 1, rng) == first  # symmetric and cached
+
+
+@given(seeds, st.integers(min_value=1, max_value=100))
+@settings(max_examples=25)
+def test_transport_conserves_messages(seed, count):
+    sim = Simulator(seed=seed)
+    transport = Transport(
+        sim,
+        latency=UniformLatency(0.001, 0.1),
+        loss_probability=0.2 if seed % 2 else 0.0,
+    )
+    received = []
+    transport.register(1, lambda src, msg: None)
+    transport.register(2, lambda src, msg: received.append(msg.tag))
+    for index in range(count):
+        transport.send(1, 2, Packet(index))
+    sim.run()
+    assert len(received) + transport.lost == count
+    assert transport.monitor.count_by_type["Packet"] == count
+    assert sorted(set(received)) == sorted(received)  # no duplication
+
+
+@given(seeds, st.integers(min_value=2, max_value=40))
+@settings(max_examples=20)
+def test_constant_latency_preserves_send_order(seed, count):
+    sim = Simulator(seed=seed)
+    transport = Transport(sim, latency=ConstantLatency(0.01))
+    received = []
+    transport.register(1, lambda src, msg: None)
+    transport.register(2, lambda src, msg: received.append(msg.tag))
+    for index in range(count):
+        transport.send(1, 2, Packet(index))
+    sim.run()
+    assert received == list(range(count))

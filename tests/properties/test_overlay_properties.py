@@ -1,0 +1,143 @@
+"""Property-based tests for the overlay substrate."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay import (
+    OverlayGraph,
+    SeenCache,
+    bfs_distances,
+    choose_targets,
+    hop_distance,
+    is_connected,
+    random_regular,
+    ring,
+    scale_free,
+    small_world,
+)
+
+sizes = st.integers(min_value=4, max_value=40)
+seeds = st.integers(min_value=0, max_value=1000)
+
+
+@st.composite
+def random_graphs(draw):
+    """A connected random graph built from a ring plus random chords."""
+    size = draw(sizes)
+    rng = random.Random(draw(seeds))
+    graph = ring(size)
+    for _ in range(draw(st.integers(min_value=0, max_value=2 * size))):
+        a, b = rng.sample(range(size), 2)
+        graph.add_link(a, b)
+    return graph
+
+
+@given(random_graphs())
+def test_link_count_matches_adjacency(graph):
+    assert graph.link_count == len(list(graph.links()))
+    assert sum(graph.degree(n) for n in graph.nodes()) == 2 * graph.link_count
+
+
+@given(random_graphs())
+def test_neighbors_are_symmetric(graph):
+    for a, b in graph.links():
+        assert b in graph.neighbors(a)
+        assert a in graph.neighbors(b)
+
+
+@given(random_graphs(), seeds)
+def test_remove_node_cleans_all_links(graph, seed):
+    rng = random.Random(seed)
+    victim = rng.choice(graph.nodes())
+    degree = graph.degree(victim)
+    links_before = graph.link_count
+    graph.remove_node(victim)
+    assert graph.link_count == links_before - degree
+    for node in graph.nodes():
+        assert victim not in graph.neighbors(node)
+
+
+@given(random_graphs())
+def test_bfs_satisfies_triangle_inequality_on_links(graph):
+    source = graph.nodes()[0]
+    distances = bfs_distances(graph, source)
+    for a, b in graph.links():
+        if a in distances and b in distances:
+            assert abs(distances[a] - distances[b]) <= 1
+
+
+@given(random_graphs(), seeds)
+def test_hop_distance_is_symmetric(graph, seed):
+    rng = random.Random(seed)
+    a, b = rng.sample(graph.nodes(), 2)
+    assert hop_distance(graph, a, b) == hop_distance(graph, b, a)
+
+
+@given(random_graphs(), seeds, st.integers(min_value=1, max_value=6))
+def test_choose_targets_returns_distinct_neighbors(graph, seed, fanout):
+    rng = random.Random(seed)
+    node = rng.choice(graph.nodes())
+    targets = choose_targets(graph, node, fanout, rng)
+    assert len(targets) == min(fanout, graph.degree(node))
+    assert len(set(targets)) == len(targets)
+    neighbors = set(graph.neighbors(node))
+    assert all(t in neighbors for t in targets)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200),
+    st.integers(min_value=1, max_value=16),
+)
+def test_seen_cache_agrees_with_reference_lru(keys, capacity):
+    cache = SeenCache(capacity=capacity)
+    reference = []  # most recent last
+    for key in keys:
+        expected_seen = key in reference
+        if expected_seen:
+            reference.remove(key)
+        reference.append(key)
+        if len(reference) > capacity:
+            reference.pop(0)
+        assert cache.seen_before(key) == expected_seen
+    assert len(cache) == len(reference)
+    for key in reference:
+        assert key in cache
+
+
+@given(st.integers(min_value=10, max_value=40), seeds)
+@settings(max_examples=20)
+def test_random_regular_invariants(size, seed):
+    # size >= 10: the pairing model needs headroom over the degree, else a
+    # simple connected pairing may not exist within the retry budget.
+    degree = 4
+    if (size * degree) % 2:
+        size += 1
+    graph = random_regular(size, degree, random.Random(seed))
+    assert all(graph.degree(n) == degree for n in graph.nodes())
+    assert is_connected(graph)
+
+
+@given(st.integers(min_value=8, max_value=40), seeds)
+@settings(max_examples=20)
+def test_small_world_preserves_link_count(size, seed):
+    graph = small_world(size, 4, random.Random(seed))
+    assert graph.link_count == size * 2
+    assert is_connected(graph)
+
+
+@given(st.integers(min_value=6, max_value=40), seeds)
+@settings(max_examples=20)
+def test_scale_free_connected_with_min_degree(size, seed):
+    graph = scale_free(size, 2, random.Random(seed))
+    assert is_connected(graph)
+    assert all(graph.degree(n) >= 2 for n in graph.nodes())
+
+
+@given(random_graphs())
+def test_copy_equals_original(graph):
+    clone = graph.copy()
+    assert clone.nodes() == graph.nodes()
+    assert sorted(clone.links()) == sorted(graph.links())
+    assert clone.link_count == graph.link_count

@@ -1,0 +1,95 @@
+"""Randomized end-to-end protocol invariants.
+
+Hypothesis drives small random grids (policies, speeds, workloads, INFORM
+settings) through full simulations and checks the invariants that must hold
+in *every* execution of the protocol, whatever the randomness:
+
+* no job is ever executed twice or lost (completed + unschedulable = all);
+* a job executes on the node of its last ASSIGN;
+* assignment history timestamps are monotonic;
+* no node ever runs two jobs at once (enforced structurally, checked via
+  execution intervals);
+* rescheduling never happens after execution started.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AriaConfig
+from repro.types import HOUR, MINUTE
+
+from ..core.conftest import MiniGrid
+from ..helpers import make_job
+
+policies = st.lists(
+    st.sampled_from(["FCFS", "SJF", "LJF"]), min_size=2, max_size=6
+)
+ert_lists = st.lists(
+    st.floats(min_value=0.5 * HOUR, max_value=4 * HOUR), min_size=1, max_size=12
+)
+
+
+@st.composite
+def grid_runs(draw):
+    grid = MiniGrid(
+        draw(policies),
+        config=AriaConfig(
+            rescheduling=draw(st.booleans()),
+            inform_interval=draw(
+                st.floats(min_value=MINUTE, max_value=10 * MINUTE)
+            ),
+            inform_count=draw(st.integers(min_value=1, max_value=4)),
+            improvement_threshold=draw(
+                st.floats(min_value=0.0, max_value=30 * MINUTE)
+            ),
+        ),
+        indices=None,
+        topology=draw(st.sampled_from(["mesh", "ring"])),
+        seed=draw(st.integers(min_value=0, max_value=100)),
+    )
+    erts = draw(ert_lists)
+    submitters = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(grid.agents) - 1),
+            min_size=len(erts),
+            max_size=len(erts),
+        )
+    )
+    for job_id, (ert, submitter) in enumerate(zip(erts, submitters), start=1):
+        grid.agents[submitter].submit(make_job(job_id, ert=ert))
+    grid.sim.run_until(100 * HOUR)
+    return grid, len(erts)
+
+
+@given(grid_runs())
+@settings(max_examples=25, deadline=None)
+def test_protocol_invariants_hold_for_random_grids(run):
+    grid, job_count = run
+    metrics = grid.metrics
+
+    # 1. Conservation: every job completes exactly once (all are hostable
+    #    on the shared AMD64/LINUX profile, so none are unschedulable).
+    assert metrics.completed_jobs == job_count
+    assert metrics.unschedulable_count() == 0
+
+    per_node_intervals = {}
+    for record in metrics.records.values():
+        # 2. Completed jobs have a coherent timeline.
+        assert record.submit_time <= record.start_time <= record.finish_time
+        # 3. The job executed on its final assignee.
+        assert record.assignments, "completed job must have been assigned"
+        assert record.start_node == record.assignments[-1][1]
+        # 4. Assignment history is time-ordered.
+        times = [t for t, _ in record.assignments]
+        assert times == sorted(times)
+        # 5. Every reassignment happened before execution started.
+        assert times[-1] <= record.start_time
+        per_node_intervals.setdefault(record.start_node, []).append(
+            (record.start_time, record.finish_time)
+        )
+
+    # 6. One job at a time per node: execution intervals never overlap.
+    for intervals in per_node_intervals.values():
+        intervals.sort()
+        for (_, end_a), (start_b, _) in zip(intervals, intervals[1:]):
+            assert start_b >= end_a - 1e-6

@@ -1,0 +1,140 @@
+"""Property-based tests for workload generation and records."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.records import JobRecord
+from repro.types import HOUR
+from repro.workload import BoundedNormal, JobGenerator, TraceEntry
+
+from ..helpers import make_job
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@given(
+    seeds,
+    st.floats(min_value=0.5 * HOUR, max_value=20 * HOUR),
+)
+@settings(max_examples=30)
+def test_generated_jobs_respect_all_bounds(seed, slack_mean):
+    gen = JobGenerator(random.Random(seed), deadline_slack_mean=slack_mean)
+    for _ in range(20):
+        job = gen.make_job(submit_time=100.0)
+        assert HOUR <= job.ert <= 4 * HOUR
+        slack = job.deadline - job.submit_time - job.ert
+        assert 0.4 * slack_mean <= slack <= 1.6 * slack_mean
+
+
+@given(seeds)
+@settings(max_examples=30)
+def test_job_ids_strictly_increase(seed):
+    gen = JobGenerator(random.Random(seed))
+    ids = [gen.make_job(0.0).job_id for _ in range(30)]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == len(ids)
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e5),
+    st.floats(min_value=0.0, max_value=1e4),
+    seeds,
+)
+@settings(max_examples=50)
+def test_bounded_normal_sample_within_bounds(mean, stddev, seed):
+    dist = BoundedNormal(
+        mean=mean, stddev=stddev, lower=mean * 0.5, upper=mean * 1.5
+    )
+    value = dist.sample(random.Random(seed))
+    assert mean * 0.5 <= value <= mean * 1.5
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e4),
+    st.floats(min_value=1.0, max_value=1e4),
+)
+@settings(max_examples=50)
+def test_scaled_to_mean_preserves_relative_bounds(mean, new_mean):
+    dist = BoundedNormal(mean=mean, stddev=mean / 2, lower=0.4 * mean, upper=1.6 * mean)
+    scaled = dist.scaled_to_mean(new_mean)
+    assert scaled.lower / scaled.mean == pytest_approx(dist.lower / dist.mean)
+    assert scaled.upper / scaled.mean == pytest_approx(dist.upper / dist.mean)
+
+
+def pytest_approx(x, rel=1e-9):
+    import pytest
+
+    return pytest.approx(x, rel=rel)
+
+
+@given(seeds)
+@settings(max_examples=30)
+def test_trace_entries_roundtrip(seed):
+    gen = JobGenerator(random.Random(seed), deadline_slack_mean=5 * HOUR)
+    for _ in range(10):
+        job = gen.make_job(50.0)
+        entry = TraceEntry.from_job(job)
+        assert entry.to_job(job.job_id) == job
+
+
+@given(
+    st.floats(min_value=0, max_value=1e5),
+    st.floats(min_value=0, max_value=1e5),
+    st.floats(min_value=1, max_value=1e5),
+)
+@settings(max_examples=50)
+def test_job_record_time_identities(submit, wait, run_time):
+    start = submit + wait
+    finish = start + run_time
+    record = JobRecord(
+        job=make_job(1, ert=HOUR, submit_time=submit),
+        initiator=0,
+        submit_time=submit,
+    )
+    record.assignments.append((submit, 3))
+    record.start_time = start
+    record.start_node = 3
+    record.finish_time = finish
+    assert record.completed
+    assert record.waiting_time == start - submit
+    assert record.execution_time == finish - start
+    assert abs(
+        record.completion_time - (record.waiting_time + record.execution_time)
+    ) < 1e-6
+
+
+@given(
+    st.floats(min_value=1, max_value=1e5),
+    st.one_of(
+        st.just(0.0),
+        st.floats(min_value=0.01, max_value=1e5),
+        st.floats(min_value=-1e5, max_value=-0.01),
+    ),
+)
+@settings(max_examples=50)
+def test_deadline_outcome_consistency(run_time, margin):
+    # finish = deadline - margin: positive margin => met, negative => missed
+    submit = 0.0
+    deadline = max(run_time + abs(margin), 1.0) + 1000.0
+    finish = deadline - margin
+    record = JobRecord(
+        job=make_job(1, ert=run_time, deadline=deadline, submit_time=submit),
+        initiator=0,
+        submit_time=submit,
+    )
+    record.start_time = 0.0
+    record.finish_time = finish
+    import math
+
+    # finish = deadline - margin is computed in floating point, so compare
+    # with a tolerance scaled to the magnitudes involved.
+    tolerance = 1e-9 * max(abs(deadline), abs(finish), 1.0)
+    if margin >= tolerance:
+        assert record.missed_deadline is False
+        assert math.isclose(record.lateness, margin, abs_tol=tolerance)
+        assert record.missed_time is None
+    elif margin <= -tolerance:
+        assert record.missed_deadline is True
+        assert math.isclose(record.missed_time, -margin, abs_tol=tolerance)

@@ -1,0 +1,75 @@
+"""Unit tests for the scheduler queue mechanics."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling import FCFSScheduler
+from repro.types import HOUR
+
+from ..helpers import make_job
+
+
+def test_enqueue_and_len():
+    s = FCFSScheduler()
+    s.enqueue(make_job(1), HOUR, now=0.0)
+    s.enqueue(make_job(2), HOUR, now=1.0)
+    assert len(s) == 2
+    assert 1 in s and 2 in s and 3 not in s
+
+
+def test_double_enqueue_raises():
+    s = FCFSScheduler()
+    s.enqueue(make_job(1), HOUR, now=0.0)
+    with pytest.raises(SchedulingError):
+        s.enqueue(make_job(1), HOUR, now=1.0)
+
+
+def test_remove_returns_entry():
+    s = FCFSScheduler()
+    s.enqueue(make_job(1), HOUR, now=0.0)
+    entry = s.remove(1)
+    assert entry.job.job_id == 1
+    assert len(s) == 0
+
+
+def test_remove_missing_raises():
+    with pytest.raises(SchedulingError):
+        FCFSScheduler().remove(1)
+
+
+def test_find():
+    s = FCFSScheduler()
+    s.enqueue(make_job(1), HOUR, now=0.0)
+    assert s.find(1).job.job_id == 1
+    assert s.find(2) is None
+
+
+def test_pop_next_follows_policy_order():
+    s = FCFSScheduler()
+    s.enqueue(make_job(1), HOUR, now=0.0)
+    s.enqueue(make_job(2), HOUR, now=1.0)
+    assert s.pop_next().job.job_id == 1
+    assert s.pop_next().job.job_id == 2
+    assert s.pop_next() is None
+
+
+def test_queued_and_ordered_queue_are_copies():
+    s = FCFSScheduler()
+    s.enqueue(make_job(1), HOUR, now=0.0)
+    s.queued().clear()
+    s.ordered_queue().clear()
+    assert len(s) == 1
+
+
+def test_waiting_time():
+    s = FCFSScheduler()
+    entry = s.enqueue(make_job(1), HOUR, now=10.0)
+    assert entry.waiting_time(25.0) == 15.0
+
+
+def test_hypothetical_order_does_not_mutate_queue():
+    s = FCFSScheduler()
+    s.enqueue(make_job(1), HOUR, now=0.0)
+    order = s.hypothetical_order(make_job(2), HOUR)
+    assert [e.job.job_id for e in order] == [1, 2]
+    assert len(s) == 1

@@ -1,0 +1,108 @@
+"""Unit tests for policy ordering: FCFS, SJF, LJF, EDF, priority."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.scheduling import (
+    AgingPriorityScheduler,
+    EDFScheduler,
+    FCFSScheduler,
+    LJFScheduler,
+    PriorityScheduler,
+    SJFScheduler,
+    make_scheduler,
+)
+from repro.types import HOUR
+
+from ..helpers import make_job
+
+
+def ids(entries):
+    return [e.job.job_id for e in entries]
+
+
+def test_fcfs_orders_by_arrival():
+    s = FCFSScheduler()
+    s.enqueue(make_job(1, ert=3 * HOUR), 3 * HOUR, now=0.0)
+    s.enqueue(make_job(2, ert=1 * HOUR), 1 * HOUR, now=1.0)
+    assert ids(s.ordered_queue()) == [1, 2]
+
+
+def test_sjf_orders_by_ert():
+    s = SJFScheduler()
+    s.enqueue(make_job(1, ert=3 * HOUR), 3 * HOUR, now=0.0)
+    s.enqueue(make_job(2, ert=1 * HOUR), 1 * HOUR, now=1.0)
+    s.enqueue(make_job(3, ert=2 * HOUR), 2 * HOUR, now=2.0)
+    assert ids(s.ordered_queue()) == [2, 3, 1]
+
+
+def test_sjf_breaks_ert_ties_by_arrival():
+    s = SJFScheduler()
+    s.enqueue(make_job(1, ert=HOUR), HOUR, now=0.0)
+    s.enqueue(make_job(2, ert=HOUR), HOUR, now=1.0)
+    assert ids(s.ordered_queue()) == [1, 2]
+
+
+def test_ljf_orders_longest_first():
+    s = LJFScheduler()
+    s.enqueue(make_job(1, ert=1 * HOUR), HOUR, now=0.0)
+    s.enqueue(make_job(2, ert=3 * HOUR), 3 * HOUR, now=1.0)
+    assert ids(s.ordered_queue()) == [2, 1]
+
+
+def test_edf_orders_by_deadline():
+    s = EDFScheduler()
+    s.enqueue(make_job(1, ert=HOUR, deadline=10 * HOUR), HOUR, now=0.0)
+    s.enqueue(make_job(2, ert=HOUR, deadline=5 * HOUR), HOUR, now=1.0)
+    assert ids(s.ordered_queue()) == [2, 1]
+
+
+def test_edf_rejects_deadline_free_jobs():
+    s = EDFScheduler()
+    with pytest.raises(SchedulingError):
+        s.enqueue(make_job(1, ert=HOUR), HOUR, now=0.0)
+    with pytest.raises(SchedulingError):
+        s.cost_of(make_job(2, ert=HOUR), HOUR, 0.0, 0.0)
+
+
+def test_priority_orders_by_priority_then_arrival():
+    s = PriorityScheduler()
+    s.enqueue(make_job(1, priority=0), HOUR, now=0.0)
+    s.enqueue(make_job(2, priority=5), HOUR, now=1.0)
+    s.enqueue(make_job(3, priority=5), HOUR, now=2.0)
+    assert ids(s.ordered_queue()) == [2, 3, 1]
+
+
+def test_aging_promotes_long_waiting_jobs():
+    s = AgingPriorityScheduler(aging_interval=HOUR)
+    s.enqueue(make_job(1, priority=0), HOUR, now=0.0)
+    # 10 hours later a priority-5 job arrives; job 1 has aged 10 levels.
+    s.enqueue(make_job(2, priority=5), HOUR, now=10 * HOUR)
+    assert ids(s.ordered_queue()) == [1, 2]
+
+
+def test_aging_respects_priority_for_fresh_jobs():
+    s = AgingPriorityScheduler(aging_interval=HOUR)
+    s.enqueue(make_job(1, priority=0), HOUR, now=0.0)
+    s.enqueue(make_job(2, priority=5), HOUR, now=60.0)  # 1 min later
+    assert ids(s.ordered_queue()) == [2, 1]
+
+
+def test_aging_interval_validation():
+    with pytest.raises(ConfigurationError):
+        AgingPriorityScheduler(aging_interval=0.0)
+
+
+def test_registry_constructs_all_policies():
+    for name in ("FCFS", "SJF", "LJF", "EDF", "PRIORITY", "AGING"):
+        scheduler = make_scheduler(name)
+        assert scheduler.name in (name, "PRIORITY", "AGING")
+
+
+def test_registry_is_case_insensitive():
+    assert make_scheduler("fcfs").name == "FCFS"
+
+
+def test_registry_rejects_unknown():
+    with pytest.raises(ConfigurationError):
+        make_scheduler("ROUND_ROBIN")

@@ -1,0 +1,103 @@
+"""Unit tests for advance reservation and conservative backfill."""
+
+import pytest
+
+from repro.scheduling import (
+    BackfillScheduler,
+    ReservationScheduler,
+    reservation_completion_times,
+)
+from repro.scheduling.base import QueuedJob
+from repro.types import HOUR
+
+from ..helpers import make_job
+
+
+def reserved_job(job_id, ert, not_before, submit_time=0.0):
+    return make_job(
+        job_id, ert=ert, submit_time=submit_time, not_before=not_before
+    )
+
+
+def test_reservation_blocks_until_not_before():
+    s = ReservationScheduler()
+    s.enqueue(reserved_job(1, HOUR, not_before=5 * HOUR), HOUR, now=0.0)
+    assert s.pop_next(now=1 * HOUR) is None
+    assert s.next_wakeup(1 * HOUR) == 5 * HOUR
+    popped = s.pop_next(now=5 * HOUR)
+    assert popped.job.job_id == 1
+
+
+def test_reservation_head_blocks_later_jobs():
+    s = ReservationScheduler()
+    s.enqueue(reserved_job(1, HOUR, not_before=5 * HOUR), HOUR, now=0.0)
+    s.enqueue(make_job(2, ert=HOUR), HOUR, now=1.0)  # eligible immediately
+    # Strict reservation: the machine is held, job 2 must wait.
+    assert s.pop_next(now=2 * HOUR) is None
+
+
+def test_unreserved_jobs_run_in_arrival_order():
+    s = ReservationScheduler()
+    s.enqueue(make_job(1, ert=HOUR), HOUR, now=0.0)
+    s.enqueue(make_job(2, ert=HOUR), HOUR, now=1.0)
+    assert s.pop_next(now=10.0).job.job_id == 1
+    assert s.next_wakeup(10.0) is None
+
+
+def test_backfill_fills_the_gap_with_fitting_job():
+    s = BackfillScheduler()
+    s.enqueue(reserved_job(1, HOUR, not_before=5 * HOUR), HOUR, now=0.0)
+    s.enqueue(make_job(2, ert=2 * HOUR), 2 * HOUR, now=1.0)  # fits in 5h gap
+    popped = s.pop_next(now=0.0)
+    assert popped.job.job_id == 2  # backfilled
+    assert s.pop_next(now=0.0) is None  # gap can't fit anything else
+    assert s.pop_next(now=5 * HOUR).job.job_id == 1
+
+
+def test_backfill_never_delays_the_reservation():
+    s = BackfillScheduler()
+    s.enqueue(reserved_job(1, HOUR, not_before=2 * HOUR), HOUR, now=0.0)
+    s.enqueue(make_job(2, ert=3 * HOUR), 3 * HOUR, now=1.0)  # too long
+    assert s.pop_next(now=0.0) is None
+    assert s.next_wakeup(0.0) == 2 * HOUR
+
+
+def test_backfill_picks_earliest_arrived_fitting_job():
+    s = BackfillScheduler()
+    s.enqueue(reserved_job(1, HOUR, not_before=10 * HOUR), HOUR, now=0.0)
+    s.enqueue(make_job(2, ert=2 * HOUR), 2 * HOUR, now=1.0)
+    s.enqueue(make_job(3, ert=1 * HOUR), 1 * HOUR, now=2.0)
+    assert s.pop_next(now=0.0).job.job_id == 2  # arrival order among fits
+
+
+def test_reservation_completion_times_insert_gaps():
+    entries = [
+        QueuedJob(reserved_job(1, HOUR, not_before=5 * HOUR), HOUR, 0.0),
+        QueuedJob(make_job(2, ert=HOUR), HOUR, 1.0),
+    ]
+    etcs = reservation_completion_times(entries, now=0.0, running_remaining=0.0)
+    assert etcs == [6 * HOUR, 7 * HOUR]  # idle 0..5h, then 1h each
+
+
+def test_reservation_cost_includes_the_gap():
+    s = ReservationScheduler()
+    job = reserved_job(1, HOUR, not_before=5 * HOUR)
+    cost = s.cost_of(job, HOUR, now=0.0, running_remaining=0.0)
+    assert cost == 6 * HOUR  # cannot complete before reservation + ERTp
+
+
+def test_reservation_cost_without_reservation_matches_fcfs():
+    s = ReservationScheduler()
+    s.enqueue(make_job(1, ert=2 * HOUR), 2 * HOUR, now=0.0)
+    cost = s.cost_of(make_job(2, ert=HOUR), HOUR, now=0.0, running_remaining=HOUR)
+    assert cost == 4 * HOUR
+
+
+def test_schedulers_declare_reservation_support():
+    from repro.scheduling import FCFSScheduler, make_scheduler
+
+    assert ReservationScheduler.supports_reservations
+    assert BackfillScheduler.supports_reservations
+    assert not FCFSScheduler.supports_reservations
+    assert make_scheduler("BACKFILL").name == "BACKFILL"
+    assert make_scheduler("RESERVATION").name == "RESERVATION"

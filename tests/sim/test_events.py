@@ -1,0 +1,85 @@
+"""Unit tests for the event queue primitives."""
+
+from repro.sim.events import Event, EventQueue
+
+
+def test_push_pop_orders_by_time():
+    q = EventQueue()
+    order = []
+    q.push(3.0, order.append, ("c",))
+    q.push(1.0, order.append, ("a",))
+    q.push(2.0, order.append, ("b",))
+    while q:
+        e = q.pop()
+        e.callback(*e.args)
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    q = EventQueue()
+    first = q.push(5.0, lambda: None)
+    second = q.push(5.0, lambda: None)
+    assert q.pop() is first
+    assert q.pop() is second
+
+
+def test_priority_breaks_ties_before_sequence():
+    q = EventQueue()
+    late = q.push(5.0, lambda: None, priority=1)
+    early = q.push(5.0, lambda: None, priority=0)
+    assert q.pop() is early
+    assert q.pop() is late
+
+
+def test_len_counts_live_events():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+    e1.cancel()
+    q.notify_cancelled()
+    assert len(q) == 1
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None)
+    e2 = q.push(2.0, lambda: None)
+    e1.cancel()
+    q.notify_cancelled()
+    assert q.pop() is e2
+    assert q.pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None)
+    q.push(7.0, lambda: None)
+    e1.cancel()
+    q.notify_cancelled()
+    assert q.peek_time() == 7.0
+
+
+def test_peek_time_empty_queue():
+    assert EventQueue().peek_time() is None
+
+
+def test_pop_empty_queue_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_event_repr_mentions_cancelled_state():
+    e = Event(1.0, 0, print)
+    assert "cancelled" not in repr(e)
+    e.cancel()
+    assert "cancelled" in repr(e)
+
+
+def test_bool_reflects_liveness():
+    q = EventQueue()
+    assert not q
+    e = q.push(1.0, lambda: None)
+    assert q
+    e.cancel()
+    q.notify_cancelled()
+    assert not q

@@ -1,0 +1,155 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_call_at_runs_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(12.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [12.5]
+
+
+def test_call_after_runs_relative_to_now():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.call_after(3.0, lambda: seen.append(sim.now))
+
+    sim.call_at(10.0, first)
+    sim.run()
+    assert seen == [13.0]
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.call_at(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        Simulator().call_after(-1.0, lambda: None)
+
+
+def test_run_until_stops_at_boundary_and_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.call_at(5.0, lambda: seen.append("early"))
+    sim.call_at(50.0, lambda: seen.append("late"))
+    sim.run_until(20.0)
+    assert seen == ["early"]
+    assert sim.now == 20.0
+    sim.run_until(100.0)
+    assert seen == ["early", "late"]
+
+
+def test_run_until_includes_events_exactly_at_end_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(20.0, lambda: seen.append("edge"))
+    sim.run_until(20.0)
+    assert seen == ["edge"]
+
+
+def test_run_until_in_the_past_raises():
+    sim = Simulator()
+    sim.call_at(30.0, lambda: None)
+    sim.run_until(30.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(10.0)
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    seen = []
+    event = sim.call_at(1.0, lambda: seen.append("x"))
+    sim.cancel(event)
+    sim.run()
+    assert seen == []
+    assert sim.pending_events == 0
+
+
+def test_double_cancel_is_noop():
+    sim = Simulator()
+    event = sim.call_at(1.0, lambda: None)
+    sim.cancel(event)
+    sim.cancel(event)
+    assert sim.pending_events == 0
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    seen = []
+    sim.call_at(1.0, lambda: (seen.append(1), sim.stop()))
+    sim.call_at(2.0, lambda: seen.append(2))
+    sim.run()
+    assert seen == [1]
+    assert sim.pending_events == 1
+
+
+def test_every_fires_periodically_until_bound():
+    sim = Simulator()
+    times = []
+    sim.every(10.0, lambda: times.append(sim.now), start=5.0, until=40.0)
+    sim.run_until(100.0)
+    assert times == [5.0, 15.0, 25.0, 35.0]
+
+
+def test_every_default_start_is_one_interval_from_now():
+    sim = Simulator()
+    times = []
+    sim.every(2.0, lambda: times.append(sim.now))
+    sim.run_until(7.0)
+    assert times == [2.0, 4.0, 6.0]
+
+
+def test_every_stop_function_halts_recurrence():
+    sim = Simulator()
+    times = []
+    stop = sim.every(1.0, lambda: times.append(sim.now))
+    sim.call_at(3.5, stop)
+    sim.run_until(10.0)
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_every_rejects_non_positive_interval():
+    with pytest.raises(SimulationError):
+        Simulator().every(0.0, lambda: None)
+
+
+def test_executed_events_counter():
+    sim = Simulator()
+    for t in (1.0, 2.0, 3.0):
+        sim.call_at(t, lambda: None)
+    sim.run()
+    assert sim.executed_events == 3
+
+
+def test_deterministic_event_ordering_same_time():
+    sim = Simulator()
+    order = []
+    for label in "abc":
+        sim.call_at(1.0, order.append, label)
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_priority_orders_same_time_events():
+    sim = Simulator()
+    order = []
+    sim.call_at(1.0, order.append, "low", priority=5)
+    sim.call_at(1.0, order.append, "high", priority=-5)
+    sim.run()
+    assert order == ["high", "low"]

@@ -1,0 +1,50 @@
+"""Unit tests for the periodic time-series sampler."""
+
+from repro.sim import PeriodicSampler, Simulator
+
+
+def test_sampler_collects_on_cadence():
+    sim = Simulator()
+    counter = {"v": 0}
+
+    def bump():
+        counter["v"] += 1
+
+    sim.every(1.0, bump)
+    sampler = PeriodicSampler(sim, lambda: counter["v"], interval=5.0, start=0.0)
+    sim.run_until(12.0)
+    # At t=5 the sample event (scheduled at t=0) precedes the t=5 bump
+    # (scheduled at t=4), so the sampler sees the bumps from t=1..4 only.
+    assert sampler.samples == [(0.0, 0.0), (5.0, 4.0), (10.0, 9.0)]
+
+
+def test_sampler_until_bound():
+    sim = Simulator()
+    sampler = PeriodicSampler(sim, lambda: 1.0, interval=2.0, start=0.0, until=5.0)
+    sim.run_until(20.0)
+    assert sampler.times() == [0.0, 2.0, 4.0]
+
+
+def test_sampler_stop():
+    sim = Simulator()
+    sampler = PeriodicSampler(sim, lambda: 1.0, interval=1.0, start=0.0)
+    sim.call_at(2.5, sampler.stop)
+    sim.run_until(10.0)
+    assert sampler.times() == [0.0, 1.0, 2.0]
+
+
+def test_values_and_times_accessors():
+    sim = Simulator()
+    sampler = PeriodicSampler(sim, lambda: sim.now * 2, interval=1.0, start=0.0)
+    sim.run_until(2.0)
+    assert sampler.times() == [0.0, 1.0, 2.0]
+    assert sampler.values() == [0.0, 2.0, 4.0]
+
+
+def test_default_start_is_current_time():
+    sim = Simulator()
+    sim.call_at(3.0, lambda: None)
+    sim.run_until(3.0)
+    sampler = PeriodicSampler(sim, lambda: 7.0, interval=1.0)
+    sim.run_until(5.0)
+    assert sampler.times() == [3.0, 4.0, 5.0]

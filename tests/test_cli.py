@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_all_scenarios(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("FCFS", "iMixed", "iInform30m", "iAccuracyBad"):
+        assert name in out
+
+
+def test_run_prints_summary(capsys):
+    assert main(["run", "Mixed", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "completed jobs" in out
+    assert "avg completion" in out
+    assert "traffic Request" in out
+
+
+def test_run_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["run", "NotAScenario", "--scale", "tiny"])
+
+
+def test_figure_renders(capsys):
+    assert main(["figure", "fig4", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out
+    assert "iDeadline" in out
+
+
+def test_baseline_runs(capsys):
+    assert main(["baseline", "random", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "completion" in out
+
+
+def test_multi_seed_run(capsys):
+    assert main(
+        ["run", "Mixed", "--scale", "tiny", "--seeds", "2", "--seed-base", "3"]
+    ) == 0
+    assert "seeds (3, 4)" in capsys.readouterr().out
+
+
+def test_trace_generation(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    assert main(
+        ["trace", str(path), "--jobs", "25", "--deadline-slack", "7.5"]
+    ) == 0
+    assert "wrote 25 jobs" in capsys.readouterr().out
+    from repro.workload import WorkloadTrace
+
+    trace = WorkloadTrace.load(path)
+    assert len(trace) == 25
+    assert all(entry.deadline is not None for entry in trace)
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

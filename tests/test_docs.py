@@ -1,0 +1,60 @@
+"""Documentation consistency checks."""
+
+import importlib
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def read(name):
+    return (ROOT / name).read_text()
+
+
+def test_required_documents_exist():
+    for name in (
+        "README.md",
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+        "docs/PROTOCOL.md",
+        "docs/SIMULATION.md",
+        "docs/API.md",
+    ):
+        assert (ROOT / name).exists(), name
+
+
+def test_readme_architecture_modules_exist():
+    text = read("README.md")
+    for module in re.findall(r"^repro\.(\w+)", text, flags=re.MULTILINE):
+        importlib.import_module(f"repro.{module}")
+
+
+def test_design_lists_every_figure_benchmark():
+    text = read("DESIGN.md")
+    bench_dir = ROOT / "benchmarks"
+    for fig in range(1, 11):
+        assert f"fig{fig}" in text
+    for bench in bench_dir.glob("bench_fig*.py"):
+        assert bench.name in text, bench.name
+
+
+def test_experiments_covers_every_figure():
+    text = read("EXPERIMENTS.md")
+    for fig in range(1, 11):
+        assert f"Figure {fig}" in text, f"Figure {fig} missing"
+
+
+def test_examples_documented_in_readme():
+    text = read("README.md")
+    for example in (ROOT / "examples").glob("*.py"):
+        assert example.name in text, example.name
+
+
+def test_scenarios_in_design_match_catalog():
+    from repro.experiments import SCENARIOS
+
+    design = read("DESIGN.md")
+    # The per-experiment index must reference the headline scenarios.
+    for name in ("iMixed", "iDeadline", "iExpanding", "iInform1"):
+        assert name in design
+    assert len(SCENARIOS) == 26

@@ -1,0 +1,54 @@
+"""Documentation coverage: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it runs the CLI
+        yield importlib.import_module(info.name)
+
+
+def public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isclass(member) or inspect.isfunction(member):
+            if getattr(member, "__module__", "").startswith("repro"):
+                yield name, member
+
+
+def test_all_modules_have_docstrings():
+    missing = [m.__name__ for m in iter_modules() if not m.__doc__]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_all_public_classes_and_functions_have_docstrings():
+    missing = []
+    for module in iter_modules():
+        for name, member in public_members(module):
+            if member.__module__ != module.__name__:
+                continue  # re-export; documented at its definition site
+            if not inspect.getdoc(member):
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"undocumented public items: {missing}"
+
+
+def test_public_methods_have_docstrings():
+    missing = []
+    for module in iter_modules():
+        for name, member in public_members(module):
+            if not inspect.isclass(member) or member.__module__ != module.__name__:
+                continue
+            for attr_name, attr in vars(member).items():
+                if attr_name.startswith("_"):
+                    continue
+                if inspect.isfunction(attr) and not inspect.getdoc(attr):
+                    missing.append(f"{module.__name__}.{name}.{attr_name}")
+    assert not missing, f"undocumented public methods: {missing}"

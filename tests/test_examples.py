@@ -1,0 +1,64 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+Only the examples that finish in about a second run here (the others
+exercise `ScenarioScale.small()` and belong to manual runs); each must
+execute without errors and print its key result.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=("prog",), capsys=None):
+    old_argv = sys.argv
+    sys.argv = list(argv)
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+def test_quickstart_runs(capsys):
+    out = run_example("quickstart.py", capsys=capsys)
+    assert "completed 8/8 jobs" in out
+    assert "traffic:" in out
+
+
+def test_trace_replay_runs(capsys):
+    out = run_example("trace_replay.py", capsys=capsys)
+    assert "saved and reloaded 200 jobs" in out
+    assert "ERT:" in out
+
+
+def test_overlay_playground_runs(capsys):
+    out = run_example("overlay_playground.py", capsys=capsys)
+    assert "BLATANT-S convergence" in out
+    assert "still connected:  True" in out
+
+
+def test_examples_all_have_main_guard():
+    for path in sorted(EXAMPLES.glob("*.py")):
+        text = path.read_text()
+        assert '__name__ == "__main__"' in text, path.name
+        assert text.startswith("#!/usr/bin/env python"), path.name
+
+
+def test_examples_cover_every_figure_family():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "policy_comparison.py",
+        "deadline_grid.py",
+        "expanding_grid.py",
+        "baseline_comparison.py",
+        "overlay_playground.py",
+        "trace_replay.py",
+        "failsafe_demo.py",
+        "volatile_grid.py",
+    } <= names

@@ -1,0 +1,40 @@
+"""Statistical significance of the paper's headline claims.
+
+Beyond direction checks (tests/test_paper_claims.py), the central effects
+must survive a *paired* t-test across seeds: runs sharing a seed share
+node profiles and workload, so per-seed differences isolate the scenario
+effect.  Small scale, 4 seeds.
+"""
+
+import pytest
+
+from repro.experiments import ScenarioScale
+from repro.experiments.compare import compare_scenarios
+
+SMALL = ScenarioScale.small()
+SEEDS = (0, 1, 2, 3)
+
+
+def test_rescheduling_cuts_waiting_time_significantly():
+    result = compare_scenarios(
+        "iMixed", "Mixed", "waiting_time", SMALL, seeds=SEEDS, paired=True
+    )
+    assert result.mean_a < result.mean_b
+    assert result.paired and result.exact
+    assert result.p_value < 0.05
+
+
+def test_rescheduling_improves_fairness_significantly():
+    result = compare_scenarios(
+        "iMixed", "Mixed", "load_fairness", SMALL, seeds=SEEDS, paired=True
+    )
+    assert result.mean_a > result.mean_b
+    assert result.p_value < 0.05
+
+
+def test_load_effect_is_significant():
+    result = compare_scenarios(
+        "HighLoad", "LowLoad", "waiting_time", SMALL, seeds=SEEDS, paired=True
+    )
+    assert result.mean_a > result.mean_b
+    assert result.significant

@@ -1,0 +1,27 @@
+"""Unit tests for shared types and formatting."""
+
+from repro.types import HOUR, MINUTE, SECOND, format_duration
+
+
+def test_time_constants():
+    assert SECOND == 1.0
+    assert MINUTE == 60.0
+    assert HOUR == 3600.0
+
+
+def test_format_duration_paper_style():
+    assert format_duration(2.5 * HOUR) == "2h30m"
+    assert format_duration(41 * HOUR + 40 * MINUTE) == "41h40m"
+    assert format_duration(2 * HOUR) == "2h"
+    assert format_duration(90) == "1m30s"
+    assert format_duration(5 * MINUTE) == "5m"
+    assert format_duration(45) == "45s"
+    assert format_duration(0) == "0s"
+
+
+def test_format_duration_negative():
+    assert format_duration(-90) == "-1m30s"
+
+
+def test_format_duration_rounds_to_seconds():
+    assert format_duration(59.6) == "1m"

@@ -1,0 +1,84 @@
+"""Unit tests for the §IV-D job generator."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import HOUR
+from repro.workload import ERT_DISTRIBUTION, BoundedNormal, JobGenerator
+
+
+def test_ert_distribution_matches_paper_parameters():
+    assert ERT_DISTRIBUTION.mean == 2.5 * HOUR
+    assert ERT_DISTRIBUTION.stddev == 1.25 * HOUR
+    assert ERT_DISTRIBUTION.lower == 1 * HOUR
+    assert ERT_DISTRIBUTION.upper == 4 * HOUR
+
+
+def test_bounded_normal_respects_bounds():
+    rng = random.Random(0)
+    draws = [ERT_DISTRIBUTION.sample(rng) for _ in range(2000)]
+    assert all(HOUR <= d <= 4 * HOUR for d in draws)
+
+
+def test_bounded_normal_keeps_central_tendency():
+    rng = random.Random(1)
+    draws = [ERT_DISTRIBUTION.sample(rng) for _ in range(5000)]
+    assert 2.3 * HOUR < statistics.fmean(draws) < 2.7 * HOUR
+
+
+def test_bounded_normal_zero_stddev_is_constant():
+    dist = BoundedNormal(mean=5.0, stddev=0.0, lower=0.0, upper=10.0)
+    assert dist.sample(random.Random(0)) == 5.0
+
+
+def test_bounded_normal_validation():
+    with pytest.raises(ConfigurationError):
+        BoundedNormal(mean=5.0, stddev=1.0, lower=6.0, upper=10.0)
+    with pytest.raises(ConfigurationError):
+        BoundedNormal(mean=5.0, stddev=-1.0, lower=0.0, upper=10.0)
+
+
+def test_scaled_to_mean_preserves_relative_shape():
+    scaled = ERT_DISTRIBUTION.scaled_to_mean(7.5 * HOUR)
+    assert scaled.mean == 7.5 * HOUR
+    assert scaled.stddev == pytest.approx(3.75 * HOUR)
+    assert scaled.lower == pytest.approx(3 * HOUR)
+    assert scaled.upper == pytest.approx(12 * HOUR)
+
+
+def test_batch_generator_produces_no_deadlines():
+    gen = JobGenerator(random.Random(2))
+    jobs = [gen.make_job(100.0) for _ in range(50)]
+    assert all(j.deadline is None for j in jobs)
+    assert all(j.submit_time == 100.0 for j in jobs)
+
+
+def test_job_ids_are_unique_and_sequential():
+    gen = JobGenerator(random.Random(3))
+    jobs = [gen.make_job(0.0) for _ in range(10)]
+    assert [j.job_id for j in jobs] == list(range(1, 11))
+
+
+def test_deadline_generator_slack_mean():
+    gen = JobGenerator(random.Random(4), deadline_slack_mean=7.5 * HOUR)
+    jobs = [gen.make_job(0.0) for _ in range(2000)]
+    slacks = [j.deadline - j.ert - j.submit_time for j in jobs]
+    assert all(3 * HOUR <= s <= 12 * HOUR for s in slacks)
+    assert 7.0 * HOUR < statistics.fmean(slacks) < 8.0 * HOUR
+
+
+def test_deadlineh_uses_tighter_slack():
+    gen = JobGenerator(random.Random(5), deadline_slack_mean=2.5 * HOUR)
+    jobs = [gen.make_job(0.0) for _ in range(500)]
+    slacks = [j.deadline - j.ert - j.submit_time for j in jobs]
+    assert all(HOUR <= s <= 4 * HOUR for s in slacks)
+
+
+def test_jobs_iterator_stamps_submit_times():
+    gen = JobGenerator(random.Random(6))
+    times = [10.0, 20.0, 30.0]
+    jobs = list(gen.jobs(iter(times)))
+    assert [j.submit_time for j in jobs] == times

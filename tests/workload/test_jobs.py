@@ -1,0 +1,36 @@
+"""Unit tests for job descriptors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import HOUR
+
+from ..helpers import make_job
+
+
+def test_job_fields():
+    job = make_job(5, ert=2 * HOUR, deadline=10 * HOUR, submit_time=HOUR)
+    assert job.job_id == 5
+    assert job.ert == 2 * HOUR
+    assert job.deadline == 10 * HOUR
+    assert job.has_deadline
+
+
+def test_batch_job_has_no_deadline():
+    assert not make_job(1).has_deadline
+
+
+def test_job_is_immutable():
+    job = make_job(1)
+    with pytest.raises(AttributeError):
+        job.ert = 42.0
+
+
+def test_non_positive_ert_rejected():
+    with pytest.raises(ConfigurationError):
+        make_job(1, ert=0.0)
+
+
+def test_deadline_before_submission_rejected():
+    with pytest.raises(ConfigurationError):
+        make_job(1, ert=HOUR, deadline=HOUR, submit_time=2 * HOUR)

@@ -1,0 +1,115 @@
+"""Unit tests for the JSDL job-description importer (paper §III-A)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.grid import Architecture, OperatingSystem
+from repro.workload.jsdl import parse_jsdl, parse_jsdl_file
+
+JSDL = """<?xml version="1.0" encoding="UTF-8"?>
+<jsdl:JobDefinition xmlns:jsdl="http://schemas.ggf.org/jsdl/2005/11/jsdl"
+    xmlns:jsdl-posix="http://schemas.ggf.org/jsdl/2005/11/jsdl-posix">
+  <jsdl:JobDescription>
+    <jsdl:Application>
+      <jsdl-posix:POSIXApplication>
+        <jsdl-posix:Executable>/bin/render</jsdl-posix:Executable>
+        <jsdl-posix:WallTimeLimit>9000</jsdl-posix:WallTimeLimit>
+      </jsdl-posix:POSIXApplication>
+    </jsdl:Application>
+    <jsdl:Resources>
+      <jsdl:CPUArchitecture>
+        <jsdl:CPUArchitectureName>x86_64</jsdl:CPUArchitectureName>
+      </jsdl:CPUArchitecture>
+      <jsdl:OperatingSystem>
+        <jsdl:OperatingSystemType>
+          <jsdl:OperatingSystemName>LINUX</jsdl:OperatingSystemName>
+        </jsdl:OperatingSystemType>
+      </jsdl:OperatingSystem>
+      <jsdl:TotalPhysicalMemory>
+        <jsdl:LowerBoundedRange>4294967296</jsdl:LowerBoundedRange>
+      </jsdl:TotalPhysicalMemory>
+      <jsdl:TotalDiskSpace>
+        <jsdl:LowerBoundedRange>2147483648</jsdl:LowerBoundedRange>
+      </jsdl:TotalDiskSpace>
+    </jsdl:Resources>
+  </jsdl:JobDescription>
+</jsdl:JobDefinition>
+"""
+
+
+def test_parse_full_document():
+    job = parse_jsdl(JSDL, job_id=7, submit_time=100.0)
+    assert job.job_id == 7
+    assert job.ert == 9000.0
+    assert job.requirements.architecture is Architecture.AMD64
+    assert job.requirements.os is OperatingSystem.LINUX
+    assert job.requirements.memory_gb == 4
+    assert job.requirements.disk_gb == 2
+    assert job.deadline is None
+
+
+def test_parse_with_deadline():
+    job = parse_jsdl(JSDL, deadline=50_000.0)
+    assert job.deadline == 50_000.0
+    assert job.has_deadline
+
+
+def test_memory_rounds_up_to_gb():
+    text = JSDL.replace("4294967296", "4294967297")  # 4 GiB + 1 byte
+    assert parse_jsdl(text).requirements.memory_gb == 5
+
+
+def test_architecture_aliases():
+    for alias, expected in (
+        ("powerpc", Architecture.POWER),
+        ("sparc", Architecture.SPARC),
+        ("ia64", Architecture.IA64),
+    ):
+        text = JSDL.replace("x86_64", alias)
+        assert parse_jsdl(text).requirements.architecture is expected
+
+
+def test_os_aliases():
+    text = JSDL.replace("LINUX", "FreeBSD")
+    assert parse_jsdl(text).requirements.os is OperatingSystem.BSD
+
+
+def test_unknown_architecture_rejected():
+    with pytest.raises(ConfigurationError, match="CPUArchitectureName"):
+        parse_jsdl(JSDL.replace("x86_64", "quantum9000"))
+
+
+def test_unknown_os_rejected():
+    with pytest.raises(ConfigurationError, match="OperatingSystemName"):
+        parse_jsdl(JSDL.replace("LINUX", "TempleOS"))
+
+
+def test_missing_walltime_rejected():
+    broken = JSDL.replace("WallTimeLimit", "SoftTimeLimit")
+    with pytest.raises(ConfigurationError, match="WallTimeLimit"):
+        parse_jsdl(broken)
+
+
+def test_malformed_xml_rejected():
+    with pytest.raises(ConfigurationError, match="malformed"):
+        parse_jsdl("<jsdl:JobDefinition>")
+
+
+def test_non_numeric_memory_rejected():
+    with pytest.raises(ConfigurationError, match="non-numeric"):
+        parse_jsdl(JSDL.replace("4294967296", "lots"))
+
+
+def test_parsed_job_is_schedulable_end_to_end(tmp_path):
+    path = tmp_path / "job.jsdl"
+    path.write_text(JSDL)
+    job = parse_jsdl_file(path, job_id=1)
+
+    from repro.core import AriaConfig
+
+    from ..core.conftest import MiniGrid
+
+    grid = MiniGrid(["FCFS", "FCFS"], config=AriaConfig(rescheduling=False))
+    grid.agents[0].submit(job)
+    grid.sim.run_until(5 * 3600.0)
+    assert grid.record(1).completed

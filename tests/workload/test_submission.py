@@ -1,0 +1,90 @@
+"""Unit tests for submission schedules and the submission process."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import MINUTE
+from repro.workload import JobGenerator, SubmissionProcess, SubmissionSchedule
+
+
+def test_schedule_times_match_paper_baseline():
+    # 1000 jobs every 10 s from 20 min: last submission at 3h06m50s.
+    schedule = SubmissionSchedule()
+    times = schedule.times()
+    assert len(times) == 1000
+    assert times[0] == 20 * MINUTE
+    assert times[1] - times[0] == 10.0
+    assert schedule.end == 20 * MINUTE + 999 * 10.0
+
+
+def test_schedule_validation():
+    with pytest.raises(ConfigurationError):
+        SubmissionSchedule(job_count=0)
+    with pytest.raises(ConfigurationError):
+        SubmissionSchedule(interval=0.0)
+    with pytest.raises(ConfigurationError):
+        SubmissionSchedule(start=-1.0)
+
+
+class _FakeAgent:
+    def __init__(self):
+        self.received = []
+
+    def submit(self, job):
+        self.received.append(job)
+
+
+def test_process_submits_to_random_connected_agents():
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=0)
+    agents = [_FakeAgent() for _ in range(3)]
+    schedule = SubmissionSchedule(job_count=30, interval=1.0, start=0.0)
+    process = SubmissionProcess(
+        sim,
+        agents=lambda: agents,
+        generator=JobGenerator(random.Random(1)),
+        schedule=schedule,
+        rng=random.Random(2),
+    )
+    sim.run_until(60.0)
+    assert process.submitted == 30
+    per_agent = [len(a.received) for a in agents]
+    assert sum(per_agent) == 30
+    assert all(count > 0 for count in per_agent)  # spread over initiators
+
+
+def test_process_uses_live_agent_list():
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=0)
+    agents = [_FakeAgent()]
+    schedule = SubmissionSchedule(job_count=10, interval=1.0, start=0.0)
+    SubmissionProcess(
+        sim,
+        agents=lambda: agents,
+        generator=JobGenerator(random.Random(1)),
+        schedule=schedule,
+        rng=random.Random(2),
+    )
+    sim.call_at(4.5, lambda: agents.append(_FakeAgent()))
+    sim.run_until(20.0)
+    assert len(agents[1].received) > 0
+
+
+def test_submitted_jobs_carry_submission_time():
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=0)
+    agent = _FakeAgent()
+    SubmissionProcess(
+        sim,
+        agents=lambda: [agent],
+        generator=JobGenerator(random.Random(3)),
+        schedule=SubmissionSchedule(job_count=3, interval=5.0, start=10.0),
+        rng=random.Random(4),
+    )
+    sim.run_until(30.0)
+    assert [j.submit_time for j in agent.received] == [10.0, 15.0, 20.0]

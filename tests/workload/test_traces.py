@@ -1,0 +1,56 @@
+"""Unit tests for the workload trace format."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import HOUR
+from repro.workload import JobGenerator, TraceEntry, WorkloadTrace
+
+from ..helpers import make_job
+
+
+def test_entry_roundtrip_through_job():
+    job = make_job(1, ert=2 * HOUR, deadline=10 * HOUR, submit_time=HOUR)
+    entry = TraceEntry.from_job(job)
+    back = entry.to_job(1)
+    assert back == job
+
+
+def test_trace_from_generator_freezes_workload():
+    gen = JobGenerator(random.Random(0))
+    trace = WorkloadTrace.from_generator(gen, [0.0, 10.0, 20.0])
+    assert len(trace) == 3
+    jobs = trace.jobs()
+    assert [j.submit_time for j in jobs] == [0.0, 10.0, 20.0]
+    assert [j.job_id for j in jobs] == [1, 2, 3]
+
+
+def test_trace_save_load_roundtrip(tmp_path):
+    gen = JobGenerator(random.Random(1), deadline_slack_mean=7.5 * HOUR)
+    trace = WorkloadTrace.from_generator(gen, [float(i) for i in range(20)])
+    path = tmp_path / "trace.json"
+    trace.save(path)
+    loaded = WorkloadTrace.load(path)
+    assert loaded.entries == trace.entries
+
+
+def test_load_rejects_foreign_json(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text('{"format": "something-else", "jobs": []}')
+    with pytest.raises(ConfigurationError):
+        WorkloadTrace.load(path)
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    path = tmp_path / "v99.json"
+    path.write_text('{"format": "aria-workload-trace", "version": 99, "jobs": []}')
+    with pytest.raises(ConfigurationError):
+        WorkloadTrace.load(path)
+
+
+def test_trace_iteration():
+    gen = JobGenerator(random.Random(2))
+    trace = WorkloadTrace.from_generator(gen, [0.0, 1.0])
+    assert len(list(trace)) == 2
