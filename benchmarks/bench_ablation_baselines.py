@@ -8,8 +8,7 @@ gossip-cached state dissemination of Erdil & Lewis [25].
 
 import statistics
 
-from repro.baselines import run_baseline
-from repro.experiments import render_table
+from repro.experiments import render_table, run_batch
 from repro.experiments.figures import scenario_summary
 from repro.experiments.report import fmt_hours
 
@@ -28,19 +27,17 @@ def test_ablation_baselines(benchmark, aria_scale, aria_seeds, report):
                 )
             )
         for baseline in ("centralized", "multirequest", "random", "gossip"):
-            runs = [
-                run_baseline(baseline, aria_scale, seed) for seed in aria_seeds
-            ]
+            runs = run_batch(baseline, aria_scale, seeds=aria_seeds)
             rows.append(
                 (
                     baseline,
                     statistics.fmean(
-                        r.metrics.average_completion_time() for r in runs
+                        r.average_completion_time for r in runs
                     ),
+                    statistics.fmean(r.average_waiting_time for r in runs),
                     statistics.fmean(
-                        r.metrics.average_waiting_time() for r in runs
+                        r.extras.get("revoked_copies", 0.0) for r in runs
                     ),
-                    statistics.fmean(r.revoked_copies for r in runs),
                 )
             )
         return rows

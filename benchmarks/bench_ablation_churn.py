@@ -6,15 +6,9 @@ and measures how much of the workload survives, with and without the
 fail-safe extension.
 """
 
-from repro.experiments import ChurnPlan, render_table, run_churn_experiment
+import statistics
 
-
-def _lost(metrics):
-    return sum(
-        1
-        for record in metrics.records.values()
-        if not record.completed and not record.unschedulable
-    )
+from repro.experiments import ChurnPlan, render_table, run_batch
 
 
 def test_ablation_churn(benchmark, aria_scale, aria_seeds, report):
@@ -28,19 +22,19 @@ def test_ablation_churn(benchmark, aria_scale, aria_seeds, report):
         rows = []
         for label, plan in plans.items():
             failsafe = "failsafe" in label
-            completed = lost = resubmitted = 0
-            for seed in aria_seeds:
-                run = run_churn_experiment(
-                    aria_scale, seed, plan, failsafe=failsafe
+            runs = run_batch(
+                plan, aria_scale, seeds=aria_seeds, failsafe=failsafe
+            )
+            for run in runs:
+                assert run.duplicate_executions == 0
+            rows.append(
+                (
+                    label,
+                    statistics.fmean(r.completed_jobs for r in runs),
+                    statistics.fmean(r.incomplete_jobs for r in runs),
+                    statistics.fmean(r.resubmissions for r in runs),
                 )
-                completed += run.metrics.completed_jobs
-                lost += _lost(run.metrics)
-                resubmitted += sum(
-                    r.resubmissions for r in run.metrics.records.values()
-                )
-                assert run.metrics.duplicate_executions == 0
-            n = len(aria_seeds)
-            rows.append((label, completed / n, lost / n, resubmitted / n))
+            )
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)

@@ -6,37 +6,24 @@ resubmitted.  The paper proposes the mechanism but never measures it —
 this benchmark does.
 """
 
-from repro.experiments import render_table
-from repro.experiments.failures import run_crash_experiment
+import statistics
 
-
-def _lost(metrics):
-    return sum(
-        1
-        for record in metrics.records.values()
-        if not record.completed and not record.unschedulable
-    )
+from repro.experiments import CrashPlan, render_table, run_batch
 
 
 def test_ablation_failsafe(benchmark, aria_scale, aria_seeds, report):
     def build():
         rows = []
         for failsafe in (False, True):
-            lost = resubmitted = completed = 0
-            for seed in aria_seeds:
-                run = run_crash_experiment(failsafe, aria_scale, seed)
-                completed += run.metrics.completed_jobs
-                lost += _lost(run.metrics)
-                resubmitted += sum(
-                    r.resubmissions for r in run.metrics.records.values()
-                )
-            n = len(aria_seeds)
+            runs = run_batch(
+                CrashPlan(), aria_scale, seeds=aria_seeds, failsafe=failsafe
+            )
             rows.append(
                 (
                     "failsafe" if failsafe else "baseline",
-                    completed / n,
-                    lost / n,
-                    resubmitted / n,
+                    statistics.fmean(r.completed_jobs for r in runs),
+                    statistics.fmean(r.incomplete_jobs for r in runs),
+                    statistics.fmean(r.resubmissions for r in runs),
                 )
             )
         return rows

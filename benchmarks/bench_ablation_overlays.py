@@ -9,7 +9,7 @@ overlay — the exact question the paper defers to future work.
 import dataclasses
 import statistics
 
-from repro.experiments import get_scenario, render_table, run_scenario
+from repro.experiments import get_scenario, render_table, run_batch
 from repro.experiments.report import fmt_hours
 
 OVERLAYS = ("blatant", "random_regular", "small_world", "scale_free", "ring")
@@ -24,19 +24,15 @@ def test_ablation_overlays(benchmark, aria_scale, aria_seeds, report):
             scenario = dataclasses.replace(
                 base, name=f"iMixed@{overlay}", overlay=overlay
             )
-            runs = [
-                run_scenario(scenario, aria_scale, seed) for seed in aria_seeds
-            ]
+            runs = run_batch(scenario, aria_scale, seeds=aria_seeds)
             rows.append(
                 (
                     overlay,
                     statistics.fmean(
-                        r.metrics.average_completion_time() for r in runs
+                        r.average_completion_time for r in runs
                     ),
-                    statistics.fmean(
-                        r.metrics.unschedulable_count() for r in runs
-                    ),
-                    statistics.fmean(r.metrics.reschedules for r in runs),
+                    statistics.fmean(r.unschedulable_jobs for r in runs),
+                    statistics.fmean(r.reschedules for r in runs),
                 )
             )
         return rows

@@ -10,7 +10,7 @@ cost), with jobs carrying random priority levels.
 import dataclasses
 import statistics
 
-from repro.experiments import get_scenario, render_table, run_scenario
+from repro.experiments import get_scenario, render_table, run_batch
 from repro.experiments.report import fmt_hours
 
 MIXES = {
@@ -34,19 +34,15 @@ def test_ablation_policies(benchmark, aria_scale, aria_seeds, report):
                 policies=policies,
                 priority_levels=(0, 1, 2, 3),
             )
-            runs = [
-                run_scenario(scenario, aria_scale, seed) for seed in aria_seeds
-            ]
+            runs = run_batch(scenario, aria_scale, seeds=aria_seeds)
             rows.append(
                 (
                     label,
                     statistics.fmean(
-                        r.metrics.average_completion_time() for r in runs
+                        r.average_completion_time for r in runs
                     ),
-                    statistics.fmean(
-                        r.metrics.average_waiting_time() for r in runs
-                    ),
-                    statistics.fmean(r.metrics.reschedules for r in runs),
+                    statistics.fmean(r.average_waiting_time for r in runs),
+                    statistics.fmean(r.reschedules for r in runs),
                 )
             )
         return rows

@@ -10,7 +10,7 @@ strict policy wastes.
 import dataclasses
 import statistics
 
-from repro.experiments import get_scenario, render_table, run_scenario
+from repro.experiments import get_scenario, render_table, run_batch
 from repro.experiments.report import fmt_hours
 from repro.types import HOUR
 
@@ -37,21 +37,15 @@ def test_ablation_reservations(benchmark, aria_scale, aria_seeds, report):
                 reservation_probability=0.2,
                 reservation_delay_mean=2 * HOUR,
             )
-            runs = [
-                run_scenario(scenario, aria_scale, seed) for seed in aria_seeds
-            ]
+            runs = run_batch(scenario, aria_scale, seeds=aria_seeds)
             rows.append(
                 (
                     label,
                     statistics.fmean(
-                        r.metrics.average_completion_time() for r in runs
+                        r.average_completion_time for r in runs
                     ),
-                    statistics.fmean(
-                        r.metrics.average_waiting_time() for r in runs
-                    ),
-                    statistics.fmean(
-                        r.metrics.completed_jobs for r in runs
-                    ),
+                    statistics.fmean(r.average_waiting_time for r in runs),
+                    statistics.fmean(r.completed_jobs for r in runs),
                 )
             )
         return rows

@@ -67,13 +67,13 @@ def test_cost_quote_throughput(benchmark):
 
 def test_tiny_scenario_end_to_end(benchmark):
     """A complete tiny iMixed run (16 nodes, 30 jobs, 60k simulated s)."""
-    from repro.experiments import ScenarioScale, get_scenario
-    from repro.experiments.runner import run_scenario
+    from repro.experiments import ScenarioScale, get_scenario, run
 
     scale = ScenarioScale.tiny()
     scenario = get_scenario("iMixed")
 
     result = benchmark.pedantic(
-        run_scenario, args=(scenario, scale, 0), rounds=3, iterations=1
+        run, args=(scenario, scale), kwargs={"seed": 0}, rounds=3,
+        iterations=1,
     )
     assert result.metrics.completed_jobs > 0

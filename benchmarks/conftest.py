@@ -10,9 +10,12 @@ Environment knobs:
   ``paper``.  ``paper`` runs the full 500-node, 1000-job setup.
 * ``ARIA_BENCH_SEEDS`` — number of seeds to average over (default 2;
   the paper uses 10 runs per scenario).
-
-Scenario runs are cached across benchmarks within one session, so figures
-that share scenario sets (e.g. Figures 1-3) simulate each scenario once.
+* ``ARIA_PARALLEL`` — worker processes per seed batch (``0`` = all
+  cores); honored by the batch engine every benchmark now runs through.
+* ``ARIA_CACHE_DIR`` — the engine's on-disk result cache.  Repeat
+  benchmark sessions at the same scale/seeds are served from cache, and
+  figures that share scenario sets (e.g. Figures 1-3) simulate each
+  scenario once.
 """
 
 import os

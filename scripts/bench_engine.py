@@ -1,0 +1,128 @@
+"""Demonstrate the batch engine's speedup, determinism, and cache.
+
+Runs the same 8-seed batch of a Table II scenario three ways and reports:
+
+1. serial wall-clock time (cold, cache disabled);
+2. parallel wall-clock time with ``--parallel`` workers (cold, cache
+   disabled) plus the speedup — on a 4-core machine expect >= 2.5x with
+   the default 4 workers;
+3. cold vs warm cache timings against a throwaway cache directory, with
+   the hit ratio of the warm pass.
+
+It also asserts the determinism guarantee: the parallel batch's
+``RunSummary.to_dict()`` payloads are bit-identical to the serial
+batch's.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_engine.py
+    PYTHONPATH=src python scripts/bench_engine.py \
+        --scenario iMixed --scale small --seeds 8 --parallel 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.experiments import ResultCache, ScenarioScale, run_batch  # noqa: E402
+
+_SCALES = {
+    "tiny": ScenarioScale.tiny,
+    "small": ScenarioScale.small,
+    "medium": ScenarioScale.medium,
+    "paper": ScenarioScale.paper,
+}
+
+
+def _timed(label, fn):
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    print(f"  {label:<28s} {elapsed:8.2f} s")
+    return result, elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="iMixed")
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="small")
+    parser.add_argument("--seeds", type=int, default=8)
+    parser.add_argument("--parallel", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    scale = _SCALES[args.scale]()
+    seeds = tuple(range(args.seeds))
+    cores = os.cpu_count() or 1
+    print(
+        f"{args.scenario} @ {args.scale} ({scale.nodes} nodes, "
+        f"{scale.jobs} jobs), seeds {seeds}, "
+        f"{args.parallel} workers on {cores} cores\n"
+    )
+
+    print("cold, cache disabled:")
+    serial, t_serial = _timed(
+        "serial",
+        lambda: run_batch(
+            args.scenario, scale, seeds=seeds, parallel=1, cache=False
+        ),
+    )
+    parallel, t_parallel = _timed(
+        f"parallel={args.parallel}",
+        lambda: run_batch(
+            args.scenario,
+            scale,
+            seeds=seeds,
+            parallel=args.parallel,
+            cache=False,
+        ),
+    )
+    identical = [s.to_dict() for s in serial] == [
+        s.to_dict() for s in parallel
+    ]
+    assert identical, "parallel batch diverged from serial batch"
+    speedup = t_serial / t_parallel if t_parallel else float("inf")
+    print(f"  bit-identical summaries: yes   speedup: {speedup:.2f}x")
+    if cores >= 4 and args.parallel >= 4 and speedup < 2.5:
+        print("  WARNING: expected >= 2.5x on a 4-core machine")
+
+    with tempfile.TemporaryDirectory(prefix="aria-bench-cache-") as tmp:
+        cache = ResultCache(tmp)
+        print("\nresult cache:")
+        _timed(
+            "cold (populate)",
+            lambda: run_batch(
+                args.scenario,
+                scale,
+                seeds=seeds,
+                parallel=args.parallel,
+                cache=cache,
+            ),
+        )
+        cached, _ = _timed(
+            "warm (served from cache)",
+            lambda: run_batch(
+                args.scenario, scale, seeds=seeds, parallel=1, cache=cache
+            ),
+        )
+        warm_hits = cache.hits
+        hit_ratio = warm_hits / len(seeds)
+        print(f"  warm hit ratio: {hit_ratio:.0%} ({warm_hits}/{len(seeds)})")
+        assert hit_ratio >= 0.9, "warm pass should be >= 90% cache-served"
+        assert [s.to_dict() for s in cached] == [
+            s.to_dict() for s in serial
+        ], "cached summaries diverged"
+
+    print("\nOK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

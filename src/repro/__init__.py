@@ -3,10 +3,13 @@
 A complete reproduction of Brocco et al.'s ARiA protocol and the simulation
 study it was evaluated with.  The most common entry points:
 
->>> from repro.experiments import ScenarioScale, get_scenario, run_scenario
->>> run = run_scenario(get_scenario("iMixed"), ScenarioScale.tiny(), seed=0)
->>> run.metrics.completed_jobs > 0
+>>> from repro.experiments import ScenarioScale, run
+>>> result = run("iMixed", ScenarioScale.tiny(), seed=0)
+>>> result.metrics.completed_jobs > 0
 True
+
+Batches of seeds go through :func:`repro.experiments.run_batch`, which
+caches results on disk and can fan out across worker processes.
 
 Subpackages
 -----------
@@ -32,7 +35,7 @@ Subpackages
     The Table II scenario catalog, runner, and figure extraction.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "baselines",

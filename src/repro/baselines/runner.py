@@ -41,6 +41,31 @@ class BaselineRunResult:
     traffic: TrafficReport
     #: Duplicate queue entries cancelled (multirequest only, else 0).
     revoked_copies: int
+    #: The :class:`~repro.experiments.scale.ScenarioScale` of the run.
+    scale: object = None
+    executed_events: int = 0
+
+    def summary(self, validate: bool = True):
+        """Condense this run into a picklable
+        :class:`~repro.experiments.summary.RunSummary` (the unified
+        hand-off consumed by the batch engine and its cache)."""
+        import dataclasses
+
+        from ..experiments.summary import RunSummary
+        from ..experiments.validation import validate_run
+
+        return RunSummary.from_metrics(
+            kind="baseline",
+            name=self.baseline,
+            seed=self.seed,
+            scale=dataclasses.asdict(self.scale) if self.scale else {},
+            metrics=self.metrics,
+            traffic=self.traffic,
+            final_node_count=self.traffic.node_count,
+            executed_events=self.executed_events,
+            violations=validate_run(self) if validate else (),
+            extras={"revoked_copies": float(self.revoked_copies)},
+        )
 
 
 def run_baseline(
@@ -51,7 +76,35 @@ def run_baseline(
     submission_interval: float = 10.0,
     multirequest_k: int = 3,
 ) -> BaselineRunResult:
-    """Simulate one baseline run mirroring the Mixed workload setup."""
+    """Simulate one baseline run mirroring the Mixed workload setup.
+
+    .. deprecated:: 1.1
+        Use :func:`repro.experiments.run` with the baseline name as spec:
+        ``run("centralized", scale, seed=...)``.
+    """
+    import warnings
+
+    warnings.warn(
+        'run_baseline() is deprecated; use repro.experiments.run('
+        '"centralized" | "multirequest" | "random" | "gossip", scale, '
+        "seed=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_baseline(
+        baseline, scale, seed, policies, submission_interval, multirequest_k
+    )
+
+
+def _run_baseline(
+    baseline: str,
+    scale=None,
+    seed: int = 0,
+    policies=("FCFS", "SJF"),
+    submission_interval: float = 10.0,
+    multirequest_k: int = 3,
+) -> BaselineRunResult:
+    """Simulate one baseline run (internal, non-deprecated impl)."""
     from ..experiments.scale import ScenarioScale
 
     scale = scale if scale is not None else ScenarioScale.paper()
@@ -114,6 +167,8 @@ def run_baseline(
             node_count=scale.nodes, duration=scale.duration
         ),
         revoked_copies=getattr(scheduler, "revoked_copies", 0),
+        scale=scale,
+        executed_events=sim.executed_events,
     )
 
 
@@ -161,4 +216,6 @@ def _run_gossip(
             node_count=scale.nodes, duration=scale.duration
         ),
         revoked_copies=0,
+        scale=scale,
+        executed_events=sim.executed_events,
     )

@@ -10,6 +10,9 @@ Everything the library does is reachable from the shell::
 
 All commands accept ``--scale tiny|small|medium|paper`` and ``--seeds N``
 (N seeds starting at ``--seed-base``, default 0; the paper averages 10).
+Simulation commands also accept ``--parallel W`` (fan seeds out over W
+worker processes; 0 = all cores) and ``--no-cache`` (skip the on-disk
+result cache) — see :mod:`repro.experiments.engine`.
 """
 
 from __future__ import annotations
@@ -18,13 +21,13 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .baselines import BASELINE_NAMES, run_baseline
+from .baselines import BASELINE_NAMES
 from .experiments import (
     SCENARIOS,
     ScenarioScale,
     get_scenario,
     render_table,
-    run_scenario,
+    run_batch,
     summarize_runs,
 )
 from .experiments import figures as figures_module
@@ -66,12 +69,32 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seed-base", type=int, default=0, help="first seed value"
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="W",
+        help="worker processes for the seed batch (0 = all cores)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache",
+    )
 
 
 def _scale_and_seeds(args) -> tuple:
     scale = _SCALES[args.scale]()
     seeds = tuple(range(args.seed_base, args.seed_base + args.seeds))
     return scale, seeds
+
+
+def _engine_kwargs(args) -> dict:
+    """``run_batch`` keyword arguments from the common CLI flags."""
+    return {
+        "parallel": args.parallel,
+        "cache": False if args.no_cache else None,
+    }
 
 
 def _cmd_list(_args) -> int:
@@ -87,7 +110,7 @@ def _cmd_run(args) -> int:
     scale, seeds = _scale_and_seeds(args)
     scenario = get_scenario(args.scenario)
     summary = summarize_runs(
-        [run_scenario(scenario, scale, seed) for seed in seeds]
+        run_batch(scenario, scale, seeds=seeds, **_engine_kwargs(args))
     )
     rows = [
         ["completed jobs", fmt_opt(summary.completed_jobs, ".1f")],
@@ -113,7 +136,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_figure(args) -> int:
     scale, seeds = _scale_and_seeds(args)
-    figure = _FIGURES[args.figure](scale, seeds)
+    figure = _FIGURES[args.figure](scale, seeds, args.parallel)
     print(figure.render())
     return 0
 
@@ -122,17 +145,26 @@ def _cmd_baseline(args) -> int:
     scale, seeds = _scale_and_seeds(args)
     import statistics
 
-    runs = [run_baseline(args.baseline, scale, seed) for seed in seeds]
+    runs = run_batch(
+        args.baseline, scale, seeds=seeds, **_engine_kwargs(args)
+    )
     completion = statistics.fmean(
-        r.metrics.average_completion_time() for r in runs
+        r.average_completion_time
+        for r in runs
+        if r.average_completion_time is not None
     )
     waiting = statistics.fmean(
-        r.metrics.average_waiting_time() for r in runs
+        r.average_waiting_time
+        for r in runs
+        if r.average_waiting_time is not None
+    )
+    revoked = statistics.fmean(
+        r.extras.get("revoked_copies", 0.0) for r in runs
     )
     print(
         f"{args.baseline} @ {args.scale}: "
         f"completion {fmt_hours(completion)}, waiting {fmt_hours(waiting)}, "
-        f"revoked copies {statistics.fmean(r.revoked_copies for r in runs):.1f}"
+        f"revoked copies {revoked:.1f}"
     )
     return 0
 
@@ -147,7 +179,7 @@ def _cmd_run_file(args) -> int:
     scenario = Scenario.from_dict(payload)
     scale, seeds = _scale_and_seeds(args)
     summary = summarize_runs(
-        [run_scenario(scenario, scale, seed) for seed in seeds]
+        run_batch(scenario, scale, seeds=seeds, **_engine_kwargs(args))
     )
     print(
         f"{scenario.name} (custom) @ {args.scale}: "
@@ -169,7 +201,10 @@ def _cmd_sweep(args) -> int:
         if args.target == "config"
         else sweep_scenario_field
     )
-    points = sweep(args.scenario, args.field, values, scale, seeds)
+    points = sweep(
+        args.scenario, args.field, values, scale, seeds,
+        parallel=args.parallel,
+    )
     rows = [
         [
             str(point.value),

@@ -1,8 +1,16 @@
-"""Experiment framework: Table II catalog, runner, figures, reporting."""
+"""Experiment framework: Table II catalog, engine, figures, reporting.
+
+The unified entry points are :func:`run` (one experiment, live result)
+and :func:`run_batch` (many seeds, cached + parallel, returning
+:class:`RunSummary` objects).  The spec passed to either may be a
+:class:`Scenario`, a baseline name, a :class:`CrashPlan`, or a
+:class:`ChurnPlan`.
+"""
 
 from .aggregate import ScenarioSummary, average_series, summarize_runs
 from .catalog import SCENARIOS, get_scenario, scenario_names, with_rescheduling
 from .churn import ChurnPlan, run_churn_experiment
+from .engine import ResultCache, run, run_batch
 from .failures import CrashPlan, run_crash_experiment
 from .report import fmt_hours, fmt_opt, render_series, render_table
 from .runner import (
@@ -14,14 +22,19 @@ from .runner import (
 )
 from .scale import ScenarioScale, bench_scale_from_env
 from .scenario import Scenario
+from .summary import RunSummary
 from .validation import validate_run
 
 __all__ = [
     "ChurnPlan",
     "CrashPlan",
     "GridSetup",
+    "ResultCache",
     "RunResult",
+    "RunSummary",
     "build_grid",
+    "run",
+    "run_batch",
     "run_churn_experiment",
     "run_crash_experiment",
     "SCENARIOS",

@@ -7,9 +7,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim import TimeSeries
-from .runner import RunResult
+from .summary import RunSummary
 
 __all__ = ["average_series", "ScenarioSummary", "summarize_runs"]
+
+
+def _as_summary(result) -> RunSummary:
+    """Normalize a run to its :class:`RunSummary` (identity if already one)."""
+    if isinstance(result, RunSummary):
+        return result
+    return result.summary()
 
 
 def average_series(series_list: Sequence[TimeSeries]) -> TimeSeries:
@@ -81,66 +88,61 @@ class ScenarioSummary:
         Path(path).write_text(json.dumps(self.to_dict(), indent=1))
 
 
-def summarize_runs(results: Sequence[RunResult]) -> ScenarioSummary:
-    """Average a batch of same-scenario runs into one summary."""
+def summarize_runs(results: Sequence) -> ScenarioSummary:
+    """Average a batch of same-scenario runs into one summary.
+
+    Accepts :class:`RunSummary` objects (what
+    :func:`~repro.experiments.run_batch` returns) or live results
+    carrying a ``summary()`` method (``RunResult`` /
+    ``BaselineRunResult``), in any mix.
+    """
     if not results:
         raise ValueError("no runs to summarize")
-    names = {run.scenario.name for run in results}
+    runs = [_as_summary(result) for result in results]
+    names = {run.name for run in runs}
     if len(names) != 1:
         raise ValueError(f"mixed scenarios in one summary: {sorted(names)}")
-    metrics = [run.metrics for run in results]
-    message_types = sorted(
-        {t for run in results for t in run.traffic.bytes_by_type}
-    )
+    message_types = sorted({t for run in runs for t in run.traffic_bytes})
     traffic = {
-        t: statistics.fmean(
-            run.traffic.bytes_by_type.get(t, 0) for run in results
-        )
+        t: statistics.fmean(run.traffic_bytes.get(t, 0) for run in runs)
         for t in message_types
     }
     return ScenarioSummary(
-        scenario_name=results[0].scenario.name,
-        runs=len(results),
-        completed_jobs=statistics.fmean(m.completed_jobs for m in metrics),
+        scenario_name=runs[0].name,
+        runs=len(runs),
+        completed_jobs=statistics.fmean(r.completed_jobs for r in runs),
         unschedulable_jobs=statistics.fmean(
-            m.unschedulable_count() for m in metrics
+            r.unschedulable_jobs for r in runs
         ),
         average_completion_time=_mean_of(
-            [m.average_completion_time() for m in metrics]
+            [r.average_completion_time for r in runs]
         ),
         average_waiting_time=_mean_of(
-            [m.average_waiting_time() for m in metrics]
+            [r.average_waiting_time for r in runs]
         ),
         average_execution_time=_mean_of(
-            [m.average_execution_time() for m in metrics]
+            [r.average_execution_time for r in runs]
         ),
-        reschedules=statistics.fmean(m.reschedules for m in metrics),
+        reschedules=statistics.fmean(r.reschedules for r in runs),
         inform_broadcasts=statistics.fmean(
-            m.inform_broadcasts for m in metrics
+            r.inform_broadcasts for r in runs
         ),
         missed_deadlines=statistics.fmean(
-            m.missed_deadline_count() for m in metrics
+            r.missed_deadlines for r in runs
         ),
-        average_lateness=_mean_of([m.average_lateness() for m in metrics]),
+        average_lateness=_mean_of([r.average_lateness for r in runs]),
         average_missed_time=_mean_of(
-            [m.average_missed_time() for m in metrics]
+            [r.average_missed_time for r in runs]
         ),
-        load_fairness=_mean_of(
-            [
-                run.metrics.load_fairness(run.final_node_count)
-                for run in results
-            ]
-        ),
+        load_fairness=_mean_of([r.load_fairness for r in runs]),
         traffic_bytes=traffic,
-        bandwidth_bps=statistics.fmean(
-            run.traffic.bandwidth_bps for run in results
-        ),
+        bandwidth_bps=statistics.fmean(r.bandwidth_bps for r in runs),
         completed_series=average_series(
-            [run.completed_series for run in results]
+            [run.completed_series for run in runs]
         ),
-        idle_series=average_series([run.idle_series for run in results]),
+        idle_series=average_series([run.idle_series for run in runs]),
         node_count_series=average_series(
-            [run.node_count_series for run in results]
+            [run.node_count_series for run in runs]
         ),
-        submission_window=results[0].submission_window,
+        submission_window=runs[0].submission_window,
     )

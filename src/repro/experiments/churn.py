@@ -61,7 +61,31 @@ def run_churn_experiment(
     scenario_name: str = "iMixed",
     failsafe: bool = False,
 ) -> RunResult:
-    """One run of ``scenario_name`` under sustained node churn."""
+    """One run of ``scenario_name`` under sustained node churn.
+
+    .. deprecated:: 1.1
+        Use :func:`repro.experiments.run` with a :class:`ChurnPlan` spec:
+        ``run(ChurnPlan(), scale, seed=..., failsafe=True)``.
+    """
+    import warnings
+
+    warnings.warn(
+        "run_churn_experiment() is deprecated; use repro.experiments."
+        "run(ChurnPlan(...), scale, seed=..., failsafe=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_churn_experiment(scale, seed, plan, scenario_name, failsafe)
+
+
+def _run_churn_experiment(
+    scale: Optional[ScenarioScale] = None,
+    seed: int = 0,
+    plan: Optional[ChurnPlan] = None,
+    scenario_name: str = "iMixed",
+    failsafe: bool = False,
+) -> RunResult:
+    """One churn run (internal, non-deprecated impl)."""
     plan = plan if plan is not None else ChurnPlan()
     base = get_scenario(scenario_name)
     scenario = dataclasses.replace(base, name=f"{base.name}+churn")

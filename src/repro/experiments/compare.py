@@ -19,22 +19,20 @@ from typing import Callable, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from .catalog import get_scenario
-from .runner import RunResult, run_scenario
+from .engine import run_batch
 from .scale import ScenarioScale
+from .summary import RunSummary
 
 __all__ = ["ComparisonResult", "METRICS", "compare_scenarios"]
 
-#: Per-run metrics available for comparison.
+#: Per-run metrics available for comparison (functions of a
+#: :class:`~repro.experiments.RunSummary`).
 METRICS: dict = {
-    "completion_time": lambda run: run.metrics.average_completion_time(),
-    "waiting_time": lambda run: run.metrics.average_waiting_time(),
-    "missed_deadlines": lambda run: float(
-        run.metrics.missed_deadline_count()
-    ),
-    "load_fairness": lambda run: run.metrics.load_fairness(
-        run.final_node_count
-    ),
-    "reschedules": lambda run: float(run.metrics.reschedules),
+    "completion_time": lambda run: run.average_completion_time,
+    "waiting_time": lambda run: run.average_waiting_time,
+    "missed_deadlines": lambda run: float(run.missed_deadlines),
+    "load_fairness": lambda run: run.load_fairness,
+    "reschedules": lambda run: float(run.reschedules),
 }
 
 
@@ -126,10 +124,16 @@ def compare_scenarios(
     metric: str = "completion_time",
     scale: Optional[ScenarioScale] = None,
     seeds: Sequence[int] = tuple(range(5)),
-    metric_fn: Optional[Callable[[RunResult], Optional[float]]] = None,
+    metric_fn: Optional[Callable[[RunSummary], Optional[float]]] = None,
     paired: bool = False,
+    parallel: Optional[int] = None,
 ) -> ComparisonResult:
     """Run both scenarios over ``seeds`` and test the metric difference.
+
+    Runs go through the batch engine, so repeated comparisons are served
+    from the result cache and ``parallel=`` fans seeds out across worker
+    processes.  ``metric_fn`` receives each run's
+    :class:`~repro.experiments.RunSummary`.
 
     With ``paired=True`` the per-seed differences are tested instead
     (paired t-test).  Runs sharing a seed share node profiles and the
@@ -148,9 +152,10 @@ def compare_scenarios(
 
     def collect(name: str) -> List[float]:
         scenario = get_scenario(name)
+        runs = run_batch(scenario, scale, seeds=seeds, parallel=parallel)
         values = []
-        for seed in seeds:
-            value = metric_fn(run_scenario(scenario, scale, seed))
+        for run in runs:
+            value = metric_fn(run)
             if value is not None:
                 values.append(value)
         if len(values) < 2:

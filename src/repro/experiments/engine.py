@@ -1,0 +1,417 @@
+"""Unified, parallel, cached experiment execution.
+
+The paper's evaluation is 26 scenarios × 10 seeds × 41 h 40 m of simulated
+grid activity (§IV) — embarrassingly parallel across ``(spec, scale,
+seed)`` work units, since every run is a deterministic function of its
+seed.  This module is the single entry point for all of it:
+
+* :func:`run` — one run of *any* experiment spec: a
+  :class:`~repro.experiments.scenario.Scenario`, a Table II scenario name,
+  a baseline name (``"centralized"`` / ``"multirequest"`` / ``"random"`` /
+  ``"gossip"``), a :class:`~repro.experiments.failures.CrashPlan`, or a
+  :class:`~repro.experiments.churn.ChurnPlan`.  Returns the full live
+  result object (``RunResult`` / ``BaselineRunResult``).
+* :func:`run_batch` — the same spec fanned over many seeds, optionally
+  across a spawn-safe process pool, returning picklable
+  :class:`~repro.experiments.summary.RunSummary` objects.
+* :class:`ResultCache` — a content-addressed on-disk cache keyed by the
+  hash of (spec, scale, seed, options, code version), so re-running
+  figures, sweeps and comparisons is incremental.
+
+Determinism guarantee: a parallel batch produces summaries bit-identical
+(``RunSummary.to_dict()``) to the serial path for the same seeds — both
+paths execute the exact same worker function on the exact same canonical
+payload, and every simulation draws only from seed-derived RNG streams
+(:mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..errors import ConfigurationError
+from .churn import ChurnPlan, _run_churn_experiment
+from .failures import CrashPlan, _run_crash_experiment
+from .runner import _run_scenario
+from .scale import ScenarioScale
+from .scenario import Scenario
+from .summary import RunSummary
+
+__all__ = [
+    "ExperimentSpec",
+    "ResultCache",
+    "cache_key",
+    "code_version",
+    "default_cache_dir",
+    "run",
+    "run_batch",
+]
+
+#: Anything :func:`run` / :func:`run_batch` accepts as a spec.
+ExperimentSpec = Union[Scenario, str, CrashPlan, ChurnPlan]
+
+#: Bump to invalidate every cached result regardless of code hash.
+_CACHE_FORMAT = 1
+
+#: Option keys accepted per spec kind (unknown keys are a hard error —
+#: a typo must never silently change what gets simulated or cached).
+_ALLOWED_OPTIONS = {
+    "scenario": {"config_overrides"},
+    "baseline": {"policies", "submission_interval", "multirequest_k"},
+    "crash": {"failsafe", "scenario_name", "probe_interval"},
+    "churn": {"failsafe", "scenario_name"},
+}
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """Content hash of the installed ``repro`` sources (cache key input).
+
+    Hashing file contents (not mtimes, not git state) means any source
+    edit — including uncommitted ones — invalidates cached results, while
+    re-checkouts of identical code keep hitting.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(path.relative_to(package_root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+def default_cache_dir() -> Path:
+    """The on-disk cache location: ``$ARIA_CACHE_DIR`` or
+    ``~/.cache/aria-repro``."""
+    env = os.environ.get("ARIA_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "aria-repro"
+
+
+def cache_key(payload: Dict[str, Any]) -> str:
+    """Content address of one work unit: SHA-256 over the canonical JSON
+    of the payload plus the cache format and code version."""
+    canonical = json.dumps(
+        {
+            "format": _CACHE_FORMAT,
+            "code": code_version(),
+            "payload": payload,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`RunSummary` payloads.
+
+    One JSON file per work unit under ``root/<key[:2]>/<key>.json``; the
+    file also embeds the originating payload for debuggability.  Writes
+    are atomic (temp file + rename), so concurrent batches sharing a
+    cache directory at worst redo work, never corrupt it.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        #: Lookup / store counters (reset per instance), for hit-ratio
+        #: reporting in benchmarks and tests.
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[RunSummary]:
+        """Return the cached summary for ``key``, or ``None`` on a miss
+        (including unreadable/corrupt entries, which are treated as
+        absent)."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+            summary = RunSummary.from_dict(data["summary"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def store(
+        self,
+        key: str,
+        summary: RunSummary,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Persist ``summary`` under ``key`` (atomically)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"key": key, "payload": payload, "summary": summary.to_dict()}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(document))
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if self.root.exists():
+            for path in self.root.glob("*/*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+# ----------------------------------------------------------------------
+# Spec normalization
+# ----------------------------------------------------------------------
+def _spec_payload(spec: ExperimentSpec, options: Dict[str, Any]) -> Dict[str, Any]:
+    """Canonical JSON-able description of (spec, options).
+
+    The payload is both the pickle-free unit shipped to worker processes
+    and the content hashed for the cache key, so it must round-trip the
+    spec exactly.
+    """
+    if isinstance(spec, str):
+        from ..baselines.runner import BASELINE_NAMES
+
+        from .catalog import SCENARIOS
+
+        if spec in SCENARIOS:
+            spec = SCENARIOS[spec]
+        elif spec in BASELINE_NAMES:
+            allowed = _ALLOWED_OPTIONS["baseline"]
+            _check_options("baseline", options, allowed)
+            normalized = dict(options)
+            if "policies" in normalized:
+                normalized["policies"] = list(normalized["policies"])
+            return {"kind": "baseline", "baseline": spec, "options": normalized}
+        else:
+            raise ConfigurationError(
+                f"unknown experiment spec {spec!r}: not a Table II scenario "
+                f"or baseline name"
+            )
+    if isinstance(spec, Scenario):
+        _check_options("scenario", options, _ALLOWED_OPTIONS["scenario"])
+        overrides = options.get("config_overrides")
+        return {
+            "kind": "scenario",
+            "scenario": spec.to_dict(),
+            "config_overrides": dict(overrides) if overrides else None,
+        }
+    if isinstance(spec, CrashPlan):
+        _check_options("crash", options, _ALLOWED_OPTIONS["crash"])
+        return {
+            "kind": "crash",
+            "plan": dataclasses.asdict(spec),
+            "failsafe": bool(options.get("failsafe", False)),
+            "scenario_name": options.get("scenario_name", "iMixed"),
+            "probe_interval": options.get("probe_interval"),
+        }
+    if isinstance(spec, ChurnPlan):
+        _check_options("churn", options, _ALLOWED_OPTIONS["churn"])
+        return {
+            "kind": "churn",
+            "plan": dataclasses.asdict(spec),
+            "failsafe": bool(options.get("failsafe", False)),
+            "scenario_name": options.get("scenario_name", "iMixed"),
+        }
+    raise ConfigurationError(
+        f"unsupported experiment spec type {type(spec).__name__}; expected "
+        f"Scenario, scenario/baseline name, CrashPlan or ChurnPlan"
+    )
+
+
+def _check_options(kind: str, options: Dict[str, Any], allowed) -> None:
+    unknown = set(options) - allowed
+    if unknown:
+        raise ConfigurationError(
+            f"unknown option(s) {sorted(unknown)} for {kind} spec; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def _run_payload(payload: Dict[str, Any]):
+    """Execute one canonical work unit, returning the live result object."""
+    scale = ScenarioScale(**payload["scale"])
+    seed = payload["seed"]
+    kind = payload["kind"]
+    if kind == "scenario":
+        return _run_scenario(
+            Scenario.from_dict(payload["scenario"]),
+            scale,
+            seed,
+            config_overrides=payload.get("config_overrides"),
+        )
+    if kind == "baseline":
+        from ..baselines.runner import _run_baseline
+
+        options = dict(payload.get("options") or {})
+        if "policies" in options:
+            options["policies"] = tuple(options["policies"])
+        return _run_baseline(payload["baseline"], scale, seed, **options)
+    if kind == "crash":
+        kwargs = {}
+        if payload.get("probe_interval") is not None:
+            kwargs["probe_interval"] = payload["probe_interval"]
+        return _run_crash_experiment(
+            payload["failsafe"],
+            scale,
+            seed,
+            plan=CrashPlan(**payload["plan"]),
+            scenario_name=payload["scenario_name"],
+            **kwargs,
+        )
+    if kind == "churn":
+        return _run_churn_experiment(
+            scale,
+            seed,
+            plan=ChurnPlan(**payload["plan"]),
+            scenario_name=payload["scenario_name"],
+            failsafe=payload["failsafe"],
+        )
+    raise ConfigurationError(f"unknown work-unit kind {kind!r}")
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one unit, return ``RunSummary.to_dict()``.
+
+    Module-level (picklable by reference) and dict-in / dict-out, so the
+    serial path and the process-pool path traverse the exact same code —
+    the basis of the bit-identical determinism guarantee.
+    """
+    return _run_payload(payload).summary().to_dict()
+
+
+def _resolve_parallel(parallel: Optional[int], pending: int) -> int:
+    """Number of worker processes to use for ``pending`` cache misses."""
+    if parallel is None:
+        env = os.environ.get("ARIA_PARALLEL")
+        parallel = int(env) if env else 1
+    if parallel <= 0:
+        parallel = os.cpu_count() or 1
+    return max(1, min(parallel, pending))
+
+
+def _resolve_cache(cache) -> Optional[ResultCache]:
+    """Map the ``cache`` argument to a :class:`ResultCache` or ``None``.
+
+    ``None`` (the default) enables the default on-disk cache; ``False``
+    disables caching; a :class:`ResultCache` instance is used as-is.
+    """
+    if cache is None:
+        return ResultCache()
+    if cache is False:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def run(
+    spec: ExperimentSpec,
+    scale: Optional[ScenarioScale] = None,
+    *,
+    seed: int = 0,
+    **options,
+):
+    """One run of any experiment spec; returns the live result object.
+
+    ``spec`` is a :class:`Scenario` (or Table II scenario name), a
+    baseline name, a :class:`CrashPlan`, or a :class:`ChurnPlan`.
+    Per-kind keyword options: ``config_overrides`` (scenario);
+    ``policies`` / ``submission_interval`` / ``multirequest_k``
+    (baseline); ``failsafe`` / ``scenario_name`` / ``probe_interval``
+    (crash); ``failsafe`` / ``scenario_name`` (churn).
+
+    Returns a :class:`~repro.experiments.runner.RunResult` (scenario,
+    crash, churn) or :class:`~repro.baselines.runner.BaselineRunResult`
+    (baseline); call ``.summary()`` on either for the picklable hand-off.
+    """
+    scale = scale if scale is not None else ScenarioScale.paper()
+    payload = _spec_payload(spec, options)
+    payload["scale"] = dataclasses.asdict(scale)
+    payload["seed"] = seed
+    return _run_payload(payload)
+
+
+def run_batch(
+    spec: ExperimentSpec,
+    scale: Optional[ScenarioScale] = None,
+    *,
+    seeds: Sequence[int] = (0,),
+    parallel: Optional[int] = None,
+    cache=None,
+    **options,
+) -> List[RunSummary]:
+    """Run ``spec`` once per seed; returns one :class:`RunSummary` each.
+
+    ``parallel`` — worker processes for cache misses: ``None`` (default)
+    honours ``$ARIA_PARALLEL`` (else serial in-process), ``0`` uses every
+    core, ``n`` uses ``n`` spawn-context workers.  ``cache`` — ``None``
+    uses the default on-disk :class:`ResultCache`, ``False`` disables
+    caching, a :class:`ResultCache` (or path) selects a specific store.
+
+    Summaries come back in ``seeds`` order and are bit-identical
+    (``to_dict()``) whether they were computed serially, in parallel, or
+    served from the cache.
+    """
+    scale = scale if scale is not None else ScenarioScale.paper()
+    base_payload = _spec_payload(spec, options)
+    cache_store = _resolve_cache(cache)
+
+    seeds = list(seeds)
+    results: Dict[int, RunSummary] = {}
+    pending: List[tuple] = []
+    for index, seed in enumerate(seeds):
+        payload = dict(base_payload)
+        payload["scale"] = dataclasses.asdict(scale)
+        payload["seed"] = seed
+        key = cache_key(payload)
+        if cache_store is not None:
+            cached = cache_store.load(key)
+            if cached is not None:
+                results[index] = cached
+                continue
+        pending.append((index, key, payload))
+
+    if pending:
+        workers = _resolve_parallel(parallel, len(pending))
+        payloads = [payload for _, _, payload in pending]
+        if workers <= 1:
+            outputs = [_execute_payload(payload) for payload in payloads]
+        else:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            context = multiprocessing.get_context("spawn")
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                outputs = list(pool.map(_execute_payload, payloads))
+        for (index, key, payload), output in zip(pending, outputs):
+            summary = RunSummary.from_dict(output)
+            if cache_store is not None:
+                cache_store.store(key, summary, payload)
+            results[index] = summary
+
+    return [results[index] for index in range(len(seeds))]

@@ -56,6 +56,33 @@ def run_crash_experiment(
 ) -> RunResult:
     """One crash-injected run of the given Table II scenario.
 
+    .. deprecated:: 1.1
+        Use :func:`repro.experiments.run` with a :class:`CrashPlan` spec:
+        ``run(CrashPlan(), scale, seed=..., failsafe=True)``.
+    """
+    import warnings
+
+    warnings.warn(
+        "run_crash_experiment() is deprecated; use repro.experiments."
+        "run(CrashPlan(...), scale, seed=..., failsafe=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_crash_experiment(
+        failsafe, scale, seed, plan, scenario_name, probe_interval
+    )
+
+
+def _run_crash_experiment(
+    failsafe: bool,
+    scale: Optional[ScenarioScale] = None,
+    seed: int = 0,
+    plan: Optional[CrashPlan] = None,
+    scenario_name: str = "iMixed",
+    probe_interval: float = 10 * MINUTE,
+) -> RunResult:
+    """One crash-injected run (internal, non-deprecated impl).
+
     With ``failsafe=False`` the configuration is the paper's: jobs held by
     crashed nodes disappear.  With ``failsafe=True`` the §III-D fail-safe
     extension (Track/Done notifications + liveness probes + resubmission)

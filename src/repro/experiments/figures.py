@@ -3,9 +3,12 @@
 Each ``figN_*`` function simulates the scenarios that figure compares
 (averaging over ``seeds``; the paper uses 10 runs) and returns a figure
 object whose ``render()`` prints the same series/rows the paper plots.
-Summaries are cached per (scenario, scale, seeds) within the process, so
-figures sharing scenarios — e.g. Figures 1/2/3 — simulate each scenario
-only once.
+Runs go through the batch engine (:mod:`repro.experiments.engine`), so
+they are served incrementally from the on-disk result cache and can fan
+out across worker processes (``parallel=``); summaries are additionally
+cached per (scenario, scale, seeds) within the process, so figures
+sharing scenarios — e.g. Figures 1/2/3 — assemble each scenario only
+once.
 """
 
 from __future__ import annotations
@@ -15,8 +18,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .aggregate import ScenarioSummary, summarize_runs
 from .catalog import get_scenario
+from .engine import run_batch
 from .report import fmt_hours, fmt_opt, render_series, render_table
-from .runner import run_scenario
 from .scale import ScenarioScale
 
 __all__ = [
@@ -42,6 +45,7 @@ def scenario_summary(
     name: str,
     scale: Optional[ScenarioScale] = None,
     seeds: Sequence[int] = (0,),
+    parallel: Optional[int] = None,
 ) -> ScenarioSummary:
     """Simulate (or fetch cached) runs of a Table II scenario."""
     scale = scale if scale is not None else ScenarioScale.paper()
@@ -50,7 +54,7 @@ def scenario_summary(
     if summary is None:
         scenario = get_scenario(name)
         summary = summarize_runs(
-            [run_scenario(scenario, scale, seed) for seed in seeds]
+            run_batch(scenario, scale, seeds=seeds, parallel=parallel)
         )
         _SUMMARY_CACHE[key] = summary
     return summary
@@ -60,8 +64,12 @@ def _summaries(
     names: Sequence[str],
     scale: Optional[ScenarioScale],
     seeds: Sequence[int],
+    parallel: Optional[int] = None,
 ) -> Dict[str, ScenarioSummary]:
-    return {name: scenario_summary(name, scale, seeds) for name in names}
+    return {
+        name: scenario_summary(name, scale, seeds, parallel)
+        for name in names
+    }
 
 
 @dataclass
@@ -151,9 +159,10 @@ def _completion_table(
     names: Sequence[str],
     scale: Optional[ScenarioScale],
     seeds: Sequence[int],
+    parallel: Optional[int] = None,
 ) -> TableFigure:
     """The Fig. 2/7/8/9 layout: completion time split into wait + exec."""
-    summaries = _summaries(names, scale, seeds)
+    summaries = _summaries(names, scale, seeds, parallel)
     rows = []
     for name, summary in summaries.items():
         rows.append(
@@ -175,9 +184,9 @@ def _completion_table(
 # ----------------------------------------------------------------------
 # Figures 1-3: local scheduling policies
 # ----------------------------------------------------------------------
-def fig1_completed_jobs(scale=None, seeds=(0,)) -> SeriesFigure:
+def fig1_completed_jobs(scale=None, seeds=(0,), parallel=None) -> SeriesFigure:
     """Figure 1: completed jobs over time, six policy scenarios."""
-    summaries = _summaries(POLICY_SET, scale, seeds)
+    summaries = _summaries(POLICY_SET, scale, seeds, parallel)
     return SeriesFigure(
         title="Figure 1: Completed Jobs",
         series={n: s.completed_series for n, s in summaries.items()},
@@ -185,16 +194,16 @@ def fig1_completed_jobs(scale=None, seeds=(0,)) -> SeriesFigure:
     )
 
 
-def fig2_completion_time(scale=None, seeds=(0,)) -> TableFigure:
+def fig2_completion_time(scale=None, seeds=(0,), parallel=None) -> TableFigure:
     """Figure 2: average job completion time (waiting vs execution)."""
     return _completion_table(
-        "Figure 2: Job Completion Time", POLICY_SET, scale, seeds
+        "Figure 2: Job Completion Time", POLICY_SET, scale, seeds, parallel
     )
 
 
-def fig3_idle_nodes(scale=None, seeds=(0,)) -> SeriesFigure:
+def fig3_idle_nodes(scale=None, seeds=(0,), parallel=None) -> SeriesFigure:
     """Figure 3: idle nodes over time, six policy scenarios."""
-    summaries = _summaries(POLICY_SET, scale, seeds)
+    summaries = _summaries(POLICY_SET, scale, seeds, parallel)
     return SeriesFigure(
         title="Figure 3: Idle Nodes",
         series={n: s.idle_series for n, s in summaries.items()},
@@ -205,9 +214,9 @@ def fig3_idle_nodes(scale=None, seeds=(0,)) -> SeriesFigure:
 # ----------------------------------------------------------------------
 # Figure 4: deadline scheduling
 # ----------------------------------------------------------------------
-def fig4_deadlines(scale=None, seeds=(0,)) -> TableFigure:
+def fig4_deadlines(scale=None, seeds=(0,), parallel=None) -> TableFigure:
     """Figure 4: missed deadlines, lateness, missed time."""
-    summaries = _summaries(DEADLINE_SET, scale, seeds)
+    summaries = _summaries(DEADLINE_SET, scale, seeds, parallel)
     rows = []
     for name, summary in summaries.items():
         rows.append(
@@ -229,9 +238,9 @@ def fig4_deadlines(scale=None, seeds=(0,)) -> TableFigure:
 # ----------------------------------------------------------------------
 # Figure 5: expanding network
 # ----------------------------------------------------------------------
-def fig5_expanding(scale=None, seeds=(0,)) -> SeriesFigure:
+def fig5_expanding(scale=None, seeds=(0,), parallel=None) -> SeriesFigure:
     """Figure 5: idle nodes while the overlay grows 500 → 700."""
-    summaries = _summaries(("Expanding", "iExpanding"), scale, seeds)
+    summaries = _summaries(("Expanding", "iExpanding"), scale, seeds, parallel)
     series = {n: s.idle_series for n, s in summaries.items()}
     series["connected nodes"] = summaries["Expanding"].node_count_series
     return SeriesFigure(
@@ -244,9 +253,9 @@ def fig5_expanding(scale=None, seeds=(0,)) -> SeriesFigure:
 # ----------------------------------------------------------------------
 # Figures 6-7: load sensitivity
 # ----------------------------------------------------------------------
-def fig6_load_idle(scale=None, seeds=(0,)) -> SeriesFigure:
+def fig6_load_idle(scale=None, seeds=(0,), parallel=None) -> SeriesFigure:
     """Figure 6: idle nodes under low / normal / high load."""
-    summaries = _summaries(LOAD_SET, scale, seeds)
+    summaries = _summaries(LOAD_SET, scale, seeds, parallel)
     return SeriesFigure(
         title="Figure 6: Idle Nodes (Load)",
         series={n: s.idle_series for n, s in summaries.items()},
@@ -254,42 +263,44 @@ def fig6_load_idle(scale=None, seeds=(0,)) -> SeriesFigure:
     )
 
 
-def fig7_load_completion(scale=None, seeds=(0,)) -> TableFigure:
+def fig7_load_completion(scale=None, seeds=(0,), parallel=None) -> TableFigure:
     """Figure 7: job completion time under load."""
     return _completion_table(
-        "Figure 7: Job Completion Time (Load)", LOAD_SET, scale, seeds
+        "Figure 7: Job Completion Time (Load)", LOAD_SET, scale, seeds,
+        parallel,
     )
 
 
 # ----------------------------------------------------------------------
 # Figure 8: rescheduling policies
 # ----------------------------------------------------------------------
-def fig8_resched_policies(scale=None, seeds=(0,)) -> TableFigure:
+def fig8_resched_policies(scale=None, seeds=(0,), parallel=None) -> TableFigure:
     """Figure 8: completion time across INFORM count / threshold settings."""
     return _completion_table(
         "Figure 8: Job Completion Time (Rescheduling Policies)",
         RESCHED_SET,
         scale,
         seeds,
+        parallel,
     )
 
 
 # ----------------------------------------------------------------------
 # Figure 9: ERT accuracy
 # ----------------------------------------------------------------------
-def fig9_ert_accuracy(scale=None, seeds=(0,)) -> TableFigure:
+def fig9_ert_accuracy(scale=None, seeds=(0,), parallel=None) -> TableFigure:
     """Figure 9: sensitivity of the completion time to ERT accuracy."""
     return _completion_table(
-        "Figure 9: Sensitivity to ERT", ACCURACY_SET, scale, seeds
+        "Figure 9: Sensitivity to ERT", ACCURACY_SET, scale, seeds, parallel
     )
 
 
 # ----------------------------------------------------------------------
 # Figure 10: traffic
 # ----------------------------------------------------------------------
-def fig10_traffic(scale=None, seeds=(0,)) -> TableFigure:
+def fig10_traffic(scale=None, seeds=(0,), parallel=None) -> TableFigure:
     """Figure 10: network overhead per message type."""
-    summaries = _summaries(TRAFFIC_SET, scale, seeds)
+    summaries = _summaries(TRAFFIC_SET, scale, seeds, parallel)
     types = ["Request", "Accept", "Inform", "Assign"]
     rows = []
     for name, summary in summaries.items():

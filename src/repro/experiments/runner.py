@@ -11,6 +11,8 @@ samplers behind Figures 1/3/5/6.  Ten-run experiments use seeds
 from __future__ import annotations
 
 import random
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -31,14 +33,19 @@ from ..workload.generator import JobGenerator
 from ..workload.submission import SubmissionProcess, SubmissionSchedule
 from .scale import ScenarioScale
 from .scenario import Scenario
+from .summary import RunSummary
 
 __all__ = ["GridSetup", "RunResult", "build_grid", "run_scenario", "run_scenario_batch"]
 
 #: Reused converged overlays, keyed by (size, overlay seed).  Building the
 #: paper's 500-node bounded-APL overlay takes seconds; all scenarios of an
 #: experiment share the same starting topology per seed, exactly like the
-#: paper's fixed evaluation overlay.
-_OVERLAY_CACHE: Dict[Tuple[int, int], OverlayGraph] = {}
+#: paper's fixed evaluation overlay.  Bounded LRU: sweeps over grid size
+#: would otherwise accumulate one converged overlay per (size, seed)
+#: forever.  Each worker process of the batch engine holds its own copy
+#: (module state is never shared across the spawn boundary).
+_OVERLAY_CACHE: "OrderedDict[Tuple[int, int], OverlayGraph]" = OrderedDict()
+_OVERLAY_CACHE_SIZE = 8
 
 
 def _converged_overlay(size: int, seed: int) -> OverlayGraph:
@@ -50,6 +57,10 @@ def _converged_overlay(size: int, seed: int) -> OverlayGraph:
         rng = random.Random(derive_seed(seed, "overlay.build"))
         cached = build_blatant_overlay(size, rng)
         _OVERLAY_CACHE[key] = cached
+        while len(_OVERLAY_CACHE) > _OVERLAY_CACHE_SIZE:
+            _OVERLAY_CACHE.popitem(last=False)
+    else:
+        _OVERLAY_CACHE.move_to_end(key)
     return cached.copy()
 
 
@@ -89,6 +100,36 @@ class RunResult:
     submission_window: Tuple[float, float]
     final_node_count: int
     executed_events: int
+
+    def summary(self, validate: bool = True) -> RunSummary:
+        """Condense this run into a picklable :class:`RunSummary`.
+
+        This is the documented hand-off point between a live run (agents,
+        simulator, per-job records) and everything downstream — figures,
+        sweeps, comparisons, the batch engine and its on-disk cache all
+        consume summaries.  With ``validate=True`` (the default) the
+        :func:`~repro.experiments.validation.validate_run` verdict is
+        captured in :attr:`RunSummary.violations`.
+        """
+        import dataclasses
+
+        from .validation import validate_run
+
+        return RunSummary.from_metrics(
+            kind="scenario",
+            name=self.scenario.name,
+            seed=self.seed,
+            scale=dataclasses.asdict(self.scale),
+            metrics=self.metrics,
+            traffic=self.traffic,
+            completed_series=self.completed_series,
+            idle_series=self.idle_series,
+            node_count_series=self.node_count_series,
+            submission_window=self.submission_window,
+            final_node_count=self.final_node_count,
+            executed_events=self.executed_events,
+            violations=validate_run(self) if validate else (),
+        )
 
 
 @dataclass
@@ -282,13 +323,34 @@ def build_grid(
     )
 
 
+def _run_scenario(
+    scenario: Scenario,
+    scale: Optional[ScenarioScale] = None,
+    seed: int = 0,
+    config_overrides: Optional[Dict[str, object]] = None,
+) -> RunResult:
+    """Simulate one run of ``scenario`` (internal, non-deprecated impl)."""
+    return build_grid(scenario, scale, seed, config_overrides).run()
+
+
 def run_scenario(
     scenario: Scenario,
     scale: Optional[ScenarioScale] = None,
     seed: int = 0,
 ) -> RunResult:
-    """Simulate one run of ``scenario`` at ``scale`` with ``seed``."""
-    return build_grid(scenario, scale, seed).run()
+    """Simulate one run of ``scenario`` at ``scale`` with ``seed``.
+
+    .. deprecated:: 1.1
+        Use :func:`repro.experiments.run` — the unified entry point for
+        scenarios, baselines, crash and churn experiments.
+    """
+    warnings.warn(
+        "run_scenario() is deprecated; use repro.experiments.run(scenario, "
+        "scale, seed=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_scenario(scenario, scale, seed)
 
 
 def _schedule_expansion(
@@ -333,5 +395,17 @@ def run_scenario_batch(
     scale: Optional[ScenarioScale] = None,
     seeds: Tuple[int, ...] = (0,),
 ) -> List[RunResult]:
-    """Run a scenario once per seed (the paper repeats each 10 times)."""
-    return [run_scenario(scenario, scale, seed) for seed in seeds]
+    """Run a scenario once per seed (the paper repeats each 10 times).
+
+    .. deprecated:: 1.1
+        Use :func:`repro.experiments.run_batch`, which adds process-pool
+        parallelism and an on-disk result cache and returns picklable
+        :class:`RunSummary` objects.
+    """
+    warnings.warn(
+        "run_scenario_batch() is deprecated; use repro.experiments."
+        "run_batch(scenario, scale, seeds=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return [_run_scenario(scenario, scale, seed) for seed in seeds]

@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence
 from ..errors import ConfigurationError
 from .aggregate import ScenarioSummary, summarize_runs
 from .catalog import get_scenario
-from .runner import build_grid
+from .engine import run_batch
 from .scale import ScenarioScale
 
 __all__ = ["SweepPoint", "sweep_scenario_field", "sweep_config_field"]
@@ -41,14 +41,18 @@ class SweepPoint:
     summary: ScenarioSummary
 
 
-def _run_batch(scenario, scale, seeds, config_overrides=None):
+def _sweep_point(
+    scenario, scale, seeds, config_overrides=None, parallel=None
+):
+    """One sweep point via the batch engine (cached, optionally parallel)."""
     return summarize_runs(
-        [
-            build_grid(
-                scenario, scale, seed, config_overrides=config_overrides
-            ).run()
-            for seed in seeds
-        ]
+        run_batch(
+            scenario,
+            scale,
+            seeds=seeds,
+            parallel=parallel,
+            config_overrides=config_overrides,
+        )
     )
 
 
@@ -58,6 +62,7 @@ def sweep_scenario_field(
     values: Sequence[object],
     scale: Optional[ScenarioScale] = None,
     seeds: Sequence[int] = (0,),
+    parallel: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Vary one :class:`Scenario` field (e.g. ``submission_interval``,
     ``inform_count``, ``epsilon``) across ``values``."""
@@ -70,7 +75,11 @@ def sweep_scenario_field(
             base, name=f"{base.name}[{field}={value}]", **{field: value}
         )
         points.append(
-            SweepPoint(field, value, _run_batch(scenario, scale, seeds))
+            SweepPoint(
+                field,
+                value,
+                _sweep_point(scenario, scale, seeds, parallel=parallel),
+            )
         )
     return points
 
@@ -81,6 +90,7 @@ def sweep_config_field(
     values: Sequence[object],
     scale: Optional[ScenarioScale] = None,
     seeds: Sequence[int] = (0,),
+    parallel: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Vary one protocol :class:`~repro.core.AriaConfig` field (e.g.
     ``inform_interval``, ``accept_wait``, ``improvement_threshold``)."""
@@ -98,8 +108,12 @@ def sweep_config_field(
             SweepPoint(
                 field,
                 value,
-                _run_batch(
-                    scenario, scale, seeds, config_overrides={field: value}
+                _sweep_point(
+                    scenario,
+                    scale,
+                    seeds,
+                    config_overrides={field: value},
+                    parallel=parallel,
                 ),
             )
         )

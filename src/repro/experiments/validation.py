@@ -1,8 +1,10 @@
 """Run-level invariant validation.
 
-:func:`validate_run` audits a finished :class:`~repro.experiments.RunResult`
-against the invariants every correct ARiA execution must satisfy — whatever
-the scenario, scale, seed, churn or failure injection:
+:func:`validate_run` audits a finished run — a
+:class:`~repro.experiments.RunResult`, a baseline result, or a condensed
+:class:`~repro.experiments.RunSummary` — against the invariants every
+correct ARiA execution must satisfy — whatever the scenario, scale, seed,
+churn or failure injection:
 
 1. **Conservation** — every submitted job is accounted for exactly once:
    completed, unschedulable, lost to a crash, or still in flight at the
@@ -25,15 +27,25 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..types import NodeId
-from .runner import RunResult
+from .summary import RunSummary
 
 __all__ = ["validate_run"]
 
 _EPSILON = 1e-6
 
 
-def validate_run(result: RunResult) -> List[str]:
-    """Audit one run; returns violation descriptions (empty = clean)."""
+def validate_run(result) -> List[str]:
+    """Audit one run; returns violation descriptions (empty = clean).
+
+    Accepts anything carrying live per-job records — a
+    :class:`~repro.experiments.runner.RunResult` or
+    :class:`~repro.baselines.runner.BaselineRunResult` — or an already
+    condensed :class:`~repro.experiments.summary.RunSummary`, whose
+    verdict was captured when the summary was built (the records
+    themselves no longer exist at that point).
+    """
+    if isinstance(result, RunSummary):
+        return list(result.violations)
     violations: List[str] = []
     metrics = result.metrics
 

@@ -1,0 +1,264 @@
+"""The batch engine: unified specs, determinism, caching, deprecations."""
+
+import dataclasses
+import json
+import warnings
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ChurnPlan,
+    CrashPlan,
+    ResultCache,
+    RunSummary,
+    ScenarioScale,
+    get_scenario,
+    run,
+    run_batch,
+    validate_run,
+)
+from repro.experiments.engine import cache_key, code_version
+
+TINY = ScenarioScale.tiny()
+
+
+@pytest.fixture(scope="module")
+def mixed_batch():
+    """Two serial, uncached runs of the tiny Mixed scenario."""
+    return run_batch(get_scenario("Mixed"), TINY, seeds=(0, 1), cache=False)
+
+
+# ----------------------------------------------------------------------
+# The unified run() entry point
+# ----------------------------------------------------------------------
+def test_run_accepts_scenario_object():
+    result = run(get_scenario("Mixed"), TINY, seed=0)
+    assert result.metrics.completed_jobs > 0
+
+
+def test_run_accepts_scenario_name():
+    by_name = run("Mixed", TINY, seed=0).summary()
+    by_object = run(get_scenario("Mixed"), TINY, seed=0).summary()
+    assert by_name.to_dict() == by_object.to_dict()
+
+
+def test_run_accepts_baseline_name():
+    result = run("centralized", TINY, seed=0)
+    assert result.baseline == "centralized"
+    assert result.metrics.completed_jobs > 0
+
+
+def test_run_accepts_crash_plan():
+    result = run(CrashPlan(), TINY, seed=0, failsafe=True)
+    assert result.metrics.completed_jobs > 0
+
+
+def test_run_accepts_churn_plan():
+    result = run(ChurnPlan(), TINY, seed=0)
+    assert result.metrics.completed_jobs > 0
+
+
+def test_run_rejects_unknown_spec():
+    with pytest.raises(ConfigurationError):
+        run("NoSuchScenarioOrBaseline", TINY)
+    with pytest.raises(ConfigurationError):
+        run(42, TINY)
+
+
+def test_run_rejects_unknown_options():
+    with pytest.raises(ConfigurationError):
+        run(get_scenario("Mixed"), TINY, seed=0, failsafe=True)
+    with pytest.raises(ConfigurationError):
+        run("centralized", TINY, seed=0, config_overrides={})
+
+
+# ----------------------------------------------------------------------
+# Determinism: parallel == serial, batch == single run
+# ----------------------------------------------------------------------
+def test_parallel_batch_bit_identical_to_serial(mixed_batch):
+    parallel = run_batch(
+        get_scenario("Mixed"), TINY, seeds=(0, 1), parallel=2, cache=False
+    )
+    assert [s.to_dict() for s in parallel] == [
+        s.to_dict() for s in mixed_batch
+    ]
+
+
+def test_batch_matches_single_runs(mixed_batch):
+    single = run(get_scenario("Mixed"), TINY, seed=1).summary()
+    assert mixed_batch[1].to_dict() == single.to_dict()
+
+
+def test_batch_preserves_seed_order_and_duplicates():
+    summaries = run_batch(
+        get_scenario("Mixed"), TINY, seeds=(1, 0, 1), cache=False
+    )
+    assert [s.seed for s in summaries] == [1, 0, 1]
+    assert summaries[0].to_dict() == summaries[2].to_dict()
+
+
+# ----------------------------------------------------------------------
+# The result cache
+# ----------------------------------------------------------------------
+def test_cache_hit_on_second_batch(tmp_path):
+    cache = ResultCache(tmp_path)
+    first = run_batch(
+        get_scenario("Mixed"), TINY, seeds=(0, 1), cache=cache
+    )
+    assert (cache.hits, cache.misses, cache.stores) == (0, 2, 2)
+    assert len(cache) == 2
+    second = run_batch(
+        get_scenario("Mixed"), TINY, seeds=(0, 1), cache=cache
+    )
+    assert (cache.hits, cache.misses, cache.stores) == (2, 2, 2)
+    assert [s.to_dict() for s in second] == [s.to_dict() for s in first]
+
+
+def test_cache_misses_on_scenario_field_change(tmp_path):
+    cache = ResultCache(tmp_path)
+    base = get_scenario("Mixed")
+    run_batch(base, TINY, seeds=(0,), cache=cache)
+    changed = dataclasses.replace(base, submission_interval=11.0)
+    run_batch(changed, TINY, seeds=(0,), cache=cache)
+    assert cache.hits == 0
+    assert cache.misses == 2
+    assert len(cache) == 2
+
+
+def test_cache_key_separates_seeds_scales_and_options():
+    base = get_scenario("Mixed")
+    keys = set()
+    for scale, seed, overrides in [
+        (TINY, 0, None),
+        (TINY, 1, None),
+        (ScenarioScale.small(), 0, None),
+        (TINY, 0, {"accept_wait": 30.0}),
+    ]:
+        payload = {
+            "kind": "scenario",
+            "scenario": base.to_dict(),
+            "config_overrides": overrides,
+            "scale": dataclasses.asdict(scale),
+            "seed": seed,
+        }
+        keys.add(cache_key(payload))
+    assert len(keys) == 4
+
+
+def test_corrupt_cache_entry_treated_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_batch(get_scenario("Mixed"), TINY, seeds=(0,), cache=cache)
+    for path in tmp_path.glob("*/*.json"):
+        path.write_text("{not json")
+    again = run_batch(get_scenario("Mixed"), TINY, seeds=(0,), cache=cache)
+    assert cache.misses == 2  # initial + corrupt reload
+    assert again[0].completed_jobs > 0
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_batch(get_scenario("Mixed"), TINY, seeds=(0, 1), cache=cache)
+    assert cache.clear() == 2
+    assert len(cache) == 0
+
+
+def test_code_version_is_stable_and_short():
+    assert code_version() == code_version()
+    assert len(code_version()) == 16
+
+
+# ----------------------------------------------------------------------
+# RunSummary round-trips
+# ----------------------------------------------------------------------
+def test_summary_json_round_trip(tmp_path, mixed_batch):
+    summary = mixed_batch[0]
+    rebuilt = RunSummary.from_dict(
+        json.loads(json.dumps(summary.to_dict()))
+    )
+    assert rebuilt == summary
+    path = tmp_path / "summary.json"
+    summary.save(path)
+    assert RunSummary.load(path) == summary
+
+
+def test_summary_is_validated_and_clean(mixed_batch):
+    assert mixed_batch[0].violations == []
+    assert validate_run(mixed_batch[0]) == []
+
+
+def test_result_summary_matches_validate_run():
+    result = run(get_scenario("Mixed"), TINY, seed=0)
+    assert result.summary().violations == validate_run(result)
+
+
+# ----------------------------------------------------------------------
+# Deprecated entry points still work (and warn)
+# ----------------------------------------------------------------------
+def test_run_scenario_deprecated_but_functional():
+    from repro.experiments import run_scenario
+
+    with pytest.warns(DeprecationWarning):
+        result = run_scenario(get_scenario("Mixed"), TINY, seed=0)
+    assert result.metrics.completed_jobs > 0
+
+
+def test_run_scenario_batch_deprecated_but_functional():
+    from repro.experiments import run_scenario_batch
+
+    with pytest.warns(DeprecationWarning):
+        results = run_scenario_batch(
+            get_scenario("Mixed"), TINY, seeds=(0,)
+        )
+    assert [r.seed for r in results] == [0]
+
+
+def test_run_baseline_deprecated_but_functional():
+    from repro.baselines import run_baseline
+
+    with pytest.warns(DeprecationWarning):
+        result = run_baseline("random", TINY, seed=0)
+    assert result.baseline == "random"
+
+
+def test_run_crash_experiment_deprecated_but_functional():
+    from repro.experiments import run_crash_experiment
+
+    with pytest.warns(DeprecationWarning):
+        result = run_crash_experiment(False, TINY, seed=0)
+    assert result.metrics.completed_jobs > 0
+
+
+def test_run_churn_experiment_deprecated_but_functional():
+    from repro.experiments import run_churn_experiment
+
+    with pytest.warns(DeprecationWarning):
+        result = run_churn_experiment(TINY, 0, ChurnPlan())
+    assert result.metrics.completed_jobs > 0
+
+
+def test_deprecated_wrapper_matches_engine():
+    from repro.experiments import run_scenario
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        old = run_scenario(get_scenario("Mixed"), TINY, seed=0).summary()
+    new = run(get_scenario("Mixed"), TINY, seed=0).summary()
+    assert old.to_dict() == new.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Overlay cache bound (the old unbounded module-level dict)
+# ----------------------------------------------------------------------
+def test_overlay_cache_is_bounded():
+    from repro.experiments.runner import (
+        _OVERLAY_CACHE,
+        _OVERLAY_CACHE_SIZE,
+        _converged_overlay,
+    )
+
+    for seed in range(_OVERLAY_CACHE_SIZE + 4):
+        _converged_overlay(8, seed)
+    assert len(_OVERLAY_CACHE) <= _OVERLAY_CACHE_SIZE
+    # Most-recently-used entries survive the eviction.
+    assert (8, _OVERLAY_CACHE_SIZE + 3) in _OVERLAY_CACHE
