@@ -1,0 +1,190 @@
+"""Hot-path benchmark: events/sec and wall-clock of single simulation runs.
+
+While ``bench_engine.py`` measures *batch* throughput (process pool, result
+cache), this script measures the per-event hot path of one simulated run —
+the kernel dispatch loop, message transport, flooding and cost evaluation.
+It runs one scenario at three scales (tiny / small / medium), reports
+executed events, wall-clock seconds and events/sec, and compares against
+the records stored in ``BENCH_hotpath.json`` so the repository keeps a
+measured performance trajectory across PRs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_hotpath.py                # measure + compare
+    PYTHONPATH=src python scripts/bench_hotpath.py --quick        # tiny+small, 1 rep
+    PYTHONPATH=src python scripts/bench_hotpath.py --record LABEL # append a record
+    PYTHONPATH=src python scripts/bench_hotpath.py --gate 50      # fail if < 50% of
+                                                                  # the latest record
+    PYTHONPATH=src python scripts/bench_hotpath.py --against "pre-PR2 baseline"
+
+Notes
+-----
+* events/sec is ``Simulator.executed_events / wall_s`` for a full run of the
+  scenario (default ``iMixed`` — the INFORM-heavy rescheduling scenario that
+  stresses every hot subsystem).  Each scale runs ``--reps`` times and keeps
+  the best (lowest-noise) wall clock.
+* absolute events/sec is machine-dependent; comparisons are only meaningful
+  against records measured on comparable hardware, which is why the CI gate
+  is deliberately generous (50 %).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.experiments import ScenarioScale, run  # noqa: E402
+
+BENCH_FILE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_hotpath.json",
+)
+
+_SCALES = {
+    "tiny": ScenarioScale.tiny,
+    "small": ScenarioScale.small,
+    "medium": ScenarioScale.medium,
+}
+
+
+def measure_scale(scenario: str, scale_name: str, seed: int, reps: int) -> dict:
+    """Best-of-``reps`` measurement of one scenario run at one scale."""
+    scale = _SCALES[scale_name]()
+    best = None
+    events = 0
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        result = run(scenario, scale, seed=seed)
+        wall = time.perf_counter() - start
+        events = result.executed_events
+        if best is None or wall < best:
+            best = wall
+    return {
+        "executed_events": events,
+        "wall_s": round(best, 4),
+        "events_per_sec": round(events / best, 1),
+    }
+
+
+def load_records(path: str = BENCH_FILE) -> dict:
+    """The benchmark file contents (empty skeleton when absent)."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return {"scenario": None, "records": []}
+
+
+def find_record(document: dict, label: str | None) -> dict | None:
+    """The record named ``label``, or the most recent one when ``None``."""
+    records = document.get("records") or []
+    if not records:
+        return None
+    if label is None:
+        return records[-1]
+    for record in records:
+        if record.get("label") == label:
+            return record
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="iMixed")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny+small only, single rep (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--record",
+        metavar="LABEL",
+        default=None,
+        help="append this measurement to BENCH_hotpath.json under LABEL",
+    )
+    parser.add_argument(
+        "--against",
+        metavar="LABEL",
+        default=None,
+        help="compare against this stored record (default: most recent)",
+    )
+    parser.add_argument(
+        "--gate",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 if any scale's events/sec falls below PCT%% of the "
+        "compared record (e.g. 50)",
+    )
+    parser.add_argument("--json", default=None, help="also write results to this path")
+    args = parser.parse_args(argv)
+
+    scales = ["tiny", "small"] if args.quick else ["tiny", "small", "medium"]
+    reps = 1 if args.quick else args.reps
+
+    print(
+        f"hot-path benchmark: {args.scenario} seed={args.seed} "
+        f"reps={reps} scales={scales}"
+    )
+    current = {}
+    for scale_name in scales:
+        result = measure_scale(args.scenario, scale_name, args.seed, reps)
+        current[scale_name] = result
+        print(
+            f"  {scale_name:<8s} {result['executed_events']:>10,d} events  "
+            f"{result['wall_s']:>8.3f} s  {result['events_per_sec']:>12,.0f} ev/s"
+        )
+
+    document = load_records()
+    if document.get("scenario") is None:
+        document["scenario"] = args.scenario
+    reference = find_record(document, args.against)
+
+    failed = False
+    if reference is not None:
+        print(f"\nvs record {reference['label']!r}:")
+        for scale_name in scales:
+            then = reference.get("scales", {}).get(scale_name)
+            if then is None:
+                continue
+            ratio = current[scale_name]["events_per_sec"] / then["events_per_sec"]
+            flag = ""
+            if args.gate is not None and ratio * 100.0 < args.gate:
+                flag = f"  << below {args.gate:.0f}% gate"
+                failed = True
+            print(
+                f"  {scale_name:<8s} {then['events_per_sec']:>12,.0f} -> "
+                f"{current[scale_name]['events_per_sec']:>12,.0f} ev/s "
+                f"({ratio:5.2f}x){flag}"
+            )
+    else:
+        print("\nno stored record to compare against")
+
+    if args.record:
+        document.setdefault("records", []).append(
+            {"label": args.record, "seed": args.seed, "scales": current}
+        )
+        with open(BENCH_FILE, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"\nrecorded {args.record!r} in {BENCH_FILE}")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"scenario": args.scenario, "scales": current}, handle, indent=2)
+            handle.write("\n")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,7 @@ from .experiments import (
     ScenarioScale,
     get_scenario,
     render_table,
+    run,
     run_batch,
     summarize_runs,
 )
@@ -109,9 +110,18 @@ def _cmd_list(_args) -> int:
 def _cmd_run(args) -> int:
     scale, seeds = _scale_and_seeds(args)
     scenario = get_scenario(args.scenario)
-    summary = summarize_runs(
-        run_batch(scenario, scale, seeds=seeds, **_engine_kwargs(args))
-    )
+    if args.profile:
+        # Profiling must observe the actual simulation, so the seeds run
+        # serially in-process and bypass the result cache.
+        summaries = [
+            run(scenario, scale, seed=seed, profile=True).summary()
+            for seed in seeds
+        ]
+    else:
+        summaries = run_batch(
+            scenario, scale, seeds=seeds, **_engine_kwargs(args)
+        )
+    summary = summarize_runs(summaries)
     rows = [
         ["completed jobs", fmt_opt(summary.completed_jobs, ".1f")],
         ["unschedulable", fmt_opt(summary.unschedulable_jobs, ".1f")],
@@ -257,6 +267,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="simulate one scenario")
     run_parser.add_argument("scenario", choices=sorted(SCENARIOS))
     _add_common(run_parser)
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a cProfile report (top 20 by cumulative time) per "
+        "seed; runs serially in-process and bypasses the cache",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     figure_parser = sub.add_parser("figure", help="regenerate a paper figure")

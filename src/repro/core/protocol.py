@@ -99,9 +99,17 @@ class AriaAgent:
         rng: Optional[random.Random] = None,
     ) -> None:
         self.node = node
+        #: The node's id, mirrored as a plain attribute: it is immutable and
+        #: read on every hop of every flooded message.
+        self.node_id = node.node_id
         self.transport = transport
         self.graph = graph
         self.config = config
+        # Hot-path mirrors of frozen config scalars (attribute chains like
+        # ``self.config.inform_flood.fanout`` add up over 10^5 relays).
+        self._inform_fanout = config.inform_flood.fanout
+        self._request_fanout = config.request_flood.fanout
+        self._improvement_threshold = config.improvement_threshold
         self.metrics = metrics
         self.sim = node.sim
         self._rng = rng if rng is not None else self.sim.streams.get("aria")
@@ -122,6 +130,23 @@ class AriaAgent:
         self.leaving = False
         self.departed = False
         self._depart_timer: Optional[Event] = None
+        #: Static host-match cache.  Scheduler family and profile matching
+        #: are pure functions of the (frozen) job descriptor and this
+        #: node's fixed profile/scheduler, so the verdict is computed once
+        #: per job id; liveness (leaving/failed) stays outside the cache.
+        self._match_cache: Dict[JobId, bool] = {}
+        #: Message dispatch by exact type — one dict lookup per delivery
+        #: instead of an isinstance chain.
+        self._dispatch = {
+            Request: self._handle_request,
+            Accept: self._handle_accept,
+            Inform: self._handle_inform,
+            Assign: self._handle_assign,
+            Track: self._handle_track,
+            Probe: self._handle_probe,
+            ProbeReply: self._handle_probe_reply,
+            Done: self._handle_done,
+        }
         transport.register(node.node_id, self._on_message)
         node.on_job_started.append(self._on_job_started)
         node.on_job_finished.append(self._on_job_finished)
@@ -129,10 +154,6 @@ class AriaAgent:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    @property
-    def node_id(self) -> NodeId:
-        return self.node.node_id
-
     def start(self) -> None:
         """Begin the periodic protocol activities.
 
@@ -368,35 +389,31 @@ class AriaAgent:
     # Message dispatch
     # ------------------------------------------------------------------
     def _on_message(self, src: NodeId, message: Message) -> None:
-        if isinstance(message, Request):
-            self._handle_request(src, message)
-        elif isinstance(message, Accept):
-            self._handle_accept(src, message)
-        elif isinstance(message, Inform):
-            self._handle_inform(src, message)
-        elif isinstance(message, Assign):
-            self._handle_assign(src, message)
-        elif isinstance(message, Track):
-            self._handle_track(message)
-        elif isinstance(message, Probe):
-            # A job in a pending hand-off discovery counts as held: the
-            # leaving node is still responsible for it, and reporting
-            # otherwise would trigger a spurious fail-safe resubmission.
-            holds = (
-                self.node.holds_job(message.job_id)
-                or message.job_id in self._pending
-            )
-            self.transport.send(
-                self.node_id,
-                message.initiator,
-                ProbeReply(message.job_id, holds),
-            )
-        elif isinstance(message, ProbeReply):
-            self._handle_probe_reply(message)
-        elif isinstance(message, Done):
-            self._untrack(message.job_id)
-        else:  # pragma: no cover - defensive
+        handler = self._dispatch.get(message.__class__)
+        if handler is None:  # pragma: no cover - defensive
             raise ProtocolError(f"unexpected message {message!r}")
+        handler(src, message)
+
+    def _handle_probe(self, src: NodeId, message: Probe) -> None:
+        """Answer a fail-safe liveness probe.
+
+        A job in a pending hand-off discovery counts as held: the leaving
+        node is still responsible for it, and reporting otherwise would
+        trigger a spurious fail-safe resubmission.
+        """
+        holds = (
+            self.node.holds_job(message.job_id)
+            or message.job_id in self._pending
+        )
+        self.transport.send(
+            self.node_id,
+            message.initiator,
+            ProbeReply(message.job_id, holds),
+        )
+
+    def _handle_done(self, src: NodeId, message: Done) -> None:
+        """A tracked job finished remotely: stop tracking it."""
+        self._untrack(message.job_id)
 
     def _hosts_family(self, job: Job) -> bool:
         """Scheduler-family match: deadline jobs on deadline schedulers,
@@ -410,6 +427,19 @@ class AriaAgent:
             return self.node.scheduler.supports_reservations
         return True
 
+    def _static_match(self, job: Job) -> bool:
+        """Cached family + profile verdict for ``job`` on this node.
+
+        Both inputs are immutable (jobs and :class:`NodeProfile` are frozen
+        dataclasses; a node's scheduler is fixed at construction), so the
+        result is memoised per job id.
+        """
+        cached = self._match_cache.get(job.job_id)
+        if cached is None:
+            cached = self._hosts_family(job) and self.node.can_execute(job)
+            self._match_cache[job.job_id] = cached
+        return cached
+
     def _can_host(self, job: Job) -> bool:
         """Whether this node may *offer* to execute ``job`` right now.
 
@@ -419,7 +449,7 @@ class AriaAgent:
         """
         if self.leaving or self.failed:
             return False
-        return self._hosts_family(job) and self.node.can_execute(job)
+        return self._static_match(job)
 
     # ------------------------------------------------------------------
     # Phase 2: acceptance
@@ -441,19 +471,17 @@ class AriaAgent:
         if message.hops_left <= 0:
             return
         relayed = Request(
-            initiator=message.initiator,
-            job=message.job,
-            hops_left=message.hops_left - 1,
-            broadcast_id=message.broadcast_id,
+            message.initiator,
+            message.job,
+            message.hops_left - 1,
+            message.broadcast_id,
         )
+        node_id = self.node_id
+        send = self.transport.send
         for target in choose_targets(
-            self.graph,
-            self.node_id,
-            self.config.request_flood.fanout,
-            self._rng,
-            exclude=src,
+            self.graph, node_id, self._request_fanout, self._rng, exclude=src
         ):
-            self.transport.send(self.node_id, target, relayed)
+            send(node_id, target, relayed)
 
     def _handle_accept(self, src: NodeId, message: Accept) -> None:
         pending = self._pending.get(message.job_id)
@@ -466,30 +494,29 @@ class AriaAgent:
     # Phase 3: dynamic rescheduling
     # ------------------------------------------------------------------
     def _inform_round(self) -> None:
-        """Advertise up to ``inform_count`` waiting jobs (assignee side)."""
+        """Advertise up to ``inform_count`` waiting jobs (assignee side).
+
+        ``now`` and ``running_remaining`` are hoisted out of the loop: both
+        are constant within one event, so every candidate's quote reuses
+        the scheduler's ``(version, now, running_remaining)``-keyed caches.
+        """
+        scheduler = self.node.scheduler
+        now = self.sim.now
+        running_remaining = self.node.running_remaining()
         candidates = select_inform_candidates(
-            self.node.scheduler,
-            self.config.inform_count,
-            self.sim.now,
-            self.node.running_remaining(),
+            scheduler, self.config.inform_count, now, running_remaining
         )
         policy = self.config.inform_flood
+        hops_left = policy.max_hops - 1
         self.metrics.inform_broadcasts += len(candidates)
         for entry in candidates:
             cost = current_queue_cost(
-                self.node.scheduler,
-                entry.job.job_id,
-                self.sim.now,
-                self.node.running_remaining(),
+                scheduler, entry.job.job_id, now, running_remaining
             )
             broadcast_id = self._next_broadcast_id()
             self._seen_informs.seen_before(broadcast_id)
             message = Inform(
-                assignee=self.node_id,
-                job=entry.job,
-                cost=cost,
-                hops_left=policy.max_hops - 1,
-                broadcast_id=broadcast_id,
+                self.node_id, entry.job, cost, hops_left, broadcast_id
             )
             for target in choose_targets(
                 self.graph, self.node_id, policy.fanout, self._rng
@@ -497,17 +524,18 @@ class AriaAgent:
                 self.transport.send(self.node_id, target, message)
 
     def _handle_inform(self, src: NodeId, message: Inform) -> None:
+        node_id = self.node_id
         if self._seen_informs.seen_before(message.broadcast_id):
             return
-        if message.assignee == self.node_id:
+        if message.assignee == node_id:
             return
         if self._can_host(message.job):
             cost = self.node.cost_for(message.job)
-            if cost < message.cost - self.config.improvement_threshold:
+            if cost < message.cost - self._improvement_threshold:
                 self.transport.send(
-                    self.node_id,
+                    node_id,
                     message.assignee,
-                    Accept(self.node_id, message.job.job_id, cost),
+                    Accept(node_id, message.job.job_id, cost),
                 )
                 return  # answering nodes do not relay
         self._relay_inform(src, message)
@@ -516,20 +544,18 @@ class AriaAgent:
         if message.hops_left <= 0:
             return
         relayed = Inform(
-            assignee=message.assignee,
-            job=message.job,
-            cost=message.cost,
-            hops_left=message.hops_left - 1,
-            broadcast_id=message.broadcast_id,
+            message.assignee,
+            message.job,
+            message.cost,
+            message.hops_left - 1,
+            message.broadcast_id,
         )
+        node_id = self.node_id
+        send = self.transport.send
         for target in choose_targets(
-            self.graph,
-            self.node_id,
-            self.config.inform_flood.fanout,
-            self._rng,
-            exclude=src,
+            self.graph, node_id, self._inform_fanout, self._rng, exclude=src
         ):
-            self.transport.send(self.node_id, target, relayed)
+            send(node_id, target, relayed)
 
     def _consider_reschedule_offer(self, message: Accept) -> None:
         """Assignee side: a node offers to take one of our waiting jobs."""
@@ -554,7 +580,7 @@ class AriaAgent:
     # ------------------------------------------------------------------
     def _handle_assign(self, src: NodeId, message: Assign) -> None:
         job = message.job
-        if not self._hosts_family(job) or not self.node.can_execute(job):
+        if not self._static_match(job):
             raise ProtocolError(
                 f"node {self.node_id} received job {job.job_id} it cannot "
                 "host — nodes may not decline accepted jobs (§III-A)"
@@ -601,7 +627,8 @@ class AriaAgent:
         if timeout is not None:
             self.sim.cancel(timeout)
 
-    def _handle_track(self, message: Track) -> None:
+    def _handle_track(self, src: NodeId, message: Track) -> None:
+        """Update the believed assignee of a tracked job."""
         entry = self._tracked.get(message.job_id)
         if entry is None:
             return
@@ -623,7 +650,8 @@ class AriaAgent:
                 self.config.probe_timeout, self._probe_missed, job_id
             )
 
-    def _handle_probe_reply(self, message: ProbeReply) -> None:
+    def _handle_probe_reply(self, src: NodeId, message: ProbeReply) -> None:
+        """Process a probe answer; two consecutive misses resubmit."""
         timeout = self._probe_timeouts.pop(message.job_id, None)
         if timeout is not None:
             self.sim.cancel(timeout)

@@ -58,13 +58,7 @@ def current_queue_cost(
     assignee compares incoming rescheduling ACCEPTs against.  For batch
     schedulers it is the job's ETTC within the *current* queue; for
     deadline schedulers it is the NAL of the current queue (the same
-    whole-queue quantity a remote EDF node quotes).
+    whole-queue quantity a remote EDF node quotes).  Delegates to the
+    scheduler's cached :meth:`~repro.scheduling.LocalScheduler.queue_cost_of`.
     """
-    order = scheduler.ordered_queue()
-    if scheduler.kind == DEADLINE:
-        from ..scheduling.costs import nal
-
-        return nal(order, now, running_remaining)
-    from ..scheduling.costs import ettc
-
-    return ettc(order, job_id, now, running_remaining)
+    return scheduler.queue_cost_of(job_id, now, running_remaining)

@@ -76,12 +76,19 @@ def code_version() -> str:
     Hashing file contents (not mtimes, not git state) means any source
     edit — including uncommitted ones — invalidates cached results, while
     re-checkouts of identical code keep hitting.
+
+    Interpreter artifacts (``__pycache__`` directories, ``.pyc`` files) are
+    excluded: they vary with the Python version and with *when* modules
+    were imported, which would make the version hash unstable across
+    otherwise identical checkouts.
     """
     global _code_version_cache
     if _code_version_cache is None:
         package_root = Path(__file__).resolve().parent.parent
         digest = hashlib.sha256()
         for path in sorted(package_root.rglob("*.py")):
+            if "__pycache__" in path.parts or path.suffix == ".pyc":
+                continue
             digest.update(path.relative_to(package_root).as_posix().encode())
             digest.update(b"\0")
             digest.update(path.read_bytes())
@@ -332,6 +339,7 @@ def run(
     scale: Optional[ScenarioScale] = None,
     *,
     seed: int = 0,
+    profile: bool = False,
     **options,
 ):
     """One run of any experiment spec; returns the live result object.
@@ -343,6 +351,10 @@ def run(
     (baseline); ``failsafe`` / ``scenario_name`` / ``probe_interval``
     (crash); ``failsafe`` / ``scenario_name`` (churn).
 
+    With ``profile=True`` the run executes under :mod:`cProfile` and the
+    top 20 functions by cumulative time are printed to stderr afterwards
+    (the simulated outcome is unaffected — profiling only observes).
+
     Returns a :class:`~repro.experiments.runner.RunResult` (scenario,
     crash, churn) or :class:`~repro.baselines.runner.BaselineRunResult`
     (baseline); call ``.summary()`` on either for the picklable hand-off.
@@ -351,7 +363,21 @@ def run(
     payload = _spec_payload(spec, options)
     payload["scale"] = dataclasses.asdict(scale)
     payload["seed"] = seed
-    return _run_payload(payload)
+    if not profile:
+        return _run_payload(payload)
+    import cProfile
+    import pstats
+    import sys
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = _run_payload(payload)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
+    return result
 
 
 def run_batch(

@@ -36,6 +36,8 @@ __all__ = [
 class LatencyModel:
     """Interface: sample a one-way delay in seconds for a (src, dst) pair."""
 
+    __slots__ = ()
+
     def sample(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
         """One-way delay in seconds for a message ``src`` -> ``dst``."""
         raise NotImplementedError
@@ -43,6 +45,8 @@ class LatencyModel:
 
 class ConstantLatency(LatencyModel):
     """Every message takes exactly ``delay`` seconds."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, delay: float = 0.025) -> None:
         if delay < 0:
@@ -56,6 +60,8 @@ class ConstantLatency(LatencyModel):
 
 class UniformLatency(LatencyModel):
     """Delay drawn uniformly from ``[low, high]`` for every message."""
+
+    __slots__ = ("low", "high")
 
     def __init__(self, low: float = 0.01, high: float = 0.05) -> None:
         if not 0 <= low <= high:
@@ -82,6 +88,8 @@ class PairwiseLogNormalLatency(LatencyModel):
         Per-message jitter, uniform in ``[0, jitter]`` seconds.
     """
 
+    __slots__ = ("mu", "sigma", "jitter", "_base")
+
     def __init__(
         self, median: float = 0.025, sigma: float = 0.5, jitter: float = 0.005
     ) -> None:
@@ -105,7 +113,13 @@ class PairwiseLogNormalLatency(LatencyModel):
 
     def sample(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
         """The pair's cached base delay plus per-message jitter."""
-        base = self._base_delay(src, dst, rng)
-        if self.jitter:
-            return base + rng.uniform(0.0, self.jitter)
+        # _base_delay inlined: this runs once per delivered message.
+        key = (src, dst) if src <= dst else (dst, src)
+        base = self._base.get(key)
+        if base is None:
+            base = rng.lognormvariate(self.mu, self.sigma)
+            self._base[key] = base
+        jitter = self.jitter
+        if jitter:
+            return base + rng.uniform(0.0, jitter)
         return base

@@ -16,6 +16,8 @@ __all__ = ["TrafficMonitor", "TrafficReport"]
 class TrafficMonitor:
     """Accumulates message counts and byte totals keyed by message type."""
 
+    __slots__ = ("bytes_by_type", "count_by_type")
+
     def __init__(self) -> None:
         self.bytes_by_type: Dict[str, int] = {}
         self.count_by_type: Dict[str, int] = {}

@@ -11,13 +11,14 @@ silently dropped on delivery, mirroring a real datagram overlay.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, Dict, Optional
 
 from ..errors import ConfigurationError
 from ..sim import Simulator
 from ..types import NodeId
 from .latency import LatencyModel, PairwiseLogNormalLatency
-from .message import Message, wire_size
+from .message import Message
 from .traffic import TrafficMonitor
 
 __all__ = ["Transport"]
@@ -28,6 +29,18 @@ Handler = Callable[[NodeId, Message], None]
 
 class Transport:
     """Delivers messages between registered nodes with simulated latency."""
+
+    __slots__ = (
+        "_sim",
+        "_latency",
+        "monitor",
+        "_handlers",
+        "_rng",
+        "_loss_rng",
+        "loss_probability",
+        "dropped",
+        "lost",
+    )
 
     def __init__(
         self,
@@ -73,10 +86,26 @@ class Transport:
         asynchronous: they are scheduled at the current time so handlers
         never re-enter each other, and they do not count as network traffic.
         """
+        # Hot path: the event-queue push and the traffic accounting are
+        # inlined (one send per delivered message makes the method-call
+        # overhead of EventQueue.push / TrafficMonitor.record measurable).
+        # Delays from latency models are never negative, so a push at
+        # ``now + delay`` can never land in the past.
+        sim = self._sim
+        queue = sim._queue
         if src == dst:
-            self._sim.call_after(0.0, self._deliver, src, dst, message)
+            entry = [sim._now, 0, queue._seq, self._deliver, (src, dst, message)]
+            queue._seq += 1
+            heappush(queue._heap, entry)
+            queue._live += 1
             return
-        self.monitor.record(message.type_name(), wire_size(message))
+        cls = message.__class__
+        name = cls.__name__
+        monitor = self.monitor
+        by_bytes = monitor.bytes_by_type
+        by_bytes[name] = by_bytes.get(name, 0) + cls.SIZE_BYTES
+        by_count = monitor.count_by_type
+        by_count[name] = by_count.get(name, 0) + 1
         if (
             self.loss_probability
             and self._loss_rng.random() < self.loss_probability
@@ -84,7 +113,12 @@ class Transport:
             self.lost += 1  # sent (and accounted) but never delivered
             return
         delay = self._latency.sample(src, dst, self._rng)
-        self._sim.call_after(delay, self._deliver, src, dst, message)
+        entry = [
+            sim._now + delay, 0, queue._seq, self._deliver, (src, dst, message)
+        ]
+        queue._seq += 1
+        heappush(queue._heap, entry)
+        queue._live += 1
 
     def _deliver(self, src: NodeId, dst: NodeId, message: Message) -> None:
         handler = self._handlers.get(dst)

@@ -2,7 +2,7 @@
 
 from .ants import DiscoveryAnt, PruningAnt, random_walk
 from .blatant import BlatantConfig, BlatantMaintainer, build_blatant_overlay
-from .flooding import FloodPolicy, SeenCache, choose_targets
+from .flooding import FloodPolicy, FloodReach, SeenCache, choose_targets
 from .graph import OverlayGraph
 from .metrics import (
     average_path_length,
@@ -24,6 +24,7 @@ __all__ = [
     "BlatantMaintainer",
     "DiscoveryAnt",
     "FloodPolicy",
+    "FloodReach",
     "OverlayGraph",
     "PruningAnt",
     "SeenCache",

@@ -16,13 +16,13 @@ from __future__ import annotations
 import random
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Set
 
 from ..errors import ConfigurationError
 from ..types import NodeId
 from .graph import OverlayGraph
 
-__all__ = ["FloodPolicy", "choose_targets", "SeenCache"]
+__all__ = ["FloodPolicy", "FloodReach", "choose_targets", "SeenCache"]
 
 
 @dataclass(frozen=True)
@@ -52,7 +52,14 @@ def choose_targets(
     when other neighbours exist, which avoids trivially bouncing messages
     back and forth.
     """
-    neighbors = graph.neighbors(node)
+    # The cached view avoids a fresh list per flooded message; random.sample
+    # draws identically from a tuple and a list of the same contents.  The
+    # cache dict is probed directly — one method call per relayed message
+    # adds up — falling back to neighbors_view() on a miss (which also
+    # raises TopologyError for unknown nodes).
+    neighbors = graph._views.get(node)
+    if neighbors is None:
+        neighbors = graph.neighbors_view(node)
     if exclude is not None and len(neighbors) > 1:
         neighbors = [n for n in neighbors if n != exclude]
     if len(neighbors) <= fanout:
@@ -63,6 +70,8 @@ def choose_targets(
 class SeenCache:
     """Bounded LRU set of message identifiers for duplicate suppression."""
 
+    __slots__ = ("_capacity", "_entries")
+
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
@@ -71,12 +80,13 @@ class SeenCache:
 
     def seen_before(self, key: Hashable) -> bool:
         """Record ``key``; return ``True`` if it had been recorded already."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
             return True
-        self._entries[key] = None
-        if len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+        entries[key] = None
+        if len(entries) > self._capacity:
+            entries.popitem(last=False)
         return False
 
     def __contains__(self, key: Hashable) -> bool:
@@ -84,3 +94,69 @@ class SeenCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+class FloodReach:
+    """Reusable evaluator of the node set a selective flood reaches.
+
+    Computes, level by level, which nodes receive a flood started at an
+    initiator under a :class:`FloodPolicy` — the same dissemination shape
+    the protocol agents produce (each node relays to ``fanout`` random
+    neighbours excluding the hop it heard from, for at most ``max_hops``
+    hops, duplicates suppressed).
+
+    The evaluator is built for repeated calls (e.g. sweeping initiators to
+    measure coverage): the visited set and the two frontier buffers are
+    allocated once and reused across :meth:`reach` calls via a generation
+    stamp, so a sweep over thousands of initiators does no per-call
+    allocation beyond the result set.
+    """
+
+    __slots__ = ("_stamp", "_visited", "_frontier", "_next")
+
+    def __init__(self) -> None:
+        self._stamp = 0
+        self._visited: Dict[NodeId, int] = {}
+        self._frontier: List[tuple] = []
+        self._next: List[tuple] = []
+
+    def reach(
+        self,
+        graph: OverlayGraph,
+        initiator: NodeId,
+        policy: FloodPolicy,
+        rng: random.Random,
+    ) -> Set[NodeId]:
+        """Nodes (including ``initiator``) reached by one flood.
+
+        ``rng`` drives the per-hop neighbour sampling; seeding it
+        identically replays the identical flood.
+        """
+        stamp = self._stamp = self._stamp + 1
+        visited = self._visited
+        frontier = self._frontier
+        next_frontier = self._next
+        frontier.clear()
+        next_frontier.clear()
+
+        visited[initiator] = stamp
+        reached = {initiator}
+        # The initiator's own send excludes nobody (it has no previous hop).
+        frontier.append((initiator, None))
+        for _ in range(policy.max_hops):
+            if not frontier:
+                break
+            for node, came_from in frontier:
+                for target in choose_targets(
+                    graph, node, policy.fanout, rng, exclude=came_from
+                ):
+                    if visited.get(target) == stamp:
+                        continue
+                    visited[target] = stamp
+                    reached.add(target)
+                    next_frontier.append((target, node))
+            frontier, next_frontier = next_frontier, frontier
+            next_frontier.clear()
+        self._frontier = frontier
+        self._next = next_frontier
+        return reached

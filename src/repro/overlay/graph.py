@@ -21,12 +21,17 @@ class OverlayGraph:
     """An undirected graph keyed by :class:`~repro.types.NodeId`.
 
     Neighbour lists are kept in insertion order (Python dicts) so that a
-    seeded simulation replays identically.
+    seeded simulation replays identically.  Per-node neighbour tuples are
+    cached (:meth:`neighbors_view`) and invalidated on mutation, so the
+    flooding hot path never re-materializes an unchanged adjacency list.
     """
+
+    __slots__ = ("_adj", "_link_count", "_views")
 
     def __init__(self) -> None:
         self._adj: Dict[NodeId, Dict[NodeId, None]] = {}
         self._link_count = 0
+        self._views: Dict[NodeId, Tuple[NodeId, ...]] = {}
 
     # ------------------------------------------------------------------
     # Nodes
@@ -42,8 +47,11 @@ class OverlayGraph:
         neighbors = self._adj.pop(node, None)
         if neighbors is None:
             raise TopologyError(f"node {node} not in overlay")
+        views = self._views
+        views.pop(node, None)
         for other in neighbors:
             del self._adj[other][node]
+            views.pop(other, None)
         self._link_count -= len(neighbors)
 
     def has_node(self, node: NodeId) -> bool:
@@ -78,6 +86,8 @@ class OverlayGraph:
             return False
         self._adj[a][b] = None
         self._adj[b][a] = None
+        self._views.pop(a, None)
+        self._views.pop(b, None)
         self._link_count += 1
         return True
 
@@ -88,6 +98,8 @@ class OverlayGraph:
             raise TopologyError(f"no link {a}--{b}")
         del self._adj[a][b]
         del self._adj[b][a]
+        self._views.pop(a, None)
+        self._views.pop(b, None)
         self._link_count -= 1
 
     def has_link(self, a: NodeId, b: NodeId) -> bool:
@@ -96,11 +108,25 @@ class OverlayGraph:
         return adj is not None and b in adj
 
     def neighbors(self, node: NodeId) -> List[NodeId]:
-        """Neighbour ids of ``node``, in link-insertion order."""
+        """Neighbour ids of ``node``, in link-insertion order (fresh list)."""
+        return list(self.neighbors_view(node))
+
+    def neighbors_view(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """Cached immutable neighbour tuple of ``node`` (insertion order).
+
+        The tuple is shared across calls until a mutation touches ``node``,
+        so hot paths (flood target selection) avoid allocating a fresh list
+        per message.  Callers must not rely on identity across mutations.
+        """
+        view = self._views.get(node)
+        if view is not None:
+            return view
         adj = self._adj.get(node)
         if adj is None:
             raise TopologyError(f"node {node} not in overlay")
-        return list(adj)
+        view = tuple(adj)
+        self._views[node] = view
+        return view
 
     def degree(self, node: NodeId) -> int:
         """Number of links incident to ``node``."""
@@ -135,4 +161,5 @@ class OverlayGraph:
         clone = OverlayGraph()
         clone._adj = {node: dict(adj) for node, adj in self._adj.items()}
         clone._link_count = self._link_count
+        clone._views = {}
         return clone

@@ -59,20 +59,24 @@ class ReservationScheduler(BatchScheduler):
 
     name = "RESERVATION"
     supports_reservations = True
+    # Reservation ETTC depends on idle gaps, not just the prefix fold, so
+    # cost probes use the reference path below; probe_mode is irrelevant.
 
     def pop_next(self, now: float = float("inf")) -> Optional[QueuedJob]:
+        """Pop the head unless its reservation still holds the machine."""
         if not self._queue:
             return None
-        head = self.execution_order(self._queue)[0]
+        head = self._ordered()[0]
         if not head.job.eligible_at(now):
             return None  # the machine is being held for the reservation
-        self._queue.remove(head)
+        self._remove_entry(head)
         return head
 
     def next_wakeup(self, now: float) -> Optional[float]:
+        """The head's reservation time, when it is what blocks the queue."""
         if not self._queue:
             return None
-        head = self.execution_order(self._queue)[0]
+        head = self._ordered()[0]
         if head.job.eligible_at(now):
             return None
         return head.job.not_before
@@ -80,6 +84,7 @@ class ReservationScheduler(BatchScheduler):
     def cost_of(
         self, job: "Job", ertp: float, now: float, running_remaining: float
     ) -> float:
+        """ETTC of ``job`` under reservation-aware completion times."""
         order = self.hypothetical_order(job, ertp)
         etcs = reservation_completion_times(order, now, running_remaining)
         for entry, etc in zip(order, etcs):
@@ -102,17 +107,18 @@ class BackfillScheduler(ReservationScheduler):
     name = "BACKFILL"
 
     def pop_next(self, now: float = float("inf")) -> Optional[QueuedJob]:
+        """Pop the head, or the earliest job that fits the reservation gap."""
         if not self._queue:
             return None
-        order = self.execution_order(self._queue)
+        order = self._ordered()
         head = order[0]
         if head.job.eligible_at(now):
-            self._queue.remove(head)
+            self._remove_entry(head)
             return head
         gap = head.job.not_before - now
         for entry in order[1:]:
             if entry.job.eligible_at(now) and entry.ertp <= gap:
-                self._queue.remove(entry)
+                self._remove_entry(entry)
                 return entry
         return None
 

@@ -1,9 +1,27 @@
-"""Event primitives for the discrete-event kernel.
+"""Slab event entries for the discrete-event kernel.
 
-An :class:`Event` is a callback bound to a point in simulated time.  Events
-are ordered by ``(time, priority, sequence)``; the sequence number makes the
-ordering total and deterministic, which keeps whole simulations reproducible
-from a single seed.
+The kernel executes millions of events per run (REQUEST floods, INFORM
+rounds, message deliveries), so the event queue is built for throughput:
+
+* **Slab entries, not event objects.**  A scheduled event is a plain
+  5-slot list ``[time, priority, seq, callback, args]`` (indices
+  :data:`TIME` .. :data:`ARGS`).  List entries compare lexicographically in
+  C — ``(time, priority, seq)`` decides the order and the monotonically
+  increasing ``seq`` makes it total before the (incomparable) callback slot
+  is ever reached.  This removes the per-comparison Python ``__lt__``
+  frames that dominated the previous object-based heap.
+* **Lazy cancellation.**  Cancelling clears the callback slot in place
+  (``entry[CALLBACK] = None``) and drops the args reference; the entry
+  stays in the heap and is skipped when popped.  Cancellation is O(1) and
+  never does linear-time heap surgery.
+
+Ordering contract (relied upon by every seeded experiment): events execute
+by ``(time, priority, insertion order)``; equal times and priorities run in
+exactly the order they were pushed.
+
+:data:`Event` is the handle type callers hold — it *is* the slab entry.
+Treat it as opaque outside this package: schedule through
+:class:`~repro.sim.Simulator` and cancel through ``Simulator.cancel``.
 """
 
 from __future__ import annotations
@@ -11,51 +29,36 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
-__all__ = ["Event", "EventQueue"]
+__all__ = [
+    "ARGS",
+    "CALLBACK",
+    "Event",
+    "EventQueue",
+    "PRIORITY",
+    "SEQ",
+    "TIME",
+    "is_cancelled",
+]
+
+#: Slab entry slot indices.
+TIME, PRIORITY, SEQ, CALLBACK, ARGS = 0, 1, 2, 3, 4
+
+#: An event handle: the slab entry itself (a plain 5-slot list).
+Event = list
 
 
-class Event:
-    """A scheduled callback.
-
-    Events support cancellation: a cancelled event stays in the heap but is
-    skipped when popped, which is O(1) and avoids linear-time heap surgery.
-    """
-
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
-
-    def __init__(
-        self,
-        time: float,
-        seq: int,
-        callback: Callable[..., Any],
-        args: tuple = (),
-        priority: int = 0,
-    ) -> None:
-        self.time = time
-        self.priority = priority
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
-
-    def cancel(self) -> None:
-        """Mark the event so the kernel skips it when its time comes."""
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = " cancelled" if self.cancelled else ""
-        return f"<Event t={self.time:.3f} seq={self.seq}{state} {self.callback!r}>"
+def is_cancelled(entry: Event) -> bool:
+    """Whether ``entry`` has been cancelled (callback slot cleared)."""
+    return entry[CALLBACK] is None
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`Event` objects."""
+    """A deterministic min-heap of slab event entries.
+
+    ``push`` returns the entry, which doubles as the cancellation handle;
+    ``pop`` skips lazily cancelled entries.  ``len()`` counts only live
+    (non-cancelled) events.
+    """
 
     __slots__ = ("_heap", "_seq", "_live")
 
@@ -77,31 +80,41 @@ class EventQueue:
         args: tuple = (),
         priority: int = 0,
     ) -> Event:
-        """Schedule ``callback(*args)`` at ``time``; returns the event."""
-        event = Event(time, self._seq, callback, args, priority)
+        """Schedule ``callback(*args)`` at ``time``; returns the slab entry."""
+        entry = [time, priority, self._seq, callback, args]
         self._seq += 1
         self._live += 1
-        heapq.heappush(self._heap, event)
-        return event
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def cancel(self, entry: Event) -> bool:
+        """Cancel ``entry`` in place; returns ``False`` if already cancelled.
+
+        The entry stays in the heap (lazy cancellation) and is skipped when
+        its time comes; its args tuple is released immediately.
+        """
+        if entry[CALLBACK] is None:
+            return False
+        entry[CALLBACK] = None
+        entry[ARGS] = ()
+        self._live -= 1
+        return True
 
     def pop(self) -> Optional[Event]:
-        """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
+        """Pop the next live entry, or ``None`` if the queue is empty."""
         heap = self._heap
+        heappop = heapq.heappop
         while heap:
-            event = heapq.heappop(heap)
-            if event.cancelled:
+            entry = heappop(heap)
+            if entry[3] is None:  # lazily cancelled
                 continue
             self._live -= 1
-            return event
+            return entry
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event without removing it."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][3] is None:
             heapq.heappop(heap)
-        return heap[0].time if heap else None
-
-    def notify_cancelled(self) -> None:
-        """Account for one externally cancelled event (see :meth:`Event.cancel`)."""
-        self._live -= 1
+        return heap[0][0] if heap else None

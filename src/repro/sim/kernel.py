@@ -11,10 +11,20 @@ Typical usage::
     sim.call_at(10.0, handler, payload)
     sim.call_after(5.0, other_handler)
     sim.run_until(3600.0)
+
+Ordering semantics
+------------------
+Events execute in ``(time, priority, insertion order)`` order: earlier
+times first, then lower ``priority`` values, then first-scheduled-first.
+Scheduling *exactly at* ``now`` is allowed — the event runs after the one
+currently executing (it cannot preempt), interleaved with any other
+events at the same instant per the tie-break above.  Scheduling strictly
+in the past raises :class:`~repro.errors.SimulationError`.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
@@ -22,6 +32,40 @@ from .events import Event, EventQueue
 from .rng import RandomStreams
 
 __all__ = ["Simulator"]
+
+
+class _Recurrence:
+    """State of one :meth:`Simulator.every` periodic schedule."""
+
+    __slots__ = ("_sim", "_interval", "_callback", "_args", "_until", "_entry", "_stopped")
+
+    def __init__(self, sim, interval, callback, args, until) -> None:
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._args = args
+        self._until = until
+        self._entry: Optional[Event] = None
+        self._stopped = False
+
+    def _fire(self) -> None:
+        """One periodic tick: run the callback, then schedule the next."""
+        self._callback(*self._args)
+        self._schedule(self._sim._now + self._interval)
+
+    def _schedule(self, time: float) -> None:
+        """Schedule the next tick at ``time`` unless stopped or past until."""
+        if self._stopped:
+            return
+        if self._until is not None and time >= self._until:
+            return
+        self._entry = self._sim.call_at(time, self._fire)
+
+    def stop(self) -> None:
+        """Stop the recurrence; safe to call multiple times."""
+        self._stopped = True
+        if self._entry is not None:
+            self._sim.cancel(self._entry)
 
 
 class Simulator:
@@ -35,10 +79,11 @@ class Simulator:
         identically.
     """
 
+    __slots__ = ("_queue", "_now", "_stopped", "streams", "seed", "executed_events")
+
     def __init__(self, seed: int = 0) -> None:
         self._queue = EventQueue()
         self._now = 0.0
-        self._running = False
         self._stopped = False
         self.streams = RandomStreams(seed)
         self.seed = seed
@@ -63,7 +108,13 @@ class Simulator:
         *args: Any,
         priority: int = 0,
     ) -> Event:
-        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        """Schedule ``callback(*args)`` at absolute simulated ``time``.
+
+        ``time == now`` is valid: the event runs at the current instant,
+        *after* the currently executing event returns, ordered against
+        other same-time events by ``(priority, insertion order)``.  Times
+        strictly before ``now`` raise :class:`SimulationError`.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at t={time:.6f} < now={self._now:.6f}"
@@ -84,9 +135,7 @@ class Simulator:
 
     def cancel(self, event: Event) -> None:
         """Cancel a scheduled event; cancelling twice is a no-op."""
-        if not event.cancelled:
-            event.cancel()
-            self._queue.notify_cancelled()
+        self._queue.cancel(event)
 
     def every(
         self,
@@ -104,39 +153,21 @@ class Simulator:
         """
         if interval <= 0:
             raise SimulationError(f"non-positive interval {interval!r}")
-        state = {"event": None, "stopped": False}
-
-        def fire() -> None:
-            callback(*args)
-            schedule(self._now + interval)
-
-        def schedule(time: float) -> None:
-            if state["stopped"]:
-                return
-            if until is not None and time >= until:
-                return
-            state["event"] = self.call_at(time, fire)
-
-        def stop() -> None:
-            state["stopped"] = True
-            event = state["event"]
-            if event is not None:
-                self.cancel(event)
-
-        schedule(self._now + interval if start is None else start)
-        return stop
+        recurrence = _Recurrence(self, interval, callback, args, until)
+        recurrence._schedule(self._now + interval if start is None else start)
+        return recurrence.stop
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next event.  Returns ``False`` if none remained."""
-        event = self._queue.pop()
-        if event is None:
+        entry = self._queue.pop()
+        if entry is None:
             return False
-        self._now = event.time
+        self._now = entry[0]
         self.executed_events += 1
-        event.callback(*event.args)
+        entry[3](*entry[4])
         return True
 
     def run_until(self, end_time: float) -> None:
@@ -150,12 +181,27 @@ class Simulator:
                 f"end_time {end_time:.6f} is in the past (now={self._now:.6f})"
             )
         self._stopped = False
+        # Batched dispatch: hoist the heap, pop and counter into locals so
+        # the per-event cost is a handful of C-level operations.
         queue = self._queue
-        while not self._stopped:
-            next_time = queue.peek_time()
-            if next_time is None or next_time > end_time:
+        heap = queue._heap
+        heappop = heapq.heappop
+        executed = self.executed_events
+        while heap:
+            entry = heap[0]
+            if entry[0] > end_time:
                 break
-            self.step()
+            entry = heappop(heap)
+            callback = entry[3]
+            if callback is None:  # lazily cancelled
+                continue
+            queue._live -= 1
+            self._now = entry[0]
+            executed += 1
+            self.executed_events = executed
+            callback(*entry[4])
+            if self._stopped:
+                break
         self._now = max(self._now, end_time)
 
     def run(self) -> None:

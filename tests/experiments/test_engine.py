@@ -3,6 +3,7 @@
 import dataclasses
 import json
 import warnings
+from pathlib import Path
 
 import pytest
 
@@ -163,9 +164,40 @@ def test_cache_clear(tmp_path):
     assert len(cache) == 0
 
 
+def test_run_profile_does_not_change_the_outcome(capsys):
+    """Profiling only observes: the summary must be bit-identical."""
+    from repro.experiments import run
+
+    plain = run(get_scenario("Mixed"), TINY, seed=0).summary()
+    profiled = run(get_scenario("Mixed"), TINY, seed=0, profile=True).summary()
+    assert profiled.to_dict() == plain.to_dict()
+    assert "cumulative" in capsys.readouterr().err
+
+
 def test_code_version_is_stable_and_short():
     assert code_version() == code_version()
     assert len(code_version()) == 16
+
+
+def test_code_version_ignores_pycache_artifacts():
+    """Interpreter droppings under __pycache__ must not shift the hash."""
+    import repro
+    from repro.experiments import engine
+
+    package_root = Path(repro.__file__).resolve().parent
+    engine._code_version_cache = None
+    baseline = code_version()
+
+    junk_dir = package_root / "experiments" / "__pycache__"
+    junk_dir.mkdir(exist_ok=True)
+    junk = junk_dir / "zz_code_version_probe.py"
+    junk.write_text("GARBAGE = object()\n")
+    try:
+        engine._code_version_cache = None
+        assert code_version() == baseline
+    finally:
+        junk.unlink()
+        engine._code_version_cache = None
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,96 @@
+"""Property tests for :class:`FloodReach` buffer reuse.
+
+The evaluator reuses its visited map and frontier buffers across calls (a
+generation stamp invalidates old entries).  These tests check that repeated
+floods from random initiators on random graphs reach *exactly* the node set
+a fresh-allocation reference implementation reaches — i.e. that buffer
+reuse leaks no state between calls.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay import FloodPolicy, FloodReach, OverlayGraph, choose_targets
+
+
+def reference_reach(graph, initiator, policy, rng):
+    """Fresh-allocation reference: same flood shape, new containers per call."""
+    visited = {initiator}
+    frontier = [(initiator, None)]
+    for _ in range(policy.max_hops):
+        if not frontier:
+            break
+        next_frontier = []
+        for node, came_from in frontier:
+            for target in choose_targets(
+                graph, node, policy.fanout, rng, exclude=came_from
+            ):
+                if target in visited:
+                    continue
+                visited.add(target)
+                next_frontier.append((target, node))
+        frontier = next_frontier
+    return visited
+
+
+def build_graph(node_count, edge_seed, extra_edges):
+    """A connected random graph: a ring plus ``extra_edges`` chords."""
+    graph = OverlayGraph()
+    for i in range(node_count):
+        graph.add_node(i)
+    for i in range(node_count):
+        graph.add_link(i, (i + 1) % node_count)
+    rng = random.Random(edge_seed)
+    for _ in range(extra_edges):
+        a, b = rng.sample(range(node_count), 2)
+        graph.add_link(a, b)
+    return graph
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    node_count=st.integers(min_value=3, max_value=40),
+    edge_seed=st.integers(min_value=0, max_value=2**16),
+    extra_edges=st.integers(min_value=0, max_value=60),
+    max_hops=st.integers(min_value=1, max_value=6),
+    fanout=st.integers(min_value=1, max_value=4),
+    flood_seeds=st.lists(
+        st.integers(min_value=0, max_value=2**16), min_size=1, max_size=8
+    ),
+)
+def test_reused_buffers_match_fresh_allocation_reference(
+    node_count, edge_seed, extra_edges, max_hops, fanout, flood_seeds
+):
+    graph = build_graph(node_count, edge_seed, extra_edges)
+    policy = FloodPolicy(max_hops=max_hops, fanout=fanout)
+    evaluator = FloodReach()  # ONE evaluator reused across all floods
+    for flood_seed in flood_seeds:
+        initiator = random.Random(flood_seed).randrange(node_count)
+        reached = evaluator.reach(
+            graph, initiator, policy, random.Random(flood_seed)
+        )
+        expected = reference_reach(
+            graph, initiator, policy, random.Random(flood_seed)
+        )
+        assert reached == expected
+
+
+def test_reach_includes_initiator_and_respects_hop_bound():
+    graph = build_graph(10, edge_seed=1, extra_edges=0)  # plain ring
+    policy = FloodPolicy(max_hops=2, fanout=2)
+    evaluator = FloodReach()
+    reached = evaluator.reach(graph, 0, policy, random.Random(7))
+    assert 0 in reached
+    # On a ring with fanout 2, two hops reach at most 2 nodes per side.
+    assert reached <= {8, 9, 0, 1, 2}
+
+
+def test_back_to_back_floods_do_not_leak_visited_state():
+    graph = build_graph(12, edge_seed=3, extra_edges=5)
+    policy = FloodPolicy(max_hops=3, fanout=2)
+    evaluator = FloodReach()
+    first = evaluator.reach(graph, 0, policy, random.Random(11))
+    again = evaluator.reach(graph, 0, policy, random.Random(11))
+    assert first == again  # identical rng => identical flood, no carryover

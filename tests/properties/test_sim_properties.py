@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim import Simulator
-from repro.sim.events import EventQueue
+from repro.sim.events import PRIORITY, SEQ, TIME, EventQueue
 
 times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
 priorities = st.integers(min_value=-5, max_value=5)
@@ -18,7 +18,7 @@ def test_event_queue_pops_in_total_order(schedule):
     popped = []
     while q:
         e = q.pop()
-        popped.append((e.time, e.priority, e.seq))
+        popped.append((e[TIME], e[PRIORITY], e[SEQ]))
     assert popped == sorted(popped)
     assert len(popped) == len(schedule)
 

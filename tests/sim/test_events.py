@@ -1,6 +1,15 @@
-"""Unit tests for the event queue primitives."""
+"""Unit tests for the slab event queue primitives.
 
-from repro.sim.events import Event, EventQueue
+Includes the determinism suite required for the slab rewrite: explicit
+tie-breaking checks (time, then priority, then insertion order),
+cancellation semantics, and a 10k-event fuzz comparing the queue's
+execution order against a reference ``heapq`` of plain tuples.
+"""
+
+import heapq
+import random
+
+from repro.sim.events import ARGS, CALLBACK, EventQueue, is_cancelled
 
 
 def test_push_pop_orders_by_time():
@@ -11,7 +20,7 @@ def test_push_pop_orders_by_time():
     q.push(2.0, order.append, ("b",))
     while q:
         e = q.pop()
-        e.callback(*e.args)
+        e[CALLBACK](*e[ARGS])
     assert order == ["a", "b", "c"]
 
 
@@ -31,13 +40,20 @@ def test_priority_breaks_ties_before_sequence():
     assert q.pop() is late
 
 
+def test_time_dominates_priority_and_sequence():
+    q = EventQueue()
+    later = q.push(2.0, lambda: None, priority=-10)
+    sooner = q.push(1.0, lambda: None, priority=10)
+    assert q.pop() is sooner
+    assert q.pop() is later
+
+
 def test_len_counts_live_events():
     q = EventQueue()
     e1 = q.push(1.0, lambda: None)
     q.push(2.0, lambda: None)
     assert len(q) == 2
-    e1.cancel()
-    q.notify_cancelled()
+    q.cancel(e1)
     assert len(q) == 1
 
 
@@ -45,18 +61,33 @@ def test_cancelled_events_are_skipped():
     q = EventQueue()
     e1 = q.push(1.0, lambda: None)
     e2 = q.push(2.0, lambda: None)
-    e1.cancel()
-    q.notify_cancelled()
+    q.cancel(e1)
     assert q.pop() is e2
     assert q.pop() is None
+
+
+def test_cancel_returns_false_on_second_call():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    assert q.cancel(e) is True
+    assert q.cancel(e) is False
+    assert len(q) == 0
+
+
+def test_cancel_releases_args_reference():
+    q = EventQueue()
+    payload = object()
+    e = q.push(1.0, lambda _: None, (payload,))
+    q.cancel(e)
+    assert e[ARGS] == ()
+    assert is_cancelled(e)
 
 
 def test_peek_time_skips_cancelled():
     q = EventQueue()
     e1 = q.push(1.0, lambda: None)
     q.push(7.0, lambda: None)
-    e1.cancel()
-    q.notify_cancelled()
+    q.cancel(e1)
     assert q.peek_time() == 7.0
 
 
@@ -68,11 +99,12 @@ def test_pop_empty_queue_returns_none():
     assert EventQueue().pop() is None
 
 
-def test_event_repr_mentions_cancelled_state():
-    e = Event(1.0, 0, print)
-    assert "cancelled" not in repr(e)
-    e.cancel()
-    assert "cancelled" in repr(e)
+def test_is_cancelled_reflects_state():
+    q = EventQueue()
+    e = q.push(1.0, print)
+    assert not is_cancelled(e)
+    q.cancel(e)
+    assert is_cancelled(e)
 
 
 def test_bool_reflects_liveness():
@@ -80,6 +112,42 @@ def test_bool_reflects_liveness():
     assert not q
     e = q.push(1.0, lambda: None)
     assert q
-    e.cancel()
-    q.notify_cancelled()
+    q.cancel(e)
     assert not q
+
+
+def test_fuzz_10k_events_match_reference_heap():
+    """10k random pushes/cancels drain in exactly the reference order.
+
+    The reference is an independent ``heapq`` of ``(time, priority, seq)``
+    tuples with a cancellation set — the textbook implementation the slab
+    queue must be indistinguishable from.
+    """
+    rng = random.Random(0xA51A)
+    q = EventQueue()
+    reference = []
+    handles = []  # (seq, slab entry) pairs still cancellable
+    cancelled = set()
+    executed = []
+    expected = []
+
+    for seq in range(10_000):
+        time = rng.choice([rng.uniform(0, 100), float(rng.randrange(0, 20))])
+        priority = rng.randrange(-2, 3)
+        entry = q.push(time, executed.append, (seq,), priority=priority)
+        heapq.heappush(reference, (time, priority, seq))
+        handles.append((seq, entry))
+        if handles and rng.random() < 0.25:
+            victim_seq, victim = handles.pop(rng.randrange(len(handles)))
+            if q.cancel(victim):
+                cancelled.add(victim_seq)
+
+    while reference:
+        _, _, seq = heapq.heappop(reference)
+        if seq not in cancelled:
+            expected.append(seq)
+    while q:
+        e = q.pop()
+        e[CALLBACK](*e[ARGS])
+
+    assert executed == expected

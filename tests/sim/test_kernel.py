@@ -153,3 +153,86 @@ def test_priority_orders_same_time_events():
     sim.call_at(1.0, order.append, "high", priority=-5)
     sim.run()
     assert order == ["high", "low"]
+
+
+# ----------------------------------------------------------------------
+# call_at boundary semantics: scheduling exactly at `now`
+# ----------------------------------------------------------------------
+
+
+def test_call_at_now_is_allowed_before_running():
+    sim = Simulator()
+    seen = []
+    sim.call_at(0.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [0.0]
+
+
+def test_call_at_now_from_inside_event_runs_after_current_event():
+    """An event scheduled at the current instant cannot preempt its scheduler."""
+    sim = Simulator()
+    order = []
+
+    def outer():
+        sim.call_at(sim.now, order.append, "inner")
+        order.append("outer")
+
+    sim.call_at(5.0, outer)
+    sim.run()
+    assert order == ["outer", "inner"]
+    assert sim.now == 5.0
+
+
+def test_call_at_now_interleaves_by_priority_then_insertion():
+    """Same-instant events obey the full (time, priority, seq) tie-break."""
+    sim = Simulator()
+    order = []
+
+    def outer():
+        sim.call_at(sim.now, order.append, "late-insert")
+        sim.call_at(sim.now, order.append, "high-priority", priority=-1)
+
+    sim.call_at(1.0, outer)
+    sim.call_at(1.0, order.append, "sibling")  # same time, scheduled earlier
+    sim.run()
+    # priority -1 beats both priority-0 events even though it was scheduled
+    # last; among equal priorities the earlier seq ("sibling") wins.
+    assert order == ["high-priority", "sibling", "late-insert"]
+
+
+def test_call_at_now_during_run_until_end_time_still_executes():
+    """A same-instant event scheduled at end_time runs before the clock stops."""
+    sim = Simulator()
+    seen = []
+    sim.call_at(10.0, lambda: sim.call_at(10.0, seen.append, "edge"))
+    sim.run_until(10.0)
+    assert seen == ["edge"]
+    assert sim.now == 10.0
+
+
+def test_call_at_strictly_in_past_still_raises_from_inside_event():
+    sim = Simulator()
+    errors = []
+
+    def handler():
+        try:
+            sim.call_at(sim.now - 0.001, lambda: None)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.call_at(2.0, handler)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_stop_during_run_until_preserves_pending_and_clock():
+    sim = Simulator()
+    seen = []
+    sim.call_at(1.0, lambda: (seen.append(1), sim.stop()))
+    sim.call_at(2.0, lambda: seen.append(2))
+    sim.run_until(5.0)
+    assert seen == [1]
+    assert sim.pending_events == 1
+    assert sim.now == 5.0
+    sim.run_until(5.0)
+    assert seen == [1, 2]

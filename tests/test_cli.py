@@ -20,6 +20,14 @@ def test_run_prints_summary(capsys):
     assert "traffic Request" in out
 
 
+def test_run_with_profile_prints_report_and_summary(capsys):
+    assert main(["run", "Mixed", "--scale", "tiny", "--profile"]) == 0
+    captured = capsys.readouterr()
+    assert "completed jobs" in captured.out  # normal summary still printed
+    assert "cumulative" in captured.err  # cProfile table on stderr
+    assert "function calls" in captured.err
+
+
 def test_run_rejects_unknown_scenario():
     with pytest.raises(SystemExit):
         main(["run", "NotAScenario", "--scale", "tiny"])

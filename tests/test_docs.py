@@ -19,6 +19,7 @@ def test_required_documents_exist():
         "docs/PROTOCOL.md",
         "docs/SIMULATION.md",
         "docs/API.md",
+        "docs/PERFORMANCE.md",
     ):
         assert (ROOT / name).exists(), name
 
