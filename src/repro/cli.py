@@ -7,6 +7,7 @@ Everything the library does is reachable from the shell::
     python -m repro figure fig4 --scale small    # regenerate a figure
     python -m repro baseline centralized         # a comparison scheduler
     python -m repro trace out.json --jobs 200    # freeze a workload trace
+    python -m repro run iMixed --faults          # chaos-test the protocol
 
 All commands accept ``--scale tiny|small|medium|paper`` and ``--seeds N``
 (N seeds starting at ``--seed-base``, default 0; the paper averages 10).
@@ -107,19 +108,50 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _parse_fault_plan(text: str, scale: ScenarioScale):
+    """Build a :class:`FaultPlan` from the ``--faults`` argument value.
+
+    ``"default"`` (the bare-flag value) is the representative
+    :meth:`FaultPlan.chaos` plan scaled to the run's duration; an inline
+    ``{...}`` string is parsed as JSON; anything else is a path to a JSON
+    file of ``FaultPlan`` fields.
+    """
+    from .experiments import FaultPlan
+
+    if text == "default":
+        return FaultPlan.chaos(scale.duration)
+    import json
+
+    if text.lstrip().startswith("{"):
+        data = json.loads(text)
+    else:
+        from pathlib import Path
+
+        data = json.loads(Path(text).read_text())
+    return FaultPlan(**data)
+
+
 def _cmd_run(args) -> int:
     scale, seeds = _scale_and_seeds(args)
     scenario = get_scenario(args.scenario)
+    if args.faults is not None:
+        spec = _parse_fault_plan(args.faults, scale)
+        options = {
+            "scenario_name": args.scenario,
+            "reliability": not args.no_reliability,
+        }
+    else:
+        spec, options = scenario, {}
     if args.profile:
         # Profiling must observe the actual simulation, so the seeds run
         # serially in-process and bypass the result cache.
         summaries = [
-            run(scenario, scale, seed=seed, profile=True).summary()
+            run(spec, scale, seed=seed, profile=True, **options).summary()
             for seed in seeds
         ]
     else:
         summaries = run_batch(
-            scenario, scale, seeds=seeds, **_engine_kwargs(args)
+            spec, scale, seeds=seeds, **_engine_kwargs(args), **options
         )
     summary = summarize_runs(summaries)
     rows = [
@@ -136,11 +168,33 @@ def _cmd_run(args) -> int:
     ]
     for message_type, total in sorted(summary.traffic_bytes.items()):
         rows.append([f"traffic {message_type}", f"{total / 1e6:.2f} MB"])
+    title = scenario.name
+    if args.faults is not None:
+        title += "+faults" + ("" if args.no_reliability else "+reliable")
+        import statistics
+
+        net_keys = sorted(
+            {k for s in summaries for k in s.extras if k.startswith("net_")}
+        )
+        for key in net_keys:
+            mean = statistics.fmean(s.extras.get(key, 0.0) for s in summaries)
+            rows.append([key, f"{mean:.1f}"])
     print(
-        f"{scenario.name} @ {args.scale} "
+        f"{title} @ {args.scale} "
         f"({scale.nodes} nodes, {scale.jobs} jobs), seeds {seeds}"
     )
     print(render_table(["metric", "value"], rows))
+    if args.faults is not None:
+        violations = [
+            (seed, violation)
+            for seed, run_summary in zip(seeds, summaries)
+            for violation in run_summary.violations
+        ]
+        if violations:
+            for seed, violation in violations:
+                print(f"VIOLATION (seed {seed}): {violation}")
+            return 1
+        print("invariants: OK")
     return 0
 
 
@@ -272,6 +326,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a cProfile report (top 20 by cumulative time) per "
         "seed; runs serially in-process and bypasses the cache",
+    )
+    run_parser.add_argument(
+        "--faults",
+        nargs="?",
+        const="default",
+        default=None,
+        metavar="PLAN",
+        help="inject network faults: bare flag = the representative chaos "
+        "plan; otherwise inline JSON ('{...}') or a JSON file of "
+        "FaultPlan fields; checks protocol invariants afterwards and "
+        "exits nonzero on any violation",
+    )
+    run_parser.add_argument(
+        "--no-reliability",
+        action="store_true",
+        help="with --faults: disable the at-least-once reliability layer "
+        "(demonstrates the invariant violations it prevents)",
     )
     run_parser.set_defaults(func=_cmd_run)
 

@@ -21,6 +21,8 @@ header fields in a wire format and are covered by the 1 KB size.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..net.message import Message
 from ..types import JobId, NodeId
 from ..workload.jobs import Job
@@ -129,14 +131,29 @@ class Probe(Message):
 
 
 class ProbeReply(Message):
-    """Answer to a :class:`Probe`: whether the node holds the job."""
+    """Answer to a :class:`Probe`: whether the node holds the job.
+
+    Two reconciliation fields let tracking self-heal when a Track or Done
+    notification was permanently lost (e.g. dropped throughout a network
+    partition): ``done`` reports that this node already *executed* the job,
+    and ``new_assignee`` is a forwarding pointer to wherever this node last
+    re-delegated it.  Both fit the fixed 128-byte wire size.
+    """
 
     SIZE_BYTES = 128
-    __slots__ = ("job_id", "holds")
+    __slots__ = ("job_id", "holds", "done", "new_assignee")
 
-    def __init__(self, job_id: JobId, holds: bool) -> None:
+    def __init__(
+        self,
+        job_id: JobId,
+        holds: bool,
+        done: bool = False,
+        new_assignee: Optional[NodeId] = None,
+    ) -> None:
         self.job_id = job_id
         self.holds = holds
+        self.done = done
+        self.new_assignee = new_assignee
 
 
 class Done(Message):

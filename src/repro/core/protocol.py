@@ -124,6 +124,12 @@ class AriaAgent:
         self._probe_timeouts: Dict[JobId, Event] = {}
         self._suspect: Dict[JobId, int] = {}
         self._failsafe_stop = None
+        # Probe-reconciliation memory (executor/assignee side): jobs this
+        # node finished, and where it last re-delegated each job.  Both let
+        # a ProbeReply repair tracking state whose Done/Track notification
+        # was permanently lost (e.g. dropped throughout a partition).
+        self._completed: set = set()
+        self._redelegated: Dict[JobId, NodeId] = {}
         self.failed = False
         #: Graceful-departure state: a leaving node hands its queue off,
         #: finishes any running job, then departs the grid.
@@ -360,6 +366,20 @@ class AriaAgent:
         if pending.reschedule:
             self._maybe_depart()
 
+    def _send_control(self, dst: NodeId, message: Message) -> None:
+        """Send a control-plane-critical message (ASSIGN / Track / Done /
+        Probe / ProbeReply).
+
+        Routed through the transport's reliability layer (at-least-once
+        delivery + receiver-side dedup) when one is attached; a plain
+        datagram send otherwise, preserving the paper's base semantics.
+        """
+        reliability = self.transport.reliability
+        if reliability is not None:
+            reliability.send(self.node_id, dst, message)
+        else:
+            self.transport.send(self.node_id, dst, message)
+
     def _send_assign(self, target: NodeId, job: Job, reschedule: bool) -> None:
         """Delegate ``job`` to ``target`` (initial assignment or reschedule).
 
@@ -369,10 +389,14 @@ class AriaAgent:
         """
         if reschedule:
             initiator = self._job_initiators.pop(job.job_id, self.node_id)
+            # Remember the forwarding pointer: a probe that finds the job
+            # gone from here can steer the initiator to ``target`` even if
+            # the Track notification below never makes it.
+            self._redelegated[job.job_id] = target
         else:
             initiator = self.node_id
         message = Assign(initiator=initiator, job=job, reschedule=reschedule)
-        self.transport.send(self.node_id, target, message)
+        self._send_control(target, message)
         if reschedule and (
             self.config.notify_initiator or self.config.failsafe
         ):
@@ -381,9 +405,7 @@ class AriaAgent:
                     self._tracked[job.job_id] = (job, target)
                     self._suspect.pop(job.job_id, None)
             else:
-                self.transport.send(
-                    self.node_id, initiator, Track(job.job_id, target)
-                )
+                self._send_control(initiator, Track(job.job_id, target))
 
     # ------------------------------------------------------------------
     # Message dispatch
@@ -399,16 +421,24 @@ class AriaAgent:
 
         A job in a pending hand-off discovery counts as held: the leaving
         node is still responsible for it, and reporting otherwise would
-        trigger a spurious fail-safe resubmission.
+        trigger a spurious fail-safe resubmission.  When the job is gone
+        from here the reply carries what this node knows instead: that it
+        already executed it (``done``), or where it re-delegated it
+        (``new_assignee``) — repairing tracking state whose Done/Track
+        notification was permanently lost.
         """
-        holds = (
-            self.node.holds_job(message.job_id)
-            or message.job_id in self._pending
-        )
-        self.transport.send(
-            self.node_id,
+        job_id = message.job_id
+        holds = self.node.holds_job(job_id) or job_id in self._pending
+        done = False
+        new_assignee = None
+        if not holds:
+            if job_id in self._completed:
+                done = True
+            else:
+                new_assignee = self._redelegated.get(job_id)
+        self._send_control(
             message.initiator,
-            ProbeReply(message.job_id, holds),
+            ProbeReply(job_id, holds, done=done, new_assignee=new_assignee),
         )
 
     def _handle_done(self, src: NodeId, message: Done) -> None:
@@ -585,12 +615,18 @@ class AriaAgent:
                 f"node {self.node_id} received job {job.job_id} it cannot "
                 "host — nodes may not decline accepted jobs (§III-A)"
             )
-        if self.node.holds_job(job.job_id) or job.job_id in self._pending:
+        if (
+            self.node.holds_job(job.job_id)
+            or job.job_id in self._pending
+            or job.job_id in self._completed
+        ):
             # Duplicate delegation (e.g. a fail-safe resubmission raced a
-            # Track update): accepting twice would double-execute, so the
-            # second copy is dropped idempotently.
+            # Track update, or a resubmission of a job this node already
+            # executed whose Done got lost): accepting twice would
+            # double-execute, so the second copy is dropped idempotently.
             return
         self._job_initiators[job.job_id] = message.initiator
+        self._redelegated.pop(job.job_id, None)
         self.metrics.job_assigned(
             job.job_id, self.node_id, self.sim.now, message.reschedule
         )
@@ -609,12 +645,13 @@ class AriaAgent:
     def _on_job_finished(self, node: GridNode, finished: RunningJob) -> None:
         job_id = finished.job.job_id
         initiator = self._job_initiators.pop(job_id, None)
+        self._completed.add(job_id)
         self.metrics.job_finished(job_id, node.node_id, self.sim.now)
         if self.config.failsafe and initiator is not None:
             if initiator == self.node_id:
                 self._untrack(job_id)
             else:
-                self.transport.send(self.node_id, initiator, Done(job_id))
+                self._send_control(initiator, Done(job_id))
         self._maybe_depart()
 
     # ------------------------------------------------------------------
@@ -643,27 +680,56 @@ class AriaAgent:
                 continue  # being rediscovered / probe already in flight
             if assignee == self.node_id:
                 continue  # local job: completion is observed directly
-            self.transport.send(
-                self.node_id, assignee, Probe(job_id, self.node_id)
-            )
+            self._send_control(assignee, Probe(job_id, self.node_id))
             self._probe_timeouts[job_id] = self.sim.call_after(
                 self.config.probe_timeout, self._probe_missed, job_id
             )
 
     def _handle_probe_reply(self, src: NodeId, message: ProbeReply) -> None:
-        """Process a probe answer; two consecutive misses resubmit."""
-        timeout = self._probe_timeouts.pop(message.job_id, None)
+        """Process a probe answer; two consecutive misses resubmit.
+
+        Reconciliation replies are honoured even when they arrive after
+        the probe timeout already fired (information is information), but
+        a plain "not held" only counts as a miss while its probe's timeout
+        was still pending — a duplicated or post-timeout reply must not
+        double-count a single unanswered round.
+        """
+        job_id = message.job_id
+        timeout = self._probe_timeouts.pop(job_id, None)
         if timeout is not None:
             self.sim.cancel(timeout)
-        if message.job_id not in self._tracked:
+        if job_id not in self._tracked:
+            return
+        if message.done:
+            # The assignee executed the job but its Done notification was
+            # permanently lost: reconcile and stop tracking.
+            self._untrack(job_id)
             return
         if message.holds:
-            self._suspect.pop(message.job_id, None)
-        else:
-            # The assignee answered but does not hold the job: either a
-            # Track/Done notification is still in flight (wait it out) or
-            # the job was really lost.  Two consecutive misses resubmit.
-            self._record_probe_miss(message.job_id)
+            self._suspect.pop(job_id, None)
+            return
+        if message.new_assignee is not None:
+            if message.new_assignee == self.node_id and not (
+                self.node.holds_job(job_id) or job_id in self._pending
+            ):
+                # The forwarding pointer aims back here but nothing ever
+                # arrived (the re-ASSIGN itself died): treat as a miss so
+                # the job gets resubmitted rather than tracked forever.
+                self._record_probe_miss(job_id)
+                return
+            # The job moved on and the Track notification was lost: follow
+            # the forwarding pointer instead of suspecting a crash.
+            job, _old = self._tracked[job_id]
+            self._tracked[job_id] = (job, message.new_assignee)
+            self._suspect.pop(job_id, None)
+            return
+        if timeout is None:
+            return  # duplicate / post-timeout reply: miss already counted
+        # The assignee answered but does not hold the job and knows
+        # nothing about it: either a notification is still in flight
+        # (wait it out) or the job was really lost.  Two consecutive
+        # misses resubmit.
+        self._record_probe_miss(job_id)
 
     def _probe_missed(self, job_id: JobId) -> None:
         self._probe_timeouts.pop(job_id, None)

@@ -3,8 +3,9 @@
 The unified entry points are :func:`run` (one experiment, live result)
 and :func:`run_batch` (many seeds, cached + parallel, returning
 :class:`RunSummary` objects).  The spec passed to either may be a
-:class:`Scenario`, a baseline name, a :class:`CrashPlan`, or a
-:class:`ChurnPlan`.
+:class:`Scenario`, a baseline name, a :class:`CrashPlan`, a
+:class:`ChurnPlan`, or a :class:`FaultPlan` (network fault injection
+with the :mod:`~repro.experiments.invariants` chaos checker).
 """
 
 from .aggregate import ScenarioSummary, average_series, summarize_runs
@@ -12,6 +13,8 @@ from .catalog import SCENARIOS, get_scenario, scenario_names, with_rescheduling
 from .churn import ChurnPlan, run_churn_experiment
 from .engine import ResultCache, run, run_batch
 from .failures import CrashPlan, run_crash_experiment
+from .faults import FaultPlan, apply_fault_plan, run_fault_experiment
+from .invariants import check_invariants
 from .report import fmt_hours, fmt_opt, render_series, render_table
 from .runner import (
     GridSetup,
@@ -28,15 +31,19 @@ from .validation import validate_run
 __all__ = [
     "ChurnPlan",
     "CrashPlan",
+    "FaultPlan",
     "GridSetup",
     "ResultCache",
     "RunResult",
     "RunSummary",
+    "apply_fault_plan",
     "build_grid",
+    "check_invariants",
     "run",
     "run_batch",
     "run_churn_experiment",
     "run_crash_experiment",
+    "run_fault_experiment",
     "SCENARIOS",
     "Scenario",
     "ScenarioScale",

@@ -8,8 +8,9 @@ seed.  This module is the single entry point for all of it:
 * :func:`run` — one run of *any* experiment spec: a
   :class:`~repro.experiments.scenario.Scenario`, a Table II scenario name,
   a baseline name (``"centralized"`` / ``"multirequest"`` / ``"random"`` /
-  ``"gossip"``), a :class:`~repro.experiments.failures.CrashPlan`, or a
-  :class:`~repro.experiments.churn.ChurnPlan`.  Returns the full live
+  ``"gossip"``), a :class:`~repro.experiments.failures.CrashPlan`, a
+  :class:`~repro.experiments.churn.ChurnPlan`, or a
+  :class:`~repro.experiments.faults.FaultPlan`.  Returns the full live
   result object (``RunResult`` / ``BaselineRunResult``).
 * :func:`run_batch` — the same spec fanned over many seeds, optionally
   across a spawn-safe process pool, returning picklable
@@ -37,6 +38,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from ..errors import ConfigurationError
 from .churn import ChurnPlan, _run_churn_experiment
 from .failures import CrashPlan, _run_crash_experiment
+from .faults import FaultPlan, _run_fault_experiment
 from .runner import _run_scenario
 from .scale import ScenarioScale
 from .scenario import Scenario
@@ -53,7 +55,7 @@ __all__ = [
 ]
 
 #: Anything :func:`run` / :func:`run_batch` accepts as a spec.
-ExperimentSpec = Union[Scenario, str, CrashPlan, ChurnPlan]
+ExperimentSpec = Union[Scenario, str, CrashPlan, ChurnPlan, FaultPlan]
 
 #: Bump to invalidate every cached result regardless of code hash.
 _CACHE_FORMAT = 1
@@ -65,6 +67,7 @@ _ALLOWED_OPTIONS = {
     "baseline": {"policies", "submission_interval", "multirequest_k"},
     "crash": {"failsafe", "scenario_name", "probe_interval"},
     "churn": {"failsafe", "scenario_name"},
+    "faults": {"reliability", "failsafe", "scenario_name", "probe_interval"},
 }
 
 _code_version_cache: Optional[str] = None
@@ -239,9 +242,20 @@ def _spec_payload(spec: ExperimentSpec, options: Dict[str, Any]) -> Dict[str, An
             "failsafe": bool(options.get("failsafe", False)),
             "scenario_name": options.get("scenario_name", "iMixed"),
         }
+    if isinstance(spec, FaultPlan):
+        _check_options("faults", options, _ALLOWED_OPTIONS["faults"])
+        return {
+            "kind": "faults",
+            "plan": dataclasses.asdict(spec),
+            "reliability": bool(options.get("reliability", True)),
+            "failsafe": bool(options.get("failsafe", True)),
+            "scenario_name": options.get("scenario_name", "iMixed"),
+            "probe_interval": options.get("probe_interval"),
+        }
     raise ConfigurationError(
         f"unsupported experiment spec type {type(spec).__name__}; expected "
-        f"Scenario, scenario/baseline name, CrashPlan or ChurnPlan"
+        f"Scenario, scenario/baseline name, CrashPlan, ChurnPlan or "
+        f"FaultPlan"
     )
 
 
@@ -292,6 +306,19 @@ def _run_payload(payload: Dict[str, Any]):
             plan=ChurnPlan(**payload["plan"]),
             scenario_name=payload["scenario_name"],
             failsafe=payload["failsafe"],
+        )
+    if kind == "faults":
+        kwargs = {}
+        if payload.get("probe_interval") is not None:
+            kwargs["probe_interval"] = payload["probe_interval"]
+        return _run_fault_experiment(
+            scale,
+            seed,
+            plan=FaultPlan(**payload["plan"]),
+            scenario_name=payload["scenario_name"],
+            reliability=payload["reliability"],
+            failsafe=payload["failsafe"],
+            **kwargs,
         )
     raise ConfigurationError(f"unknown work-unit kind {kind!r}")
 
@@ -345,11 +372,13 @@ def run(
     """One run of any experiment spec; returns the live result object.
 
     ``spec`` is a :class:`Scenario` (or Table II scenario name), a
-    baseline name, a :class:`CrashPlan`, or a :class:`ChurnPlan`.
-    Per-kind keyword options: ``config_overrides`` (scenario);
-    ``policies`` / ``submission_interval`` / ``multirequest_k``
-    (baseline); ``failsafe`` / ``scenario_name`` / ``probe_interval``
-    (crash); ``failsafe`` / ``scenario_name`` (churn).
+    baseline name, a :class:`CrashPlan`, a :class:`ChurnPlan`, or a
+    :class:`FaultPlan`.  Per-kind keyword options: ``config_overrides``
+    (scenario); ``policies`` / ``submission_interval`` /
+    ``multirequest_k`` (baseline); ``failsafe`` / ``scenario_name`` /
+    ``probe_interval`` (crash); ``failsafe`` / ``scenario_name`` (churn);
+    ``reliability`` / ``failsafe`` / ``scenario_name`` /
+    ``probe_interval`` (faults).
 
     With ``profile=True`` the run executes under :mod:`cProfile` and the
     top 20 functions by cumulative time are printed to stderr afterwards

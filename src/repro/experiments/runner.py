@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 import warnings
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.config import AriaConfig
@@ -100,6 +100,12 @@ class RunResult:
     submission_window: Tuple[float, float]
     final_node_count: int
     executed_events: int
+    #: Transport / reliability / fault counters captured at the horizon
+    #: (see ``Transport.network_counters``).  All-zero in nominal runs.
+    network: Dict[str, int] = dataclass_field(default_factory=dict)
+    #: Invariant-checker findings (fault experiments); folded into
+    #: ``RunSummary.violations`` next to the ``validate_run`` verdict.
+    extra_violations: List[str] = dataclass_field(default_factory=list)
 
     def summary(self, validate: bool = True) -> RunSummary:
         """Condense this run into a picklable :class:`RunSummary`.
@@ -109,12 +115,24 @@ class RunResult:
         sweeps, comparisons, the batch engine and its on-disk cache all
         consume summaries.  With ``validate=True`` (the default) the
         :func:`~repro.experiments.validation.validate_run` verdict is
-        captured in :attr:`RunSummary.violations`.
+        captured in :attr:`RunSummary.violations` (plus any
+        :attr:`extra_violations` from the invariant checker).
+
+        Nonzero network counters surface as ``net_``-prefixed
+        :attr:`RunSummary.extras` entries; zero counters are omitted so
+        nominal summaries stay byte-identical to earlier versions.
         """
         import dataclasses
 
         from .validation import validate_run
 
+        violations = list(validate_run(self)) if validate else []
+        violations.extend(self.extra_violations)
+        extras = {
+            f"net_{key}": float(value)
+            for key, value in self.network.items()
+            if value
+        }
         return RunSummary.from_metrics(
             kind="scenario",
             name=self.scenario.name,
@@ -128,7 +146,8 @@ class RunResult:
             submission_window=self.submission_window,
             final_node_count=self.final_node_count,
             executed_events=self.executed_events,
-            violations=validate_run(self) if validate else (),
+            violations=violations,
+            extras=extras,
         )
 
 
@@ -186,6 +205,7 @@ class GridSetup:
             submission_window=(self.schedule.times()[0], self.schedule.end),
             final_node_count=len(self.nodes),
             executed_events=self.sim.executed_events,
+            network=self.transport.network_counters(),
         )
 
 

@@ -1,20 +1,29 @@
-"""Simulated network: messages, latency models, transport, traffic stats."""
+"""Simulated network: messages, latency models, transport, traffic stats,
+fault injection, and reliable delivery."""
 
+from .faults import FaultInjector
 from .latency import (
     ConstantLatency,
     LatencyModel,
     PairwiseLogNormalLatency,
+    SpikeLatency,
     UniformLatency,
 )
 from .message import Message, wire_size
+from .reliability import Ack, ReliabilityConfig, ReliabilityLayer
 from .traffic import TrafficMonitor, TrafficReport
 from .transport import Transport
 
 __all__ = [
+    "Ack",
     "ConstantLatency",
+    "FaultInjector",
     "LatencyModel",
     "Message",
     "PairwiseLogNormalLatency",
+    "ReliabilityConfig",
+    "ReliabilityLayer",
+    "SpikeLatency",
     "TrafficMonitor",
     "TrafficReport",
     "Transport",

@@ -1,0 +1,158 @@
+"""Composable network-fault models beyond uniform message loss.
+
+The transport's built-in ``loss_probability`` models independent (i.i.d.)
+datagram loss.  Real wide-area networks misbehave in richer ways, and the
+chaos experiments need all of them at once:
+
+* **Loss bursts** — a Gilbert–Elliott-style two-state chain: messages are
+  judged in a *good* state (i.i.d. loss at ``loss``) or a *bad* state
+  (loss at ``burst_loss``); the chain enters the bad state with
+  probability ``burst_enter`` per judged message and leaves it with
+  ``burst_exit``, so bursts last ``1 / burst_exit`` messages on average.
+* **Duplication** — with probability ``duplicate`` a delivered message is
+  delivered twice, each copy after its own latency draw (reordering of
+  the copies falls out naturally).
+* **Overlay partitions with heal** — during each ``(start, end)`` window
+  the node set splits in two (each node falls on the minority side with
+  probability ``partition_fraction``); messages crossing the cut are
+  dropped, messages within a side flow normally, and the cut heals the
+  instant the window ends.
+
+Delay spikes are modelled separately as a latency decorator
+(:class:`~repro.net.latency.SpikeLatency`) so they compose with any base
+latency model.
+
+A :class:`FaultInjector` is attached to a transport via
+``transport.faults = injector``; the transport consults it once per
+non-local message.  All randomness comes from the dedicated
+``"net.faults"`` stream, so attaching an injector never perturbs the
+draws of an otherwise identical fault-free run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from ..sim import Simulator
+from ..types import NodeId
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Stateful fault model consulted by the transport per message.
+
+    ``plan`` is any object exposing the :class:`FaultPlan
+    <repro.experiments.faults.FaultPlan>` fields (``loss``, ``duplicate``,
+    ``burst_enter``, ``burst_exit``, ``burst_loss``, ``partitions``,
+    ``partition_fraction``); the injector copies the scalars so the plan
+    itself stays frozen and picklable.
+    """
+
+    __slots__ = (
+        "_sim",
+        "_rng",
+        "loss",
+        "duplicate",
+        "burst_enter",
+        "burst_exit",
+        "burst_loss",
+        "partition_fraction",
+        "_windows",
+        "_side",
+        "_bad",
+        "iid_lost",
+        "burst_lost",
+        "partition_dropped",
+        "duplicated",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plan,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._sim = sim
+        self._rng = rng if rng is not None else sim.streams.get("net.faults")
+        self.loss = plan.loss
+        self.duplicate = plan.duplicate
+        self.burst_enter = plan.burst_enter
+        self.burst_exit = plan.burst_exit
+        self.burst_loss = plan.burst_loss
+        self.partition_fraction = plan.partition_fraction
+        self._windows: Tuple[Tuple[float, float], ...] = tuple(
+            (float(start), float(end)) for start, end in plan.partitions
+        )
+        #: Lazily drawn partition side per node: ``True`` = minority group.
+        #: Sides are fixed for the whole run so every window cuts the same
+        #: way (a node cannot observably "move" between data centres).
+        self._side: Dict[NodeId, bool] = {}
+        self._bad = False
+        self.iid_lost = 0
+        self.burst_lost = 0
+        self.partition_dropped = 0
+        self.duplicated = 0
+
+    # ------------------------------------------------------------------
+    # Partition membership
+    # ------------------------------------------------------------------
+    def _side_of(self, node: NodeId) -> bool:
+        side = self._side.get(node)
+        if side is None:
+            side = self._rng.random() < self.partition_fraction
+            self._side[node] = side
+        return side
+
+    def partitioned(self, src: NodeId, dst: NodeId) -> bool:
+        """Whether a partition window currently separates ``src``/``dst``."""
+        if not self._windows:
+            return False
+        now = self._sim._now
+        for start, end in self._windows:
+            if start <= now < end:
+                return self._side_of(src) != self._side_of(dst)
+        return False
+
+    # ------------------------------------------------------------------
+    # The per-message verdict
+    # ------------------------------------------------------------------
+    def judge(self, src: NodeId, dst: NodeId) -> int:
+        """Number of copies of this message to deliver (0 = lost).
+
+        Called by the transport once per accounted non-local message,
+        after its own i.i.d. ``loss_probability`` check.
+        """
+        if self.partitioned(src, dst):
+            self.partition_dropped += 1
+            return 0
+        rng = self._rng
+        # Gilbert–Elliott: judge in the current state, then transition.
+        if self._bad:
+            lost = rng.random() < self.burst_loss
+            if rng.random() < self.burst_exit:
+                self._bad = False
+            if lost:
+                self.burst_lost += 1
+                return 0
+        else:
+            lost = self.loss and rng.random() < self.loss
+            if self.burst_enter and rng.random() < self.burst_enter:
+                self._bad = True
+            if lost:
+                self.iid_lost += 1
+                return 0
+        if self.duplicate and rng.random() < self.duplicate:
+            self.duplicated += 1
+            return 2
+        return 1
+
+    def counters(self) -> Dict[str, int]:
+        """Per-fault-model counters (for ``RunSummary.extras``)."""
+        return {
+            "fault_iid_lost": self.iid_lost,
+            "fault_burst_lost": self.burst_lost,
+            "fault_partition_dropped": self.partition_dropped,
+            "fault_duplicated": self.duplicated,
+        }

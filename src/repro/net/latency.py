@@ -10,6 +10,9 @@ delays" (§IV-A) without giving a distribution.  We provide three models:
   distribution (median ≈ 25 ms one-way, i.e. ≈ 50 ms RTT — typical of
   geographically dispersed grid sites), plus a small per-message jitter.
   Base delays are symmetric (same for both directions of a pair).
+* :class:`SpikeLatency` — a decorator over any base model that adds rare,
+  heavy delay spikes (queueing storms, route flaps); used by the fault
+  experiments and composable with all of the above.
 
 Latency is orders of magnitude smaller than job runtimes (hours), so the
 precise shape does not drive the paper's results; what matters is that
@@ -30,6 +33,7 @@ __all__ = [
     "ConstantLatency",
     "UniformLatency",
     "PairwiseLogNormalLatency",
+    "SpikeLatency",
 ]
 
 
@@ -123,3 +127,38 @@ class PairwiseLogNormalLatency(LatencyModel):
         if jitter:
             return base + rng.uniform(0.0, jitter)
         return base
+
+
+class SpikeLatency(LatencyModel):
+    """Adds rare, heavy delay spikes on top of any base latency model.
+
+    With probability ``probability`` per message an exponentially
+    distributed extra delay with mean ``mean`` seconds is added to the
+    base sample — modelling transient queueing storms and route flaps
+    whose delays dwarf the usual milliseconds and can reorder messages
+    across seconds.  Decorating the transport's model (``transport.latency
+    = SpikeLatency(transport.latency, ...)``) composes with every base
+    distribution.
+    """
+
+    __slots__ = ("base", "probability", "mean")
+
+    def __init__(
+        self, base: LatencyModel, probability: float, mean: float
+    ) -> None:
+        if not 0.0 <= probability < 1.0:
+            raise ConfigurationError(
+                f"spike probability {probability} out of [0, 1)"
+            )
+        if mean <= 0:
+            raise ConfigurationError(f"non-positive spike mean {mean!r}")
+        self.base = base
+        self.probability = probability
+        self.mean = mean
+
+    def sample(self, src: NodeId, dst: NodeId, rng: random.Random) -> float:
+        """Base delay, plus an exponential spike with the configured odds."""
+        delay = self.base.sample(src, dst, rng)
+        if rng.random() < self.probability:
+            delay += rng.expovariate(1.0 / self.mean)
+        return delay

@@ -1,0 +1,247 @@
+"""At-least-once delivery for control-plane-critical messages.
+
+The ARiA data plane (REQUEST/INFORM floods, ACCEPT offers) tolerates loss
+by construction: floods are redundant and discovery retries re-broadcast.
+The *control plane* does not — a dropped ASSIGN strands a job, a dropped
+Track leaves the fail-safe tracking stale, a dropped Done keeps a finished
+job tracked forever.  :class:`ReliabilityLayer` gives those messages
+datagram-friendly at-least-once semantics:
+
+* every reliable send carries a fresh ``msg_id`` (a header field, like the
+  ``broadcast_id`` of flooded messages — covered by the message's fixed
+  wire size);
+* the receiver acknowledges each copy with a 64-byte :class:`Ack` and
+  suppresses duplicate ``msg_id`` deliveries, which makes the protocol
+  handlers idempotent under duplicated and reordered delivery;
+* the sender retransmits on ack timeout with exponential backoff plus
+  jitter (drawn from the dedicated ``"net.reliability"`` stream, so the
+  layer is deterministic and never perturbs other streams), giving up
+  after ``max_retries`` retransmissions.
+
+Retransmit timers live on the simulator's slab event queue and are lazily
+cancelled when the ack arrives, exactly like the protocol's own timeouts.
+
+The bounded retry budget is a *safety* feature, not just an optimisation:
+a reliable ASSIGN must be provably dead (given up) before the fail-safe
+probing could resubmit the job, or both nodes would execute it.  With the
+defaults the worst-case give-up horizon is ``sum(min(1·2^k, 30)·1.5) ≈
+180 s`` — far below the fail-safe ``probe_interval`` (600 s by default in
+fault experiments).  See ``docs/FAULTS.md`` for the full argument.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from ..types import NodeId
+from .message import Message
+from .transport import Transport
+
+__all__ = ["Ack", "ReliabilityConfig", "ReliabilityLayer"]
+
+
+class Ack(Message):
+    """Per-message acknowledgement of a reliable delivery."""
+
+    SIZE_BYTES = 64
+    __slots__ = ("msg_id",)
+
+    def __init__(self, msg_id: int) -> None:
+        self.msg_id = msg_id
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Retransmission policy of a :class:`ReliabilityLayer`.
+
+    ``ack_timeout`` doubles per attempt (``backoff``) up to ``max_timeout``
+    and is stretched by a uniform jitter in ``[0, jitter]`` of itself so
+    retransmissions never synchronise.  After ``max_retries``
+    retransmissions without an ack the message is abandoned (``gave_up``)
+    — recovery is then the fail-safe layer's job.
+    """
+
+    ack_timeout: float = 1.0
+    backoff: float = 2.0
+    max_timeout: float = 30.0
+    max_retries: int = 7
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout <= 0 or self.max_timeout < self.ack_timeout:
+            raise ConfigurationError(
+                f"invalid ack timeouts [{self.ack_timeout}, {self.max_timeout}]"
+            )
+        if self.backoff < 1.0:
+            raise ConfigurationError(f"backoff {self.backoff} must be >= 1")
+        if self.max_retries < 0:
+            raise ConfigurationError(f"negative max_retries {self.max_retries}")
+        if self.jitter < 0:
+            raise ConfigurationError(f"negative jitter {self.jitter}")
+
+    def give_up_horizon(self) -> float:
+        """Worst-case seconds from first transmission to giving up."""
+        total = 0.0
+        for attempt in range(self.max_retries + 1):
+            timeout = min(
+                self.ack_timeout * self.backoff**attempt, self.max_timeout
+            )
+            total += timeout * (1.0 + self.jitter)
+        return total
+
+
+class _Pending:
+    """One reliable message awaiting its ack."""
+
+    __slots__ = ("src", "dst", "message", "attempt", "timer")
+
+    def __init__(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        self.src = src
+        self.dst = dst
+        self.message = message
+        self.attempt = 0
+        self.timer = None
+
+
+class ReliabilityLayer:
+    """Ack/retransmit/dedup layer on top of a :class:`Transport`.
+
+    Constructing the layer attaches it (``transport.reliability = self``);
+    the transport then routes tagged deliveries and acks through it.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        config: Optional[ReliabilityConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.transport = transport
+        self.config = config if config is not None else ReliabilityConfig()
+        self._sim = transport._sim
+        self._rng = (
+            rng
+            if rng is not None
+            else self._sim.streams.get("net.reliability")
+        )
+        self._next_id = 0
+        self._pending: Dict[int, _Pending] = {}
+        #: Receiver-side dedup state: msg_ids already delivered, per local
+        #: endpoint (so one layer serves every node of the grid).
+        self._seen: Dict[NodeId, set] = {}
+        self.retransmissions = 0
+        self.acks_sent = 0
+        self.delivered = 0
+        self.duplicates_suppressed = 0
+        self.gave_up = 0
+        transport.reliability = self
+
+    # ------------------------------------------------------------------
+    # Sender side
+    # ------------------------------------------------------------------
+    def send(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        """Send ``message`` with at-least-once semantics.
+
+        Local sends (``src == dst``) bypass the layer entirely: the
+        simulated loopback is lossless by construction, so acking it
+        would only add events.
+        """
+        if src == dst:
+            self.transport.send(src, dst, message)
+            return
+        msg_id = self._next_id
+        self._next_id += 1
+        pending = _Pending(src, dst, message)
+        self._pending[msg_id] = pending
+        self._transmit(msg_id, pending)
+
+    def _transmit(self, msg_id: int, pending: _Pending) -> None:
+        config = self.config
+        self.transport.send_tagged(
+            pending.src, pending.dst, pending.message, msg_id
+        )
+        timeout = min(
+            config.ack_timeout * config.backoff**pending.attempt,
+            config.max_timeout,
+        )
+        if config.jitter:
+            timeout *= 1.0 + config.jitter * self._rng.random()
+        pending.timer = self._sim.call_after(
+            timeout, self._on_timeout, msg_id
+        )
+
+    def _on_timeout(self, msg_id: int) -> None:
+        pending = self._pending.get(msg_id)
+        if pending is None:  # pragma: no cover - timer raced the ack
+            return
+        if pending.attempt >= self.config.max_retries:
+            del self._pending[msg_id]
+            self.gave_up += 1
+            return
+        pending.attempt += 1
+        self.retransmissions += 1
+        self._transmit(msg_id, pending)
+
+    def _on_ack(self, msg_id: int) -> None:
+        pending = self._pending.pop(msg_id, None)
+        if pending is None:
+            return  # duplicate or late ack: already settled
+        if pending.timer is not None:
+            self._sim.cancel(pending.timer)
+        self.delivered += 1
+
+    # ------------------------------------------------------------------
+    # Receiver side (called by Transport._deliver_tagged)
+    # ------------------------------------------------------------------
+    def accept(self, src: NodeId, dst: NodeId, msg_id: int) -> bool:
+        """Ack a tagged delivery at ``dst``; ``False`` if it is a duplicate.
+
+        Duplicates are acked too — the payload may have arrived while all
+        previous acks were lost, and the sender must stop retransmitting.
+        """
+        self.acks_sent += 1
+        self.transport._post(dst, src, Ack(msg_id), self._on_ack, (msg_id,))
+        seen = self._seen.get(dst)
+        if seen is None:
+            seen = self._seen[dst] = set()
+        if msg_id in seen:
+            self.duplicates_suppressed += 1
+            return False
+        seen.add(msg_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def forget(self, node_id: NodeId) -> None:
+        """Drop state tied to a node leaving the grid (crash/departure).
+
+        Outstanding sends *from* the node stop retransmitting — a dead
+        node cannot talk — and its dedup window is released.  Sends *to*
+        the node keep retrying until the bounded budget runs out, exactly
+        like real datagrams chasing a silent host.
+        """
+        stale = [
+            msg_id
+            for msg_id, pending in self._pending.items()
+            if pending.src == node_id
+        ]
+        for msg_id in stale:
+            pending = self._pending.pop(msg_id)
+            if pending.timer is not None:
+                self._sim.cancel(pending.timer)
+        self._seen.pop(node_id, None)
+
+    def counters(self) -> Dict[str, int]:
+        """Layer counters (for ``RunSummary.extras``)."""
+        return {
+            "reliable_delivered": self.delivered,
+            "reliable_retransmissions": self.retransmissions,
+            "reliable_acks": self.acks_sent,
+            "reliable_duplicates_suppressed": self.duplicates_suppressed,
+            "reliable_gave_up": self.gave_up,
+            "reliable_pending": len(self._pending),
+        }

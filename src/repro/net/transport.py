@@ -6,13 +6,28 @@ configured :class:`~repro.net.latency.LatencyModel`, and accounts its wire
 size in the :class:`~repro.net.traffic.TrafficMonitor`.
 
 Messages to unregistered (departed / crashed) nodes are counted as sent but
-silently dropped on delivery, mirroring a real datagram overlay.
+silently dropped on delivery, mirroring a real datagram overlay.  The drop
+counter distinguishes destinations that *were* registered once
+(``dropped_detached`` — in-flight messages that raced a departure) from
+destinations the transport never knew (``dropped_unknown``).
+
+Two optional collaborators extend the base datagram service:
+
+* ``transport.faults`` — a :class:`~repro.net.faults.FaultInjector`
+  consulted once per non-local message for loss bursts, duplication and
+  partition drops;
+* ``transport.reliability`` — a
+  :class:`~repro.net.reliability.ReliabilityLayer` providing at-least-once
+  delivery for control-plane messages via :meth:`send_tagged`.
+
+Both default to ``None`` and the hot path pays a single ``is None`` check
+for them, keeping fault-free runs at full speed.
 """
 
 from __future__ import annotations
 
 from heapq import heappush
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Set
 
 from ..errors import ConfigurationError
 from ..sim import Simulator
@@ -35,11 +50,15 @@ class Transport:
         "_latency",
         "monitor",
         "_handlers",
+        "_known",
         "_rng",
         "_loss_rng",
         "loss_probability",
-        "dropped",
+        "dropped_detached",
+        "dropped_unknown",
         "lost",
+        "faults",
+        "reliability",
     )
 
     def __init__(
@@ -57,23 +76,50 @@ class Transport:
         self._latency = latency if latency is not None else PairwiseLogNormalLatency()
         self.monitor = monitor if monitor is not None else TrafficMonitor()
         self._handlers: Dict[NodeId, Handler] = {}
+        #: Every node id that was ever registered, so drops can tell a
+        #: departed destination from one that never existed.
+        self._known: Set[NodeId] = set()
         self._rng = sim.streams.get("net.latency")
         self._loss_rng = sim.streams.get("net.loss")
         self.loss_probability = loss_probability
-        #: Messages dropped because the destination was not registered.
-        self.dropped = 0
+        #: In-flight messages dropped because the destination detached.
+        self.dropped_detached = 0
+        #: Messages addressed to a node that was never registered.
+        self.dropped_unknown = 0
         #: Messages lost to the datagram network itself.
         self.lost = 0
+        #: Optional :class:`~repro.net.faults.FaultInjector`.
+        self.faults = None
+        #: Optional :class:`~repro.net.reliability.ReliabilityLayer`.
+        self.reliability = None
+
+    @property
+    def dropped(self) -> int:
+        """Total messages dropped on delivery (detached + unknown)."""
+        return self.dropped_detached + self.dropped_unknown
+
+    @property
+    def latency(self) -> LatencyModel:
+        """The latency model; assignable, e.g. to wrap it in a
+        :class:`~repro.net.latency.SpikeLatency` decorator."""
+        return self._latency
+
+    @latency.setter
+    def latency(self, model: LatencyModel) -> None:
+        self._latency = model
 
     def register(self, node_id: NodeId, handler: Handler) -> None:
         """Attach ``handler`` as the receive callback of ``node_id``."""
         if node_id in self._handlers:
             raise ConfigurationError(f"node {node_id} already registered")
         self._handlers[node_id] = handler
+        self._known.add(node_id)
 
     def unregister(self, node_id: NodeId) -> None:
         """Detach a node; in-flight messages to it will be dropped."""
         self._handlers.pop(node_id, None)
+        if self.reliability is not None:
+            self.reliability.forget(node_id)
 
     def is_registered(self, node_id: NodeId) -> bool:
         """Whether ``node_id`` currently has a receive handler attached."""
@@ -112,6 +158,9 @@ class Transport:
         ):
             self.lost += 1  # sent (and accounted) but never delivered
             return
+        if self.faults is not None:
+            self._cast(src, dst, self._deliver, (src, dst, message))
+            return
         delay = self._latency.sample(src, dst, self._rng)
         entry = [
             sim._now + delay, 0, queue._seq, self._deliver, (src, dst, message)
@@ -120,9 +169,114 @@ class Transport:
         heappush(queue._heap, entry)
         queue._live += 1
 
+    def send_tagged(
+        self, src: NodeId, dst: NodeId, message: Message, msg_id: int
+    ) -> None:
+        """Send ``message`` carrying the reliability header ``msg_id``.
+
+        The tag is a header field like ``broadcast_id`` on flooded
+        messages — covered by the message's fixed wire size, so traffic
+        accounting is unchanged.  Delivery routes through the attached
+        :class:`~repro.net.reliability.ReliabilityLayer` for ack + dedup.
+        """
+        self._post(
+            src, dst, message, self._deliver_tagged, (src, dst, message, msg_id)
+        )
+
+    def _post(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+        callback: Callable,
+        args: tuple,
+    ) -> None:
+        """Account and route one message to an arbitrary delivery callback.
+
+        The non-inlined sibling of :meth:`send`, shared by the tagged and
+        ack paths (control-plane messages are rare next to the floods).
+        """
+        sim = self._sim
+        queue = sim._queue
+        if src == dst:
+            entry = [sim._now, 0, queue._seq, callback, args]
+            queue._seq += 1
+            heappush(queue._heap, entry)
+            queue._live += 1
+            return
+        cls = message.__class__
+        name = cls.__name__
+        monitor = self.monitor
+        by_bytes = monitor.bytes_by_type
+        by_bytes[name] = by_bytes.get(name, 0) + cls.SIZE_BYTES
+        by_count = monitor.count_by_type
+        by_count[name] = by_count.get(name, 0) + 1
+        if (
+            self.loss_probability
+            and self._loss_rng.random() < self.loss_probability
+        ):
+            self.lost += 1
+            return
+        if self.faults is not None:
+            self._cast(src, dst, callback, args)
+            return
+        delay = self._latency.sample(src, dst, self._rng)
+        entry = [sim._now + delay, 0, queue._seq, callback, args]
+        queue._seq += 1
+        heappush(queue._heap, entry)
+        queue._live += 1
+
+    def _cast(
+        self, src: NodeId, dst: NodeId, callback: Callable, args: tuple
+    ) -> None:
+        """Fault-model path: judge the message, then schedule each
+        surviving copy after its own latency draw."""
+        copies = self.faults.judge(src, dst)
+        if not copies:
+            self.lost += 1
+            return
+        sim = self._sim
+        queue = sim._queue
+        for _ in range(copies):
+            delay = self._latency.sample(src, dst, self._rng)
+            entry = [sim._now + delay, 0, queue._seq, callback, args]
+            queue._seq += 1
+            heappush(queue._heap, entry)
+            queue._live += 1
+
+    def _drop(self, dst: NodeId) -> None:
+        if dst in self._known:
+            self.dropped_detached += 1
+        else:
+            self.dropped_unknown += 1
+
     def _deliver(self, src: NodeId, dst: NodeId, message: Message) -> None:
         handler = self._handlers.get(dst)
         if handler is None:
-            self.dropped += 1
+            self._drop(dst)
             return
         handler(src, message)
+
+    def _deliver_tagged(
+        self, src: NodeId, dst: NodeId, message: Message, msg_id: int
+    ) -> None:
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self._drop(dst)
+            return
+        reliability = self.reliability
+        if reliability is None or reliability.accept(src, dst, msg_id):
+            handler(src, message)
+
+    def network_counters(self) -> Dict[str, int]:
+        """Transport + reliability + fault counters for run summaries."""
+        counters = {
+            "lost": self.lost,
+            "dropped_detached": self.dropped_detached,
+            "dropped_unknown": self.dropped_unknown,
+        }
+        if self.reliability is not None:
+            counters.update(self.reliability.counters())
+        if self.faults is not None:
+            counters.update(self.faults.counters())
+        return counters

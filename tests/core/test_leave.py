@@ -135,6 +135,32 @@ def test_assign_racing_departure_is_redelegated():
     assert record.start_node != 1 or not grid.agents[1].departed
 
 
+def test_late_assign_within_departure_grace_hands_off_exactly_once():
+    # The departure-grace race: node 1 wins the discovery, calls leave()
+    # while idle (arming the grace timer), and the ASSIGN lands inside the
+    # grace window.  The lingering endpoint must take responsibility and
+    # hand the job off exactly once — not drop it, not queue it twice.
+    cfg = config(failsafe=True, probe_interval=2 * MINUTE, probe_timeout=10.0)
+    grid = MiniGrid(["FCFS", "FCFS", "FCFS"], config=cfg)
+    grid.agents[1].node.performance_index = 2.0  # the clear winner
+    grid.agents[0].submit(make_job(1, ert=2 * HOUR))
+    # accept_wait finalizes at t=5; the ASSIGN is in flight when node 1
+    # starts leaving, and arrives within departure_grace (60 s).
+    grid.sim.call_at(grid.config.accept_wait, grid.agents[1].leave)
+    grid.sim.run_until(30 * HOUR)
+    record = grid.record(1)
+    assert record.completed
+    assert grid.metrics.completed_jobs == 1
+    assert grid.metrics.duplicate_executions == 0
+    # Exactly one hand-off: the initial delegation to node 1, then the
+    # re-delegation to whichever node took it over.
+    assert len(record.assignments) == 2
+    assert record.assignments[0][1] == 1
+    assert record.start_node != 1
+    assert record.resubmissions == 0  # tracking followed the hand-off
+    assert grid.agents[1].departed
+
+
 def test_failsafe_tracking_survives_departures():
     cfg = config(failsafe=True, probe_interval=2 * MINUTE, probe_timeout=10.0)
     grid = MiniGrid(["FCFS", "FCFS", "FCFS"], config=cfg)

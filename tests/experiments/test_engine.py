@@ -11,6 +11,7 @@ from repro.errors import ConfigurationError
 from repro.experiments import (
     ChurnPlan,
     CrashPlan,
+    FaultPlan,
     ResultCache,
     RunSummary,
     ScenarioScale,
@@ -58,6 +59,52 @@ def test_run_accepts_crash_plan():
 def test_run_accepts_churn_plan():
     result = run(ChurnPlan(), TINY, seed=0)
     assert result.metrics.completed_jobs > 0
+
+
+def test_run_accepts_fault_plan():
+    result = run(FaultPlan(), TINY, seed=0)
+    assert result.metrics.completed_jobs > 0
+    assert result.network["reliable_delivered"] > 0
+
+
+def test_fault_plan_rejects_unknown_options():
+    with pytest.raises(ConfigurationError):
+        run(FaultPlan(), TINY, seed=0, config_overrides={})
+
+
+def test_fault_batch_round_trips_summaries(tmp_path):
+    cache = ResultCache(tmp_path)
+    first = run_batch(
+        FaultPlan(), TINY, seeds=(0, 1), cache=cache, reliability=True
+    )
+    again = run_batch(
+        FaultPlan(), TINY, seeds=(0, 1), cache=cache, reliability=True
+    )
+    assert [s.to_dict() for s in first] == [s.to_dict() for s in again]
+    assert cache.hits == 2
+    assert all("net_reliable_delivered" in s.extras for s in first)
+
+
+def test_fault_cache_key_covers_plan_and_options():
+    plan = FaultPlan()
+    keys = set()
+    for plan_dict, reliability in [
+        (dataclasses.asdict(plan), True),
+        (dataclasses.asdict(plan), False),
+        (dataclasses.asdict(dataclasses.replace(plan, loss=0.2)), True),
+    ]:
+        payload = {
+            "kind": "faults",
+            "plan": plan_dict,
+            "reliability": reliability,
+            "failsafe": True,
+            "scenario_name": "iMixed",
+            "probe_interval": None,
+            "scale": dataclasses.asdict(TINY),
+            "seed": 0,
+        }
+        keys.add(cache_key(payload))
+    assert len(keys) == 3
 
 
 def test_run_rejects_unknown_spec():

@@ -107,3 +107,19 @@ def test_batch_runner():
 
     runs = run_scenario_batch(get_scenario("Mixed"), TINY, seeds=(1, 2))
     assert [r.seed for r in runs] == [1, 2]
+
+
+def test_network_counters_surface_in_result_and_summary(mixed_run):
+    import dataclasses
+
+    lossy = dataclasses.replace(get_scenario("Mixed"), message_loss=0.2)
+    result = run_scenario(lossy, TINY, seed=1)
+    assert result.network["lost"] > 0
+    summary = result.summary()
+    assert summary.extras["net_lost"] == float(result.network["lost"])
+    # A nominal run carries the counters on the result but keeps its
+    # summary byte-identical: zero counters never reach the extras.
+    assert mixed_run.network["lost"] == 0
+    assert not any(
+        key.startswith("net_") for key in mixed_run.summary().extras
+    )

@@ -1,0 +1,215 @@
+"""Unit tests for the composable network-fault models."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import FaultPlan, apply_fault_plan
+from repro.net import ConstantLatency, FaultInjector, Message, SpikeLatency, Transport
+from repro.sim import Simulator
+
+
+class Ping(Message):
+    SIZE_BYTES = 64
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: str = "") -> None:
+        self.tag = tag
+
+
+def make_injector(plan, seed=1):
+    sim = Simulator(seed=seed)
+    return sim, FaultInjector(sim, plan)
+
+
+# ----------------------------------------------------------------------
+# Gilbert–Elliott loss chain
+# ----------------------------------------------------------------------
+def test_no_faults_judges_everything_deliverable():
+    _, injector = make_injector(FaultPlan(loss=0.0, duplicate=0.0))
+    assert all(injector.judge(1, 2) == 1 for _ in range(200))
+    assert injector.counters() == {
+        "fault_iid_lost": 0,
+        "fault_burst_lost": 0,
+        "fault_partition_dropped": 0,
+        "fault_duplicated": 0,
+    }
+
+
+def test_iid_loss_rate_is_respected():
+    _, injector = make_injector(FaultPlan(loss=0.3, duplicate=0.0))
+    total = 5000
+    lost = sum(1 for _ in range(total) if injector.judge(1, 2) == 0)
+    assert injector.iid_lost == lost
+    assert 0.25 < lost / total < 0.35
+
+
+def test_burst_state_loses_at_burst_rate():
+    # burst_enter=1 drives the chain into the bad state after the first
+    # judged message; burst_loss=1 then loses everything until exit.
+    plan = FaultPlan(
+        loss=0.0,
+        duplicate=0.0,
+        burst_enter=0.99,
+        burst_exit=0.2,
+        burst_loss=1.0,
+    )
+    _, injector = make_injector(plan)
+    verdicts = [injector.judge(1, 2) for _ in range(2000)]
+    assert injector.burst_lost > 0
+    assert injector.iid_lost == 0
+    # Bursts end: the chain keeps delivering between bursts.
+    assert verdicts.count(1) > 0
+
+
+def test_burst_lengths_follow_exit_probability():
+    plan = FaultPlan(
+        loss=0.0,
+        duplicate=0.0,
+        burst_enter=0.05,
+        burst_exit=0.5,
+        burst_loss=1.0,
+    )
+    _, injector = make_injector(plan)
+    for _ in range(20000):
+        injector.judge(1, 2)
+    # Mean burst length = 1/burst_exit = 2 judged messages; with
+    # burst_loss=1 every judged-in-bad message is lost.
+    assert injector.burst_lost > 0
+
+
+def test_duplication_delivers_two_copies():
+    _, injector = make_injector(FaultPlan(loss=0.0, duplicate=0.9))
+    verdicts = [injector.judge(1, 2) for _ in range(300)]
+    assert 2 in verdicts
+    assert injector.duplicated == verdicts.count(2)
+
+
+# ----------------------------------------------------------------------
+# Partitions
+# ----------------------------------------------------------------------
+def test_partition_window_cuts_cross_side_traffic():
+    plan = FaultPlan(
+        loss=0.0,
+        duplicate=0.0,
+        partitions=((10.0, 20.0),),
+        partition_fraction=0.5,
+    )
+    sim, injector = make_injector(plan)
+    # Pin the sides deterministically: 1 minority, 2 majority.
+    injector._side[1] = True
+    injector._side[2] = False
+    injector._side[3] = True
+
+    assert not injector.partitioned(1, 2)  # before the window
+    sim.call_at(15.0, lambda: None)
+    sim.run()
+    assert sim.now == 15.0
+    assert injector.partitioned(1, 2)       # cross-cut
+    assert not injector.partitioned(1, 3)   # same side
+    assert injector.judge(1, 2) == 0
+    assert injector.judge(1, 3) == 1
+    assert injector.counters()["fault_partition_dropped"] == 1
+
+    sim.call_at(25.0, lambda: None)
+    sim.run()
+    assert not injector.partitioned(1, 2)  # healed
+    assert injector.judge(1, 2) == 1
+
+
+def test_partition_sides_are_stable_for_the_run():
+    plan = FaultPlan(partitions=((0.0, 100.0),), partition_fraction=0.5)
+    _, injector = make_injector(plan)
+    first = [injector._side_of(n) for n in range(50)]
+    again = [injector._side_of(n) for n in range(50)]
+    assert first == again
+
+
+# ----------------------------------------------------------------------
+# Delay spikes
+# ----------------------------------------------------------------------
+def test_spike_latency_adds_nonnegative_extra_delay():
+    base = ConstantLatency(0.05)
+    spiky = SpikeLatency(base, probability=0.3, mean=2.0)
+    rng = random.Random(7)
+    samples = [spiky.sample(1, 2, rng) for _ in range(2000)]
+    assert all(s >= 0.05 for s in samples)
+    spiked = sum(1 for s in samples if s > 0.05)
+    assert 0.2 < spiked / len(samples) < 0.4
+
+
+def test_spike_latency_zero_probability_is_transparent():
+    base = ConstantLatency(0.05)
+    spiky = SpikeLatency(base, probability=0.0, mean=2.0)
+    rng = random.Random(7)
+    assert all(spiky.sample(1, 2, rng) == 0.05 for _ in range(100))
+
+
+def test_spike_latency_validates_parameters():
+    base = ConstantLatency(0.05)
+    with pytest.raises(ConfigurationError):
+        SpikeLatency(base, probability=1.5, mean=2.0)
+    with pytest.raises(ConfigurationError):
+        SpikeLatency(base, probability=0.1, mean=0.0)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan validation and transport wiring
+# ----------------------------------------------------------------------
+def test_fault_plan_validates_fields():
+    with pytest.raises(ConfigurationError):
+        FaultPlan(loss=1.5)
+    with pytest.raises(ConfigurationError):
+        FaultPlan(burst_exit=0.0)
+    with pytest.raises(ConfigurationError):
+        FaultPlan(partition_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        FaultPlan(partitions=((20.0, 10.0),))
+
+
+def test_fault_plan_normalizes_json_lists():
+    plan = FaultPlan(partitions=[[10, 20], [30, 40]])
+    assert plan.partitions == ((10.0, 20.0), (30.0, 40.0))
+
+
+def test_apply_fault_plan_attaches_injector_and_spikes():
+    sim = Simulator(seed=1)
+    transport = Transport(sim, latency=ConstantLatency(0.05))
+    plan = FaultPlan(delay_spike=0.1, delay_spike_mean=1.0)
+    injector = apply_fault_plan(transport, plan)
+    assert transport.faults is injector
+    assert isinstance(transport.latency, SpikeLatency)
+
+
+def test_transport_counts_fault_losses_as_lost():
+    sim = Simulator(seed=1)
+    transport = Transport(sim, latency=ConstantLatency(0.01))
+    apply_fault_plan(transport, FaultPlan(loss=0.5, duplicate=0.0))
+    got = []
+    transport.register(1, lambda src, msg: None)
+    transport.register(2, lambda src, msg: got.append(msg))
+    count = 500
+    for _ in range(count):
+        transport.send(1, 2, Ping())
+    sim.run()
+    assert len(got) + transport.lost == count
+    assert transport.lost > 0
+    counters = transport.network_counters()
+    assert counters["fault_iid_lost"] == transport.lost
+
+
+def test_transport_delivers_duplicate_copies():
+    sim = Simulator(seed=1)
+    transport = Transport(sim, latency=ConstantLatency(0.01))
+    apply_fault_plan(transport, FaultPlan(loss=0.0, duplicate=0.9))
+    got = []
+    transport.register(1, lambda src, msg: None)
+    transport.register(2, lambda src, msg: got.append(msg))
+    count = 100
+    for _ in range(count):
+        transport.send(1, 2, Ping())
+    sim.run()
+    duplicated = transport.network_counters()["fault_duplicated"]
+    assert duplicated > 0
+    assert len(got) == count + duplicated

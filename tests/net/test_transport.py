@@ -94,6 +94,46 @@ def test_unregister_unknown_node_is_noop():
     transport.unregister(123)  # must not raise
 
 
+def test_drop_counter_distinguishes_unknown_from_detached():
+    sim, transport = make_transport(0.05)
+    transport.register(1, lambda src, msg: None)
+    transport.send(1, 99, Ping())  # never-registered destination
+    sim.run()
+    assert transport.dropped_unknown == 1
+    assert transport.dropped_detached == 0
+    transport.register(2, lambda src, msg: None)
+    transport.send(1, 2, Ping())
+    transport.unregister(2)  # detaches with the message in flight
+    sim.run()
+    assert transport.dropped_detached == 1
+    assert transport.dropped_unknown == 1
+    assert transport.dropped == 2  # aggregate view stays consistent
+
+
+def test_detach_with_multiple_in_flight_counts_each():
+    sim, transport = make_transport(0.05)
+    transport.register(1, lambda src, msg: None)
+    transport.register(2, lambda src, msg: None)
+    for _ in range(3):
+        transport.send(1, 2, Ping())
+    transport.unregister(2)
+    sim.run()
+    assert transport.dropped_detached == 3
+    assert transport.dropped_unknown == 0
+
+
+def test_network_counters_snapshot():
+    sim, transport = make_transport()
+    transport.register(1, lambda src, msg: None)
+    transport.send(1, 99, Ping())
+    sim.run()
+    assert transport.network_counters() == {
+        "lost": 0,
+        "dropped_detached": 0,
+        "dropped_unknown": 1,
+    }
+
+
 def test_messages_preserve_fifo_order_with_constant_latency():
     sim, transport = make_transport(0.01)
     got = []

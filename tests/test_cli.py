@@ -53,6 +53,54 @@ def test_multi_seed_run(capsys):
     assert "seeds (3, 4)" in capsys.readouterr().out
 
 
+def test_run_with_faults_reports_clean_invariants(capsys):
+    assert main(
+        ["run", "iMixed", "--scale", "tiny", "--faults", "--no-cache"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "iMixed+faults+reliable" in out
+    assert "invariants: OK" in out
+    assert "net_reliable_delivered" in out
+
+
+def test_run_with_faults_without_reliability_exits_nonzero(capsys):
+    # Seed 0 of the default chaos plan strands jobs when the reliability
+    # layer and fail-safe are off; the CLI must surface that and fail.
+    assert main(
+        [
+            "run", "iMixed", "--scale", "tiny",
+            "--faults", "--no-reliability", "--no-cache",
+        ]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "iMixed+faults" in out
+    assert "VIOLATION (seed 0)" in out
+
+
+def test_run_with_inline_fault_plan(capsys):
+    assert main(
+        [
+            "run", "iMixed", "--scale", "tiny", "--no-cache",
+            "--faults", '{"loss": 0.1, "duplicate": 0.05}',
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "invariants: OK" in out
+    assert "net_fault_iid_lost" in out
+
+
+def test_run_with_fault_plan_file(tmp_path, capsys):
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text('{"loss": 0.08, "partitions": [[1000, 1600]]}')
+    assert main(
+        [
+            "run", "iMixed", "--scale", "tiny", "--no-cache",
+            "--faults", str(plan_path),
+        ]
+    ) == 0
+    assert "invariants: OK" in capsys.readouterr().out
+
+
 def test_trace_generation(tmp_path, capsys):
     path = tmp_path / "trace.json"
     assert main(

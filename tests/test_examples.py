@@ -42,6 +42,12 @@ def test_overlay_playground_runs(capsys):
     assert "still connected:  True" in out
 
 
+def test_fault_injection_runs(capsys):
+    out = run_example("fault_injection.py", capsys=capsys)
+    assert "faults + reliability" in out
+    assert "retransmissions" in out
+
+
 def test_examples_all_have_main_guard():
     for path in sorted(EXAMPLES.glob("*.py")):
         text = path.read_text()
