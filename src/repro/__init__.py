@@ -31,6 +31,8 @@ Subpackages
     Centralized / multi-request / random comparison schedulers.
 ``repro.metrics``
     Per-job records and grid-wide aggregation.
+``repro.obs``
+    Observability: trace bus, metrics registry, job-timeline explainer.
 ``repro.experiments``
     The Table II scenario catalog, runner, and figure extraction.
 """
@@ -45,6 +47,7 @@ __all__ = [
     "grid",
     "metrics",
     "net",
+    "obs",
     "overlay",
     "scheduling",
     "sim",

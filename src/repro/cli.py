@@ -8,6 +8,8 @@ Everything the library does is reachable from the shell::
     python -m repro baseline centralized         # a comparison scheduler
     python -m repro trace out.json --jobs 200    # freeze a workload trace
     python -m repro run iMixed --faults          # chaos-test the protocol
+    python -m repro run iMixed --trace t.jsonl   # record a protocol trace
+    python -m repro explain-job t.jsonl 17       # why did job 17 land there?
 
 All commands accept ``--scale tiny|small|medium|paper`` and ``--seeds N``
 (N seeds starting at ``--seed-base``, default 0; the paper averages 10).
@@ -96,7 +98,39 @@ def _engine_kwargs(args) -> dict:
     return {
         "parallel": args.parallel,
         "cache": False if args.no_cache else None,
+        "progress": True if getattr(args, "progress", False) else None,
     }
+
+
+def _add_progress(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="report per-seed batch progress on stderr",
+    )
+
+
+def _trace_config(args, seeds):
+    """Build a :class:`TraceConfig` from ``--trace`` / ``--trace-level``.
+
+    Returns ``None`` when tracing was not requested.  Multi-seed batches
+    must embed a ``{seed}`` placeholder in the path so each seed writes
+    its own trace file.
+    """
+    if args.trace is None:
+        if args.trace_level is not None:
+            raise SystemExit("--trace-level requires --trace PATH")
+        return None
+    from .obs import TraceConfig
+
+    if len(seeds) > 1 and "{seed}" not in args.trace:
+        raise SystemExit(
+            "--trace with multiple seeds needs a {seed} placeholder "
+            "in the path (e.g. trace-{seed}.jsonl)"
+        )
+    return TraceConfig(
+        level=args.trace_level or "protocol", sink="jsonl", path=args.trace
+    )
 
 
 def _cmd_list(_args) -> int:
@@ -134,6 +168,7 @@ def _parse_fault_plan(text: str, scale: ScenarioScale):
 def _cmd_run(args) -> int:
     scale, seeds = _scale_and_seeds(args)
     scenario = get_scenario(args.scenario)
+    trace = _trace_config(args, seeds)
     if args.faults is not None:
         spec = _parse_fault_plan(args.faults, scale)
         options = {
@@ -142,16 +177,35 @@ def _cmd_run(args) -> int:
         }
     else:
         spec, options = scenario, {}
-    if args.profile:
+    if args.profile or args.profile_out is not None:
         # Profiling must observe the actual simulation, so the seeds run
         # serially in-process and bypass the result cache.
-        summaries = [
-            run(spec, scale, seed=seed, profile=True, **options).summary()
-            for seed in seeds
-        ]
+        summaries = []
+        for seed in seeds:
+            profile_out = (
+                args.profile_out.replace("{seed}", str(seed))
+                if args.profile_out is not None
+                else None
+            )
+            result = run(
+                spec,
+                scale,
+                seed=seed,
+                profile=args.profile,
+                profile_out=profile_out,
+                trace=trace,
+                **options,
+            )
+            summaries.append(result.summary())
     else:
+        engine_kwargs = _engine_kwargs(args)
+        if trace is not None:
+            # A cached result would skip the run and leave no trace file,
+            # so traced batches always execute.
+            engine_kwargs["cache"] = False
         summaries = run_batch(
-            spec, scale, seeds=seeds, **_engine_kwargs(args), **options
+            spec, scale, seeds=seeds, trace=trace,
+            **engine_kwargs, **options,
         )
     summary = summarize_runs(summaries)
     rows = [
@@ -285,6 +339,25 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_explain_job(args) -> int:
+    import json
+
+    from .errors import ConfigurationError
+    from .obs import explain_job, load_trace
+
+    events = load_trace(args.trace)
+    try:
+        timeline = explain_job(events, args.job_id)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(timeline.to_json(), indent=2, sort_keys=True))
+    else:
+        print(timeline.to_text())
+    return 0
+
+
 def _cmd_trace(args) -> int:
     import random
 
@@ -321,11 +394,35 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="simulate one scenario")
     run_parser.add_argument("scenario", choices=sorted(SCENARIOS))
     _add_common(run_parser)
+    _add_progress(run_parser)
     run_parser.add_argument(
         "--profile",
         action="store_true",
         help="print a cProfile report (top 20 by cumulative time) per "
         "seed; runs serially in-process and bypasses the cache",
+    )
+    run_parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="save raw cProfile stats to PATH (loadable with pstats); "
+        "use a {seed} placeholder with multiple seeds; runs serially "
+        "in-process and bypasses the cache",
+    )
+    run_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL protocol trace to PATH (use a {seed} "
+        "placeholder with multiple seeds); explore it afterwards with "
+        "'repro explain-job PATH JOB_ID'",
+    )
+    run_parser.add_argument(
+        "--trace-level",
+        choices=("protocol", "transport", "kernel"),
+        default=None,
+        help="trace detail level (default protocol; transport adds "
+        "per-message events, kernel adds per-event timing)",
     )
     run_parser.add_argument(
         "--faults",
@@ -356,7 +453,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     baseline_parser.add_argument("baseline", choices=BASELINE_NAMES)
     _add_common(baseline_parser)
+    _add_progress(baseline_parser)
     baseline_parser.set_defaults(func=_cmd_baseline)
+
+    explain_parser = sub.add_parser(
+        "explain-job",
+        help="reconstruct one job's timeline from a JSONL trace",
+    )
+    explain_parser.add_argument("trace", help="trace file from 'run --trace'")
+    explain_parser.add_argument("job_id", type=int)
+    explain_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the timeline as JSON instead of text",
+    )
+    explain_parser.set_defaults(func=_cmd_explain_job)
 
     run_file_parser = sub.add_parser(
         "run-file", help="simulate a custom scenario from a JSON file"
@@ -399,7 +510,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early — not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -97,6 +97,7 @@ class AriaAgent:
         config: AriaConfig,
         metrics: GridMetrics,
         rng: Optional[random.Random] = None,
+        tracer=None,
     ) -> None:
         self.node = node
         #: The node's id, mirrored as a plain attribute: it is immutable and
@@ -112,6 +113,10 @@ class AriaAgent:
         self._improvement_threshold = config.improvement_threshold
         self.metrics = metrics
         self.sim = node.sim
+        #: Optional :class:`~repro.obs.Tracer`, attached only when
+        #: protocol-level tracing is active (``None`` costs one check per
+        #: instrumentation point).
+        self._trace = tracer
         self._rng = rng if rng is not None else self.sim.streams.get("aria")
         self._pending: Dict[JobId, _PendingRequest] = {}
         self._seen_requests = SeenCache()
@@ -223,6 +228,10 @@ class AriaAgent:
         lost = self.node.crash()
         for job in lost:
             self.metrics.job_lost(job.job_id, self.sim.now)
+            if self._trace is not None:
+                self._trace.emit(
+                    "job.lost", self.sim.now, job=job.job_id, node=self.node_id
+                )
         return lost
 
     def leave(self) -> int:
@@ -300,6 +309,10 @@ class AriaAgent:
         if job.job_id in self._pending:
             raise ProtocolError(f"job {job.job_id} already pending here")
         self.metrics.job_submitted(job, self.node_id, self.sim.now)
+        if self._trace is not None:
+            self._trace.emit(
+                "job.submitted", self.sim.now, job=job.job_id, node=self.node_id
+            )
         self._begin_discovery(job)
 
     def _begin_discovery(self, job: Job, reschedule: bool = False) -> None:
@@ -316,6 +329,15 @@ class AriaAgent:
 
     def _broadcast_request(self, job: Job) -> None:
         policy = self.config.request_flood
+        if self._trace is not None:
+            pending = self._pending.get(job.job_id)
+            self._trace.emit(
+                "request.broadcast",
+                self.sim.now,
+                job=job.job_id,
+                node=self.node_id,
+                retry=pending.retries if pending is not None else 0,
+            )
         broadcast_id = self._next_broadcast_id()
         self._seen_requests.seen_before(broadcast_id)  # ignore echoes
         message = Request(
@@ -336,7 +358,26 @@ class AriaAgent:
         job = pending.job
         # The initiator quotes itself at decision time (no network cost).
         if self._can_host(job):
-            pending.offers.append((self.node.cost_for(job), self.node_id))
+            own_cost = self.node.cost_for(job)
+            pending.offers.append((own_cost, self.node_id))
+            if self._trace is not None:
+                self._trace.emit(
+                    "cost.evaluated",
+                    self.sim.now,
+                    job=job_id,
+                    node=self.node_id,
+                    cost=own_cost,
+                    phase="self",
+                )
+                self._trace.emit(
+                    "accept.received",
+                    self.sim.now,
+                    job=job_id,
+                    node=self.node_id,
+                    src=self.node_id,
+                    cost=own_cost,
+                    phase="self",
+                )
         if not pending.offers:
             pending.retries += 1
             if pending.retries > self.config.max_request_retries:
@@ -345,10 +386,24 @@ class AriaAgent:
                     # Hand-off found no taker: a leaving node falls back to
                     # executing the job itself before departing (a job may
                     # never be dropped once accepted, §III-A).
+                    if self._trace is not None:
+                        self._trace.emit(
+                            "job.queued",
+                            self.sim.now,
+                            job=job_id,
+                            node=self.node_id,
+                        )
                     self.node.accept_job(job)
                     return
                 self._untrack(job_id)
                 self.metrics.job_unschedulable(job_id, self.sim.now)
+                if self._trace is not None:
+                    self._trace.emit(
+                        "job.unschedulable",
+                        self.sim.now,
+                        job=job_id,
+                        node=self.node_id,
+                    )
                 return
             self._broadcast_request(job)
             pending.timer = self.sim.call_after(
@@ -358,7 +413,18 @@ class AriaAgent:
             )
             return
         del self._pending[job_id]
-        _cost, winner = min(pending.offers)
+        cost, winner = min(pending.offers)
+        if self._trace is not None:
+            self._trace.emit(
+                "assign.winner",
+                self.sim.now,
+                job=job_id,
+                node=self.node_id,
+                winner=winner,
+                cost=cost,
+                offers=len(pending.offers),
+                reschedule=pending.reschedule,
+            )
         if self.config.failsafe and not pending.reschedule:
             self._tracked[job_id] = (job, winner)
             self._suspect.pop(job_id, None)
@@ -489,6 +555,15 @@ class AriaAgent:
             return
         if self._can_host(message.job):
             cost = self.node.cost_for(message.job)
+            if self._trace is not None:
+                self._trace.emit(
+                    "cost.evaluated",
+                    self.sim.now,
+                    job=message.job.job_id,
+                    node=self.node_id,
+                    cost=cost,
+                    phase="request",
+                )
             self.transport.send(
                 self.node_id,
                 message.initiator,
@@ -517,6 +592,16 @@ class AriaAgent:
         pending = self._pending.get(message.job_id)
         if pending is not None:
             pending.offers.append((message.cost, message.node))
+            if self._trace is not None:
+                self._trace.emit(
+                    "accept.received",
+                    self.sim.now,
+                    job=message.job_id,
+                    node=self.node_id,
+                    src=message.node,
+                    cost=message.cost,
+                    phase="request",
+                )
             return
         self._consider_reschedule_offer(message)
 
@@ -538,11 +623,19 @@ class AriaAgent:
         )
         policy = self.config.inform_flood
         hops_left = policy.max_hops - 1
-        self.metrics.inform_broadcasts += len(candidates)
+        self.metrics.informs_advertised(len(candidates))
         for entry in candidates:
             cost = current_queue_cost(
                 scheduler, entry.job.job_id, now, running_remaining
             )
+            if self._trace is not None:
+                self._trace.emit(
+                    "inform.broadcast",
+                    now,
+                    job=entry.job.job_id,
+                    node=self.node_id,
+                    cost=cost,
+                )
             broadcast_id = self._next_broadcast_id()
             self._seen_informs.seen_before(broadcast_id)
             message = Inform(
@@ -562,6 +655,15 @@ class AriaAgent:
         if self._can_host(message.job):
             cost = self.node.cost_for(message.job)
             if cost < message.cost - self._improvement_threshold:
+                if self._trace is not None:
+                    self._trace.emit(
+                        "cost.evaluated",
+                        self.sim.now,
+                        job=message.job.job_id,
+                        node=node_id,
+                        cost=cost,
+                        phase="inform",
+                    )
                 self.transport.send(
                     node_id,
                     message.assignee,
@@ -598,11 +700,31 @@ class AriaAgent:
             self.sim.now,
             self.node.running_remaining(),
         )
+        if self._trace is not None:
+            self._trace.emit(
+                "accept.received",
+                self.sim.now,
+                job=message.job_id,
+                node=self.node_id,
+                src=message.node,
+                cost=message.cost,
+                phase="inform",
+            )
         if message.cost >= own_cost - self.config.improvement_threshold:
             return  # the offer no longer beats our fresh cost
         removed = self.node.withdraw_job(message.job_id)
         if removed is None:  # pragma: no cover - guarded by find() above
             return
+        if self._trace is not None:
+            self._trace.emit(
+                "reschedule.withdrawn",
+                self.sim.now,
+                job=message.job_id,
+                node=self.node_id,
+                to=message.node,
+                own_cost=own_cost,
+                offer_cost=message.cost,
+            )
         self._send_assign(message.node, removed.job, reschedule=True)
 
     # ------------------------------------------------------------------
@@ -624,29 +746,61 @@ class AriaAgent:
             # Track update, or a resubmission of a job this node already
             # executed whose Done got lost): accepting twice would
             # double-execute, so the second copy is dropped idempotently.
+            if self._trace is not None:
+                self._trace.emit(
+                    "assign.duplicate",
+                    self.sim.now,
+                    job=job.job_id,
+                    node=self.node_id,
+                    src=src,
+                )
             return
         self._job_initiators[job.job_id] = message.initiator
         self._redelegated.pop(job.job_id, None)
         self.metrics.job_assigned(
             job.job_id, self.node_id, self.sim.now, message.reschedule
         )
+        if self._trace is not None:
+            self._trace.emit(
+                "assign.received",
+                self.sim.now,
+                job=job.job_id,
+                node=self.node_id,
+                src=src,
+                reschedule=message.reschedule,
+            )
         if self.leaving:
             # An ASSIGN that raced our departure cannot be declined; the
             # leaving node immediately re-delegates it instead of queueing.
             self._begin_discovery(job, reschedule=True)
             return
+        if self._trace is not None:
+            self._trace.emit(
+                "job.queued", self.sim.now, job=job.job_id, node=self.node_id
+            )
         self.node.accept_job(job)
 
     def _on_job_started(self, node: GridNode, running: RunningJob) -> None:
         self.metrics.job_started(
             running.job.job_id, node.node_id, self.sim.now
         )
+        if self._trace is not None:
+            self._trace.emit(
+                "job.started",
+                self.sim.now,
+                job=running.job.job_id,
+                node=node.node_id,
+            )
 
     def _on_job_finished(self, node: GridNode, finished: RunningJob) -> None:
         job_id = finished.job.job_id
         initiator = self._job_initiators.pop(job_id, None)
         self._completed.add(job_id)
         self.metrics.job_finished(job_id, node.node_id, self.sim.now)
+        if self._trace is not None:
+            self._trace.emit(
+                "job.finished", self.sim.now, job=job_id, node=node.node_id
+            )
         if self.config.failsafe and initiator is not None:
             if initiator == self.node_id:
                 self._untrack(job_id)
@@ -680,6 +834,14 @@ class AriaAgent:
                 continue  # being rediscovered / probe already in flight
             if assignee == self.node_id:
                 continue  # local job: completion is observed directly
+            if self._trace is not None:
+                self._trace.emit(
+                    "probe.sent",
+                    self.sim.now,
+                    job=job_id,
+                    node=self.node_id,
+                    assignee=assignee,
+                )
             self._send_control(assignee, Probe(job_id, self.node_id))
             self._probe_timeouts[job_id] = self.sim.call_after(
                 self.config.probe_timeout, self._probe_missed, job_id
@@ -739,6 +901,14 @@ class AriaAgent:
     def _record_probe_miss(self, job_id: JobId) -> None:
         misses = self._suspect.get(job_id, 0) + 1
         self._suspect[job_id] = misses
+        if self._trace is not None:
+            self._trace.emit(
+                "probe.miss",
+                self.sim.now,
+                job=job_id,
+                node=self.node_id,
+                misses=misses,
+            )
         if misses < 2:
             return
         job, _assignee = self._tracked[job_id]
@@ -746,4 +916,8 @@ class AriaAgent:
         if job_id in self._pending:  # pragma: no cover - defensive
             return
         self.metrics.job_resubmitted(job_id, self.sim.now)
+        if self._trace is not None:
+            self._trace.emit(
+                "job.resubmitted", self.sim.now, job=job_id, node=self.node_id
+            )
         self._begin_discovery(job)

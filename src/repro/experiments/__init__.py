@@ -8,6 +8,7 @@ and :func:`run_batch` (many seeds, cached + parallel, returning
 with the :mod:`~repro.experiments.invariants` chaos checker).
 """
 
+from ..obs.trace import TraceConfig
 from .aggregate import ScenarioSummary, average_series, summarize_runs
 from .catalog import SCENARIOS, get_scenario, scenario_names, with_rescheduling
 from .churn import ChurnPlan, run_churn_experiment
@@ -48,6 +49,7 @@ __all__ = [
     "Scenario",
     "ScenarioScale",
     "ScenarioSummary",
+    "TraceConfig",
     "average_series",
     "bench_scale_from_env",
     "fmt_hours",

@@ -84,6 +84,7 @@ def _run_churn_experiment(
     plan: Optional[ChurnPlan] = None,
     scenario_name: str = "iMixed",
     failsafe: bool = False,
+    obs=None,
 ) -> RunResult:
     """One churn run (internal, non-deprecated impl)."""
     plan = plan if plan is not None else ChurnPlan()
@@ -94,6 +95,7 @@ def _run_churn_experiment(
         scale,
         seed,
         config_overrides={"failsafe": True} if failsafe else None,
+        obs=obs,
     )
 
     rng = setup.sim.streams.get("churn")

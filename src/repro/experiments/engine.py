@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..errors import ConfigurationError
+from ..obs.trace import TraceConfig
 from .churn import ChurnPlan, _run_churn_experiment
 from .failures import CrashPlan, _run_crash_experiment
 from .faults import FaultPlan, _run_fault_experiment
@@ -268,17 +269,46 @@ def _check_options(kind: str, options: Dict[str, Any], allowed) -> None:
         )
 
 
+def _attach_trace(payload: Dict[str, Any], trace, seed: int) -> None:
+    """Embed a seed-resolved :class:`TraceConfig` into one work unit.
+
+    The trace config joins the canonical payload — and therefore the
+    cache key — so a traced run is never silently served from (or stored
+    as) an untraced cache entry.  Untraced payloads carry no ``trace``
+    key at all, keeping their keys identical to pre-observability ones.
+    """
+    if trace is None:
+        return
+    if not isinstance(trace, TraceConfig):
+        raise ConfigurationError(
+            f"trace must be a repro.obs.TraceConfig, got "
+            f"{type(trace).__name__}"
+        )
+    if payload["kind"] == "baseline":
+        raise ConfigurationError(
+            "tracing is not supported for baseline runs (baselines bypass "
+            "the ARiA grid; there is no protocol activity to record)"
+        )
+    payload["trace"] = trace.resolved(seed).to_dict()
+
+
 def _run_payload(payload: Dict[str, Any]):
     """Execute one canonical work unit, returning the live result object."""
     scale = ScenarioScale(**payload["scale"])
     seed = payload["seed"]
     kind = payload["kind"]
+    obs = (
+        TraceConfig.from_dict(payload["trace"])
+        if payload.get("trace") is not None
+        else None
+    )
     if kind == "scenario":
         return _run_scenario(
             Scenario.from_dict(payload["scenario"]),
             scale,
             seed,
             config_overrides=payload.get("config_overrides"),
+            obs=obs,
         )
     if kind == "baseline":
         from ..baselines.runner import _run_baseline
@@ -297,6 +327,7 @@ def _run_payload(payload: Dict[str, Any]):
             seed,
             plan=CrashPlan(**payload["plan"]),
             scenario_name=payload["scenario_name"],
+            obs=obs,
             **kwargs,
         )
     if kind == "churn":
@@ -306,6 +337,7 @@ def _run_payload(payload: Dict[str, Any]):
             plan=ChurnPlan(**payload["plan"]),
             scenario_name=payload["scenario_name"],
             failsafe=payload["failsafe"],
+            obs=obs,
         )
     if kind == "faults":
         kwargs = {}
@@ -318,6 +350,7 @@ def _run_payload(payload: Dict[str, Any]):
             scenario_name=payload["scenario_name"],
             reliability=payload["reliability"],
             failsafe=payload["failsafe"],
+            obs=obs,
             **kwargs,
         )
     raise ConfigurationError(f"unknown work-unit kind {kind!r}")
@@ -367,6 +400,8 @@ def run(
     *,
     seed: int = 0,
     profile: bool = False,
+    profile_out: Optional[str] = None,
+    trace: Optional[TraceConfig] = None,
     **options,
 ):
     """One run of any experiment spec; returns the live result object.
@@ -383,6 +418,13 @@ def run(
     With ``profile=True`` the run executes under :mod:`cProfile` and the
     top 20 functions by cumulative time are printed to stderr afterwards
     (the simulated outcome is unaffected — profiling only observes).
+    ``profile_out`` saves the raw stats to a file instead (loadable with
+    :class:`pstats.Stats`); it implies profiling and composes with
+    ``profile=True`` (print *and* save).
+
+    ``trace`` is a :class:`~repro.obs.TraceConfig`: events are recorded
+    to its sink and the metrics-registry snapshot is surfaced as
+    ``RunSummary.telemetry`` (not supported for baseline specs).
 
     Returns a :class:`~repro.experiments.runner.RunResult` (scenario,
     crash, churn) or :class:`~repro.baselines.runner.BaselineRunResult`
@@ -392,7 +434,8 @@ def run(
     payload = _spec_payload(spec, options)
     payload["scale"] = dataclasses.asdict(scale)
     payload["seed"] = seed
-    if not profile:
+    _attach_trace(payload, trace, seed)
+    if not profile and profile_out is None:
         return _run_payload(payload)
     import cProfile
     import pstats
@@ -404,9 +447,30 @@ def run(
         result = _run_payload(payload)
     finally:
         profiler.disable()
-        stats = pstats.Stats(profiler, stream=sys.stderr)
-        stats.sort_stats("cumulative").print_stats(20)
+        if profile_out is not None:
+            pstats.Stats(profiler).dump_stats(profile_out)
+        if profile:
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(20)
     return result
+
+
+def _resolve_progress(progress, total: int):
+    """Map the ``progress`` argument to a ``callback(done, total)``.
+
+    ``None``/``False`` disables reporting; ``True`` prints
+    ``[done/total]`` lines to stderr; a callable is used as-is.
+    """
+    if progress is None or progress is False:
+        return None
+    if callable(progress):
+        return progress
+    import sys
+
+    def printer(done: int, total: int = total) -> None:
+        print(f"[{done}/{total}] runs complete", file=sys.stderr, flush=True)
+
+    return printer
 
 
 def run_batch(
@@ -416,6 +480,8 @@ def run_batch(
     seeds: Sequence[int] = (0,),
     parallel: Optional[int] = None,
     cache=None,
+    trace: Optional[TraceConfig] = None,
+    progress=None,
     **options,
 ) -> List[RunSummary]:
     """Run ``spec`` once per seed; returns one :class:`RunSummary` each.
@@ -426,6 +492,14 @@ def run_batch(
     uses the default on-disk :class:`ResultCache`, ``False`` disables
     caching, a :class:`ResultCache` (or path) selects a specific store.
 
+    ``trace`` — a :class:`~repro.obs.TraceConfig` applied to every seed;
+    give file sinks a ``{seed}`` placeholder in ``path`` so each work
+    unit writes its own trace.  The config joins the cache key, so
+    traced and untraced results never mix.  ``progress`` — ``True``
+    prints ``[done/total]`` lines to stderr as work units finish (cache
+    hits count immediately); a ``callback(done, total)`` receives the
+    same notifications.
+
     Summaries come back in ``seeds`` order and are bit-identical
     (``to_dict()``) whether they were computed serially, in parallel, or
     served from the cache.
@@ -435,34 +509,59 @@ def run_batch(
     cache_store = _resolve_cache(cache)
 
     seeds = list(seeds)
+    report = _resolve_progress(progress, len(seeds))
+    done = 0
     results: Dict[int, RunSummary] = {}
     pending: List[tuple] = []
     for index, seed in enumerate(seeds):
         payload = dict(base_payload)
         payload["scale"] = dataclasses.asdict(scale)
         payload["seed"] = seed
+        _attach_trace(payload, trace, seed)
         key = cache_key(payload)
         if cache_store is not None:
             cached = cache_store.load(key)
             if cached is not None:
                 results[index] = cached
+                done += 1
+                if report is not None:
+                    report(done, len(seeds))
                 continue
         pending.append((index, key, payload))
 
     if pending:
         workers = _resolve_parallel(parallel, len(pending))
-        payloads = [payload for _, _, payload in pending]
         if workers <= 1:
-            outputs = [_execute_payload(payload) for payload in payloads]
+            outputs = []
+            for _, _, payload in pending:
+                outputs.append(_execute_payload(payload))
+                done += 1
+                if report is not None:
+                    report(done, len(seeds))
         else:
             import multiprocessing
-            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+            from concurrent.futures import wait as futures_wait
 
             context = multiprocessing.get_context("spawn")
+            outputs = [None] * len(pending)
             with ProcessPoolExecutor(
                 max_workers=workers, mp_context=context
             ) as pool:
-                outputs = list(pool.map(_execute_payload, payloads))
+                futures = {
+                    pool.submit(_execute_payload, payload): position
+                    for position, (_, _, payload) in enumerate(pending)
+                }
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = futures_wait(
+                        remaining, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        outputs[futures[future]] = future.result()
+                        done += 1
+                        if report is not None:
+                            report(done, len(seeds))
         for (index, key, payload), output in zip(pending, outputs):
             summary = RunSummary.from_dict(output)
             if cache_store is not None:

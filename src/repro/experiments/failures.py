@@ -80,6 +80,7 @@ def _run_crash_experiment(
     plan: Optional[CrashPlan] = None,
     scenario_name: str = "iMixed",
     probe_interval: float = 10 * MINUTE,
+    obs=None,
 ) -> RunResult:
     """One crash-injected run (internal, non-deprecated impl).
 
@@ -99,7 +100,9 @@ def _run_crash_experiment(
         if failsafe
         else None
     )
-    setup = build_grid(scenario, scale, seed, config_overrides=overrides)
+    setup = build_grid(
+        scenario, scale, seed, config_overrides=overrides, obs=obs
+    )
 
     victims = setup.sim.streams.get("failures").sample(
         setup.agents, max(1, round(plan.fraction * len(setup.agents)))

@@ -171,6 +171,7 @@ def _run_fault_experiment(
     reliability: bool = True,
     failsafe: bool = True,
     probe_interval: float = 10 * MINUTE,
+    obs=None,
 ) -> RunResult:
     """One fault-injected run (internal, engine-dispatched impl).
 
@@ -196,7 +197,9 @@ def _run_fault_experiment(
         if failsafe
         else None
     )
-    setup = build_grid(scenario, scale, seed, config_overrides=overrides)
+    setup = build_grid(
+        scenario, scale, seed, config_overrides=overrides, obs=obs
+    )
     apply_fault_plan(setup.transport, plan)
     if reliability:
         ReliabilityLayer(setup.transport)

@@ -24,6 +24,8 @@ from ..grid.resources import random_node_profile, random_performance_index
 from ..metrics.collector import GridMetrics
 from ..net.traffic import TrafficReport
 from ..net.transport import Transport
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceConfig, Tracer
 from ..overlay.blatant import BlatantConfig, BlatantMaintainer
 from ..overlay.graph import OverlayGraph
 from ..scheduling.registry import make_scheduler
@@ -106,6 +108,15 @@ class RunResult:
     #: Invariant-checker findings (fault experiments); folded into
     #: ``RunSummary.violations`` next to the ``validate_run`` verdict.
     extra_violations: List[str] = dataclass_field(default_factory=list)
+    #: Metrics-registry snapshot (only when the run carried a
+    #: ``TraceConfig`` with ``telemetry=True``; empty otherwise).
+    telemetry: Dict[str, float] = dataclass_field(default_factory=dict)
+    #: The recorded trace events when the run traced into a memory sink
+    #: (``TraceConfig(sink="memory")``); empty for file sinks — load
+    #: those with :func:`repro.obs.load_trace`.
+    trace_events: List[Dict[str, object]] = dataclass_field(
+        default_factory=list
+    )
 
     def summary(self, validate: bool = True) -> RunSummary:
         """Condense this run into a picklable :class:`RunSummary`.
@@ -148,6 +159,7 @@ class RunResult:
             executed_events=self.executed_events,
             violations=violations,
             extras=extras,
+            telemetry=self.telemetry,
         )
 
 
@@ -175,6 +187,14 @@ class GridSetup:
     #: Adds a fresh node+agent under the given id (used by expansion and
     #: churn experiments); the caller wires it into the overlay.
     add_node: Callable[[NodeId], None]
+    #: Shared per-run metrics registry (always present; snapshotted into
+    #: ``RunResult.telemetry`` when observability was requested).
+    registry: Optional[MetricsRegistry] = None
+    #: The run's :class:`~repro.obs.Tracer`; ``None`` unless a
+    #: ``TraceConfig`` with an active level was passed to ``build_grid``.
+    tracer: Optional[Tracer] = None
+    #: The :class:`~repro.obs.TraceConfig` the grid was built with.
+    obs: Optional[TraceConfig] = None
 
     def live_agents(self):
         """Agents still part of the grid (not crashed, not departed)."""
@@ -189,8 +209,22 @@ class GridSetup:
         return len(self.live_agents())
 
     def run(self) -> RunResult:
-        """Simulate to the configured horizon and collect the results."""
-        self.sim.run_until(self.scale.duration)
+        """Simulate to the configured horizon and collect the results.
+
+        Closes the tracer (flushing its sink) even when the simulation
+        fails, so a partial trace is still readable for post-mortems.
+        """
+        try:
+            self.sim.run_until(self.scale.duration)
+        finally:
+            if self.tracer is not None:
+                self.tracer.close()
+        telemetry: Dict[str, float] = {}
+        if self.obs is not None and self.obs.telemetry:
+            telemetry = self.registry.snapshot()
+        trace_events: List[Dict[str, object]] = []
+        if self.tracer is not None and self.obs.sink == "memory":
+            trace_events = self.tracer.events
         return RunResult(
             scenario=self.scenario,
             scale=self.scale,
@@ -206,6 +240,8 @@ class GridSetup:
             final_node_count=len(self.nodes),
             executed_events=self.sim.executed_events,
             network=self.transport.network_counters(),
+            telemetry=telemetry,
+            trace_events=trace_events,
         )
 
 
@@ -214,6 +250,7 @@ def build_grid(
     scale: Optional[ScenarioScale] = None,
     seed: int = 0,
     config_overrides: Optional[Dict[str, object]] = None,
+    obs: Optional[TraceConfig] = None,
 ) -> GridSetup:
     """Assemble (but do not run) one complete scenario grid.
 
@@ -221,11 +258,32 @@ def build_grid(
     ``{"failsafe": True}``) for *every* agent, including nodes that join
     later through :attr:`GridSetup.add_node` — a grid must never mix
     protocol configurations.
+
+    ``obs`` enables observability: a :class:`~repro.obs.Tracer` built
+    from the config is attached to exactly the components its level
+    covers (agents at ``protocol``, + transport/reliability at
+    ``transport``, + the kernel dispatch loop at ``kernel``), and the
+    run's metrics-registry snapshot is surfaced as
+    ``RunResult.telemetry`` when ``obs.telemetry`` is true.  Without
+    ``obs`` every instrumentation point stays a single ``is None`` check.
     """
     scale = scale if scale is not None else ScenarioScale.paper()
     sim = Simulator(seed=seed)
-    metrics = GridMetrics()
-    transport = Transport(sim, loss_probability=scenario.message_loss)
+    registry = MetricsRegistry()
+    metrics = GridMetrics(registry)
+    transport = Transport(
+        sim, loss_probability=scenario.message_loss, registry=registry
+    )
+    tracer: Optional[Tracer] = None
+    agent_tracer: Optional[Tracer] = None
+    if obs is not None and obs.level != "off":
+        tracer = Tracer(obs)
+        if tracer.wants_level("protocol"):
+            agent_tracer = tracer
+        if tracer.wants_level("transport"):
+            transport._trace = tracer
+        if tracer.wants_level("kernel"):
+            sim._trace = tracer
     graph = _build_overlay(scenario.overlay, scale.nodes, seed)
 
     config = AriaConfig(
@@ -255,7 +313,9 @@ def build_grid(
             scheduler=make_scheduler(policy_rng.choice(scenario.policies)),
             accuracy=accuracy,
         )
-        agent = AriaAgent(node, transport, graph, config, metrics)
+        agent = AriaAgent(
+            node, transport, graph, config, metrics, tracer=agent_tracer
+        )
         agent.start()
         nodes.append(node)
         agents.append(agent)
@@ -340,6 +400,9 @@ def build_grid(
         completed_sampler=completed,
         node_count_sampler=node_count,
         add_node=add_node,
+        registry=registry,
+        tracer=tracer,
+        obs=obs,
     )
 
 
@@ -348,9 +411,10 @@ def _run_scenario(
     scale: Optional[ScenarioScale] = None,
     seed: int = 0,
     config_overrides: Optional[Dict[str, object]] = None,
+    obs: Optional[TraceConfig] = None,
 ) -> RunResult:
     """Simulate one run of ``scenario`` (internal, non-deprecated impl)."""
-    return build_grid(scenario, scale, seed, config_overrides).run()
+    return build_grid(scenario, scale, seed, config_overrides, obs=obs).run()
 
 
 def run_scenario(

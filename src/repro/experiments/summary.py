@@ -79,6 +79,11 @@ class RunSummary:
     #: Run-kind-specific scalars (e.g. ``revoked_copies`` for the
     #: multirequest baseline).
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Metrics-registry snapshot (``repro.obs.MetricsRegistry.snapshot``),
+    #: populated only when the run was given a ``TraceConfig`` with
+    #: ``telemetry=True``; empty otherwise (and omitted from
+    #: :meth:`to_dict` so untraced summaries stay byte-identical).
+    telemetry: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Construction
@@ -101,6 +106,7 @@ class RunSummary:
         executed_events: int = 0,
         violations=(),
         extras: Optional[Dict[str, float]] = None,
+        telemetry: Optional[Dict[str, float]] = None,
     ) -> "RunSummary":
         """Extract the scalar views from live ``metrics`` / ``traffic``.
 
@@ -140,6 +146,7 @@ class RunSummary:
             executed_events=executed_events,
             violations=list(violations),
             extras=dict(extras or {}),
+            telemetry=dict(telemetry or {}),
         )
 
     # ------------------------------------------------------------------
@@ -160,6 +167,10 @@ class RunSummary:
             list(p) for p in self.node_count_series
         ]
         payload["submission_window"] = list(self.submission_window)
+        if not self.telemetry:
+            # Untraced runs never carry telemetry; omitting the empty dict
+            # keeps their payloads byte-identical to earlier versions.
+            del payload["telemetry"]
         return payload
 
     @classmethod
@@ -171,6 +182,7 @@ class RunSummary:
         data["submission_window"] = tuple(
             data.get("submission_window", (0.0, 0.0))
         )
+        data.setdefault("telemetry", {})
         return cls(**data)
 
     def save(self, path) -> None:

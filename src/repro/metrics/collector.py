@@ -4,6 +4,11 @@ All protocol and node events funnel into one :class:`GridMetrics` per run;
 figure extractors and reports then read aggregated views from it.  The hub
 is intentionally passive (no simulator dependency) so it can also serve the
 centralized baseline schedulers.
+
+The grid-level tallies live on a shared :class:`~repro.obs.MetricsRegistry`
+(one per run, also fed by the transport and reliability layers) and are
+surfaced as ``RunSummary.telemetry``; the historical attribute names
+(``completed_jobs`` etc.) remain as read-only properties.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ import statistics
 from typing import Dict, List, Optional
 
 from ..errors import ReproError
+from ..obs.metrics import MetricsRegistry
 from ..types import JobId, NodeId
 from ..workload.jobs import Job
 from .records import JobRecord
@@ -22,17 +28,41 @@ __all__ = ["GridMetrics"]
 class GridMetrics:
     """Collects per-job records and grid-level counters for one run."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.records: Dict[JobId, JobRecord] = {}
-        #: Completed-job counter (probe for the Fig. 1 time series).
-        self.completed_jobs = 0
-        #: INFORM-triggered reassignments that actually happened.
-        self.reschedules = 0
-        #: Jobs advertised for rescheduling (INFORM broadcasts initiated).
-        self.inform_broadcasts = 0
-        #: Completions of already finished jobs (fail-safe at-least-once
-        #: races; zero in every nominal scenario).
-        self.duplicate_executions = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._completed_jobs = self.registry.counter("jobs.completed")
+        self._reschedules = self.registry.counter("jobs.reschedules")
+        self._inform_broadcasts = self.registry.counter("informs.advertised")
+        self._duplicate_executions = self.registry.counter(
+            "jobs.duplicate_executions"
+        )
+        self._completion_time = self.registry.histogram("job.completion_time")
+
+    @property
+    def completed_jobs(self) -> int:
+        """Completed-job counter (probe for the Fig. 1 time series)."""
+        return self._completed_jobs.value
+
+    @property
+    def reschedules(self) -> int:
+        """INFORM-triggered reassignments that actually happened."""
+        return self._reschedules.value
+
+    @property
+    def inform_broadcasts(self) -> int:
+        """Jobs advertised for rescheduling (INFORM broadcasts initiated)."""
+        return self._inform_broadcasts.value
+
+    @property
+    def duplicate_executions(self) -> int:
+        """Completions of already finished jobs (fail-safe at-least-once
+        races; zero in every nominal scenario)."""
+        return self._duplicate_executions.value
+
+    def informs_advertised(self, count: int) -> None:
+        """Count ``count`` jobs advertised in one INFORM round."""
+        self._inform_broadcasts.inc(count)
 
     # ------------------------------------------------------------------
     # Event sinks (called by protocol agents and nodes)
@@ -58,7 +88,7 @@ class GridMetrics:
         record = self._record(job_id)
         record.assignments.append((time, node))
         if reschedule:
-            self.reschedules += 1
+            self._reschedules.inc()
 
     def job_started(self, job_id: JobId, node: NodeId, time: float) -> None:
         """Record the start of execution on ``node``."""
@@ -73,10 +103,11 @@ class GridMetrics:
             # A fail-safe resubmission can race recovery and execute a job
             # twice (at-least-once semantics).  Keep the first completion
             # and surface the anomaly instead of corrupting the averages.
-            self.duplicate_executions += 1
+            self._duplicate_executions.inc()
             return
         record.finish_time = time
-        self.completed_jobs += 1
+        self._completed_jobs.inc()
+        self._completion_time.observe(record.completion_time)
 
     def job_unschedulable(self, job_id: JobId, time: float) -> None:
         """Record that discovery gave up on the job (REQUEST retries spent)."""

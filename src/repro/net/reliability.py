@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..errors import ConfigurationError
+from ..obs.trace import message_job_id
 from ..types import NodeId
 from .message import Message
 from .transport import Transport
@@ -132,12 +133,58 @@ class ReliabilityLayer:
         #: Receiver-side dedup state: msg_ids already delivered, per local
         #: endpoint (so one layer serves every node of the grid).
         self._seen: Dict[NodeId, set] = {}
-        self.retransmissions = 0
-        self.acks_sent = 0
-        self.delivered = 0
-        self.duplicates_suppressed = 0
-        self.gave_up = 0
+        registry = transport.registry
+        self._retransmissions = registry.counter("reliable.retransmissions")
+        self._acks_sent = registry.counter("reliable.acks_sent")
+        self._delivered = registry.counter("reliable.delivered")
+        self._duplicates_suppressed = registry.counter(
+            "reliable.duplicates_suppressed"
+        )
+        self._gave_up = registry.counter("reliable.gave_up")
+        #: The transport's tracer (attached to it before this layer is
+        #: constructed); ``None`` unless transport-level tracing is on.
+        self._trace = transport._trace
         transport.reliability = self
+
+    @property
+    def retransmissions(self) -> int:
+        """Retransmitted copies sent after ack timeouts."""
+        return self._retransmissions.value
+
+    @property
+    def acks_sent(self) -> int:
+        """Acks sent by receivers (one per tagged delivery)."""
+        return self._acks_sent.value
+
+    @property
+    def delivered(self) -> int:
+        """Reliable sends confirmed by an ack."""
+        return self._delivered.value
+
+    @property
+    def duplicates_suppressed(self) -> int:
+        """Tagged deliveries dropped as already-seen duplicates."""
+        return self._duplicates_suppressed.value
+
+    @property
+    def gave_up(self) -> int:
+        """Reliable sends abandoned after the retry budget ran out."""
+        return self._gave_up.value
+
+    def _emit_retry(self, event: str, msg_id: int, pending: _Pending) -> None:
+        """Record a retransmission event, annotated with the job when known."""
+        fields = {
+            "src": pending.src,
+            "dst": pending.dst,
+            "type": pending.message.__class__.__name__,
+            "msg_id": msg_id,
+        }
+        if event == "retry.sent":
+            fields["attempt"] = pending.attempt
+        job = message_job_id(pending.message)
+        if job is not None:
+            fields["job"] = job
+        self._trace.emit(event, self._sim._now, **fields)
 
     # ------------------------------------------------------------------
     # Sender side
@@ -160,6 +207,8 @@ class ReliabilityLayer:
 
     def _transmit(self, msg_id: int, pending: _Pending) -> None:
         config = self.config
+        if pending.attempt and self._trace is not None:
+            self._emit_retry("retry.sent", msg_id, pending)
         self.transport.send_tagged(
             pending.src, pending.dst, pending.message, msg_id
         )
@@ -179,10 +228,12 @@ class ReliabilityLayer:
             return
         if pending.attempt >= self.config.max_retries:
             del self._pending[msg_id]
-            self.gave_up += 1
+            self._gave_up.inc()
+            if self._trace is not None:
+                self._emit_retry("retry.gave_up", msg_id, pending)
             return
         pending.attempt += 1
-        self.retransmissions += 1
+        self._retransmissions.inc()
         self._transmit(msg_id, pending)
 
     def _on_ack(self, msg_id: int) -> None:
@@ -191,7 +242,7 @@ class ReliabilityLayer:
             return  # duplicate or late ack: already settled
         if pending.timer is not None:
             self._sim.cancel(pending.timer)
-        self.delivered += 1
+        self._delivered.inc()
 
     # ------------------------------------------------------------------
     # Receiver side (called by Transport._deliver_tagged)
@@ -202,13 +253,13 @@ class ReliabilityLayer:
         Duplicates are acked too — the payload may have arrived while all
         previous acks were lost, and the sender must stop retransmitting.
         """
-        self.acks_sent += 1
+        self._acks_sent.inc()
         self.transport._post(dst, src, Ack(msg_id), self._on_ack, (msg_id,))
         seen = self._seen.get(dst)
         if seen is None:
             seen = self._seen[dst] = set()
         if msg_id in seen:
-            self.duplicates_suppressed += 1
+            self._duplicates_suppressed.inc()
             return False
         seen.add(msg_id)
         return True

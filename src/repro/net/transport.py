@@ -30,6 +30,8 @@ from heapq import heappush
 from typing import Callable, Dict, Optional, Set
 
 from ..errors import ConfigurationError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import message_job_id
 from ..sim import Simulator
 from ..types import NodeId
 from .latency import LatencyModel, PairwiseLogNormalLatency
@@ -54,11 +56,13 @@ class Transport:
         "_rng",
         "_loss_rng",
         "loss_probability",
-        "dropped_detached",
-        "dropped_unknown",
-        "lost",
+        "registry",
+        "_dropped_detached",
+        "_dropped_unknown",
+        "_lost",
         "faults",
         "reliability",
+        "_trace",
     )
 
     def __init__(
@@ -67,6 +71,7 @@ class Transport:
         latency: Optional[LatencyModel] = None,
         monitor: Optional[TrafficMonitor] = None,
         loss_probability: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ConfigurationError(
@@ -82,21 +87,47 @@ class Transport:
         self._rng = sim.streams.get("net.latency")
         self._loss_rng = sim.streams.get("net.loss")
         self.loss_probability = loss_probability
-        #: In-flight messages dropped because the destination detached.
-        self.dropped_detached = 0
-        #: Messages addressed to a node that was never registered.
-        self.dropped_unknown = 0
-        #: Messages lost to the datagram network itself.
-        self.lost = 0
+        #: Shared per-run metrics registry (created here when standalone).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._dropped_detached = self.registry.counter("net.dropped_detached")
+        self._dropped_unknown = self.registry.counter("net.dropped_unknown")
+        self._lost = self.registry.counter("net.lost")
         #: Optional :class:`~repro.net.faults.FaultInjector`.
         self.faults = None
         #: Optional :class:`~repro.net.reliability.ReliabilityLayer`.
         self.reliability = None
+        #: Optional :class:`~repro.obs.Tracer`, attached only when
+        #: transport-level tracing is active (``None`` costs one check).
+        self._trace = None
+
+    @property
+    def dropped_detached(self) -> int:
+        """In-flight messages dropped because the destination detached."""
+        return self._dropped_detached.value
+
+    @property
+    def dropped_unknown(self) -> int:
+        """Messages addressed to a node that was never registered."""
+        return self._dropped_unknown.value
+
+    @property
+    def lost(self) -> int:
+        """Messages lost to the datagram network itself."""
+        return self._lost.value
 
     @property
     def dropped(self) -> int:
         """Total messages dropped on delivery (detached + unknown)."""
-        return self.dropped_detached + self.dropped_unknown
+        return self._dropped_detached.value + self._dropped_unknown.value
+
+    def _emit_msg(self, event: str, message: Message, **fields) -> None:
+        """Record one message event, annotated with its job when known."""
+        job = message_job_id(message)
+        if job is not None:
+            fields["job"] = job
+        self._trace.emit(
+            event, self._sim._now, type=message.__class__.__name__, **fields
+        )
 
     @property
     def latency(self) -> LatencyModel:
@@ -152,14 +183,20 @@ class Transport:
         by_bytes[name] = by_bytes.get(name, 0) + cls.SIZE_BYTES
         by_count = monitor.count_by_type
         by_count[name] = by_count.get(name, 0) + 1
+        if self._trace is not None:
+            self._emit_msg("msg.sent", message, src=src, dst=dst)
         if (
             self.loss_probability
             and self._loss_rng.random() < self.loss_probability
         ):
-            self.lost += 1  # sent (and accounted) but never delivered
+            self._lost.inc()  # sent (and accounted) but never delivered
+            if self._trace is not None:
+                self._emit_msg(
+                    "msg.lost", message, src=src, dst=dst, reason="loss"
+                )
             return
         if self.faults is not None:
-            self._cast(src, dst, self._deliver, (src, dst, message))
+            self._cast(src, dst, self._deliver, (src, dst, message), message)
             return
         delay = self._latency.sample(src, dst, self._rng)
         entry = [
@@ -211,14 +248,20 @@ class Transport:
         by_bytes[name] = by_bytes.get(name, 0) + cls.SIZE_BYTES
         by_count = monitor.count_by_type
         by_count[name] = by_count.get(name, 0) + 1
+        if self._trace is not None:
+            self._emit_msg("msg.sent", message, src=src, dst=dst)
         if (
             self.loss_probability
             and self._loss_rng.random() < self.loss_probability
         ):
-            self.lost += 1
+            self._lost.inc()
+            if self._trace is not None:
+                self._emit_msg(
+                    "msg.lost", message, src=src, dst=dst, reason="loss"
+                )
             return
         if self.faults is not None:
-            self._cast(src, dst, callback, args)
+            self._cast(src, dst, callback, args, message)
             return
         delay = self._latency.sample(src, dst, self._rng)
         entry = [sim._now + delay, 0, queue._seq, callback, args]
@@ -227,14 +270,25 @@ class Transport:
         queue._live += 1
 
     def _cast(
-        self, src: NodeId, dst: NodeId, callback: Callable, args: tuple
+        self,
+        src: NodeId,
+        dst: NodeId,
+        callback: Callable,
+        args: tuple,
+        message: Message,
     ) -> None:
         """Fault-model path: judge the message, then schedule each
         surviving copy after its own latency draw."""
         copies = self.faults.judge(src, dst)
         if not copies:
-            self.lost += 1
+            self._lost.inc()
+            if self._trace is not None:
+                self._emit_msg(
+                    "msg.lost", message, src=src, dst=dst, reason="fault"
+                )
             return
+        if copies > 1 and self._trace is not None:
+            self._emit_msg("msg.duplicated", message, src=src, dst=dst)
         sim = self._sim
         queue = sim._queue
         for _ in range(copies):
@@ -244,17 +298,23 @@ class Transport:
             heappush(queue._heap, entry)
             queue._live += 1
 
-    def _drop(self, dst: NodeId) -> None:
+    def _drop(self, dst: NodeId, message: Message) -> None:
         if dst in self._known:
-            self.dropped_detached += 1
+            self._dropped_detached.inc()
+            reason = "detached"
         else:
-            self.dropped_unknown += 1
+            self._dropped_unknown.inc()
+            reason = "unknown"
+        if self._trace is not None:
+            self._emit_msg("msg.dropped", message, dst=dst, reason=reason)
 
     def _deliver(self, src: NodeId, dst: NodeId, message: Message) -> None:
         handler = self._handlers.get(dst)
         if handler is None:
-            self._drop(dst)
+            self._drop(dst, message)
             return
+        if self._trace is not None:
+            self._emit_msg("msg.delivered", message, src=src, dst=dst)
         handler(src, message)
 
     def _deliver_tagged(
@@ -262,8 +322,10 @@ class Transport:
     ) -> None:
         handler = self._handlers.get(dst)
         if handler is None:
-            self._drop(dst)
+            self._drop(dst, message)
             return
+        if self._trace is not None:
+            self._emit_msg("msg.delivered", message, src=src, dst=dst)
         reliability = self.reliability
         if reliability is None or reliability.accept(src, dst, msg_id):
             handler(src, message)

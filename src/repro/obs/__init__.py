@@ -1,0 +1,52 @@
+"""Observability layer: trace bus, metrics registry, timeline explainer.
+
+``repro.obs`` is the cross-cutting layer the aggregate-only metrics
+could not provide (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.trace` — typed, schema-checked event tracing with
+  pluggable sinks (JSONL, in-memory ring buffer, Chrome/Perfetto);
+  configured per run via :class:`TraceConfig`, off by default;
+* :mod:`repro.obs.metrics` — a uniform :class:`MetricsRegistry`
+  (counters / gauges / histograms with labels) that the ad-hoc counters
+  in ``GridMetrics``, ``Transport`` and the reliability layer live on,
+  surfaced as ``RunSummary.telemetry``;
+* :mod:`repro.obs.timeline` — :func:`explain_job` /
+  :class:`JobTimeline`, reconstructing one job's full lifecycle from a
+  trace (also the ``repro explain-job`` CLI).
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .timeline import JobTimeline, explain_job
+from .trace import (
+    EVENTS,
+    LEVELS,
+    JsonlSink,
+    MemorySink,
+    PerfettoSink,
+    TraceConfig,
+    Tracer,
+    iter_job_events,
+    load_trace,
+    message_job_id,
+    validate_event,
+)
+
+__all__ = [
+    "Counter",
+    "EVENTS",
+    "Gauge",
+    "Histogram",
+    "JobTimeline",
+    "JsonlSink",
+    "LEVELS",
+    "MemorySink",
+    "MetricsRegistry",
+    "PerfettoSink",
+    "TraceConfig",
+    "Tracer",
+    "explain_job",
+    "iter_job_events",
+    "load_trace",
+    "message_job_id",
+    "validate_event",
+]

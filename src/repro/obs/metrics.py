@@ -1,0 +1,198 @@
+"""A uniform metrics registry: counters, gauges and histograms with labels.
+
+Before this module existed, every subsystem grew its own ad-hoc tallies —
+``GridMetrics.completed_jobs``, ``Transport.lost``,
+``ReliabilityLayer.retransmissions`` — each surfaced through a bespoke
+``counters()`` method.  The registry gives them one shape, the same way a
+training or serving stack funnels everything through a Prometheus-style
+registry:
+
+* :class:`Counter` — a monotonically increasing tally (``inc``);
+* :class:`Gauge` — a point-in-time value (``set``);
+* :class:`Histogram` — a streaming distribution (``observe``) that keeps
+  count / sum / min / max plus fixed-boundary bucket counts;
+* :class:`MetricsRegistry` — the factory and namespace; metrics are
+  identified by name plus an optional frozen label set, and
+  :meth:`MetricsRegistry.snapshot` flattens everything into a
+  deterministic ``{name: value}`` dict — the ``RunSummary.telemetry``
+  block.
+
+Registries are cheap plain-Python objects with no locks or background
+threads (the simulator is single-threaded and deterministic), so every
+run creates a fresh one and components increment bound
+:class:`Counter` objects directly — one attribute load and an integer
+add, the same cost as the ``self.x += 1`` statements they replaced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+def _metric_key(name: str, labels: Dict[str, str]) -> str:
+    """Flattened identity: ``name`` or ``name{k=v,...}`` (sorted keys)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.key} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+    def snapshot_into(self, out: Dict[str, float]) -> None:
+        """Write this metric's flattened sample(s) into ``out``."""
+        out[self.key] = float(self.value)
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def snapshot_into(self, out: Dict[str, float]) -> None:
+        """Write this metric's flattened sample(s) into ``out``."""
+        out[self.key] = float(self.value)
+
+
+#: Default histogram bucket upper bounds (seconds-flavoured, matching the
+#: simulation's dominant unit; override per histogram as needed).
+_DEFAULT_BUCKETS = (1.0, 10.0, 60.0, 600.0, 3600.0, 6 * 3600.0, 24 * 3600.0)
+
+
+class Histogram:
+    """A streaming distribution: count, sum, min, max and bucket counts.
+
+    ``buckets`` are cumulative upper bounds (an implicit ``+Inf`` bucket
+    is always present), Prometheus-style.
+    """
+
+    __slots__ = ("key", "buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(
+        self, key: str, buckets: Optional[Sequence[float]] = None
+    ) -> None:
+        bounds = tuple(buckets) if buckets is not None else _DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds):
+            raise ConfigurationError(
+                f"histogram {key} buckets must be sorted: {bounds}"
+            )
+        self.key = key
+        self.buckets: Tuple[float, ...] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        """Mean of the observed samples (``None`` when empty)."""
+        return self.total / self.count if self.count else None
+
+    def snapshot_into(self, out: Dict[str, float]) -> None:
+        """Write count/sum/min/max samples into ``out`` (no buckets)."""
+        out[f"{self.key}.count"] = float(self.count)
+        out[f"{self.key}.sum"] = float(self.total)
+        if self.count:
+            out[f"{self.key}.min"] = float(self.min)
+            out[f"{self.key}.max"] = float(self.max)
+
+
+class MetricsRegistry:
+    """Factory and namespace for one run's metrics.
+
+    Asking twice for the same ``(name, labels)`` returns the same
+    instance, so independent components can share a tally; asking for an
+    existing key as a *different* metric type is an error.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, str], **kwargs):
+        key = _metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(key, **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ConfigurationError(
+                f"metric {key!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter registered under ``name`` (+ labels)."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge registered under ``name`` (+ labels)."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        """The histogram registered under ``name`` (+ labels)."""
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Deterministic flat ``{key: value}`` view of every metric.
+
+        Keys are sorted, values are floats; this is the payload stored
+        as ``RunSummary.telemetry``.
+        """
+        out: Dict[str, float] = {}
+        for key in sorted(self._metrics):
+            self._metrics[key].snapshot_into(out)
+        return dict(sorted(out.items()))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._metrics

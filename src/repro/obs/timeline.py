@@ -1,0 +1,310 @@
+"""Job-timeline reconstruction: answer *why* one job went where it did.
+
+A trace records the whole run; this module slices out one job and turns
+the slice into a causal story.  :func:`explain_job` builds a
+:class:`JobTimeline` from recorded events (see ``repro.obs.trace``),
+which exposes:
+
+* the submission point and every REQUEST broadcast round (including
+  fail-safe retries),
+* every ACCEPT offer received, with its ETTC/NAL cost and whether it was
+  quoted for the initial REQUEST or a later INFORM,
+* each ASSIGN decision with the winner's cost and the rationale — how
+  the winning quote compared with the runner-up (:meth:`JobTimeline.why_won`),
+* every INFORM-triggered reassignment and withdrawal,
+* the job state transitions (queued / started / finished / lost /
+  resubmitted), fail-safe probes, and — when transport-level tracing was
+  on — the specific dropped, lost or retried messages along the way.
+
+The same structure backs the ``repro explain-job`` CLI (text rendering
+via :meth:`JobTimeline.to_text`) and programmatic use
+(:meth:`JobTimeline.to_json`; see ``examples/trace_explorer.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..errors import ConfigurationError
+from .trace import iter_job_events
+
+__all__ = ["JobTimeline", "explain_job"]
+
+#: Events that mark the terminal states a job slice can end in.
+_TERMINAL = ("job.finished", "job.unschedulable")
+
+
+def _fmt_cost(value: Any) -> str:
+    """Render a quoted cost compactly (costs are seconds-like floats)."""
+    if value is None:
+        return "?"
+    return f"{float(value):.3f}"
+
+
+class JobTimeline:
+    """One job's reconstructed lifecycle, oldest event first.
+
+    Build via :func:`explain_job`; the raw per-job events stay available
+    as :attr:`events`, and the derived views (offers, decisions,
+    reassignments, losses) are computed once at construction.
+    """
+
+    def __init__(self, job_id: int, events: List[Dict[str, Any]]) -> None:
+        if not events:
+            raise ConfigurationError(
+                f"trace contains no events for job {job_id}; "
+                "was it traced at level 'protocol' or deeper?"
+            )
+        self.job_id = job_id
+        self.events = sorted(events, key=lambda e: (e["t"]))
+        self.submitted: Optional[Dict[str, Any]] = None
+        self.requests: List[Dict[str, Any]] = []
+        self.offers: List[Dict[str, Any]] = []
+        self.decisions: List[Dict[str, Any]] = []
+        self.reassignments: List[Dict[str, Any]] = []
+        self.withdrawals: List[Dict[str, Any]] = []
+        self.transitions: List[Dict[str, Any]] = []
+        self.probes: List[Dict[str, Any]] = []
+        self.network: List[Dict[str, Any]] = []
+        self._index()
+
+    def _index(self) -> None:
+        """Partition the raw events into the derived views."""
+        for event in self.events:
+            name = event["ev"]
+            if name == "job.submitted" and self.submitted is None:
+                self.submitted = event
+            elif name == "request.broadcast":
+                self.requests.append(event)
+            elif name == "accept.received":
+                self.offers.append(event)
+            elif name == "assign.winner":
+                self.decisions.append(event)
+            elif name == "assign.received":
+                if event.get("reschedule"):
+                    self.reassignments.append(event)
+            elif name == "reschedule.withdrawn":
+                self.withdrawals.append(event)
+            elif name.startswith("job."):
+                self.transitions.append(event)
+            elif name.startswith("probe."):
+                self.probes.append(event)
+            elif name.startswith(("msg.", "retry.")):
+                self.network.append(event)
+
+    # -- derived facts --------------------------------------------------
+    @property
+    def final_state(self) -> str:
+        """The last recorded job state (e.g. ``finished``, ``lost``)."""
+        states = [e for e in self.transitions if e["ev"] != "job.submitted"]
+        if not states:
+            return "submitted" if self.submitted else "unknown"
+        return states[-1]["ev"].split(".", 1)[1]
+
+    @property
+    def completed(self) -> bool:
+        """Whether the job reached a terminal state in this trace."""
+        return any(e["ev"] in _TERMINAL for e in self.transitions)
+
+    def why_won(self, decision_index: int = 0) -> Dict[str, Any]:
+        """Rationale for one ASSIGN decision (default: the first).
+
+        Returns the winner, its quoted cost, the competing offers the
+        originator held at decision time (sorted by cost), and the
+        margin to the runner-up — the direct answer to "why did node X
+        win job J?".
+        """
+        if not self.decisions:
+            raise ConfigurationError(
+                f"job {self.job_id} has no assign.winner decision in this "
+                "trace (it may never have been scheduled)"
+            )
+        decision = self.decisions[decision_index]
+        # Offers the originator had in hand when it decided: everything
+        # received at or before the decision and not consumed by an
+        # earlier decision round.
+        prior = (
+            self.decisions[decision_index - 1]["t"]
+            if decision_index > 0
+            else float("-inf")
+        )
+        candidates = [
+            {
+                "node": offer["src"],
+                "cost": offer["cost"],
+                "phase": offer["phase"],
+                "t": offer["t"],
+            }
+            for offer in self.offers
+            if prior < offer["t"] <= decision["t"]
+        ]
+        candidates.sort(key=lambda o: (o["cost"], o["node"]))
+        runner_up = next(
+            (c for c in candidates if c["node"] != decision["winner"]), None
+        )
+        margin = (
+            runner_up["cost"] - decision["cost"]
+            if runner_up is not None and decision.get("cost") is not None
+            else None
+        )
+        return {
+            "job": self.job_id,
+            "t": decision["t"],
+            "winner": decision["winner"],
+            "winning_cost": decision.get("cost"),
+            "offers": candidates,
+            "runner_up": runner_up,
+            "margin": margin,
+            "reschedule": bool(decision.get("reschedule")),
+        }
+
+    # -- renderings -----------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """Structured form: summary block plus the raw per-job events."""
+        return {
+            "job": self.job_id,
+            "final_state": self.final_state,
+            "completed": self.completed,
+            "submitted": self.submitted,
+            "requests": len(self.requests),
+            "offers": self.offers,
+            "decisions": [
+                self.why_won(i) for i in range(len(self.decisions))
+            ],
+            "reassignments": self.reassignments,
+            "withdrawals": self.withdrawals,
+            "probes": self.probes,
+            "network": self.network,
+            "events": self.events,
+        }
+
+    def _narrate(self, event: Dict[str, Any]) -> str:
+        """One human-readable line for one event."""
+        name = event["ev"]
+        if name == "job.submitted":
+            return f"submitted at node {event['node']}"
+        if name == "request.broadcast":
+            retry = event.get("retry", 0)
+            tag = f" (retry {retry})" if retry else ""
+            return f"node {event['node']} broadcast REQUEST{tag}"
+        if name == "cost.evaluated":
+            return (
+                f"node {event['node']} quoted cost "
+                f"{_fmt_cost(event['cost'])} ({event['phase']})"
+            )
+        if name == "accept.received":
+            return (
+                f"node {event['node']} received ACCEPT from "
+                f"{event['src']} at cost {_fmt_cost(event['cost'])} "
+                f"({event['phase']})"
+            )
+        if name == "assign.winner":
+            kind = "reassignment" if event.get("reschedule") else "assignment"
+            return (
+                f"node {event['node']} picked winner {event['winner']} "
+                f"at cost {_fmt_cost(event['cost'])} from "
+                f"{event['offers']} offer(s) [{kind}]"
+            )
+        if name == "assign.received":
+            kind = "reschedule " if event.get("reschedule") else ""
+            return (
+                f"node {event['node']} received {kind}ASSIGN "
+                f"from {event['src']}"
+            )
+        if name == "assign.duplicate":
+            return (
+                f"node {event['node']} ignored duplicate ASSIGN from "
+                f"{event['src']} (already completed)"
+            )
+        if name == "inform.broadcast":
+            return (
+                f"node {event['node']} advertised INFORM at cost "
+                f"{_fmt_cost(event['cost'])}"
+            )
+        if name == "reschedule.withdrawn":
+            return (
+                f"node {event['node']} withdrew job to {event['to']}: "
+                f"own cost {_fmt_cost(event['own_cost'])} > offer "
+                f"{_fmt_cost(event['offer_cost'])}"
+            )
+        if name == "probe.sent":
+            return (
+                f"node {event['node']} probed assignee {event['assignee']}"
+            )
+        if name == "probe.miss":
+            return (
+                f"node {event['node']} probe unanswered "
+                f"({event['misses']} consecutive miss(es))"
+            )
+        if name.startswith("job."):
+            return f"job {name.split('.', 1)[1]} at node {event['node']}"
+        if name == "retry.sent":
+            return (
+                f"retransmission #{event['attempt']} of {event['type']} "
+                f"{event['src']}->{event['dst']}"
+            )
+        if name == "retry.gave_up":
+            return (
+                f"gave up retransmitting {event['type']} "
+                f"{event['src']}->{event['dst']}"
+            )
+        if name == "msg.lost":
+            return (
+                f"{event['type']} {event['src']}->{event['dst']} LOST "
+                f"({event['reason']})"
+            )
+        if name == "msg.dropped":
+            return (
+                f"{event['type']} to {event['dst']} dropped "
+                f"({event['reason']})"
+            )
+        if name == "msg.duplicated":
+            return (
+                f"{event['type']} {event['src']}->{event['dst']} duplicated"
+            )
+        if name in ("msg.sent", "msg.delivered"):
+            verb = "sent" if name == "msg.sent" else "delivered"
+            return f"{event['type']} {event['src']}->{event['dst']} {verb}"
+        return json.dumps(event, separators=(",", ":"))
+
+    def to_text(self) -> str:
+        """The full timeline as a readable multi-line narrative."""
+        lines = [
+            f"job {self.job_id}: {len(self.events)} event(s), "
+            f"final state {self.final_state}"
+        ]
+        for decision_index in range(len(self.decisions)):
+            rationale = self.why_won(decision_index)
+            runner_up = rationale["runner_up"]
+            if runner_up is None:
+                versus = "unopposed"
+            else:
+                versus = (
+                    f"beat node {runner_up['node']} "
+                    f"({_fmt_cost(runner_up['cost'])}) by "
+                    f"{_fmt_cost(rationale['margin'])}"
+                )
+            kind = (
+                "reassigned to" if rationale["reschedule"] else "won by"
+            )
+            lines.append(
+                f"  {kind} node {rationale['winner']} at cost "
+                f"{_fmt_cost(rationale['winning_cost'])} "
+                f"({len(rationale['offers'])} offer(s), {versus})"
+            )
+        lines.append("timeline:")
+        for event in self.events:
+            lines.append(f"  t={event['t']:>12.3f}  {self._narrate(event)}")
+        return "\n".join(lines)
+
+
+def explain_job(
+    events: Iterable[Dict[str, Any]], job_id: int
+) -> JobTimeline:
+    """Build the :class:`JobTimeline` for ``job_id`` from trace events.
+
+    ``events`` is any iterable of recorded event dicts — typically
+    ``load_trace(path)`` or a memory sink's ``.events``.
+    """
+    return JobTimeline(job_id, iter_job_events(events, job_id))

@@ -1,0 +1,436 @@
+"""The trace bus: structured, typed, near-zero-overhead event tracing.
+
+Every published number in the paper (Figs. 1-10, Table II) is an
+end-of-run aggregate, and so were our metrics until now.  Aggregates
+cannot answer *why* questions — why did node 17 win job 403, which
+dropped message stranded a job, where did the reschedule rate go after a
+partition.  The trace bus records the underlying events themselves:
+
+* **Typed events.**  Every emission is one of the names in
+  :data:`EVENTS`, each with a fixed level and field schema
+  (:func:`validate_event` checks a recorded event against it — the JSONL
+  schema is a published, CI-enforced contract).
+* **Levels.**  ``protocol`` records the ARiA state machine (submissions,
+  REQUEST/ACCEPT/INFORM/ASSIGN decisions with their costs, job state
+  transitions); ``transport`` adds per-message network activity (send /
+  deliver / drop / loss / retransmission); ``kernel`` adds per-event
+  wall-clock spans from the simulation kernel for profiling.  Each level
+  includes the ones before it.
+* **Pluggable sinks.**  :class:`JsonlSink` streams events to disk (one
+  JSON object per line), :class:`MemorySink` keeps a bounded in-memory
+  ring buffer, and :class:`PerfettoSink` writes Chrome/Perfetto
+  ``trace_event`` JSON that loads straight into ``ui.perfetto.dev``.
+
+Tracing is **off by default** and costs one ``is None`` attribute check
+at each instrumentation point when disabled: components hold a tracer
+only when their level is active, so golden summaries stay byte-identical
+and the hot path stays within noise (see ``docs/OBSERVABILITY.md``).
+
+Typical usage::
+
+    from repro.experiments import ScenarioScale, run
+    from repro.obs import TraceConfig
+
+    run("iMixed", ScenarioScale.tiny(), seed=0,
+        trace=TraceConfig(level="transport", path="run.jsonl"))
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "EVENTS",
+    "LEVELS",
+    "JsonlSink",
+    "MemorySink",
+    "PerfettoSink",
+    "TraceConfig",
+    "Tracer",
+    "load_trace",
+    "message_job_id",
+    "validate_event",
+]
+
+#: Trace levels, most selective first.  Each level implies the previous
+#: ones: ``kernel`` traces everything ``transport`` does and more.
+LEVELS: Dict[str, int] = {"off": 0, "protocol": 1, "transport": 2, "kernel": 3}
+
+#: The published event schema: ``name -> (level, required fields)``.
+#: Every event also carries ``t`` (simulated seconds) and ``ev`` (its
+#: name); ``validate_event`` enforces exactly this table, and the CI
+#: trace smoke job replays a recorded run against it.
+EVENTS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
+    # -- protocol: the ARiA state machine --------------------------------
+    "job.submitted": ("protocol", ("job", "node")),
+    "request.broadcast": ("protocol", ("job", "node", "retry")),
+    "cost.evaluated": ("protocol", ("job", "node", "cost", "phase")),
+    "accept.received": ("protocol", ("job", "node", "src", "cost", "phase")),
+    "assign.winner": (
+        "protocol",
+        ("job", "node", "winner", "cost", "offers", "reschedule"),
+    ),
+    "assign.received": ("protocol", ("job", "node", "src", "reschedule")),
+    "assign.duplicate": ("protocol", ("job", "node", "src")),
+    "inform.broadcast": ("protocol", ("job", "node", "cost")),
+    "reschedule.withdrawn": (
+        "protocol",
+        ("job", "node", "to", "own_cost", "offer_cost"),
+    ),
+    "job.queued": ("protocol", ("job", "node")),
+    "job.started": ("protocol", ("job", "node")),
+    "job.finished": ("protocol", ("job", "node")),
+    "job.lost": ("protocol", ("job", "node")),
+    "job.resubmitted": ("protocol", ("job", "node")),
+    "job.unschedulable": ("protocol", ("job", "node")),
+    "probe.sent": ("protocol", ("job", "node", "assignee")),
+    "probe.miss": ("protocol", ("job", "node", "misses")),
+    # -- transport: per-message network activity -------------------------
+    "msg.sent": ("transport", ("src", "dst", "type")),
+    "msg.delivered": ("transport", ("src", "dst", "type")),
+    "msg.dropped": ("transport", ("dst", "type", "reason")),
+    "msg.lost": ("transport", ("src", "dst", "type", "reason")),
+    "msg.duplicated": ("transport", ("src", "dst", "type")),
+    "retry.sent": ("transport", ("src", "dst", "type", "msg_id", "attempt")),
+    "retry.gave_up": ("transport", ("src", "dst", "type", "msg_id")),
+    # -- kernel: per-event wall-clock spans ------------------------------
+    "kernel.event": ("kernel", ("name", "wall_us", "dur_us")),
+}
+
+#: Optional fields allowed per event beyond the required schema.  The
+#: transport annotates message events with the ``job`` the message is
+#: about whenever the payload names one (Ack messages do not).
+_OPTIONAL_FIELDS = ("job",)
+
+
+def validate_event(event: Dict[str, Any]) -> List[str]:
+    """Check one recorded event against the published schema.
+
+    Returns a list of problems (empty = valid): unknown event name,
+    missing ``t``/``ev``, missing required fields, or fields outside the
+    schema.  Used by the CI trace smoke job and ``scripts/validate_trace.py``.
+    """
+    problems: List[str] = []
+    name = event.get("ev")
+    if name is None:
+        return ["event has no 'ev' field"]
+    spec = EVENTS.get(name)
+    if spec is None:
+        return [f"unknown event name {name!r}"]
+    if not isinstance(event.get("t"), (int, float)):
+        problems.append(f"{name}: missing/non-numeric 't'")
+    _level, required = spec
+    for field in required:
+        if field not in event:
+            problems.append(f"{name}: missing required field {field!r}")
+    allowed = set(required) | set(_OPTIONAL_FIELDS) | {"t", "ev"}
+    for field in event:
+        if field not in allowed:
+            problems.append(f"{name}: unexpected field {field!r}")
+    return problems
+
+
+def message_job_id(message) -> Optional[int]:
+    """The job a message is about, or ``None`` (e.g. reliability Acks).
+
+    Control messages carry a ``job_id`` field; REQUEST/INFORM/ASSIGN
+    carry the full ``job`` descriptor.  Either way the trace annotates
+    message events with the id, which is what lets the job-timeline
+    explainer tie a dropped or retried message to the job it stranded.
+    """
+    job_id = getattr(message, "job_id", None)
+    if job_id is not None:
+        return job_id
+    job = getattr(message, "job", None)
+    return None if job is None else job.job_id
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+class JsonlSink:
+    """Streams events to a file, one compact JSON object per line."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._handle = open(path, "w", encoding="utf-8", buffering=1 << 16)
+        self.emitted = 0
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Write one event as a JSONL line."""
+        self._handle.write(json.dumps(event, separators=(",", ":")))
+        self._handle.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class MemorySink:
+    """Bounded in-memory ring buffer of events (keeps the newest)."""
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"non-positive capacity {capacity}")
+        from collections import deque
+
+        self.capacity = capacity
+        self._buffer = deque(maxlen=capacity)
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Record one event (evicting the oldest when full)."""
+        self._buffer.append(event)
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """The buffered events, oldest first."""
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def close(self) -> None:
+        """No-op (memory sinks have nothing to flush)."""
+
+
+class PerfettoSink:
+    """Writes Chrome/Perfetto ``trace_event`` JSON for wall-clock profiling.
+
+    ``kernel.event`` records (which carry wall-clock timestamps and
+    durations) become complete ``"X"`` slices; every other event becomes
+    an instant ``"i"`` mark at its *simulated* time scaled to
+    microseconds, so protocol activity and kernel hot spots can be read
+    off the same ``ui.perfetto.dev`` timeline.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._events: List[Dict[str, Any]] = []
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Convert one trace-bus event into a ``trace_event`` entry."""
+        if "dur_us" in event:
+            self._events.append(
+                {
+                    "name": event.get("name", event["ev"]),
+                    "ph": "X",
+                    "ts": event["wall_us"],
+                    "dur": event["dur_us"],
+                    "pid": 0,
+                    "tid": 0,
+                    "cat": "kernel",
+                }
+            )
+            return
+        args = {
+            k: v for k, v in event.items() if k not in ("t", "ev")
+        }
+        self._events.append(
+            {
+                "name": event["ev"],
+                "ph": "i",
+                "ts": event["t"] * 1e6,
+                "pid": 0,
+                "tid": 1,
+                "s": "t",
+                "cat": "protocol",
+                "args": args,
+            }
+        )
+
+    def close(self) -> None:
+        """Write the accumulated ``traceEvents`` document (idempotent)."""
+        if self._events is None:
+            return
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump({"traceEvents": self._events}, handle)
+        self._events = None
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceConfig:
+    """Frozen, JSON-able tracing spec accepted by ``run`` / ``run_batch``.
+
+    ``level`` selects how deep to record (``"protocol"`` | ``"transport"``
+    | ``"kernel"``; ``"off"`` disables event recording but still collects
+    telemetry when ``telemetry`` is true).  ``events`` optionally
+    restricts recording to an allowlist of :data:`EVENTS` names within
+    the level.  ``sink`` is ``"jsonl"`` (default), ``"memory"``, or
+    ``"perfetto"``; file sinks need ``path``, which may contain a
+    ``{seed}`` placeholder for multi-seed batches.  ``telemetry``
+    controls whether the run's metrics-registry snapshot is surfaced as
+    ``RunSummary.telemetry``.
+
+    The config is part of the experiment engine's cache key (a traced
+    run must never be silently served from an untraced cache entry).
+    """
+
+    level: str = "protocol"
+    sink: str = "jsonl"
+    path: Optional[str] = None
+    events: Optional[Tuple[str, ...]] = None
+    memory_capacity: int = 1_000_000
+    telemetry: bool = True
+
+    def __post_init__(self) -> None:
+        if self.level not in LEVELS:
+            raise ConfigurationError(
+                f"unknown trace level {self.level!r}; known: {sorted(LEVELS)}"
+            )
+        if self.sink not in ("jsonl", "memory", "perfetto"):
+            raise ConfigurationError(
+                f"unknown trace sink {self.sink!r}; "
+                "known: ['jsonl', 'memory', 'perfetto']"
+            )
+        if self.sink in ("jsonl", "perfetto") and not self.path:
+            raise ConfigurationError(
+                f"trace sink {self.sink!r} requires a path"
+            )
+        if self.events is not None:
+            object.__setattr__(self, "events", tuple(self.events))
+            unknown = [e for e in self.events if e not in EVENTS]
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown trace event(s) {unknown}; see repro.obs.EVENTS"
+                )
+        if self.memory_capacity <= 0:
+            raise ConfigurationError(
+                f"non-positive memory_capacity {self.memory_capacity}"
+            )
+
+    def resolved(self, seed: int) -> "TraceConfig":
+        """This config with any ``{seed}`` placeholder in ``path`` filled.
+
+        Multi-seed batches resolve one config per work unit so every
+        seed writes its own trace file.
+        """
+        if self.path is None or "{seed}" not in self.path:
+            return self
+        import dataclasses
+
+        return dataclasses.replace(
+            self, path=self.path.replace("{seed}", str(seed))
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON form (the engine's cache-key contribution)."""
+        return {
+            "level": self.level,
+            "sink": self.sink,
+            "path": self.path,
+            "events": list(self.events) if self.events is not None else None,
+            "memory_capacity": self.memory_capacity,
+            "telemetry": self.telemetry,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TraceConfig":
+        """Rebuild a config from :meth:`to_dict` data."""
+        data = dict(payload)
+        if data.get("events") is not None:
+            data["events"] = tuple(data["events"])
+        return cls(**data)
+
+    def make_sink(self):
+        """Instantiate the configured sink."""
+        if self.sink == "jsonl":
+            return JsonlSink(self.path)
+        if self.sink == "perfetto":
+            return PerfettoSink(self.path)
+        return MemorySink(self.memory_capacity)
+
+
+# ----------------------------------------------------------------------
+# The tracer
+# ----------------------------------------------------------------------
+class Tracer:
+    """Routes typed events to a sink, filtered by level and allowlist.
+
+    The active-event set is precomputed at construction, so
+    :meth:`emit` is one set-membership test, a dict build and a sink
+    append — and components are handed the tracer *only when their
+    level is active* (see :meth:`wants_level`), so a disabled level
+    costs a single ``is None`` check at the instrumentation point.
+    """
+
+    __slots__ = ("sink", "config", "_active")
+
+    def __init__(self, config: TraceConfig, sink=None) -> None:
+        self.config = config
+        self.sink = sink if sink is not None else config.make_sink()
+        max_level = LEVELS[config.level]
+        self._active = {
+            name
+            for name, (level, _fields) in EVENTS.items()
+            if LEVELS[level] <= max_level
+            and (config.events is None or name in config.events)
+        }
+
+    def wants(self, event: str) -> bool:
+        """Whether ``event`` would be recorded."""
+        return event in self._active
+
+    def wants_level(self, level: str) -> bool:
+        """Whether any event of ``level`` is active (component gating)."""
+        return any(
+            name in self._active
+            for name, (event_level, _fields) in EVENTS.items()
+            if event_level == level
+        )
+
+    def emit(self, event: str, t: float, **fields) -> None:
+        """Record one event at simulated time ``t`` (no-op if filtered)."""
+        if event not in self._active:
+            return
+        record: Dict[str, Any] = {"t": t, "ev": event}
+        record.update(fields)
+        self.sink.append(record)
+
+    def close(self) -> None:
+        """Flush/close the sink (idempotent)."""
+        self.sink.close()
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """Recorded events when the sink is a :class:`MemorySink`.
+
+        Raises :class:`~repro.errors.ConfigurationError` for file sinks,
+        which do not retain events in memory.
+        """
+        if isinstance(self.sink, MemorySink):
+            return self.sink.events
+        raise ConfigurationError(
+            f"trace sink {type(self.sink).__name__} does not buffer events; "
+            "use sink='memory' or load the written file with load_trace()"
+        )
+
+
+def load_trace(path) -> List[Dict[str, Any]]:
+    """Read a JSONL trace file back into a list of event dicts."""
+    events: List[Dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def iter_job_events(
+    events: Iterable[Dict[str, Any]], job_id: int
+) -> List[Dict[str, Any]]:
+    """Events concerning one job, in recorded (time) order."""
+    return [event for event in events if event.get("job") == job_id]
+
+
+__all__.append("iter_job_events")

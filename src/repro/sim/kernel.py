@@ -25,6 +25,7 @@ in the past raises :class:`~repro.errors.SimulationError`.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
@@ -32,6 +33,12 @@ from .events import Event, EventQueue
 from .rng import RandomStreams
 
 __all__ = ["Simulator"]
+
+
+def _callback_name(callback: Callable[..., Any]) -> str:
+    """Readable identity of an event callback for kernel trace spans."""
+    name = getattr(callback, "__qualname__", None)
+    return name if name is not None else repr(callback)
 
 
 class _Recurrence:
@@ -79,7 +86,15 @@ class Simulator:
         identically.
     """
 
-    __slots__ = ("_queue", "_now", "_stopped", "streams", "seed", "executed_events")
+    __slots__ = (
+        "_queue",
+        "_now",
+        "_stopped",
+        "streams",
+        "seed",
+        "executed_events",
+        "_trace",
+    )
 
     def __init__(self, seed: int = 0) -> None:
         self._queue = EventQueue()
@@ -89,6 +104,10 @@ class Simulator:
         self.seed = seed
         #: Number of events executed so far (useful for performance reports).
         self.executed_events = 0
+        #: Optional :class:`~repro.obs.Tracer`, attached only when
+        #: kernel-level tracing is active; the dispatch loop is untouched
+        #: when ``None`` (one branch per ``run_until`` call).
+        self._trace = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -167,8 +186,24 @@ class Simulator:
             return False
         self._now = entry[0]
         self.executed_events += 1
+        if self._trace is not None:
+            self._dispatch_traced(entry)
+            return True
         entry[3](*entry[4])
         return True
+
+    def _dispatch_traced(self, entry) -> None:
+        """Run one event under a wall-clock span (``kernel.event``)."""
+        start = time.perf_counter()
+        entry[3](*entry[4])
+        duration = time.perf_counter() - start
+        self._trace.emit(
+            "kernel.event",
+            entry[0],
+            name=_callback_name(entry[3]),
+            wall_us=start * 1e6,
+            dur_us=duration * 1e6,
+        )
 
     def run_until(self, end_time: float) -> None:
         """Run events up to and including ``end_time``, then set now there.
@@ -181,6 +216,9 @@ class Simulator:
                 f"end_time {end_time:.6f} is in the past (now={self._now:.6f})"
             )
         self._stopped = False
+        if self._trace is not None:
+            self._run_until_traced(end_time)
+            return
         # Batched dispatch: hoist the heap, pop and counter into locals so
         # the per-event cost is a handful of C-level operations.
         queue = self._queue
@@ -200,6 +238,33 @@ class Simulator:
             executed += 1
             self.executed_events = executed
             callback(*entry[4])
+            if self._stopped:
+                break
+        self._now = max(self._now, end_time)
+
+    def _run_until_traced(self, end_time: float) -> None:
+        """The instrumented twin of the :meth:`run_until` fast loop.
+
+        Each dispatched event is wrapped in a ``perf_counter`` span and
+        emitted as a ``kernel.event`` record, so Perfetto shows where
+        wall-clock time goes; the fast loop stays branch-free for
+        untraced runs.
+        """
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        dispatch = self._dispatch_traced
+        while heap:
+            entry = heap[0]
+            if entry[0] > end_time:
+                break
+            entry = heappop(heap)
+            if entry[3] is None:  # lazily cancelled
+                continue
+            queue._live -= 1
+            self._now = entry[0]
+            self.executed_events += 1
+            dispatch(entry)
             if self._stopped:
                 break
         self._now = max(self._now, end_time)

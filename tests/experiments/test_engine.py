@@ -341,3 +341,133 @@ def test_overlay_cache_is_bounded():
     assert len(_OVERLAY_CACHE) <= _OVERLAY_CACHE_SIZE
     # Most-recently-used entries survive the eviction.
     assert (8, _OVERLAY_CACHE_SIZE + 3) in _OVERLAY_CACHE
+
+
+# ----------------------------------------------------------------------
+# Tracing + telemetry + progress through the engine
+# ----------------------------------------------------------------------
+def test_trace_config_joins_the_cache_key(tmp_path):
+    from repro.experiments import TraceConfig
+
+    cache = ResultCache(tmp_path)
+    run_batch(get_scenario("Mixed"), TINY, seeds=(0,), cache=cache)
+    run_batch(
+        get_scenario("Mixed"),
+        TINY,
+        seeds=(0,),
+        cache=cache,
+        trace=TraceConfig(sink="memory"),
+    )
+    # The traced run must not be served from the untraced entry.
+    assert cache.hits == 0
+    assert cache.misses == 2
+
+
+def test_untraced_payload_matches_pre_trace_cache_key():
+    base = get_scenario("Mixed")
+    payload = {
+        "kind": "scenario",
+        "scenario": base.to_dict(),
+        "config_overrides": None,
+        "scale": dataclasses.asdict(TINY),
+        "seed": 0,
+    }
+    untouched = cache_key(payload)
+    from repro.experiments.engine import _attach_trace
+
+    _attach_trace(payload, None, seed=0)
+    assert "trace" not in payload
+    assert cache_key(payload) == untouched
+
+
+def test_batch_telemetry_lands_in_summaries(tmp_path):
+    from repro.experiments import TraceConfig
+
+    summaries = run_batch(
+        get_scenario("Mixed"),
+        TINY,
+        seeds=(0,),
+        cache=False,
+        trace=TraceConfig(level="off", sink="memory"),
+    )
+    telemetry = summaries[0].telemetry
+    assert telemetry["jobs.completed"] > 0
+    assert "net.lost" in telemetry
+    # And it survives the summary JSON round trip.
+    restored = RunSummary.from_dict(
+        json.loads(json.dumps(summaries[0].to_dict()))
+    )
+    assert restored.telemetry == telemetry
+
+
+def test_untraced_summary_omits_telemetry(mixed_batch):
+    payload = mixed_batch[0].to_dict()
+    assert "telemetry" not in payload
+    assert mixed_batch[0].telemetry == {}
+
+
+def test_trace_rejected_for_baseline_runs():
+    from repro.experiments import TraceConfig
+
+    with pytest.raises(ConfigurationError):
+        run("centralized", TINY, seed=0, trace=TraceConfig(sink="memory"))
+
+
+def test_trace_rejects_non_config():
+    with pytest.raises(ConfigurationError):
+        run("Mixed", TINY, seed=0, trace={"level": "protocol"})
+
+
+def test_multi_seed_trace_files_use_the_seed_placeholder(tmp_path):
+    from repro.experiments import TraceConfig
+    from repro.obs import load_trace
+
+    run_batch(
+        get_scenario("Mixed"),
+        TINY,
+        seeds=(0, 1),
+        cache=False,
+        trace=TraceConfig(path=str(tmp_path / "trace-{seed}.jsonl")),
+    )
+    for seed in (0, 1):
+        events = load_trace(tmp_path / f"trace-{seed}.jsonl")
+        assert events, f"seed {seed} wrote no events"
+
+
+def test_progress_callback_sees_every_completion():
+    calls = []
+    run_batch(
+        get_scenario("Mixed"),
+        TINY,
+        seeds=(0, 1, 2),
+        cache=False,
+        progress=lambda done, total: calls.append((done, total)),
+    )
+    assert calls == [(1, 3), (2, 3), (3, 3)]
+
+
+def test_parallel_progress_reports_and_stays_deterministic():
+    calls = []
+    parallel = run_batch(
+        get_scenario("Mixed"),
+        TINY,
+        seeds=(0, 1, 2),
+        cache=False,
+        parallel=2,
+        progress=lambda done, total: calls.append((done, total)),
+    )
+    serial = run_batch(
+        get_scenario("Mixed"), TINY, seeds=(0, 1, 2), cache=False
+    )
+    assert calls == [(1, 3), (2, 3), (3, 3)]
+    assert [s.to_dict() for s in parallel] == [s.to_dict() for s in serial]
+
+
+def test_run_profile_out_saves_loadable_stats(tmp_path):
+    import pstats
+
+    out = tmp_path / "run.pstats"
+    result = run("Mixed", TINY, seed=0, profile_out=str(out))
+    assert result.metrics.completed_jobs > 0
+    stats = pstats.Stats(str(out))
+    assert stats.total_calls > 0

@@ -105,3 +105,46 @@ def test_incomplete_jobs_excluded_from_averages():
     assert m.average_waiting_time() is None
     # execution time is undefined until completion
     assert m.average_execution_time() is None
+
+
+def test_duplicate_execution_counted_not_double_booked():
+    m = GridMetrics()
+    m.job_submitted(make_job(1, ert=HOUR), 0, 0.0)
+    m.job_assigned(1, 1, 0.0, reschedule=False)
+    m.job_started(1, 1, 0.0)
+    m.job_finished(1, 1, HOUR)
+    # An at-least-once resubmission race completes the same job again.
+    m.job_finished(1, 2, 2 * HOUR)
+    assert m.duplicate_executions == 1
+    assert m.completed_jobs == 1
+    assert m.records[1].finish_time == pytest.approx(HOUR)
+    assert m.average_completion_time() == pytest.approx(HOUR)
+
+
+def test_counters_surface_through_the_shared_registry():
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    m = GridMetrics(registry)
+    m.job_submitted(make_job(1, ert=HOUR), 0, 0.0)
+    m.job_assigned(1, 1, 0.0, reschedule=False)
+    m.job_assigned(1, 2, 10.0, reschedule=True)
+    m.job_started(1, 2, 10.0)
+    m.job_finished(1, 2, 10.0 + HOUR)
+    m.informs_advertised(3)
+    snapshot = registry.snapshot()
+    assert snapshot["jobs.completed"] == 1.0
+    assert snapshot["jobs.reschedules"] == 1.0
+    assert snapshot["informs.advertised"] == 3.0
+    assert snapshot["job.completion_time.count"] == 1.0
+    assert snapshot["job.completion_time.sum"] == pytest.approx(10.0 + HOUR)
+
+
+def test_empty_run_registry_snapshot_is_safe():
+    registry_backed = GridMetrics()
+    snapshot = registry_backed.registry.snapshot()
+    # No observations: counts are zero and no min/max keys divide by zero.
+    assert snapshot["jobs.completed"] == 0.0
+    assert snapshot["job.completion_time.count"] == 0.0
+    assert "job.completion_time.min" not in snapshot
+    assert registry_backed.average_completion_time() is None

@@ -1,0 +1,1 @@
+"""Tests for the observability package (trace bus, metrics, explainer)."""

@@ -1,0 +1,86 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+
+
+def test_counter_increments_and_snapshots():
+    registry = MetricsRegistry()
+    counter = registry.counter("jobs.completed")
+    counter.inc()
+    counter.inc(3)
+    assert counter.value == 4
+    assert registry.snapshot() == {"jobs.completed": 4.0}
+
+
+def test_counter_rejects_negative_increment():
+    counter = MetricsRegistry().counter("c")
+    with pytest.raises(ConfigurationError):
+        counter.inc(-1)
+
+
+def test_same_name_returns_same_instance():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.counter("a", node="1") is registry.counter("a", node="1")
+    assert registry.counter("a") is not registry.counter("a", node="1")
+
+
+def test_labels_join_the_key_sorted():
+    registry = MetricsRegistry()
+    registry.counter("msgs", type="Request", dir="out").inc()
+    assert registry.snapshot() == {"msgs{dir=out,type=Request}": 1.0}
+
+
+def test_type_conflict_is_rejected():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ConfigurationError):
+        registry.gauge("x")
+
+
+def test_gauge_sets_latest_value():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("queue.depth")
+    gauge.set(5)
+    gauge.set(2)
+    assert registry.snapshot() == {"queue.depth": 2.0}
+
+
+def test_histogram_observations_and_snapshot_keys():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency")
+    for value in (1.0, 2.0, 9.0):
+        histogram.observe(value)
+    assert histogram.count == 3
+    assert histogram.mean == pytest.approx(4.0)
+    snapshot = registry.snapshot()
+    assert snapshot["latency.count"] == 3.0
+    assert snapshot["latency.sum"] == pytest.approx(12.0)
+    assert snapshot["latency.min"] == 1.0
+    assert snapshot["latency.max"] == 9.0
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ConfigurationError):
+        MetricsRegistry().histogram("h", buckets=(10.0, 1.0))
+
+
+def test_snapshot_keys_are_sorted_and_float():
+    registry = MetricsRegistry()
+    registry.counter("z").inc()
+    registry.counter("a").inc()
+    snapshot = registry.snapshot()
+    assert list(snapshot) == sorted(snapshot)
+    assert all(isinstance(v, float) for v in snapshot.values())
+
+
+def test_registry_len_and_contains():
+    registry = MetricsRegistry()
+    assert len(registry) == 0
+    registry.counter("a")
+    assert "a" in registry
+    assert "b" not in registry
+    assert len(registry) == 1

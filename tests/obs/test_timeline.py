@@ -1,0 +1,142 @@
+"""Unit tests for the job-timeline explainer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import JobTimeline, TraceConfig, explain_job, validate_event
+
+JOB = 7
+
+
+def _event(t, ev, **fields):
+    return {"t": t, "ev": ev, "job": JOB, **fields}
+
+
+def _lifecycle():
+    """A hand-built, schema-valid lifecycle with two offers + reschedule."""
+    events = [
+        _event(0.0, "job.submitted", node=1),
+        _event(0.0, "request.broadcast", node=1, retry=0),
+        _event(1.0, "cost.evaluated", node=2, cost=100.0, phase="request"),
+        _event(
+            2.0, "accept.received", node=1, src=2, cost=100.0,
+            phase="request",
+        ),
+        _event(
+            2.5, "accept.received", node=1, src=3, cost=250.0,
+            phase="request",
+        ),
+        _event(
+            5.0, "assign.winner", node=1, winner=2, cost=100.0, offers=2,
+            reschedule=False,
+        ),
+        _event(6.0, "assign.received", node=2, src=1, reschedule=False),
+        _event(6.0, "job.queued", node=2),
+        _event(20.0, "inform.broadcast", node=2, cost=90.0),
+        _event(
+            21.0, "accept.received", node=2, src=4, cost=40.0,
+            phase="inform",
+        ),
+        _event(
+            22.0, "reschedule.withdrawn", node=2, to=4, own_cost=90.0,
+            offer_cost=40.0,
+        ),
+        _event(23.0, "assign.received", node=4, src=2, reschedule=True),
+        _event(23.0, "job.queued", node=4),
+        _event(24.0, "job.started", node=4),
+        _event(60.0, "job.finished", node=4),
+    ]
+    for event in events:
+        assert validate_event(event) == [], event
+    return events
+
+
+def test_timeline_indexes_the_lifecycle():
+    timeline = JobTimeline(JOB, _lifecycle())
+    assert timeline.submitted["node"] == 1
+    assert len(timeline.requests) == 1
+    assert len(timeline.offers) == 3
+    assert len(timeline.decisions) == 1
+    assert len(timeline.reassignments) == 1
+    assert len(timeline.withdrawals) == 1
+    assert timeline.final_state == "finished"
+    assert timeline.completed
+
+
+def test_why_won_ranks_offers_and_reports_the_margin():
+    rationale = JobTimeline(JOB, _lifecycle()).why_won()
+    assert rationale["winner"] == 2
+    assert rationale["winning_cost"] == 100.0
+    assert [offer["node"] for offer in rationale["offers"]] == [2, 3]
+    assert rationale["runner_up"]["node"] == 3
+    assert rationale["margin"] == pytest.approx(150.0)
+    assert rationale["reschedule"] is False
+
+
+def test_why_won_without_decision_raises():
+    events = [_event(0.0, "job.submitted", node=1)]
+    with pytest.raises(ConfigurationError):
+        JobTimeline(JOB, events).why_won()
+
+
+def test_empty_timeline_raises():
+    with pytest.raises(ConfigurationError):
+        JobTimeline(JOB, [])
+
+
+def test_to_text_narrates_key_moments():
+    text = JobTimeline(JOB, _lifecycle()).to_text()
+    assert "won by node 2 at cost 100.000" in text
+    assert "beat node 3 (250.000) by 150.000" in text
+    assert "withdrew job to 4" in text
+    assert "job finished at node 4" in text
+
+
+def test_to_json_is_structured_and_complete():
+    payload = JobTimeline(JOB, _lifecycle()).to_json()
+    assert payload["job"] == JOB
+    assert payload["final_state"] == "finished"
+    assert payload["completed"] is True
+    assert payload["requests"] == 1
+    assert len(payload["decisions"]) == 1
+    assert len(payload["events"]) == len(_lifecycle())
+
+
+def test_explain_job_filters_by_job_id():
+    events = _lifecycle() + [
+        {"t": 0.0, "ev": "job.submitted", "job": 99, "node": 8}
+    ]
+    timeline = explain_job(events, JOB)
+    assert all(event["job"] == JOB for event in timeline.events)
+
+
+def test_explainer_ties_a_faulted_job_to_its_dropped_messages():
+    """A faulted run's timeline shows the loss/retry that explains it."""
+    from repro.experiments import FaultPlan, ScenarioScale, run
+
+    scale = ScenarioScale.tiny()
+    result = run(
+        FaultPlan.chaos(scale.duration),
+        scale,
+        seed=3,
+        scenario_name="iMixed",
+        reliability=True,
+        trace=TraceConfig(level="transport", sink="memory"),
+    )
+    events = result.trace_events
+    lossy_jobs = sorted(
+        {
+            event["job"]
+            for event in events
+            if event["ev"] in ("msg.lost", "retry.sent") and "job" in event
+        }
+    )
+    assert lossy_jobs, "chaos plan produced no traced message loss"
+    timeline = explain_job(events, lossy_jobs[0])
+    assert timeline.network, "timeline lost the network events"
+    assert any(
+        event["ev"] in ("msg.lost", "retry.sent")
+        for event in timeline.network
+    )
+    text = timeline.to_text()
+    assert "LOST" in text or "retransmission" in text

@@ -1,0 +1,189 @@
+"""Unit tests for the trace bus: schema, config, sinks, tracer."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    EVENTS,
+    LEVELS,
+    JsonlSink,
+    MemorySink,
+    PerfettoSink,
+    TraceConfig,
+    Tracer,
+    load_trace,
+    message_job_id,
+    validate_event,
+)
+
+
+# -- schema ------------------------------------------------------------
+def test_every_event_declares_a_known_level():
+    for name, (level, fields) in EVENTS.items():
+        assert level in LEVELS and level != "off", name
+        assert isinstance(fields, tuple), name
+
+
+def test_validate_event_accepts_a_wellformed_event():
+    event = {"t": 1.0, "ev": "job.submitted", "job": 1, "node": 2}
+    assert validate_event(event) == []
+
+
+def test_validate_event_flags_problems():
+    assert validate_event({"t": 1.0}) == ["event has no 'ev' field"]
+    assert "unknown event name" in validate_event({"ev": "nope"})[0]
+    missing = validate_event({"t": 1.0, "ev": "job.submitted", "job": 1})
+    assert any("node" in problem for problem in missing)
+    extra = validate_event(
+        {"t": 1.0, "ev": "job.submitted", "job": 1, "node": 2, "x": 3}
+    )
+    assert any("unexpected field 'x'" in problem for problem in extra)
+
+
+def test_message_job_id_reads_either_shape():
+    class WithId:
+        job_id = 7
+
+    class WithJob:
+        class job:
+            job_id = 9
+
+    class Neither:
+        pass
+
+    assert message_job_id(WithId()) == 7
+    assert message_job_id(WithJob()) == 9
+    assert message_job_id(Neither()) is None
+
+
+# -- config ------------------------------------------------------------
+def test_config_rejects_bad_values():
+    with pytest.raises(ConfigurationError):
+        TraceConfig(level="verbose")
+    with pytest.raises(ConfigurationError):
+        TraceConfig(sink="csv")
+    with pytest.raises(ConfigurationError):
+        TraceConfig(sink="jsonl", path=None)
+    with pytest.raises(ConfigurationError):
+        TraceConfig(sink="memory", events=("not.an.event",))
+    with pytest.raises(ConfigurationError):
+        TraceConfig(sink="memory", memory_capacity=0)
+
+
+def test_config_resolves_seed_placeholder():
+    config = TraceConfig(path="trace-{seed}.jsonl")
+    assert config.resolved(3).path == "trace-3.jsonl"
+    plain = TraceConfig(path="trace.jsonl")
+    assert plain.resolved(3) is plain
+
+
+def test_config_roundtrips_through_dict():
+    config = TraceConfig(
+        level="transport",
+        sink="memory",
+        events=("msg.sent", "msg.delivered"),
+        telemetry=False,
+    )
+    assert TraceConfig.from_dict(config.to_dict()) == config
+    assert json.dumps(config.to_dict())  # JSON-able (cache-key contract)
+
+
+# -- tracer + sinks ----------------------------------------------------
+def test_tracer_filters_by_level():
+    tracer = Tracer(TraceConfig(level="protocol", sink="memory"))
+    tracer.emit("job.submitted", 1.0, job=1, node=2)
+    tracer.emit("msg.sent", 1.0, src=1, dst=2, type="Request")
+    assert [e["ev"] for e in tracer.events] == ["job.submitted"]
+    assert tracer.wants("job.submitted")
+    assert not tracer.wants("msg.sent")
+    assert tracer.wants_level("protocol")
+    assert not tracer.wants_level("transport")
+
+
+def test_tracer_honours_event_allowlist():
+    config = TraceConfig(
+        level="transport", sink="memory", events=("msg.sent",)
+    )
+    tracer = Tracer(config)
+    tracer.emit("msg.sent", 1.0, src=1, dst=2, type="Request")
+    tracer.emit("msg.delivered", 2.0, src=1, dst=2, type="Request")
+    tracer.emit("job.submitted", 3.0, job=1, node=2)
+    assert [e["ev"] for e in tracer.events] == ["msg.sent"]
+
+
+def test_memory_sink_is_a_ring_buffer():
+    sink = MemorySink(capacity=2)
+    for index in range(5):
+        sink.append({"t": float(index), "ev": "kernel.event"})
+    assert len(sink) == 2
+    assert [e["t"] for e in sink.events] == [3.0, 4.0]
+
+
+def test_jsonl_sink_roundtrips_through_load_trace(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(path)
+    sink.append({"t": 1.0, "ev": "job.submitted", "job": 1, "node": 2})
+    sink.append({"t": 2.0, "ev": "job.finished", "job": 1, "node": 3})
+    sink.close()
+    events = load_trace(path)
+    assert [e["ev"] for e in events] == ["job.submitted", "job.finished"]
+    assert all(validate_event(e) == [] for e in events)
+
+
+def test_perfetto_sink_writes_trace_event_json(tmp_path):
+    path = tmp_path / "trace.json"
+    sink = PerfettoSink(path)
+    sink.append(
+        {"t": 1.0, "ev": "kernel.event", "name": "f", "wall_us": 10.0,
+         "dur_us": 3.0}
+    )
+    sink.append({"t": 2.0, "ev": "job.submitted", "job": 1, "node": 2})
+    sink.close()
+    document = json.loads(path.read_text())
+    phases = [entry["ph"] for entry in document["traceEvents"]]
+    assert "X" in phases and "i" in phases
+
+
+def test_file_tracer_rejects_events_property(tmp_path):
+    tracer = Tracer(TraceConfig(path=str(tmp_path / "t.jsonl")))
+    tracer.close()
+    with pytest.raises(ConfigurationError):
+        tracer.events
+
+
+# -- end-to-end: a traced run obeys the published schema ---------------
+def test_traced_run_events_all_validate():
+    from repro.experiments import ScenarioScale, run
+
+    result = run(
+        "iMixed",
+        ScenarioScale.tiny(),
+        seed=0,
+        trace=TraceConfig(level="transport", sink="memory"),
+    )
+    assert result.trace_events, "transport-level trace recorded nothing"
+    for event in result.trace_events:
+        assert validate_event(event) == [], event
+    names = {event["ev"] for event in result.trace_events}
+    assert "job.submitted" in names
+    assert "assign.winner" in names
+    assert "msg.delivered" in names
+    assert result.telemetry["jobs.completed"] > 0
+
+
+def test_tracing_does_not_change_the_simulated_outcome():
+    from repro.experiments import ScenarioScale, run
+
+    plain = run("iMixed", ScenarioScale.tiny(), seed=1).summary()
+    traced = run(
+        "iMixed",
+        ScenarioScale.tiny(),
+        seed=1,
+        trace=TraceConfig(level="kernel", sink="memory"),
+    ).summary()
+    plain_dict = plain.to_dict()
+    traced_dict = traced.to_dict()
+    traced_dict.pop("telemetry", None)
+    assert traced_dict == plain_dict

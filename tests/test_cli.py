@@ -117,3 +117,89 @@ def test_trace_generation(tmp_path, capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_run_with_profile_out_saves_stats(tmp_path, capsys):
+    import pstats
+
+    out = tmp_path / "profile.pstats"
+    assert main(
+        ["run", "Mixed", "--scale", "tiny", "--profile-out", str(out)]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "completed jobs" in captured.out  # normal summary still printed
+    assert "cumulative" not in captured.err  # no report without --profile
+    assert pstats.Stats(str(out)).total_calls > 0
+
+
+def test_run_with_trace_then_explain_job(tmp_path, capsys):
+    trace_path = tmp_path / "run.jsonl"
+    assert main(
+        ["run", "Mixed", "--scale", "tiny", "--trace", str(trace_path)]
+    ) == 0
+    capsys.readouterr()
+
+    from repro.obs import load_trace
+
+    events = load_trace(trace_path)
+    job_id = next(e["job"] for e in events if e["ev"] == "job.finished")
+    assert main(["explain-job", str(trace_path), str(job_id)]) == 0
+    out = capsys.readouterr().out
+    assert f"job {job_id}:" in out
+    assert "timeline:" in out
+    assert "broadcast REQUEST" in out
+
+
+def test_explain_job_json_output(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "run.jsonl"
+    assert main(
+        ["run", "Mixed", "--scale", "tiny", "--trace", str(trace_path)]
+    ) == 0
+    capsys.readouterr()
+    from repro.obs import load_trace
+
+    events = load_trace(trace_path)
+    job_id = next(e["job"] for e in events if e["ev"] == "job.finished")
+    assert main(
+        ["explain-job", str(trace_path), str(job_id), "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["job"] == job_id
+    assert payload["decisions"]
+
+
+def test_explain_job_unknown_job_errors(tmp_path, capsys):
+    trace_path = tmp_path / "run.jsonl"
+    assert main(
+        ["run", "Mixed", "--scale", "tiny", "--trace", str(trace_path)]
+    ) == 0
+    capsys.readouterr()
+    assert main(["explain-job", str(trace_path), "999999"]) == 1
+    assert "no events for job 999999" in capsys.readouterr().err
+
+
+def test_trace_level_requires_trace_path():
+    with pytest.raises(SystemExit):
+        main(["run", "Mixed", "--scale", "tiny", "--trace-level", "kernel"])
+
+
+def test_multi_seed_trace_requires_seed_placeholder(tmp_path):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "run", "Mixed", "--scale", "tiny", "--seeds", "2",
+                "--trace", str(tmp_path / "t.jsonl"),
+            ]
+        )
+
+
+def test_run_progress_reports_on_stderr(capsys):
+    assert main(
+        ["run", "Mixed", "--scale", "tiny", "--seeds", "2", "--progress",
+         "--no-cache"]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "[1/2] runs complete" in err
+    assert "[2/2] runs complete" in err

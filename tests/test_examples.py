@@ -68,3 +68,10 @@ def test_examples_cover_every_figure_family():
         "failsafe_demo.py",
         "volatile_grid.py",
     } <= names
+
+
+def test_trace_explorer_runs(capsys):
+    out = run_example("trace_explorer.py", capsys=capsys)
+    assert "traced" in out and "protocol events" in out
+    assert "timeline:" in out
+    assert "why node" in out
