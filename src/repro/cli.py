@@ -8,6 +8,7 @@ Everything the library does is reachable from the shell::
     python -m repro baseline centralized         # a comparison scheduler
     python -m repro trace out.json --jobs 200    # freeze a workload trace
     python -m repro run iMixed --faults          # chaos-test the protocol
+    python -m repro run iMixed --failure-model   # crash/restart/fail-slow mix
     python -m repro run iMixed --trace t.jsonl   # record a protocol trace
     python -m repro explain-job t.jsonl 17       # why did job 17 land there?
 
@@ -165,11 +166,44 @@ def _parse_fault_plan(text: str, scale: ScenarioScale):
     return FaultPlan(**data)
 
 
+def _parse_failure_model(text: str, scale: ScenarioScale):
+    """Build a :class:`FailureModel` from ``--failure-model``.
+
+    Same conventions as :func:`_parse_fault_plan`: ``"default"`` is the
+    representative :meth:`FailureModel.chaos` mix scaled to the run's
+    duration; otherwise inline JSON or a JSON file of ``FailureModel``
+    fields.
+    """
+    from .experiments import FailureModel
+
+    if text == "default":
+        return FailureModel.chaos(scale.duration)
+    import json
+
+    if text.lstrip().startswith("{"):
+        data = json.loads(text)
+    else:
+        from pathlib import Path
+
+        data = json.loads(Path(text).read_text())
+    return FailureModel(**data)
+
+
 def _cmd_run(args) -> int:
     scale, seeds = _scale_and_seeds(args)
     scenario = get_scenario(args.scenario)
     trace = _trace_config(args, seeds)
-    if args.faults is not None:
+    if args.failure_model is not None:
+        spec = _parse_failure_model(args.failure_model, scale)
+        options = {
+            "scenario_name": args.scenario,
+            "reliability": not args.no_reliability,
+            "adoption": not args.no_adoption,
+        }
+        if args.faults is not None:
+            # Compose node failures with network faults in one run.
+            options["fault_plan"] = _parse_fault_plan(args.faults, scale)
+    elif args.faults is not None:
         spec = _parse_fault_plan(args.faults, scale)
         options = {
             "scenario_name": args.scenario,
@@ -207,6 +241,14 @@ def _cmd_run(args) -> int:
             spec, scale, seeds=seeds, trace=trace,
             **engine_kwargs, **options,
         )
+    chaos = args.faults is not None or args.failure_model is not None
+    errors = dict(getattr(summaries, "errors", None) or {})
+    completed_seeds = [seed for seed in seeds if seed not in errors]
+    if not summaries:
+        for seed, reason in sorted(errors.items()):
+            print(f"SEED FAILED (seed {seed}): {reason}", file=sys.stderr)
+        print("error: every seed failed", file=sys.stderr)
+        return 1
     summary = summarize_runs(summaries)
     rows = [
         ["completed jobs", fmt_opt(summary.completed_jobs, ".1f")],
@@ -223,8 +265,13 @@ def _cmd_run(args) -> int:
     for message_type, total in sorted(summary.traffic_bytes.items()):
         rows.append([f"traffic {message_type}", f"{total / 1e6:.2f} MB"])
     title = scenario.name
+    if args.failure_model is not None:
+        title += "+failures"
     if args.faults is not None:
-        title += "+faults" + ("" if args.no_reliability else "+reliable")
+        title += "+faults"
+    if chaos:
+        if not args.no_reliability:
+            title += "+reliable"
         import statistics
 
         net_keys = sorted(
@@ -238,10 +285,14 @@ def _cmd_run(args) -> int:
         f"({scale.nodes} nodes, {scale.jobs} jobs), seeds {seeds}"
     )
     print(render_table(["metric", "value"], rows))
-    if args.faults is not None:
+    exit_code = 0
+    for seed, reason in sorted(errors.items()):
+        print(f"SEED FAILED (seed {seed}): {reason}", file=sys.stderr)
+        exit_code = 1
+    if chaos:
         violations = [
             (seed, violation)
-            for seed, run_summary in zip(seeds, summaries)
+            for seed, run_summary in zip(completed_seeds, summaries)
             for violation in run_summary.violations
         ]
         if violations:
@@ -249,7 +300,7 @@ def _cmd_run(args) -> int:
                 print(f"VIOLATION (seed {seed}): {violation}")
             return 1
         print("invariants: OK")
-    return 0
+    return exit_code
 
 
 def _cmd_figure(args) -> int:
@@ -436,10 +487,30 @@ def build_parser() -> argparse.ArgumentParser:
         "exits nonzero on any violation",
     )
     run_parser.add_argument(
+        "--failure-model",
+        nargs="?",
+        const="default",
+        default=None,
+        metavar="MODEL",
+        help="inject node failures (crash-stop, crash-restart, fail-slow): "
+        "bare flag = the representative chaos mix; otherwise inline JSON "
+        "('{...}') or a JSON file of FailureModel fields; composes with "
+        "--faults (network faults ride along in the same run); checks "
+        "protocol invariants afterwards and exits nonzero on any "
+        "violation",
+    )
+    run_parser.add_argument(
+        "--no-adoption",
+        action="store_true",
+        help="with --failure-model: disable initiator-crash orphan "
+        "adoption (demonstrates the orphaned-job leak it prevents)",
+    )
+    run_parser.add_argument(
         "--no-reliability",
         action="store_true",
-        help="with --faults: disable the at-least-once reliability layer "
-        "(demonstrates the invariant violations it prevents)",
+        help="with --faults/--failure-model: disable the at-least-once "
+        "reliability layer (demonstrates the invariant violations it "
+        "prevents)",
     )
     run_parser.set_defaults(func=_cmd_run)
 

@@ -69,6 +69,21 @@ class AriaConfig:
     #: clean, so in-flight ASSIGNs still find it (and get re-delegated)
     #: instead of vanishing with the departure.
     departure_grace: float = 60.0
+    #: Initiator-crash orphan recovery: an assignee that holds a job but
+    #: has not been probed for ``adoption_windows`` consecutive probe
+    #: intervals concludes the initiator is gone and adopts the job
+    #: (self-tracks it, suppresses the unreachable Done).  Only
+    #: meaningful with ``failsafe`` on; off by default so the baseline
+    #: §III-D scope is unchanged.
+    adoption: bool = False
+    #: How many silent probe windows an assignee waits before adopting.
+    adoption_windows: int = 3
+    #: Straggler defense: when > 0, an assignee gives every accepted job
+    #: an execution deadline of ``estimate × slack`` and, once overdue,
+    #: advertises the job with a cost penalty that grows with the delay,
+    #: so the normal INFORM path pulls it off fail-slow nodes.  0
+    #: disables the defense (the default).
+    exec_deadline_slack: float = 0.0
 
     def __post_init__(self) -> None:
         if self.accept_wait <= 0:
@@ -89,3 +104,7 @@ class AriaConfig:
             raise ConfigurationError("probe_timeout must be positive")
         if self.departure_grace < 0:
             raise ConfigurationError("departure_grace must be >= 0")
+        if self.adoption_windows < 1:
+            raise ConfigurationError("adoption_windows must be >= 1")
+        if self.exec_deadline_slack < 0:
+            raise ConfigurationError("exec_deadline_slack must be >= 0")

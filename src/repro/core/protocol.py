@@ -48,6 +48,7 @@ from ..scheduling.base import DEADLINE
 from ..sim.events import Event
 from ..types import JobId, NodeId
 from ..workload.jobs import Job
+from .completion import CompletionLog
 from .config import AriaConfig
 from .messages import (
     Accept,
@@ -111,6 +112,8 @@ class AriaAgent:
         self._inform_fanout = config.inform_flood.fanout
         self._request_fanout = config.request_flood.fanout
         self._improvement_threshold = config.improvement_threshold
+        self._deadline_slack = config.exec_deadline_slack
+        self._adoption = config.adoption
         self.metrics = metrics
         self.sim = node.sim
         #: Optional :class:`~repro.obs.Tracer`, attached only when
@@ -132,9 +135,27 @@ class AriaAgent:
         # Probe-reconciliation memory (executor/assignee side): jobs this
         # node finished, and where it last re-delegated each job.  Both let
         # a ProbeReply repair tracking state whose Done/Track notification
-        # was permanently lost (e.g. dropped throughout a partition).
-        self._completed: set = set()
+        # was permanently lost (e.g. dropped throughout a partition), and
+        # both survive crash-restart (see :meth:`restart`) — they are the
+        # executor's durable journal.  The completion log is bounded: old
+        # entries outside every replay window are evicted (docs/FAULTS.md).
+        self._completed = CompletionLog()
         self._redelegated: Dict[JobId, NodeId] = {}
+        #: Restart generation: bumped by :meth:`restart`, stamped into
+        #: transport deliveries so the past cannot talk to the present.
+        self.incarnation = 0
+        # Orphan-recovery state (assignee side): when this node last saw a
+        # fail-safe probe for each held job.  A held job whose remote
+        # initiator stays silent for ``adoption_windows`` probe intervals
+        # is orphaned (its tracker crashed) — adoption takes over the
+        # initiator role; ``_adopted`` remembers which jobs, so a probe
+        # from a resurfacing initiator can cede the role back.
+        self._last_probe: Dict[JobId, float] = {}
+        self._adopted: set = set()
+        # Straggler-defense state (assignee side): per-job execution
+        # deadlines and which jobs already blew them.
+        self._exec_deadlines: Dict[JobId, float] = {}
+        self._deadline_overdue: set = set()
         self.failed = False
         #: Graceful-departure state: a leaving node hands its queue off,
         #: finishes any running job, then departs the grid.
@@ -209,10 +230,25 @@ class AriaAgent:
         self.stop()
         # A dead node abandons its initiator duties too: pending discovery
         # retries, fail-safe probes and tracking state all die with it.
+        # Jobs still *in* discovery here have no assignee and no tracker —
+        # nothing in the grid can recover them — so they are recorded as
+        # lost instead of silently vanishing from the books.
         for pending in self._pending.values():
             if pending.timer is not None:
                 self.sim.cancel(pending.timer)
+            self.metrics.job_lost(pending.job.job_id, self.sim.now)
+            if self._trace is not None:
+                self._trace.emit(
+                    "job.lost",
+                    self.sim.now,
+                    job=pending.job.job_id,
+                    node=self.node_id,
+                )
         self._pending.clear()
+        self._last_probe.clear()
+        self._adopted.clear()
+        self._exec_deadlines.clear()
+        self._deadline_overdue.clear()
         for timeout in self._probe_timeouts.values():
             self.sim.cancel(timeout)
         self._probe_timeouts.clear()
@@ -233,6 +269,54 @@ class AriaAgent:
                     "job.lost", self.sim.now, job=job.job_id, node=self.node_id
                 )
         return lost
+
+    def restart(self) -> None:
+        """Rejoin the grid after a crash, under a fresh incarnation.
+
+        Volatile state died with the crash and stays dead: flood dedup
+        windows, discovery state, the fail-safe tracking table, initiator
+        and suspicion bookkeeping, orphan/deadline state.  Two things
+        survive — the completion log and the re-delegation pointers — the
+        executor's durable journal (the analogue of the tiny write-ahead
+        completion record real schedulers persist).  The journal is a
+        *safety* requirement, not a convenience: without it a tracker
+        whose Done/Track notification died with the old incarnation would
+        probe the reborn node, hear "never heard of that job", and
+        resubmit a job that already ran (or still runs elsewhere) —
+        cross-incarnation double execution.
+
+        The incarnation bump makes the old self unreachable: every
+        message is stamped with the destination's incarnation at send
+        time, so ASSIGNs, Tracks, retransmitted copies and acks addressed
+        to the dead incarnation are dropped on arrival
+        (``net.dropped_stale``) instead of corrupting the fresh state.
+
+        The caller re-attaches the node to the overlay (e.g. via
+        ``BlatantMaintainer.join``) — same split as churn joins.
+        """
+        if not self.failed:
+            raise ProtocolError(f"node {self.node_id} has not crashed")
+        if self.departed:
+            raise ProtocolError(f"node {self.node_id} departed for good")
+        self.failed = False
+        self.leaving = False
+        self.incarnation += 1
+        self.transport.bump_incarnation(self.node_id)
+        self.node.revive()
+        self._seen_requests = SeenCache()
+        self._seen_informs = SeenCache()
+        self._job_initiators.clear()
+        self._suspect.clear()
+        self.transport.register(self.node_id, self._on_message)
+        self.metrics.node_restarted(self.node_id, self.sim.now)
+        if self._trace is not None:
+            self._trace.emit(
+                "node.restarted",
+                self.sim.now,
+                node=self.node_id,
+                incarnation=self.incarnation,
+            )
+        self.start()
 
     def leave(self) -> int:
         """Begin a graceful departure (the volatile-resource case).
@@ -258,6 +342,7 @@ class AriaAgent:
         for entry in self.node.scheduler.queued():
             removed = self.node.withdraw_job(entry.job.job_id)
             if removed is not None:
+                self._forget_execution_state(removed.job.job_id)
                 self._begin_discovery(removed.job, reschedule=True)
                 handed_off += 1
         self._maybe_depart()
@@ -497,7 +582,17 @@ class AriaAgent:
         holds = self.node.holds_job(job_id) or job_id in self._pending
         done = False
         new_assignee = None
-        if not holds:
+        if holds:
+            # An incoming probe is proof the job's tracker is alive: feed
+            # the orphan detector, and if this node had *adopted* the job
+            # (falsely — e.g. the initiator restarted, or its probes were
+            # partitioned away), cede the initiator role back.
+            self._last_probe[job_id] = self.sim.now
+            if job_id in self._adopted and message.initiator != self.node_id:
+                self._adopted.discard(job_id)
+                self._job_initiators[job_id] = message.initiator
+                self._untrack(job_id)
+        else:
             if job_id in self._completed:
                 done = True
             else:
@@ -621,6 +716,9 @@ class AriaAgent:
         candidates = select_inform_candidates(
             scheduler, self.config.inform_count, now, running_remaining
         )
+        deadlines = self._exec_deadlines
+        if self._deadline_slack > 0.0 and deadlines:
+            candidates = self._with_overdue_candidates(candidates, now)
         policy = self.config.inform_flood
         hops_left = policy.max_hops - 1
         self.metrics.informs_advertised(len(candidates))
@@ -628,6 +726,29 @@ class AriaAgent:
             cost = current_queue_cost(
                 scheduler, entry.job.job_id, now, running_remaining
             )
+            if deadlines:
+                deadline = deadlines.get(entry.job.job_id)
+                if deadline is not None and now > deadline:
+                    # Straggler defense: an overdue job is advertised at
+                    # its cost *plus* the overdue time, a penalty that
+                    # grows every round until some other node's honest
+                    # quote beats it and the INFORM path pulls the job
+                    # off this (possibly fail-slow) node.
+                    overdue = now - deadline
+                    cost += overdue
+                    if entry.job.job_id not in self._deadline_overdue:
+                        self._deadline_overdue.add(entry.job.job_id)
+                        self.metrics.job_deadline_exceeded(
+                            entry.job.job_id, now
+                        )
+                        if self._trace is not None:
+                            self._trace.emit(
+                                "deadline.exceeded",
+                                now,
+                                job=entry.job.job_id,
+                                node=self.node_id,
+                                overdue=overdue,
+                            )
             if self._trace is not None:
                 self._trace.emit(
                     "inform.broadcast",
@@ -645,6 +766,27 @@ class AriaAgent:
                 self.graph, self.node_id, policy.fanout, self._rng
             ):
                 self.transport.send(self.node_id, target, message)
+
+    def _with_overdue_candidates(self, candidates, now: float):
+        """Force overdue queued jobs into the INFORM round.
+
+        ``select_inform_candidates`` picks the jobs most attractive to
+        move; a job stuck past its execution deadline must be advertised
+        *whether or not* it looks attractive, or a fail-slow node would
+        keep it quietly forever.
+        """
+        chosen = {entry.job.job_id for entry in candidates}
+        scheduler = self.node.scheduler
+        extra = []
+        for job_id, deadline in self._exec_deadlines.items():
+            if now <= deadline or job_id in chosen:
+                continue
+            entry = scheduler.find(job_id)
+            if entry is not None:
+                extra.append(entry)
+        if not extra:
+            return candidates
+        return list(candidates) + extra
 
     def _handle_inform(self, src: NodeId, message: Inform) -> None:
         node_id = self.node_id
@@ -700,6 +842,12 @@ class AriaAgent:
             self.sim.now,
             self.node.running_remaining(),
         )
+        if self._exec_deadlines:
+            deadline = self._exec_deadlines.get(message.job_id)
+            if deadline is not None and self.sim.now > deadline:
+                # Mirror the INFORM-side penalty so the offer that the
+                # inflated advertisement attracted actually wins here.
+                own_cost += self.sim.now - deadline
         if self._trace is not None:
             self._trace.emit(
                 "accept.received",
@@ -725,6 +873,7 @@ class AriaAgent:
                 own_cost=own_cost,
                 offer_cost=message.cost,
             )
+        self._forget_execution_state(message.job_id)
         self._send_assign(message.node, removed.job, reschedule=True)
 
     # ------------------------------------------------------------------
@@ -778,12 +927,38 @@ class AriaAgent:
             self._trace.emit(
                 "job.queued", self.sim.now, job=job.job_id, node=self.node_id
             )
+        if self.config.failsafe:
+            # Seed the orphan detector: treat the ASSIGN itself as the
+            # tracker's first sign of life.
+            self._last_probe[job.job_id] = self.sim.now
+        if self._deadline_slack > 0.0:
+            # Execution deadline: the queue-wait + runtime estimate this
+            # node would quote right now, stretched by the slack.  NAL
+            # costs are not time-like, so the job's own scaled runtime is
+            # the floor of the estimate.
+            estimate = max(self.node.cost_for(job), self.node.ertp(job))
+            self._exec_deadlines[job.job_id] = (
+                self.sim.now + estimate * self._deadline_slack
+            )
         self.node.accept_job(job)
+
+    def _forget_execution_state(self, job_id: JobId) -> None:
+        """Drop assignee-side per-job state once the job leaves this node
+        (finished, withdrawn for rescheduling, or handed off)."""
+        self._last_probe.pop(job_id, None)
+        self._adopted.discard(job_id)
+        self._exec_deadlines.pop(job_id, None)
+        self._deadline_overdue.discard(job_id)
 
     def _on_job_started(self, node: GridNode, running: RunningJob) -> None:
         self.metrics.job_started(
             running.job.job_id, node.node_id, self.sim.now
         )
+        if self._exec_deadlines:
+            # Once running, a job can never move (no preemption, §III-A):
+            # its deadline has nothing left to defend.
+            self._exec_deadlines.pop(running.job.job_id, None)
+            self._deadline_overdue.discard(running.job.job_id)
         if self._trace is not None:
             self._trace.emit(
                 "job.started",
@@ -795,8 +970,11 @@ class AriaAgent:
     def _on_job_finished(self, node: GridNode, finished: RunningJob) -> None:
         job_id = finished.job.job_id
         initiator = self._job_initiators.pop(job_id, None)
-        self._completed.add(job_id)
-        self.metrics.job_finished(job_id, node.node_id, self.sim.now)
+        self._completed.add(job_id, self.sim.now)
+        self._forget_execution_state(job_id)
+        self.metrics.job_finished(
+            job_id, node.node_id, self.sim.now, incarnation=self.incarnation
+        )
         if self._trace is not None:
             self._trace.emit(
                 "job.finished", self.sim.now, job=job_id, node=node.node_id
@@ -846,6 +1024,71 @@ class AriaAgent:
             self._probe_timeouts[job_id] = self.sim.call_after(
                 self.config.probe_timeout, self._probe_missed, job_id
             )
+        if self._last_probe:
+            self._orphan_scan()
+
+    def _held_job(self, job_id: JobId) -> Optional[Job]:
+        """The descriptor of a job waiting or running here, else ``None``."""
+        running = self.node.running
+        if running is not None and running.job.job_id == job_id:
+            return running.job
+        entry = self.node.scheduler.find(job_id)
+        return entry.job if entry is not None else None
+
+    def _orphan_scan(self) -> None:
+        """Assignee side: detect jobs whose initiator has gone silent.
+
+        §III-D's fail-safe covers assignee crashes only; a crashed
+        *initiator* leaves its assigned jobs without a tracker.  The
+        assignee notices: a held job that has not been probed for
+        ``adoption_windows`` consecutive probe intervals is orphaned.
+        With ``adoption`` on, this node takes over the initiator role —
+        it self-tracks the job (so a later reschedule or assignee crash
+        still has a tracker) and, as its own initiator, suppresses the
+        Done that would otherwise chase the dead node.  With adoption
+        off the orphan is only counted, which is what the orphan-leak
+        regression arm measures.
+        """
+        now = self.sim.now
+        window = self.config.adoption_windows * self.config.probe_interval
+        for job_id, last_seen in list(self._last_probe.items()):
+            if not self.node.holds_job(job_id):
+                del self._last_probe[job_id]
+                continue
+            initiator = self._job_initiators.get(job_id)
+            if initiator is None or initiator == self.node_id:
+                del self._last_probe[job_id]
+                continue
+            if now - last_seen < window:
+                continue
+            del self._last_probe[job_id]
+            self.metrics.job_orphaned(job_id, now)
+            if self._trace is not None:
+                self._trace.emit(
+                    "job.orphaned",
+                    now,
+                    job=job_id,
+                    node=self.node_id,
+                    initiator=initiator,
+                )
+            if not self._adoption:
+                continue
+            job = self._held_job(job_id)
+            if job is None:  # pragma: no cover - holds_job checked above
+                continue
+            self._adopted.add(job_id)
+            self._job_initiators[job_id] = self.node_id
+            self._tracked[job_id] = (job, self.node_id)
+            self._suspect.pop(job_id, None)
+            self.metrics.job_adopted(job_id, now)
+            if self._trace is not None:
+                self._trace.emit(
+                    "job.adopted",
+                    now,
+                    job=job_id,
+                    node=self.node_id,
+                    initiator=initiator,
+                )
 
     def _handle_probe_reply(self, src: NodeId, message: ProbeReply) -> None:
         """Process a probe answer; two consecutive misses resubmit.

@@ -2,18 +2,25 @@
 
 The unified entry points are :func:`run` (one experiment, live result)
 and :func:`run_batch` (many seeds, cached + parallel, returning
-:class:`RunSummary` objects).  The spec passed to either may be a
-:class:`Scenario`, a baseline name, a :class:`CrashPlan`, a
-:class:`ChurnPlan`, or a :class:`FaultPlan` (network fault injection
-with the :mod:`~repro.experiments.invariants` chaos checker).
+:class:`RunSummary` objects in a :class:`BatchResult`).  The spec passed
+to either may be a :class:`Scenario`, a baseline name, a
+:class:`CrashPlan`, a :class:`FailureModel` (composed crash-stop /
+crash-restart / fail-slow node failures), a :class:`ChurnPlan`, or a
+:class:`FaultPlan` (network fault injection with the
+:mod:`~repro.experiments.invariants` chaos checker).
 """
 
 from ..obs.trace import TraceConfig
 from .aggregate import ScenarioSummary, average_series, summarize_runs
 from .catalog import SCENARIOS, get_scenario, scenario_names, with_rescheduling
 from .churn import ChurnPlan, run_churn_experiment
-from .engine import ResultCache, run, run_batch
-from .failures import CrashPlan, run_crash_experiment
+from .engine import BatchResult, ResultCache, run, run_batch
+from .failures import (
+    CrashPlan,
+    FailureModel,
+    run_crash_experiment,
+    run_failure_experiment,
+)
 from .faults import FaultPlan, apply_fault_plan, run_fault_experiment
 from .invariants import check_invariants
 from .report import fmt_hours, fmt_opt, render_series, render_table
@@ -30,8 +37,10 @@ from .summary import RunSummary
 from .validation import validate_run
 
 __all__ = [
+    "BatchResult",
     "ChurnPlan",
     "CrashPlan",
+    "FailureModel",
     "FaultPlan",
     "GridSetup",
     "ResultCache",
@@ -44,6 +53,7 @@ __all__ = [
     "run_batch",
     "run_churn_experiment",
     "run_crash_experiment",
+    "run_failure_experiment",
     "run_fault_experiment",
     "SCENARIOS",
     "Scenario",

@@ -9,12 +9,18 @@ seed.  This module is the single entry point for all of it:
   :class:`~repro.experiments.scenario.Scenario`, a Table II scenario name,
   a baseline name (``"centralized"`` / ``"multirequest"`` / ``"random"`` /
   ``"gossip"``), a :class:`~repro.experiments.failures.CrashPlan`, a
+  :class:`~repro.experiments.failures.FailureModel`, a
   :class:`~repro.experiments.churn.ChurnPlan`, or a
   :class:`~repro.experiments.faults.FaultPlan`.  Returns the full live
   result object (``RunResult`` / ``BaselineRunResult``).
 * :func:`run_batch` — the same spec fanned over many seeds, optionally
   across a spawn-safe process pool, returning picklable
-  :class:`~repro.experiments.summary.RunSummary` objects.
+  :class:`~repro.experiments.summary.RunSummary` objects in a
+  :class:`BatchResult`.  The parallel path survives crashed and hung
+  worker processes: each work unit gets an optional ``seed_timeout`` and
+  one automatic retry, and anything that still fails is recorded in
+  ``BatchResult.errors`` instead of raising away the seeds that did
+  finish.
 * :class:`ResultCache` — a content-addressed on-disk cache keyed by the
   hash of (spec, scale, seed, options, code version), so re-running
   figures, sweeps and comparisons is incremental.
@@ -38,7 +44,12 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from ..errors import ConfigurationError
 from ..obs.trace import TraceConfig
 from .churn import ChurnPlan, _run_churn_experiment
-from .failures import CrashPlan, _run_crash_experiment
+from .failures import (
+    CrashPlan,
+    FailureModel,
+    _run_crash_experiment,
+    _run_failure_experiment,
+)
 from .faults import FaultPlan, _run_fault_experiment
 from .runner import _run_scenario
 from .scale import ScenarioScale
@@ -46,6 +57,7 @@ from .scenario import Scenario
 from .summary import RunSummary
 
 __all__ = [
+    "BatchResult",
     "ExperimentSpec",
     "ResultCache",
     "cache_key",
@@ -56,7 +68,9 @@ __all__ = [
 ]
 
 #: Anything :func:`run` / :func:`run_batch` accepts as a spec.
-ExperimentSpec = Union[Scenario, str, CrashPlan, ChurnPlan, FaultPlan]
+ExperimentSpec = Union[
+    Scenario, str, CrashPlan, FailureModel, ChurnPlan, FaultPlan
+]
 
 #: Bump to invalidate every cached result regardless of code hash.
 _CACHE_FORMAT = 1
@@ -69,6 +83,15 @@ _ALLOWED_OPTIONS = {
     "crash": {"failsafe", "scenario_name", "probe_interval"},
     "churn": {"failsafe", "scenario_name"},
     "faults": {"reliability", "failsafe", "scenario_name", "probe_interval"},
+    "failures": {
+        "failsafe",
+        "adoption",
+        "reliability",
+        "scenario_name",
+        "probe_interval",
+        "deadline_slack",
+        "fault_plan",
+    },
 }
 
 _code_version_cache: Optional[str] = None
@@ -253,10 +276,33 @@ def _spec_payload(spec: ExperimentSpec, options: Dict[str, Any]) -> Dict[str, An
             "scenario_name": options.get("scenario_name", "iMixed"),
             "probe_interval": options.get("probe_interval"),
         }
+    if isinstance(spec, FailureModel):
+        _check_options("failures", options, _ALLOWED_OPTIONS["failures"])
+        fault_plan = options.get("fault_plan")
+        if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+            raise ConfigurationError(
+                f"fault_plan must be a FaultPlan, got "
+                f"{type(fault_plan).__name__}"
+            )
+        return {
+            "kind": "failures",
+            "model": dataclasses.asdict(spec),
+            "failsafe": bool(options.get("failsafe", True)),
+            "adoption": bool(options.get("adoption", True)),
+            "reliability": bool(options.get("reliability", True)),
+            "scenario_name": options.get("scenario_name", "iMixed"),
+            "probe_interval": options.get("probe_interval"),
+            "deadline_slack": options.get("deadline_slack"),
+            "fault_plan": (
+                dataclasses.asdict(fault_plan)
+                if fault_plan is not None
+                else None
+            ),
+        }
     raise ConfigurationError(
         f"unsupported experiment spec type {type(spec).__name__}; expected "
-        f"Scenario, scenario/baseline name, CrashPlan, ChurnPlan or "
-        f"FaultPlan"
+        f"Scenario, scenario/baseline name, CrashPlan, FailureModel, "
+        f"ChurnPlan or FaultPlan"
     )
 
 
@@ -353,7 +399,56 @@ def _run_payload(payload: Dict[str, Any]):
             obs=obs,
             **kwargs,
         )
+    if kind == "failures":
+        kwargs = {}
+        if payload.get("probe_interval") is not None:
+            kwargs["probe_interval"] = payload["probe_interval"]
+        if payload.get("deadline_slack") is not None:
+            kwargs["deadline_slack"] = payload["deadline_slack"]
+        if payload.get("fault_plan") is not None:
+            kwargs["fault_plan"] = FaultPlan(**payload["fault_plan"])
+        return _run_failure_experiment(
+            FailureModel(**payload["model"]),
+            scale,
+            seed,
+            scenario_name=payload["scenario_name"],
+            failsafe=payload["failsafe"],
+            adoption=payload["adoption"],
+            reliability=payload["reliability"],
+            obs=obs,
+            **kwargs,
+        )
     raise ConfigurationError(f"unknown work-unit kind {kind!r}")
+
+
+def _inject_worker_fault(spec: str, seed: int) -> None:
+    """Test hook: make this worker misbehave for a designated seed.
+
+    ``$ARIA_TEST_WORKER_FAULT`` formats (exercised by the batch-hardening
+    tests; a no-op for every other seed):
+
+    * ``crash:<seed>`` — hard-exit the worker process (simulates a
+      segfault / OOM kill) every time that seed runs.
+    * ``hang:<seed>`` — sleep forever (simulates a wedged worker; only a
+      ``seed_timeout`` can recover the batch).
+    * ``crash_once:<seed>:<marker-path>`` — hard-exit the first time,
+      succeed on the retry (the marker file records the first strike).
+    """
+    parts = spec.split(":")
+    kind = parts[0]
+    if kind not in ("crash", "hang", "crash_once") or int(parts[1]) != seed:
+        return
+    if kind == "crash":
+        os._exit(53)
+    if kind == "hang":
+        import time
+
+        while True:  # pragma: no cover - killed by the batch timeout
+            time.sleep(3600)
+    marker = Path(parts[2])
+    if not marker.exists():
+        marker.write_text("struck")
+        os._exit(53)
 
 
 def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -363,6 +458,9 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     serial path and the process-pool path traverse the exact same code —
     the basis of the bit-identical determinism guarantee.
     """
+    fault = os.environ.get("ARIA_TEST_WORKER_FAULT")
+    if fault:
+        _inject_worker_fault(fault, payload["seed"])
     return _run_payload(payload).summary().to_dict()
 
 
@@ -473,6 +571,41 @@ def _resolve_progress(progress, total: int):
     return printer
 
 
+class BatchResult(List[RunSummary]):
+    """Per-seed summaries of a batch, plus any per-seed failures.
+
+    A plain list of :class:`RunSummary` in ``seeds`` order (failed seeds
+    omitted), so every existing consumer of ``run_batch`` keeps working
+    unchanged.  ``errors`` maps each failed seed to a human-readable
+    reason (worker crash, hang past ``seed_timeout``, or a raised
+    exception) — a batch with one poisoned seed degrades to one missing
+    summary instead of throwing away the other nine.
+    """
+
+    def __init__(self, summaries=(), errors: Optional[Dict[int, str]] = None):
+        super().__init__(summaries)
+        #: seed → failure description, for seeds with no summary.
+        self.errors: Dict[int, str] = dict(errors or {})
+
+    @property
+    def ok(self) -> bool:
+        """True when every seed produced a summary."""
+        return not self.errors
+
+
+def _kill_pool(pool) -> None:
+    """Forcibly tear down a process pool, hung workers included.
+
+    ``shutdown()`` alone joins workers, which never returns while one is
+    wedged in an infinite loop — so the worker processes are killed first.
+    """
+    for process in list(
+        (getattr(pool, "_processes", None) or {}).values()
+    ):
+        process.kill()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 def run_batch(
     spec: ExperimentSpec,
     scale: Optional[ScenarioScale] = None,
@@ -482,9 +615,11 @@ def run_batch(
     cache=None,
     trace: Optional[TraceConfig] = None,
     progress=None,
+    seed_timeout: Optional[float] = None,
     **options,
-) -> List[RunSummary]:
-    """Run ``spec`` once per seed; returns one :class:`RunSummary` each.
+) -> BatchResult:
+    """Run ``spec`` once per seed; returns a :class:`BatchResult` of
+    :class:`RunSummary` objects.
 
     ``parallel`` — worker processes for cache misses: ``None`` (default)
     honours ``$ARIA_PARALLEL`` (else serial in-process), ``0`` uses every
@@ -500,6 +635,19 @@ def run_batch(
     hits count immediately); a ``callback(done, total)`` receives the
     same notifications.
 
+    The parallel path is hardened against misbehaving workers: a work
+    unit whose worker process dies, raises, or (with ``seed_timeout``
+    set, in wall-clock seconds) fails to finish in time is retried once
+    on a fresh pool; a second strike records the seed in
+    ``BatchResult.errors`` instead of raising, so the surviving seeds'
+    summaries still come back.  A dying worker breaks the whole pool and
+    fails every in-flight future with it, so when more than one unit is
+    implicated none of them is charged an attempt — they are quarantined
+    and re-run one at a time, where the next failure attributes exactly.
+    On the serial path (``workers <= 1``) exceptions propagate as
+    before — ``seed_timeout`` needs a killable worker process to
+    enforce.
+
     Summaries come back in ``seeds`` order and are bit-identical
     (``to_dict()``) whether they were computed serially, in parallel, or
     served from the cache.
@@ -512,6 +660,7 @@ def run_batch(
     report = _resolve_progress(progress, len(seeds))
     done = 0
     results: Dict[int, RunSummary] = {}
+    failures: Dict[int, str] = {}
     pending: List[tuple] = []
     for index, seed in enumerate(seeds):
         payload = dict(base_payload)
@@ -531,41 +680,149 @@ def run_batch(
 
     if pending:
         workers = _resolve_parallel(parallel, len(pending))
+        outputs: List[Optional[Dict[str, Any]]] = [None] * len(pending)
         if workers <= 1:
-            outputs = []
-            for _, _, payload in pending:
-                outputs.append(_execute_payload(payload))
+            for position, (_, _, payload) in enumerate(pending):
+                outputs[position] = _execute_payload(payload)
                 done += 1
                 if report is not None:
                     report(done, len(seeds))
         else:
             import multiprocessing
-            from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+            import time
+            from concurrent.futures import (
+                FIRST_COMPLETED,
+                BrokenExecutor,
+                ProcessPoolExecutor,
+            )
             from concurrent.futures import wait as futures_wait
 
             context = multiprocessing.get_context("spawn")
-            outputs = [None] * len(pending)
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=context
-            ) as pool:
-                futures = {
-                    pool.submit(_execute_payload, payload): position
-                    for position, (_, _, payload) in enumerate(pending)
-                }
-                remaining = set(futures)
-                while remaining:
-                    finished, remaining = futures_wait(
-                        remaining, return_when=FIRST_COMPLETED
+            max_attempts = 2  # one automatic retry per work unit
+            attempts = [0] * len(pending)
+            queue = list(range(len(pending)))
+            suspects: List[int] = []  # re-run one at a time
+            errors_at: Dict[int, str] = {}  # position → reason
+
+            def settle(position: int, reason: str) -> None:
+                """Retry a definitively-failed unit, or record it."""
+                nonlocal done
+                if attempts[position] < max_attempts:
+                    suspects.append(position)
+                    return
+                errors_at[position] = reason
+                done += 1
+                if report is not None:
+                    report(done, len(seeds))
+
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+            futures: Dict[Any, int] = {}  # future → position
+            deadlines: Dict[Any, float] = {}
+
+            def submit(position: int) -> None:
+                attempts[position] += 1
+                future = pool.submit(_execute_payload, pending[position][2])
+                futures[future] = position
+                if seed_timeout is not None:
+                    deadlines[future] = time.monotonic() + seed_timeout
+
+            try:
+                while queue or suspects or futures:
+                    # Keep at most ``workers`` units in flight (the pool
+                    # never buffers work, minimizing the blast radius of
+                    # a dying worker); suspects run strictly solo so
+                    # their failures attribute exactly.
+                    if queue:
+                        while queue and len(futures) < workers:
+                            submit(queue.pop(0))
+                    elif suspects and not futures:
+                        submit(suspects.pop(0))
+                    timeout = None
+                    if deadlines:
+                        timeout = max(
+                            0.0, min(deadlines.values()) - time.monotonic()
+                        )
+                    finished, _ = futures_wait(
+                        set(futures),
+                        timeout=timeout,
+                        return_when=FIRST_COMPLETED,
                     )
+                    victims: List[int] = []
                     for future in finished:
-                        outputs[futures[future]] = future.result()
+                        position = futures.pop(future)
+                        deadlines.pop(future, None)
+                        try:
+                            outputs[position] = future.result()
+                        except BrokenExecutor:
+                            victims.append(position)
+                            continue
+                        except Exception as exc:
+                            settle(
+                                position, f"{type(exc).__name__}: {exc}"
+                            )
+                            continue
                         done += 1
                         if report is not None:
                             report(done, len(seeds))
+                    timed_out: List[int] = []
+                    if deadlines:
+                        now = time.monotonic()
+                        for future in [
+                            f for f, d in deadlines.items() if d <= now
+                        ]:
+                            timed_out.append(futures.pop(future))
+                            del deadlines[future]
+                    for position in timed_out:
+                        settle(
+                            position,
+                            f"timed out after {seed_timeout:.0f}s",
+                        )
+                    if len(victims) == 1 and not futures and not timed_out:
+                        # Nothing else was in flight: the crash is this
+                        # unit's own doing.
+                        settle(
+                            victims[0],
+                            "worker process died (BrokenProcessPool)",
+                        )
+                    elif victims:
+                        # The dying worker failed every in-flight future
+                        # with it — no telling which unit crashed, so
+                        # quarantine them all, uncharged, for solo
+                        # re-runs.
+                        for position in victims:
+                            attempts[position] -= 1
+                        suspects.extend(victims)
+                    if victims or timed_out:
+                        # The pool is broken (crash) or owned by a hung
+                        # worker (timeout); survivors in flight are
+                        # quarantined uncharged too.
+                        for position in futures.values():
+                            attempts[position] -= 1
+                            suspects.append(position)
+                        futures.clear()
+                        deadlines.clear()
+                        _kill_pool(pool)
+                        pool = ProcessPoolExecutor(
+                            max_workers=workers, mp_context=context
+                        )
+            finally:
+                _kill_pool(pool)
+            for position, reason in errors_at.items():
+                index = pending[position][0]
+                failures[seeds[index]] = reason
         for (index, key, payload), output in zip(pending, outputs):
+            if output is None:
+                continue
             summary = RunSummary.from_dict(output)
             if cache_store is not None:
                 cache_store.store(key, summary, payload)
             results[index] = summary
 
-    return [results[index] for index in range(len(seeds))]
+    return BatchResult(
+        (
+            results[index]
+            for index in range(len(seeds))
+            if index in results
+        ),
+        errors=failures,
+    )

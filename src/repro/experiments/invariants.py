@@ -12,7 +12,11 @@ properties an unreliable network is most likely to break:
   ASSIGN.
 * **No double execution** — no job completed twice, and no job sits in
   two live nodes' queues at once (the precursor, caused by duplicated or
-  raced delegations).
+  raced delegations).  The check spans *incarnations*: a job executed by
+  incarnation 1 of a node and again by incarnation 2 after a
+  crash-restart is double execution like any other, which is what the
+  durable completion journal and incarnation-stamped messages exist to
+  prevent.
 * **No phantom loss** — in a crash-free run, no job may be recorded as
   lost with a crashing node.
 * **Tracking quiescence** — long after a tracked job completed, no live
@@ -101,6 +105,31 @@ def check_invariants(
             f"job completed more than once"
         )
 
+    # Cross-incarnation execution identity: every completion is logged as
+    # (job, node, incarnation); two different identities for one job mean
+    # it ran twice — including the resurrection case where both runs
+    # happened on the *same physical node* before and after a restart.
+    executions: Dict[JobId, List[tuple]] = {}
+    for job_id, node_id, incarnation in getattr(
+        metrics, "execution_log", ()
+    ):
+        executions.setdefault(job_id, []).append((node_id, incarnation))
+    for job_id, identities in sorted(executions.items()):
+        if len(set(identities)) <= 1:
+            continue
+        nodes = {node_id for node_id, _ in identities}
+        if len(nodes) == 1:
+            violations.append(
+                f"job {job_id} executed by multiple incarnations of node "
+                f"{next(iter(nodes))} ({sorted(set(identities))}): "
+                f"resurrection double-execution"
+            )
+        else:
+            violations.append(
+                f"job {job_id} executed under multiple identities "
+                f"({sorted(set(identities))}): cross-node double-execution"
+            )
+
     for job_id, record in sorted(records.items()):
         if record.completed and record.unschedulable:
             violations.append(
@@ -112,6 +141,11 @@ def check_invariants(
                 f"({record.lost_count}x) in a crash-free run"
             )
         if record.completed or record.unschedulable:
+            continue
+        if record.lost_count and allow_lost:
+            # Crash-lost and never recovered: with the initiator (or an
+            # untracked assignee) dead there is legitimately nobody left
+            # to resubmit — an accounted loss, not a stranding.
             continue
         if job_id in holders or job_id in pending:
             continue  # legitimately in flight at the horizon

@@ -87,6 +87,12 @@ class GridNode:
         #: A crashed node executes nothing and loses its queue (§III-D
         #: fail-safe discussion).
         self.crashed = False
+        #: Fail-slow degradation: jobs that *start* while the factor is
+        #: above 1 take that many times their sampled ART.  The node's
+        #: cost quotes still use the healthy ERTp — a fail-slow node does
+        #: not know (or admit) it is slow, which is what makes the
+        #: failure mode hard.
+        self.slowdown_factor = 1.0
         #: Fired right after a job begins execution.
         self.on_job_started: List[NodeJobCallback] = []
         #: Fired right after a job completes.
@@ -175,6 +181,8 @@ class GridNode:
         art = self.accuracy.actual_running_time(
             entry.job.ert, entry.ertp, self._art_rng
         )
+        if self.slowdown_factor != 1.0:
+            art *= self.slowdown_factor
         self.running = RunningJob(
             job=entry.job,
             start_time=self.sim.now,
@@ -220,6 +228,30 @@ class GridNode:
                 break
             lost.append(entry.job)
         return lost
+
+    def revive(self) -> None:
+        """Bring a crashed node back as an empty executor (crash-restart).
+
+        Everything held at crash time stayed lost; the node simply starts
+        accepting and executing jobs again.  The protocol layer is
+        responsible for the overlay rejoin and incarnation bump.
+        """
+        if not self.crashed:
+            raise SchedulingError(f"node {self.node_id} is not crashed")
+        self.crashed = False
+
+    def apply_slowdown(self, factor: float) -> None:
+        """Degrade (or restore, with 1.0) this node's execution rate.
+
+        Affects jobs that start from now on; the running job keeps its
+        completion event (no preemption, §III-A, and a slowdown mid-job
+        would require re-timing an event the scheduler cannot observe).
+        """
+        if factor < 1.0:
+            raise SchedulingError(
+                f"slowdown factor {factor} must be >= 1 (got a speedup?)"
+            )
+        self.slowdown_factor = factor
 
     # ------------------------------------------------------------------
     # State probes (metrics)

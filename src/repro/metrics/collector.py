@@ -14,7 +14,7 @@ surfaced as ``RunSummary.telemetry``; the historical attribute names
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ReproError
 from ..obs.metrics import MetricsRegistry
@@ -37,7 +37,18 @@ class GridMetrics:
         self._duplicate_executions = self.registry.counter(
             "jobs.duplicate_executions"
         )
+        self._node_restarts = self.registry.counter("nodes.restarted")
+        self._orphaned_jobs = self.registry.counter("jobs.orphaned")
+        self._adopted_jobs = self.registry.counter("jobs.adopted")
+        self._deadline_exceeded = self.registry.counter(
+            "jobs.deadline_exceeded"
+        )
         self._completion_time = self.registry.histogram("job.completion_time")
+        #: Every completion as ``(job, node, incarnation)`` — including
+        #: duplicates the records above refuse to double-book.  The
+        #: invariant checker reads this to prove no job ran under two
+        #: different (node, incarnation) identities.
+        self.execution_log: List[Tuple[JobId, NodeId, int]] = []
 
     @property
     def completed_jobs(self) -> int:
@@ -59,6 +70,27 @@ class GridMetrics:
         """Completions of already finished jobs (fail-safe at-least-once
         races; zero in every nominal scenario)."""
         return self._duplicate_executions.value
+
+    @property
+    def node_restarts(self) -> int:
+        """Crash-restart rejoins (one per incarnation bump)."""
+        return self._node_restarts.value
+
+    @property
+    def orphaned_jobs(self) -> int:
+        """Held jobs whose initiator went silent past the adoption window."""
+        return self._orphaned_jobs.value
+
+    @property
+    def adopted_jobs(self) -> int:
+        """Orphaned jobs whose assignee took over the initiator role."""
+        return self._adopted_jobs.value
+
+    @property
+    def deadline_exceeded_jobs(self) -> int:
+        """Queued jobs that blew their execution deadline (straggler
+        defense engaged)."""
+        return self._deadline_exceeded.value
 
     def informs_advertised(self, count: int) -> None:
         """Count ``count`` jobs advertised in one INFORM round."""
@@ -96,8 +128,11 @@ class GridMetrics:
         record.start_time = time
         record.start_node = node
 
-    def job_finished(self, job_id: JobId, node: NodeId, time: float) -> None:
+    def job_finished(
+        self, job_id: JobId, node: NodeId, time: float, incarnation: int = 0
+    ) -> None:
         """Record a completion (duplicates are counted, not double-booked)."""
+        self.execution_log.append((job_id, node, incarnation))
         record = self._record(job_id)
         if record.finish_time is not None:
             # A fail-safe resubmission can race recovery and execute a job
@@ -129,6 +164,22 @@ class GridMetrics:
         if not record.completed:
             record.start_time = None
             record.start_node = None
+
+    def node_restarted(self, node: NodeId, time: float) -> None:
+        """A crashed node rejoined the grid under a fresh incarnation."""
+        self._node_restarts.inc()
+
+    def job_orphaned(self, job_id: JobId, time: float) -> None:
+        """An assignee detected that the job's initiator went silent."""
+        self._orphaned_jobs.inc()
+
+    def job_adopted(self, job_id: JobId, time: float) -> None:
+        """An assignee took over the initiator role of an orphaned job."""
+        self._adopted_jobs.inc()
+
+    def job_deadline_exceeded(self, job_id: JobId, time: float) -> None:
+        """A queued job blew its execution deadline (first time only)."""
+        self._deadline_exceeded.inc()
 
     # ------------------------------------------------------------------
     # Aggregated views (the paper's reported quantities)

@@ -95,16 +95,29 @@ class ReliabilityConfig:
 
 
 class _Pending:
-    """One reliable message awaiting its ack."""
+    """One reliable message awaiting its ack.
 
-    __slots__ = ("src", "dst", "message", "attempt", "timer")
+    ``stamp`` is the destination's incarnation number captured at the
+    original send (``None`` while incarnation stamping is disabled).
+    Retransmissions reuse it on purpose: a copy of a message composed for
+    incarnation *k* must never reach incarnation *k+1*.
+    """
 
-    def __init__(self, src: NodeId, dst: NodeId, message: Message) -> None:
+    __slots__ = ("src", "dst", "message", "attempt", "timer", "stamp")
+
+    def __init__(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+        stamp: Optional[int] = None,
+    ) -> None:
         self.src = src
         self.dst = dst
         self.message = message
         self.attempt = 0
         self.timer = None
+        self.stamp = stamp
 
 
 class ReliabilityLayer:
@@ -201,7 +214,9 @@ class ReliabilityLayer:
             return
         msg_id = self._next_id
         self._next_id += 1
-        pending = _Pending(src, dst, message)
+        pending = _Pending(
+            src, dst, message, self.transport.incarnation_stamp(dst)
+        )
         self._pending[msg_id] = pending
         self._transmit(msg_id, pending)
 
@@ -210,7 +225,8 @@ class ReliabilityLayer:
         if pending.attempt and self._trace is not None:
             self._emit_retry("retry.sent", msg_id, pending)
         self.transport.send_tagged(
-            pending.src, pending.dst, pending.message, msg_id
+            pending.src, pending.dst, pending.message, msg_id,
+            stamp=pending.stamp,
         )
         timeout = min(
             config.ack_timeout * config.backoff**pending.attempt,
@@ -244,6 +260,15 @@ class ReliabilityLayer:
             self._sim.cancel(pending.timer)
         self._delivered.inc()
 
+    def _on_ack_stamped(self, msg_id: int, dst: NodeId, stamp: int) -> None:
+        """Deliver an ack only if the acked sender's incarnation still
+        matches the one the ack was addressed to."""
+        incarnations = self.transport._incarnations
+        if incarnations is not None and incarnations.get(dst, 0) != stamp:
+            self.transport._dropped_stale.inc()
+            return
+        self._on_ack(msg_id)
+
     # ------------------------------------------------------------------
     # Receiver side (called by Transport._deliver_tagged)
     # ------------------------------------------------------------------
@@ -254,7 +279,23 @@ class ReliabilityLayer:
         previous acks were lost, and the sender must stop retransmitting.
         """
         self._acks_sent.inc()
-        self.transport._post(dst, src, Ack(msg_id), self._on_ack, (msg_id,))
+        stamp = self.transport.incarnation_stamp(src)
+        if stamp is None:
+            self.transport._post(
+                dst, src, Ack(msg_id), self._on_ack, (msg_id,)
+            )
+        else:
+            # Stamp the ack with the *sender's* current incarnation: if
+            # the sender restarts before the ack lands, the ack is stale
+            # by definition (the pending entry died with the crash) and
+            # must not be interpreted by the reborn sender.
+            self.transport._post(
+                dst,
+                src,
+                Ack(msg_id),
+                self._on_ack_stamped,
+                (msg_id, src, stamp),
+            )
         seen = self._seen.get(dst)
         if seen is None:
             seen = self._seen[dst] = set()

@@ -22,6 +22,16 @@ Two optional collaborators extend the base datagram service:
 
 Both default to ``None`` and the hot path pays a single ``is None`` check
 for them, keeping fault-free runs at full speed.
+
+Crash-restart experiments additionally enable **incarnation stamping**
+(:meth:`Transport.enable_incarnations`): every message is stamped at send
+time with the destination's current incarnation number, and delivery
+drops the message (``dropped_stale``) if the destination has restarted
+since.  That makes a restarted node unreachable by its past — in-flight
+ASSIGNs, Tracks, retransmitted copies and acks addressed to the dead
+incarnation can never corrupt the fresh one's state.  Like the other
+collaborators, the stamping path costs a single ``is None`` check when
+disabled, which is the only cost fault-free runs ever pay.
 """
 
 from __future__ import annotations
@@ -62,6 +72,8 @@ class Transport:
         "_lost",
         "faults",
         "reliability",
+        "_incarnations",
+        "_dropped_stale",
         "_trace",
     )
 
@@ -96,6 +108,10 @@ class Transport:
         self.faults = None
         #: Optional :class:`~repro.net.reliability.ReliabilityLayer`.
         self.reliability = None
+        #: ``None`` until :meth:`enable_incarnations`; then a map of
+        #: node id -> current incarnation number (missing means 0).
+        self._incarnations = None
+        self._dropped_stale = self.registry.counter("net.dropped_stale")
         #: Optional :class:`~repro.obs.Tracer`, attached only when
         #: transport-level tracing is active (``None`` costs one check).
         self._trace = None
@@ -119,6 +135,43 @@ class Transport:
     def dropped(self) -> int:
         """Total messages dropped on delivery (detached + unknown)."""
         return self._dropped_detached.value + self._dropped_unknown.value
+
+    @property
+    def dropped_stale(self) -> int:
+        """Messages dropped because they were addressed to an incarnation
+        that died before they arrived."""
+        return self._dropped_stale.value
+
+    def enable_incarnations(self) -> None:
+        """Turn on incarnation stamping for every subsequent send.
+
+        Crash-restart experiments call this *before* the run starts, so
+        that messages already in flight when the first node crashes carry
+        a stamp and can be rejected on arrival at the reborn node.
+        """
+        if self._incarnations is None:
+            self._incarnations = {}
+
+    def bump_incarnation(self, node_id: NodeId) -> int:
+        """Advance ``node_id`` to a fresh incarnation and return it.
+
+        Enables stamping if it was off (a restart without prior stamping
+        still wants future staleness checks, though messages sent before
+        this point are unstamped and pass through).
+        """
+        if self._incarnations is None:
+            self._incarnations = {}
+        value = self._incarnations.get(node_id, 0) + 1
+        self._incarnations[node_id] = value
+        return value
+
+    def incarnation_stamp(self, dst: NodeId) -> Optional[int]:
+        """The stamp a message to ``dst`` would carry right now
+        (``None`` while stamping is disabled)."""
+        incarnations = self._incarnations
+        if incarnations is None:
+            return None
+        return incarnations.get(dst, 0)
 
     def _emit_msg(self, event: str, message: Message, **fields) -> None:
         """Record one message event, annotated with its job when known."""
@@ -168,6 +221,16 @@ class Transport:
         # overhead of EventQueue.push / TrafficMonitor.record measurable).
         # Delays from latency models are never negative, so a push at
         # ``now + delay`` can never land in the past.
+        incarnations = self._incarnations
+        if incarnations is not None:
+            self._post(
+                src,
+                dst,
+                message,
+                self._deliver_stamped,
+                (src, dst, message, incarnations.get(dst, 0)),
+            )
+            return
         sim = self._sim
         queue = sim._queue
         if src == dst:
@@ -207,7 +270,12 @@ class Transport:
         queue._live += 1
 
     def send_tagged(
-        self, src: NodeId, dst: NodeId, message: Message, msg_id: int
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+        msg_id: int,
+        stamp: Optional[int] = None,
     ) -> None:
         """Send ``message`` carrying the reliability header ``msg_id``.
 
@@ -215,10 +283,28 @@ class Transport:
         messages — covered by the message's fixed wire size, so traffic
         accounting is unchanged.  Delivery routes through the attached
         :class:`~repro.net.reliability.ReliabilityLayer` for ack + dedup.
+
+        ``stamp`` is the incarnation stamp the reliability layer captured
+        at the *original* send, so retransmitted copies keep addressing
+        the incarnation the sender was talking to — and get rejected once
+        it is gone.
         """
-        self._post(
-            src, dst, message, self._deliver_tagged, (src, dst, message, msg_id)
-        )
+        if stamp is None:
+            self._post(
+                src,
+                dst,
+                message,
+                self._deliver_tagged,
+                (src, dst, message, msg_id),
+            )
+        else:
+            self._post(
+                src,
+                dst,
+                message,
+                self._deliver_tagged_stamped,
+                (src, dst, message, msg_id, stamp),
+            )
 
     def _post(
         self,
@@ -330,12 +416,42 @@ class Transport:
         if reliability is None or reliability.accept(src, dst, msg_id):
             handler(src, message)
 
+    def _stale(self, dst: NodeId, message: Message) -> None:
+        """Reject a delivery addressed to a dead incarnation of ``dst``."""
+        self._dropped_stale.inc()
+        if self._trace is not None:
+            self._emit_msg(
+                "msg.dropped", message, dst=dst, reason="stale_incarnation"
+            )
+
+    def _deliver_stamped(
+        self, src: NodeId, dst: NodeId, message: Message, stamp: int
+    ) -> None:
+        if self._incarnations.get(dst, 0) != stamp:
+            self._stale(dst, message)
+            return
+        self._deliver(src, dst, message)
+
+    def _deliver_tagged_stamped(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+        msg_id: int,
+        stamp: int,
+    ) -> None:
+        if self._incarnations.get(dst, 0) != stamp:
+            self._stale(dst, message)
+            return
+        self._deliver_tagged(src, dst, message, msg_id)
+
     def network_counters(self) -> Dict[str, int]:
         """Transport + reliability + fault counters for run summaries."""
         counters = {
             "lost": self.lost,
             "dropped_detached": self.dropped_detached,
             "dropped_unknown": self.dropped_unknown,
+            "dropped_stale": self.dropped_stale,
         }
         if self.reliability is not None:
             counters.update(self.reliability.counters())

@@ -89,6 +89,10 @@ EVENTS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "job.unschedulable": ("protocol", ("job", "node")),
     "probe.sent": ("protocol", ("job", "node", "assignee")),
     "probe.miss": ("protocol", ("job", "node", "misses")),
+    "node.restarted": ("protocol", ("node", "incarnation")),
+    "job.orphaned": ("protocol", ("job", "node", "initiator")),
+    "job.adopted": ("protocol", ("job", "node", "initiator")),
+    "deadline.exceeded": ("protocol", ("job", "node", "overdue")),
     # -- transport: per-message network activity -------------------------
     "msg.sent": ("transport", ("src", "dst", "type")),
     "msg.delivered": ("transport", ("src", "dst", "type")),

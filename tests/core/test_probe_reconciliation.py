@@ -40,7 +40,7 @@ def test_done_reply_heals_a_lost_done_notification():
     # Agent 1 executed job 1 but its Done never arrived: agent 0 still
     # tracks it.  The probe reply's ``done`` flag reconciles.
     grid, _job = tracked_grid()
-    grid.agents[1]._completed.add(1)
+    grid.agents[1]._completed.add(1, 0.0)
     grid.agents[1]._handle_probe(0, Probe(1, initiator=0))
     grid.sim.run_until(MINUTE)
     assert 1 not in grid.agents[0]._tracked
@@ -104,7 +104,7 @@ def test_resubmitted_job_rejects_stale_duplicate_assign():
 
     grid, job = tracked_grid()
     agent = grid.agents[1]
-    agent._completed.add(1)
+    agent._completed.add(1, 0.0)
     agent._handle_assign(0, Assign(initiator=0, job=job, reschedule=False))
     assert not agent.node.holds_job(1)
     assert grid.metrics.records[1].assignments == []

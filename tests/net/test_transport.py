@@ -131,6 +131,7 @@ def test_network_counters_snapshot():
         "lost": 0,
         "dropped_detached": 0,
         "dropped_unknown": 1,
+        "dropped_stale": 0,
     }
 
 
