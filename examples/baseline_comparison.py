@@ -15,8 +15,7 @@ Same nodes, same workload, six meta-schedulers:
 Run with ``python examples/baseline_comparison.py``.
 """
 
-from repro.baselines import run_baseline
-from repro.experiments import ScenarioScale, get_scenario, run_scenario
+from repro.experiments import ScenarioScale, get_scenario, run
 from repro.experiments.report import render_table
 from repro.types import format_duration
 
@@ -27,8 +26,8 @@ def main() -> None:
     rows = []
 
     for name in ("Mixed", "iMixed"):
-        run = run_scenario(get_scenario(name), scale, seed)
-        m = run.metrics
+        result = run(get_scenario(name), scale, seed=seed)
+        m = result.metrics
         rows.append(
             [
                 f"ARiA {name}",
@@ -40,15 +39,17 @@ def main() -> None:
         )
 
     for baseline in ("centralized", "multirequest", "random", "gossip"):
-        run = run_baseline(baseline, scale, seed)
-        m = run.metrics
+        result = run(baseline, scale, seed=seed)
+        m = result.metrics
         rows.append(
             [
                 baseline,
                 format_duration(m.average_completion_time()),
                 format_duration(m.average_waiting_time()),
                 f"{m.completed_jobs:.0f}",
-                str(run.revoked_copies) if baseline == "multirequest" else "-",
+                str(result.revoked_copies)
+                if baseline == "multirequest"
+                else "-",
             ]
         )
 

@@ -7,13 +7,13 @@ the miss count while halving the time by which late jobs overshoot.
 Run with ``python examples/deadline_grid.py``.
 """
 
-from repro.experiments import ScenarioScale, get_scenario, run_scenario
+from repro.experiments import ScenarioScale, get_scenario, run
 from repro.types import format_duration
 
 
 def describe(name: str, scale: ScenarioScale, seed: int = 0) -> None:
-    run = run_scenario(get_scenario(name), scale, seed)
-    m = run.metrics
+    result = run(get_scenario(name), scale, seed=seed)
+    m = result.metrics
     lateness = m.average_lateness()
     missed_time = m.average_missed_time()
     print(

@@ -8,7 +8,7 @@ idle-node series shows the difference.
 Run with ``python examples/expanding_grid.py``.
 """
 
-from repro.experiments import ScenarioScale, get_scenario, run_scenario
+from repro.experiments import ScenarioScale, get_scenario, run
 from repro.experiments.report import render_series
 
 
@@ -21,15 +21,15 @@ def main() -> None:
         f"{scale.expanding_end / 3600:.1f}h\n"
     )
     runs = {
-        name: run_scenario(get_scenario(name), scale, seed=0)
+        name: run(get_scenario(name), scale, seed=0)
         for name in ("Expanding", "iExpanding")
     }
-    series = {name: run.idle_series for name, run in runs.items()}
+    series = {name: r.idle_series for name, r in runs.items()}
     series["nodes total"] = runs["Expanding"].node_count_series
     print(render_series(series, points=12))
     print()
-    for name, run in runs.items():
-        m = run.metrics
+    for name, result in runs.items():
+        m = result.metrics
         print(
             f"{name:<11} avg completion "
             f"{m.average_completion_time() / 3600:.2f}h, "

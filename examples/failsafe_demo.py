@@ -9,8 +9,8 @@ went silent — so the grid absorbs the failures.
 Run with ``python examples/failsafe_demo.py``.
 """
 
-from repro.experiments import ScenarioScale
-from repro.experiments.failures import CrashPlan, run_crash_experiment
+from repro.experiments import RunOptions, ScenarioScale, run
+from repro.experiments.failures import CrashPlan
 
 
 def main() -> None:
@@ -22,8 +22,10 @@ def main() -> None:
     )
     print(f"{'mode':<12} {'completed':>9} {'lost':>5} {'resubmitted':>11}")
     for failsafe in (False, True):
-        run = run_crash_experiment(failsafe, scale, seed=0, plan=plan)
-        metrics = run.metrics
+        result = run(
+            plan, scale, seed=0, options=RunOptions(failsafe=failsafe)
+        )
+        metrics = result.metrics
         lost = sum(
             1
             for record in metrics.records.values()

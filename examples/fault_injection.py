@@ -9,7 +9,7 @@ invariants (job conservation, no double execution, tracking quiescence)
 show the difference.  Run with ``python examples/fault_injection.py``.
 """
 
-from repro.experiments import FaultPlan, ScenarioScale, run
+from repro.experiments import FaultPlan, RunOptions, ScenarioScale, run
 
 
 def main() -> None:
@@ -25,7 +25,10 @@ def main() -> None:
     results = {}
     for reliable in (False, True):
         result = run(
-            plan, scale, seed=0, reliability=reliable, failsafe=reliable
+            plan,
+            scale,
+            seed=0,
+            options=RunOptions(reliability=reliable, failsafe=reliable),
         )
         results[reliable] = result
         label = (

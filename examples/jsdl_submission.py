@@ -14,7 +14,7 @@ from pathlib import Path
 from repro.core import AriaConfig
 from repro.grid import AccuracyModel, GridNode, NodeProfile, Architecture, OperatingSystem
 from repro.metrics import GridMetrics
-from repro.net import Transport
+from repro.net import SimTransport
 from repro.overlay import OverlayGraph
 from repro.scheduling import make_scheduler
 from repro.sim import Simulator
@@ -67,7 +67,7 @@ def main() -> None:
 
     sim = Simulator(seed=3)
     metrics = GridMetrics()
-    transport = Transport(sim)
+    transport = SimTransport(sim)
     graph = OverlayGraph()
     profile = NodeProfile(
         architecture=Architecture.AMD64,

@@ -16,7 +16,7 @@ from repro.grid import (
     OperatingSystem,
 )
 from repro.metrics import GridMetrics
-from repro.net import Transport
+from repro.net import SimTransport
 from repro.overlay import OverlayGraph
 from repro.scheduling import make_scheduler
 from repro.sim import Simulator
@@ -27,7 +27,7 @@ from repro.workload import Job
 def main() -> None:
     sim = Simulator(seed=42)
     metrics = GridMetrics()
-    transport = Transport(sim)
+    transport = SimTransport(sim)
 
     # A small ring overlay; any connected topology works.
     graph = OverlayGraph()

@@ -7,8 +7,8 @@ keep the workload flowing while the membership turns over.
 Run with ``python examples/volatile_grid.py``.
 """
 
-from repro.experiments import ScenarioScale
-from repro.experiments.churn import ChurnPlan, run_churn_experiment
+from repro.experiments import RunOptions, ScenarioScale, run
+from repro.experiments.churn import ChurnPlan
 from repro.experiments.report import render_series
 
 
@@ -30,17 +30,17 @@ def main() -> None:
     print(f"{'mode':<22} {'completed':>9} {'lost':>5} {'resubmitted':>11}")
     runs = {}
     for failsafe in (False, True):
-        run = run_churn_experiment(
-            scale, seed=0, plan=plan, failsafe=failsafe
+        result = run(
+            plan, scale, seed=0, options=RunOptions(failsafe=failsafe)
         )
-        runs[failsafe] = run
+        runs[failsafe] = result
         resubmitted = sum(
-            r.resubmissions for r in run.metrics.records.values()
+            r.resubmissions for r in result.metrics.records.values()
         )
         label = "churn + failsafe" if failsafe else "churn (paper protocol)"
         print(
-            f"{label:<22} {run.metrics.completed_jobs:>9} "
-            f"{lost_count(run.metrics):>5} {resubmitted:>11}"
+            f"{label:<22} {result.metrics.completed_jobs:>9} "
+            f"{lost_count(result.metrics):>5} {resubmitted:>11}"
         )
 
     print("\ngrid size over time (fail-safe run):")

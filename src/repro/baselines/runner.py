@@ -81,18 +81,14 @@ def run_baseline(
     .. deprecated:: 1.1
         Use :func:`repro.experiments.run` with the baseline name as spec:
         ``run("centralized", scale, seed=...)``.
-    """
-    import warnings
 
-    warnings.warn(
-        'run_baseline() is deprecated; use repro.experiments.run('
+    .. versionchanged:: 1.2
+        Calling this wrapper is now an error.
+    """
+    raise DeprecationWarning(
+        'run_baseline() was removed; use repro.experiments.run('
         '"centralized" | "multirequest" | "random" | "gossip", scale, '
-        "seed=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _run_baseline(
-        baseline, scale, seed, policies, submission_interval, multirequest_k
+        "seed=...) instead"
     )
 
 
@@ -178,10 +174,10 @@ def _run_gossip(
     """The gossip baseline is itself decentralized: one agent per node,
     random initiators, a real overlay and transport underneath."""
     from ..experiments.runner import _converged_overlay
-    from ..net.transport import Transport
+    from ..net.transport import SimTransport
     from .gossip import GossipAgent, GossipConfig
 
-    transport = Transport(sim)
+    transport = SimTransport(sim)
     graph = _converged_overlay(scale.nodes, seed)
     config = GossipConfig()
     agents = [

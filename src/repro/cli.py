@@ -11,6 +11,7 @@ Everything the library does is reachable from the shell::
     python -m repro run iMixed --failure-model   # crash/restart/fail-slow mix
     python -m repro run iMixed --trace t.jsonl   # record a protocol trace
     python -m repro explain-job t.jsonl 17       # why did job 17 land there?
+    python -m repro serve --nodes 8              # live HTTP overlay run
 
 All commands accept ``--scale tiny|small|medium|paper`` and ``--seeds N``
 (N seeds starting at ``--seed-base``, default 0; the paper averages 10).
@@ -28,6 +29,7 @@ from typing import Optional, Sequence
 from .baselines import BASELINE_NAMES
 from .experiments import (
     SCENARIOS,
+    RunOptions,
     ScenarioScale,
     get_scenario,
     render_table,
@@ -195,22 +197,25 @@ def _cmd_run(args) -> int:
     trace = _trace_config(args, seeds)
     if args.failure_model is not None:
         spec = _parse_failure_model(args.failure_model, scale)
-        options = {
-            "scenario_name": args.scenario,
-            "reliability": not args.no_reliability,
-            "adoption": not args.no_adoption,
-        }
-        if args.faults is not None:
+        options = RunOptions(
+            scenario_name=args.scenario,
+            reliability=not args.no_reliability,
+            adoption=not args.no_adoption,
             # Compose node failures with network faults in one run.
-            options["fault_plan"] = _parse_fault_plan(args.faults, scale)
+            fault_plan=(
+                _parse_fault_plan(args.faults, scale)
+                if args.faults is not None
+                else None
+            ),
+        )
     elif args.faults is not None:
         spec = _parse_fault_plan(args.faults, scale)
-        options = {
-            "scenario_name": args.scenario,
-            "reliability": not args.no_reliability,
-        }
+        options = RunOptions(
+            scenario_name=args.scenario,
+            reliability=not args.no_reliability,
+        )
     else:
-        spec, options = scenario, {}
+        spec, options = scenario, None
     if args.profile or args.profile_out is not None:
         # Profiling must observe the actual simulation, so the seeds run
         # serially in-process and bypass the result cache.
@@ -228,7 +233,7 @@ def _cmd_run(args) -> int:
                 profile=args.profile,
                 profile_out=profile_out,
                 trace=trace,
-                **options,
+                options=options,
             )
             summaries.append(result.summary())
     else:
@@ -239,7 +244,7 @@ def _cmd_run(args) -> int:
             engine_kwargs["cache"] = False
         summaries = run_batch(
             spec, scale, seeds=seeds, trace=trace,
-            **engine_kwargs, **options,
+            options=options, **engine_kwargs,
         )
     chaos = args.faults is not None or args.failure_model is not None
     errors = dict(getattr(summaries, "errors", None) or {})
@@ -301,6 +306,57 @@ def _cmd_run(args) -> int:
             return 1
         print("invariants: OK")
     return exit_code
+
+
+def _cmd_serve(args) -> int:
+    from .obs import TraceConfig
+    from .runtime import LiveRunConfig, run_live
+
+    config = LiveRunConfig(
+        scenario_name=args.scenario,
+        nodes=args.nodes,
+        jobs=args.jobs,
+        seed=args.seed_base,
+        time_scale=args.time_scale,
+        duration=args.duration,
+        reliability=not args.no_reliability,
+    )
+    trace = (
+        TraceConfig(level=args.trace_level or "protocol",
+                    sink="jsonl", path=args.trace)
+        if args.trace is not None
+        else None
+    )
+    print(
+        f"live overlay: {config.nodes} HTTP nodes on {config.host}, "
+        f"{config.jobs} jobs, scenario {config.scenario_name}, "
+        f"time scale {config.time_scale:.0f}x "
+        f"(~{config.wall_duration():.0f}s wall)",
+        file=sys.stderr,
+    )
+    result = run_live(config, obs=trace)
+    summary = result.summary()
+    metrics = result.metrics
+    rows = [
+        ["completed jobs", str(metrics.completed_jobs)],
+        ["unschedulable", str(metrics.unschedulable_count())],
+        ["avg completion", fmt_hours(metrics.average_completion_time())],
+        ["avg waiting", fmt_hours(metrics.average_waiting_time())],
+        ["reschedules", str(metrics.reschedules)],
+        ["final node count", str(result.final_node_count)],
+        ["timer events", str(result.executed_events)],
+    ]
+    for message_type, total in sorted(result.traffic.count_by_type.items()):
+        rows.append([f"messages {message_type}", str(total)])
+    for key, value in sorted(result.network.items()):
+        rows.append([f"net {key}", str(value)])
+    print(render_table(["metric", "value"], rows))
+    if summary.violations:
+        for violation in summary.violations:
+            print(f"VIOLATION: {violation}")
+        return 1
+    print("invariants: OK")
+    return 0
 
 
 def _cmd_figure(args) -> int:
@@ -513,6 +569,55 @@ def build_parser() -> argparse.ArgumentParser:
         "prevents)",
     )
     run_parser.set_defaults(func=_cmd_run)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run a scenario on a live localhost HTTP overlay "
+        "(real sockets, wall-clock timers)",
+    )
+    serve_parser.add_argument(
+        "scenario", nargs="?", default="iMixed", choices=sorted(SCENARIOS)
+    )
+    serve_parser.add_argument(
+        "--nodes", type=int, default=8, help="overlay size (default 8)"
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=10, help="workload size (default 10)"
+    )
+    serve_parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=300.0,
+        metavar="X",
+        help="protocol seconds per wall second (default 300: a 2.5h "
+        "scenario runs in ~30s)",
+    )
+    serve_parser.add_argument(
+        "--duration",
+        type=float,
+        default=9000.0,
+        metavar="SECONDS",
+        help="protocol-time horizon (default 9000)",
+    )
+    serve_parser.add_argument("--seed-base", type=int, default=0)
+    serve_parser.add_argument(
+        "--no-reliability",
+        action="store_true",
+        help="detach the at-least-once reliability layer",
+    )
+    serve_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL protocol trace of the live run to PATH",
+    )
+    serve_parser.add_argument(
+        "--trace-level",
+        choices=("protocol", "transport", "kernel"),
+        default=None,
+        help="trace detail level (default protocol)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
 
     figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
     figure_parser.add_argument("figure", choices=sorted(_FIGURES))

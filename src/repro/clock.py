@@ -1,0 +1,90 @@
+"""The clock/timer interface shared by the simulator and the live runtime.
+
+The protocol layer (:mod:`repro.core`), the grid executor
+(:mod:`repro.grid`) and the workload driver (:mod:`repro.workload`) never
+care *which* clock advances time — only that they can read ``now``,
+schedule callbacks and draw from named random streams.  :class:`Clock` is
+that contract, satisfied structurally by two implementations:
+
+* :class:`repro.sim.Simulator` — the discrete-event kernel, where ``now``
+  is virtual time and timers are slab-queue events;
+* :class:`repro.runtime.WallClock` — the asyncio runtime, where ``now`` is
+  scaled wall-clock time and timers are ``loop.call_later`` handles.
+
+Keeping this module free of any :mod:`repro.sim` import is the point: code
+annotated against :class:`Clock` provably runs on either backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
+
+__all__ = ["Clock", "TimerHandle"]
+
+#: Opaque handle returned by :meth:`Clock.call_at` / :meth:`Clock.call_after`;
+#: pass it back to :meth:`Clock.cancel`.  The simulator returns its slab
+#: :class:`~repro.sim.events.Event`, the live runtime an asyncio timer —
+#: callers must treat both as opaque.
+TimerHandle = Any
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Time, timers and named randomness — the scheduling substrate.
+
+    Semantics every implementation must honour:
+
+    * ``now`` is monotone non-decreasing, in *protocol seconds* (the unit
+      all ARiA timing constants are expressed in);
+    * callbacks scheduled for the same instant never preempt each other —
+      a handler always runs to completion before the next one starts;
+    * ``cancel`` of an already-fired or already-cancelled handle is a
+      no-op;
+    * ``streams`` yields deterministic, seed-derived named RNGs
+      (:class:`~repro.sim.rng.RandomStreams` semantics).
+    """
+
+    @property
+    def now(self) -> float:
+        """Current time in protocol seconds."""
+        ...
+
+    @property
+    def streams(self) -> Any:
+        """Named random streams (``streams.get(name) -> random.Random``)."""
+        ...
+
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> TimerHandle:
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        ...
+
+    def call_after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> TimerHandle:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        ...
+
+    def cancel(self, handle: TimerHandle) -> None:
+        """Cancel a scheduled callback (idempotent)."""
+        ...
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> Callable[[], None]:
+        """Run ``callback(*args)`` periodically; returns a stop function."""
+        ...

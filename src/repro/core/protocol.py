@@ -37,6 +37,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
+from ..clock import TimerHandle
 from ..errors import ProtocolError
 from ..grid.node import GridNode, RunningJob
 from ..metrics.collector import GridMetrics
@@ -45,7 +46,6 @@ from ..net.transport import Transport
 from ..overlay.flooding import SeenCache, choose_targets
 from ..overlay.graph import OverlayGraph
 from ..scheduling.base import DEADLINE
-from ..sim.events import Event
 from ..types import JobId, NodeId
 from ..workload.jobs import Job
 from .completion import CompletionLog
@@ -83,7 +83,7 @@ class _PendingRequest:
         self.job = job
         self.offers: List[Offer] = []
         self.retries = 0
-        self.timer: Optional[Event] = None
+        self.timer: Optional[TimerHandle] = None
         self.reschedule = reschedule
 
 
@@ -129,7 +129,7 @@ class AriaAgent:
         self._inform_stop = None
         # Fail-safe state (initiator side): job -> (descriptor, assignee).
         self._tracked: Dict[JobId, Tuple[Job, NodeId]] = {}
-        self._probe_timeouts: Dict[JobId, Event] = {}
+        self._probe_timeouts: Dict[JobId, TimerHandle] = {}
         self._suspect: Dict[JobId, int] = {}
         self._failsafe_stop = None
         # Probe-reconciliation memory (executor/assignee side): jobs this
@@ -161,7 +161,7 @@ class AriaAgent:
         #: finishes any running job, then departs the grid.
         self.leaving = False
         self.departed = False
-        self._depart_timer: Optional[Event] = None
+        self._depart_timer: Optional[TimerHandle] = None
         #: Static host-match cache.  Scheduler family and profile matching
         #: are pure functions of the (frozen) job descriptor and this
         #: node's fixed profile/scheduler, so the verdict is computed once

@@ -23,6 +23,7 @@ from .failures import (
 )
 from .faults import FaultPlan, apply_fault_plan, run_fault_experiment
 from .invariants import check_invariants
+from .options import RunOptions
 from .report import fmt_hours, fmt_opt, render_series, render_table
 from .runner import (
     GridSetup,
@@ -44,6 +45,7 @@ __all__ = [
     "FaultPlan",
     "GridSetup",
     "ResultCache",
+    "RunOptions",
     "RunResult",
     "RunSummary",
     "apply_fault_plan",

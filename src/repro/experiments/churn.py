@@ -66,16 +66,15 @@ def run_churn_experiment(
     .. deprecated:: 1.1
         Use :func:`repro.experiments.run` with a :class:`ChurnPlan` spec:
         ``run(ChurnPlan(), scale, seed=..., failsafe=True)``.
-    """
-    import warnings
 
-    warnings.warn(
-        "run_churn_experiment() is deprecated; use repro.experiments."
-        "run(ChurnPlan(...), scale, seed=..., failsafe=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
+    .. versionchanged:: 1.2
+        Calling this wrapper is now an error.
+    """
+    raise DeprecationWarning(
+        "run_churn_experiment() was removed; use repro.experiments."
+        "run(ChurnPlan(...), scale, seed=..., "
+        "options=RunOptions(failsafe=...)) instead"
     )
-    return _run_churn_experiment(scale, seed, plan, scenario_name, failsafe)
 
 
 def _run_churn_experiment(

@@ -38,6 +38,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
@@ -51,6 +52,7 @@ from .failures import (
     _run_failure_experiment,
 )
 from .faults import FaultPlan, _run_fault_experiment
+from .options import RunOptions
 from .runner import _run_scenario
 from .scale import ScenarioScale
 from .scenario import Scenario
@@ -492,26 +494,56 @@ def _resolve_cache(cache) -> Optional[ResultCache]:
 # ----------------------------------------------------------------------
 # Public entry points
 # ----------------------------------------------------------------------
+def _resolve_options(
+    options: Optional[RunOptions], legacy: Dict[str, Any], what: str
+) -> RunOptions:
+    """Fold legacy loose keyword options into one :class:`RunOptions`.
+
+    Loose spec kwargs (``run(spec, failsafe=True)``) still work but are
+    deprecated; they are validated and merged over ``options`` so a
+    half-migrated call keeps its meaning.
+    """
+    if legacy:
+        RunOptions.from_legacy(legacy)  # validate names before warning
+        warnings.warn(
+            f"passing experiment options to {what} as loose keyword "
+            "arguments is deprecated; pass options=RunOptions(...) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        options = (
+            RunOptions(**legacy)
+            if options is None
+            else options.merged(**legacy)
+        )
+    return options if options is not None else RunOptions()
+
+
 def run(
     spec: ExperimentSpec,
     scale: Optional[ScenarioScale] = None,
     *,
     seed: int = 0,
+    options: Optional[RunOptions] = None,
     profile: bool = False,
     profile_out: Optional[str] = None,
     trace: Optional[TraceConfig] = None,
-    **options,
+    **legacy_options,
 ):
     """One run of any experiment spec; returns the live result object.
 
     ``spec`` is a :class:`Scenario` (or Table II scenario name), a
     baseline name, a :class:`CrashPlan`, a :class:`ChurnPlan`, or a
-    :class:`FaultPlan`.  Per-kind keyword options: ``config_overrides``
-    (scenario); ``policies`` / ``submission_interval`` /
-    ``multirequest_k`` (baseline); ``failsafe`` / ``scenario_name`` /
-    ``probe_interval`` (crash); ``failsafe`` / ``scenario_name`` (churn);
-    ``reliability`` / ``failsafe`` / ``scenario_name`` /
-    ``probe_interval`` (faults).
+    :class:`FaultPlan`.  ``options`` is a :class:`RunOptions` carrying
+    the per-kind spec options — ``config_overrides`` (scenario);
+    ``policies`` / ``submission_interval`` / ``multirequest_k``
+    (baseline); ``failsafe`` / ``scenario_name`` / ``probe_interval``
+    (crash); ``failsafe`` / ``scenario_name`` (churn); ``reliability`` /
+    ``failsafe`` / ``scenario_name`` / ``probe_interval`` (faults) — the
+    engine rejects options that do not apply to the spec's kind.  Loose
+    keyword options are deprecated (they merge over ``options`` with a
+    :class:`DeprecationWarning`).
 
     With ``profile=True`` the run executes under :mod:`cProfile` and the
     top 20 functions by cumulative time are printed to stderr afterwards
@@ -523,13 +555,19 @@ def run(
     ``trace`` is a :class:`~repro.obs.TraceConfig`: events are recorded
     to its sink and the metrics-registry snapshot is surfaced as
     ``RunSummary.telemetry`` (not supported for baseline specs).
+    ``trace`` / ``profile`` / ``profile_out`` may come either as direct
+    arguments or via ``options``; direct arguments win.
 
     Returns a :class:`~repro.experiments.runner.RunResult` (scenario,
     crash, churn) or :class:`~repro.baselines.runner.BaselineRunResult`
     (baseline); call ``.summary()`` on either for the picklable hand-off.
     """
+    opts = _resolve_options(options, legacy_options, "run()")
+    trace = trace if trace is not None else opts.trace
+    profile = profile or opts.profile
+    profile_out = profile_out if profile_out is not None else opts.profile_out
     scale = scale if scale is not None else ScenarioScale.paper()
-    payload = _spec_payload(spec, options)
+    payload = _spec_payload(spec, opts.spec_options())
     payload["scale"] = dataclasses.asdict(scale)
     payload["seed"] = seed
     _attach_trace(payload, trace, seed)
@@ -611,12 +649,13 @@ def run_batch(
     scale: Optional[ScenarioScale] = None,
     *,
     seeds: Sequence[int] = (0,),
+    options: Optional[RunOptions] = None,
     parallel: Optional[int] = None,
     cache=None,
     trace: Optional[TraceConfig] = None,
     progress=None,
     seed_timeout: Optional[float] = None,
-    **options,
+    **legacy_options,
 ) -> BatchResult:
     """Run ``spec`` once per seed; returns a :class:`BatchResult` of
     :class:`RunSummary` objects.
@@ -651,9 +690,23 @@ def run_batch(
     Summaries come back in ``seeds`` order and are bit-identical
     (``to_dict()``) whether they were computed serially, in parallel, or
     served from the cache.
+
+    Like :func:`run`, spec options come via ``options`` (a
+    :class:`RunOptions`; loose keyword options are deprecated).  The
+    batch mechanics (``parallel`` / ``cache`` / ``progress`` /
+    ``seed_timeout`` / ``trace``) may come either as direct arguments or
+    via ``options``; direct arguments win.
     """
+    opts = _resolve_options(options, legacy_options, "run_batch()")
+    trace = trace if trace is not None else opts.trace
+    parallel = parallel if parallel is not None else opts.parallel
+    cache = cache if cache is not None else opts.cache
+    progress = progress if progress is not None else opts.progress
+    seed_timeout = (
+        seed_timeout if seed_timeout is not None else opts.seed_timeout
+    )
     scale = scale if scale is not None else ScenarioScale.paper()
-    base_payload = _spec_payload(spec, options)
+    base_payload = _spec_payload(spec, opts.spec_options())
     cache_store = _resolve_cache(cache)
 
     seeds = list(seeds)

@@ -182,17 +182,14 @@ def run_crash_experiment(
     .. deprecated:: 1.1
         Use :func:`repro.experiments.run` with a :class:`CrashPlan` spec:
         ``run(CrashPlan(), scale, seed=..., failsafe=True)``.
-    """
-    import warnings
 
-    warnings.warn(
-        "run_crash_experiment() is deprecated; use repro.experiments."
-        "run(CrashPlan(...), scale, seed=..., failsafe=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _run_crash_experiment(
-        failsafe, scale, seed, plan, scenario_name, probe_interval
+    .. versionchanged:: 1.2
+        Calling this wrapper is now an error.
+    """
+    raise DeprecationWarning(
+        "run_crash_experiment() was removed; use repro.experiments."
+        "run(CrashPlan(...), scale, seed=..., "
+        "options=RunOptions(failsafe=...)) instead"
     )
 
 

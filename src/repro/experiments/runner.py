@@ -11,7 +11,6 @@ samplers behind Figures 1/3/5/6.  Ten-run experiments use seeds
 from __future__ import annotations
 
 import random
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field as dataclass_field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -23,7 +22,7 @@ from ..grid.performance import AccuracyModel
 from ..grid.resources import random_node_profile, random_performance_index
 from ..metrics.collector import GridMetrics
 from ..net.traffic import TrafficReport
-from ..net.transport import Transport
+from ..net.transport import SimTransport, Transport
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import TraceConfig, Tracer
 from ..overlay.blatant import BlatantConfig, BlatantMaintainer
@@ -271,7 +270,7 @@ def build_grid(
     sim = Simulator(seed=seed)
     registry = MetricsRegistry()
     metrics = GridMetrics(registry)
-    transport = Transport(
+    transport = SimTransport(
         sim, loss_probability=scenario.message_loss, registry=registry
     )
     tracer: Optional[Tracer] = None
@@ -427,14 +426,14 @@ def run_scenario(
     .. deprecated:: 1.1
         Use :func:`repro.experiments.run` — the unified entry point for
         scenarios, baselines, crash and churn experiments.
+
+    .. versionchanged:: 1.2
+        Calling this wrapper is now an error.
     """
-    warnings.warn(
-        "run_scenario() is deprecated; use repro.experiments.run(scenario, "
-        "scale, seed=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
+    raise DeprecationWarning(
+        "run_scenario() was removed; use repro.experiments.run(scenario, "
+        "scale, seed=...) instead"
     )
-    return _run_scenario(scenario, scale, seed)
 
 
 def _schedule_expansion(
@@ -485,11 +484,11 @@ def run_scenario_batch(
         Use :func:`repro.experiments.run_batch`, which adds process-pool
         parallelism and an on-disk result cache and returns picklable
         :class:`RunSummary` objects.
+
+    .. versionchanged:: 1.2
+        Calling this wrapper is now an error.
     """
-    warnings.warn(
-        "run_scenario_batch() is deprecated; use repro.experiments."
-        "run_batch(scenario, scale, seeds=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
+    raise DeprecationWarning(
+        "run_scenario_batch() was removed; use repro.experiments."
+        "run_batch(scenario, scale, seeds=...) instead"
     )
-    return [_run_scenario(scenario, scale, seed) for seed in seeds]

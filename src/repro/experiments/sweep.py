@@ -27,6 +27,7 @@ from ..errors import ConfigurationError
 from .aggregate import ScenarioSummary, summarize_runs
 from .catalog import get_scenario
 from .engine import run_batch
+from .options import RunOptions
 from .scale import ScenarioScale
 
 __all__ = ["SweepPoint", "sweep_scenario_field", "sweep_config_field"]
@@ -50,8 +51,9 @@ def _sweep_point(
             scenario,
             scale,
             seeds=seeds,
-            parallel=parallel,
-            config_overrides=config_overrides,
+            options=RunOptions(
+                parallel=parallel, config_overrides=config_overrides
+            ),
         )
     )
 

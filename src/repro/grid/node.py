@@ -21,9 +21,9 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Callable, List, Optional
 
+from ..clock import Clock
 from ..errors import SchedulingError
 from ..scheduling.base import LocalScheduler, QueuedJob
-from ..sim import Simulator
 from ..types import JobId, NodeId
 from .performance import AccuracyModel, scaled_ert
 from .profiles import NodeProfile
@@ -68,7 +68,7 @@ class GridNode:
     def __init__(
         self,
         node_id: NodeId,
-        sim: Simulator,
+        sim: Clock,
         profile: NodeProfile,
         performance_index: float,
         scheduler: LocalScheduler,

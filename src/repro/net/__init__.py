@@ -1,5 +1,9 @@
-"""Simulated network: messages, latency models, transport, traffic stats,
-fault injection, and reliable delivery."""
+"""Networking: messages, latency models, the abstract :class:`Transport`
+interface and its simulated implementation, traffic stats, fault
+injection, and reliable delivery.
+
+The live (asyncio, HTTP+JSON) implementation lives in
+:mod:`repro.runtime`."""
 
 from .faults import FaultInjector
 from .latency import (
@@ -12,7 +16,7 @@ from .latency import (
 from .message import Message, wire_size
 from .reliability import Ack, ReliabilityConfig, ReliabilityLayer
 from .traffic import TrafficMonitor, TrafficReport
-from .transport import Transport
+from .transport import SimTransport, Transport
 
 __all__ = [
     "Ack",
@@ -23,6 +27,7 @@ __all__ = [
     "PairwiseLogNormalLatency",
     "ReliabilityConfig",
     "ReliabilityLayer",
+    "SimTransport",
     "SpikeLatency",
     "TrafficMonitor",
     "TrafficReport",

@@ -135,11 +135,11 @@ class ReliabilityLayer:
     ) -> None:
         self.transport = transport
         self.config = config if config is not None else ReliabilityConfig()
-        self._sim = transport._sim
+        self._clock = transport.clock
         self._rng = (
             rng
             if rng is not None
-            else self._sim.streams.get("net.reliability")
+            else self._clock.streams.get("net.reliability")
         )
         self._next_id = 0
         self._pending: Dict[int, _Pending] = {}
@@ -197,7 +197,7 @@ class ReliabilityLayer:
         job = message_job_id(pending.message)
         if job is not None:
             fields["job"] = job
-        self._trace.emit(event, self._sim._now, **fields)
+        self._trace.emit(event, self._clock.now, **fields)
 
     # ------------------------------------------------------------------
     # Sender side
@@ -234,7 +234,7 @@ class ReliabilityLayer:
         )
         if config.jitter:
             timeout *= 1.0 + config.jitter * self._rng.random()
-        pending.timer = self._sim.call_after(
+        pending.timer = self._clock.call_after(
             timeout, self._on_timeout, msg_id
         )
 
@@ -257,7 +257,7 @@ class ReliabilityLayer:
         if pending is None:
             return  # duplicate or late ack: already settled
         if pending.timer is not None:
-            self._sim.cancel(pending.timer)
+            self._clock.cancel(pending.timer)
         self._delivered.inc()
 
     def _on_ack_stamped(self, msg_id: int, dst: NodeId, stamp: int) -> None:
@@ -279,23 +279,7 @@ class ReliabilityLayer:
         previous acks were lost, and the sender must stop retransmitting.
         """
         self._acks_sent.inc()
-        stamp = self.transport.incarnation_stamp(src)
-        if stamp is None:
-            self.transport._post(
-                dst, src, Ack(msg_id), self._on_ack, (msg_id,)
-            )
-        else:
-            # Stamp the ack with the *sender's* current incarnation: if
-            # the sender restarts before the ack lands, the ack is stale
-            # by definition (the pending entry died with the crash) and
-            # must not be interpreted by the reborn sender.
-            self.transport._post(
-                dst,
-                src,
-                Ack(msg_id),
-                self._on_ack_stamped,
-                (msg_id, src, stamp),
-            )
+        self.transport.send_ack(dst, src, Ack(msg_id), msg_id)
         seen = self._seen.get(dst)
         if seen is None:
             seen = self._seen[dst] = set()
@@ -324,7 +308,7 @@ class ReliabilityLayer:
         for msg_id in stale:
             pending = self._pending.pop(msg_id)
             if pending.timer is not None:
-                self._sim.cancel(pending.timer)
+                self._clock.cancel(pending.timer)
         self._seen.pop(node_id, None)
 
     def counters(self) -> Dict[str, int]:

@@ -1,9 +1,18 @@
-"""Point-to-point message transport over the simulated network.
+"""Point-to-point message transport between protocol endpoints.
 
 Nodes register a receive handler under their :class:`~repro.types.NodeId`;
-:meth:`Transport.send` delivers a payload after a latency drawn from the
-configured :class:`~repro.net.latency.LatencyModel`, and accounts its wire
-size in the :class:`~repro.net.traffic.TrafficMonitor`.
+:meth:`Transport.send` delivers a payload to the destination's handler and
+accounts its wire size in the :class:`~repro.net.traffic.TrafficMonitor`.
+
+:class:`Transport` is the abstract interface the protocol layer is written
+against — send / send_tagged / register / counters / incarnation hooks —
+with two implementations:
+
+* :class:`SimTransport` (this module) delivers over the discrete-event
+  kernel after a latency drawn from the configured
+  :class:`~repro.net.latency.LatencyModel`;
+* :class:`repro.runtime.LiveTransport` delivers over real HTTP+JSON
+  between asyncio node servers on localhost.
 
 Messages to unregistered (departed / crashed) nodes are counted as sent but
 silently dropped on delivery, mirroring a real datagram overlay.  The drop
@@ -15,10 +24,10 @@ Two optional collaborators extend the base datagram service:
 
 * ``transport.faults`` — a :class:`~repro.net.faults.FaultInjector`
   consulted once per non-local message for loss bursts, duplication and
-  partition drops;
+  partition drops (simulated transport only);
 * ``transport.reliability`` — a
   :class:`~repro.net.reliability.ReliabilityLayer` providing at-least-once
-  delivery for control-plane messages via :meth:`send_tagged`.
+  delivery for control-plane messages via :meth:`Transport.send_tagged`.
 
 Both default to ``None`` and the hot path pays a single ``is None`` check
 for them, keeping fault-free runs at full speed.
@@ -39,31 +48,39 @@ from __future__ import annotations
 from heapq import heappush
 from typing import Callable, Dict, Optional, Set
 
+from ..clock import Clock
 from ..errors import ConfigurationError
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import message_job_id
-from ..sim import Simulator
-from ..types import NodeId
 from .latency import LatencyModel, PairwiseLogNormalLatency
 from .message import Message
 from .traffic import TrafficMonitor
 
-__all__ = ["Transport"]
+from ..types import NodeId
+
+__all__ = ["Transport", "SimTransport"]
 
 #: Signature of a node's message handler: ``handler(src, message)``.
 Handler = Callable[[NodeId, Message], None]
 
 
 class Transport:
-    """Delivers messages between registered nodes with simulated latency."""
+    """Abstract message service between registered protocol endpoints.
+
+    Subclasses provide the wire — :meth:`send`, :meth:`send_tagged` and
+    :meth:`send_ack` — while this base owns everything both backends
+    share: the handler registry, traffic accounting and loss judgment
+    (:meth:`_account`, the single choke point every outbound message
+    passes through), delivery-side bookkeeping (drop / staleness
+    counters), incarnation stamping, and the counter snapshot consumed by
+    run summaries.
+    """
 
     __slots__ = (
-        "_sim",
-        "_latency",
+        "clock",
         "monitor",
         "_handlers",
         "_known",
-        "_rng",
         "_loss_rng",
         "loss_probability",
         "registry",
@@ -79,8 +96,7 @@ class Transport:
 
     def __init__(
         self,
-        sim: Simulator,
-        latency: Optional[LatencyModel] = None,
+        clock: Clock,
         monitor: Optional[TrafficMonitor] = None,
         loss_probability: float = 0.0,
         registry: Optional[MetricsRegistry] = None,
@@ -89,15 +105,16 @@ class Transport:
             raise ConfigurationError(
                 f"loss_probability {loss_probability} out of [0, 1)"
             )
-        self._sim = sim
-        self._latency = latency if latency is not None else PairwiseLogNormalLatency()
+        #: The timing substrate (a :class:`~repro.sim.Simulator` or a
+        #: :class:`~repro.runtime.WallClock`) — collaborators like the
+        #: reliability layer schedule their timers through it.
+        self.clock = clock
         self.monitor = monitor if monitor is not None else TrafficMonitor()
         self._handlers: Dict[NodeId, Handler] = {}
         #: Every node id that was ever registered, so drops can tell a
         #: departed destination from one that never existed.
         self._known: Set[NodeId] = set()
-        self._rng = sim.streams.get("net.latency")
-        self._loss_rng = sim.streams.get("net.loss")
+        self._loss_rng = clock.streams.get("net.loss")
         self.loss_probability = loss_probability
         #: Shared per-run metrics registry (created here when standalone).
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -116,32 +133,76 @@ class Transport:
         #: transport-level tracing is active (``None`` costs one check).
         self._trace = None
 
-    @property
-    def dropped_detached(self) -> int:
-        """In-flight messages dropped because the destination detached."""
-        return self._dropped_detached.value
+    # ------------------------------------------------------------------
+    # The wire (implementation-specific)
+    # ------------------------------------------------------------------
+    def send(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        """Send ``message`` from ``src`` to ``dst`` (asynchronously).
 
-    @property
-    def dropped_unknown(self) -> int:
-        """Messages addressed to a node that was never registered."""
-        return self._dropped_unknown.value
+        Local deliveries (``src == dst``) are free and immediate-but-
+        asynchronous: they are delivered at the current time so handlers
+        never re-enter each other, and they do not count as network
+        traffic.
+        """
+        raise NotImplementedError
 
-    @property
-    def lost(self) -> int:
-        """Messages lost to the datagram network itself."""
-        return self._lost.value
+    def send_tagged(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+        msg_id: int,
+        stamp: Optional[int] = None,
+    ) -> None:
+        """Send ``message`` carrying the reliability header ``msg_id``.
 
-    @property
-    def dropped(self) -> int:
-        """Total messages dropped on delivery (detached + unknown)."""
-        return self._dropped_detached.value + self._dropped_unknown.value
+        The tag is a header field like ``broadcast_id`` on flooded
+        messages — covered by the message's fixed wire size, so traffic
+        accounting is unchanged.  Delivery routes through the attached
+        :class:`~repro.net.reliability.ReliabilityLayer` for ack + dedup.
 
-    @property
-    def dropped_stale(self) -> int:
-        """Messages dropped because they were addressed to an incarnation
-        that died before they arrived."""
-        return self._dropped_stale.value
+        ``stamp`` is the incarnation stamp the reliability layer captured
+        at the *original* send, so retransmitted copies keep addressing
+        the incarnation the sender was talking to — and get rejected once
+        it is gone.
+        """
+        raise NotImplementedError
 
+    def send_ack(self, src: NodeId, dst: NodeId, message: Message, msg_id: int) -> None:
+        """Send the reliability ack ``message`` for ``msg_id`` back to the
+        original sender ``dst``.
+
+        Acks bypass the handler registry on arrival: they settle the
+        sender-side pending entry directly (via
+        ``reliability._on_ack`` / ``_on_ack_stamped``), stamped with the
+        sender's incarnation when stamping is active so a reborn sender
+        never consumes an ack addressed to its past.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Endpoint registry
+    # ------------------------------------------------------------------
+    def register(self, node_id: NodeId, handler: Handler) -> None:
+        """Attach ``handler`` as the receive callback of ``node_id``."""
+        if node_id in self._handlers:
+            raise ConfigurationError(f"node {node_id} already registered")
+        self._handlers[node_id] = handler
+        self._known.add(node_id)
+
+    def unregister(self, node_id: NodeId) -> None:
+        """Detach a node; in-flight messages to it will be dropped."""
+        self._handlers.pop(node_id, None)
+        if self.reliability is not None:
+            self.reliability.forget(node_id)
+
+    def is_registered(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` currently has a receive handler attached."""
+        return node_id in self._handlers
+
+    # ------------------------------------------------------------------
+    # Incarnation stamping
+    # ------------------------------------------------------------------
     def enable_incarnations(self) -> None:
         """Turn on incarnation stamping for every subsequent send.
 
@@ -173,72 +234,65 @@ class Transport:
             return None
         return incarnations.get(dst, 0)
 
-    def _emit_msg(self, event: str, message: Message, **fields) -> None:
-        """Record one message event, annotated with its job when known."""
-        job = message_job_id(message)
-        if job is not None:
-            fields["job"] = job
-        self._trace.emit(
-            event, self._sim._now, type=message.__class__.__name__, **fields
-        )
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    @property
+    def dropped_detached(self) -> int:
+        """In-flight messages dropped because the destination detached."""
+        return self._dropped_detached.value
 
     @property
-    def latency(self) -> LatencyModel:
-        """The latency model; assignable, e.g. to wrap it in a
-        :class:`~repro.net.latency.SpikeLatency` decorator."""
-        return self._latency
+    def dropped_unknown(self) -> int:
+        """Messages addressed to a node that was never registered."""
+        return self._dropped_unknown.value
 
-    @latency.setter
-    def latency(self, model: LatencyModel) -> None:
-        self._latency = model
+    @property
+    def lost(self) -> int:
+        """Messages lost to the datagram network itself."""
+        return self._lost.value
 
-    def register(self, node_id: NodeId, handler: Handler) -> None:
-        """Attach ``handler`` as the receive callback of ``node_id``."""
-        if node_id in self._handlers:
-            raise ConfigurationError(f"node {node_id} already registered")
-        self._handlers[node_id] = handler
-        self._known.add(node_id)
+    @property
+    def dropped(self) -> int:
+        """Total messages dropped on delivery (detached + unknown)."""
+        return self._dropped_detached.value + self._dropped_unknown.value
 
-    def unregister(self, node_id: NodeId) -> None:
-        """Detach a node; in-flight messages to it will be dropped."""
-        self._handlers.pop(node_id, None)
-        if self.reliability is not None:
-            self.reliability.forget(node_id)
+    @property
+    def dropped_stale(self) -> int:
+        """Messages dropped because they were addressed to an incarnation
+        that died before they arrived."""
+        return self._dropped_stale.value
 
-    def is_registered(self, node_id: NodeId) -> bool:
-        """Whether ``node_id`` currently has a receive handler attached."""
-        return node_id in self._handlers
+    def network_counters(self) -> Dict[str, int]:
+        """Transport + reliability + fault counters for run summaries.
 
-    def send(self, src: NodeId, dst: NodeId, message: Message) -> None:
-        """Send ``message`` from ``src`` to ``dst`` (asynchronously).
-
-        Local deliveries (``src == dst``) are free and immediate-but-
-        asynchronous: they are scheduled at the current time so handlers
-        never re-enter each other, and they do not count as network traffic.
+        ``dropped_stale`` is always present next to ``dropped_detached``
+        and ``dropped_unknown`` — the three delivery-drop counters travel
+        together, whichever backend produced them.
         """
-        # Hot path: the event-queue push and the traffic accounting are
-        # inlined (one send per delivered message makes the method-call
-        # overhead of EventQueue.push / TrafficMonitor.record measurable).
-        # Delays from latency models are never negative, so a push at
-        # ``now + delay`` can never land in the past.
-        incarnations = self._incarnations
-        if incarnations is not None:
-            self._post(
-                src,
-                dst,
-                message,
-                self._deliver_stamped,
-                (src, dst, message, incarnations.get(dst, 0)),
-            )
-            return
-        sim = self._sim
-        queue = sim._queue
-        if src == dst:
-            entry = [sim._now, 0, queue._seq, self._deliver, (src, dst, message)]
-            queue._seq += 1
-            heappush(queue._heap, entry)
-            queue._live += 1
-            return
+        counters = {
+            "lost": self.lost,
+            "dropped_detached": self.dropped_detached,
+            "dropped_unknown": self.dropped_unknown,
+            "dropped_stale": self.dropped_stale,
+        }
+        if self.reliability is not None:
+            counters.update(self.reliability.counters())
+        if self.faults is not None:
+            counters.update(self.faults.counters())
+        return counters
+
+    # ------------------------------------------------------------------
+    # Shared send-side preamble (the single choke point)
+    # ------------------------------------------------------------------
+    def _account(self, src: NodeId, dst: NodeId, message: Message) -> bool:
+        """Traffic-account one non-local message and judge link loss.
+
+        Every outbound message of every backend funnels through here
+        exactly once: wire-size accounting, the ``msg.sent`` trace event,
+        and the Bernoulli loss draw.  Returns ``False`` when the message
+        was lost (accounted as sent, never delivered).
+        """
         cls = message.__class__
         name = cls.__name__
         monitor = self.monitor
@@ -257,133 +311,21 @@ class Transport:
                 self._emit_msg(
                     "msg.lost", message, src=src, dst=dst, reason="loss"
                 )
-            return
-        if self.faults is not None:
-            self._cast(src, dst, self._deliver, (src, dst, message), message)
-            return
-        delay = self._latency.sample(src, dst, self._rng)
-        entry = [
-            sim._now + delay, 0, queue._seq, self._deliver, (src, dst, message)
-        ]
-        queue._seq += 1
-        heappush(queue._heap, entry)
-        queue._live += 1
+            return False
+        return True
 
-    def send_tagged(
-        self,
-        src: NodeId,
-        dst: NodeId,
-        message: Message,
-        msg_id: int,
-        stamp: Optional[int] = None,
-    ) -> None:
-        """Send ``message`` carrying the reliability header ``msg_id``.
+    def _emit_msg(self, event: str, message: Message, **fields) -> None:
+        """Record one message event, annotated with its job when known."""
+        job = message_job_id(message)
+        if job is not None:
+            fields["job"] = job
+        self._trace.emit(
+            event, self.clock.now, type=message.__class__.__name__, **fields
+        )
 
-        The tag is a header field like ``broadcast_id`` on flooded
-        messages — covered by the message's fixed wire size, so traffic
-        accounting is unchanged.  Delivery routes through the attached
-        :class:`~repro.net.reliability.ReliabilityLayer` for ack + dedup.
-
-        ``stamp`` is the incarnation stamp the reliability layer captured
-        at the *original* send, so retransmitted copies keep addressing
-        the incarnation the sender was talking to — and get rejected once
-        it is gone.
-        """
-        if stamp is None:
-            self._post(
-                src,
-                dst,
-                message,
-                self._deliver_tagged,
-                (src, dst, message, msg_id),
-            )
-        else:
-            self._post(
-                src,
-                dst,
-                message,
-                self._deliver_tagged_stamped,
-                (src, dst, message, msg_id, stamp),
-            )
-
-    def _post(
-        self,
-        src: NodeId,
-        dst: NodeId,
-        message: Message,
-        callback: Callable,
-        args: tuple,
-    ) -> None:
-        """Account and route one message to an arbitrary delivery callback.
-
-        The non-inlined sibling of :meth:`send`, shared by the tagged and
-        ack paths (control-plane messages are rare next to the floods).
-        """
-        sim = self._sim
-        queue = sim._queue
-        if src == dst:
-            entry = [sim._now, 0, queue._seq, callback, args]
-            queue._seq += 1
-            heappush(queue._heap, entry)
-            queue._live += 1
-            return
-        cls = message.__class__
-        name = cls.__name__
-        monitor = self.monitor
-        by_bytes = monitor.bytes_by_type
-        by_bytes[name] = by_bytes.get(name, 0) + cls.SIZE_BYTES
-        by_count = monitor.count_by_type
-        by_count[name] = by_count.get(name, 0) + 1
-        if self._trace is not None:
-            self._emit_msg("msg.sent", message, src=src, dst=dst)
-        if (
-            self.loss_probability
-            and self._loss_rng.random() < self.loss_probability
-        ):
-            self._lost.inc()
-            if self._trace is not None:
-                self._emit_msg(
-                    "msg.lost", message, src=src, dst=dst, reason="loss"
-                )
-            return
-        if self.faults is not None:
-            self._cast(src, dst, callback, args, message)
-            return
-        delay = self._latency.sample(src, dst, self._rng)
-        entry = [sim._now + delay, 0, queue._seq, callback, args]
-        queue._seq += 1
-        heappush(queue._heap, entry)
-        queue._live += 1
-
-    def _cast(
-        self,
-        src: NodeId,
-        dst: NodeId,
-        callback: Callable,
-        args: tuple,
-        message: Message,
-    ) -> None:
-        """Fault-model path: judge the message, then schedule each
-        surviving copy after its own latency draw."""
-        copies = self.faults.judge(src, dst)
-        if not copies:
-            self._lost.inc()
-            if self._trace is not None:
-                self._emit_msg(
-                    "msg.lost", message, src=src, dst=dst, reason="fault"
-                )
-            return
-        if copies > 1 and self._trace is not None:
-            self._emit_msg("msg.duplicated", message, src=src, dst=dst)
-        sim = self._sim
-        queue = sim._queue
-        for _ in range(copies):
-            delay = self._latency.sample(src, dst, self._rng)
-            entry = [sim._now + delay, 0, queue._seq, callback, args]
-            queue._seq += 1
-            heappush(queue._heap, entry)
-            queue._live += 1
-
+    # ------------------------------------------------------------------
+    # Shared delivery-side bookkeeping
+    # ------------------------------------------------------------------
     def _drop(self, dst: NodeId, message: Message) -> None:
         if dst in self._known:
             self._dropped_detached.inc()
@@ -445,16 +387,156 @@ class Transport:
             return
         self._deliver_tagged(src, dst, message, msg_id)
 
-    def network_counters(self) -> Dict[str, int]:
-        """Transport + reliability + fault counters for run summaries."""
-        counters = {
-            "lost": self.lost,
-            "dropped_detached": self.dropped_detached,
-            "dropped_unknown": self.dropped_unknown,
-            "dropped_stale": self.dropped_stale,
-        }
-        if self.reliability is not None:
-            counters.update(self.reliability.counters())
+
+class SimTransport(Transport):
+    """Delivers messages between registered nodes with simulated latency."""
+
+    __slots__ = ("_sim", "_latency", "_rng")
+
+    def __init__(
+        self,
+        sim,
+        latency: Optional[LatencyModel] = None,
+        monitor: Optional[TrafficMonitor] = None,
+        loss_probability: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(
+            sim,
+            monitor=monitor,
+            loss_probability=loss_probability,
+            registry=registry,
+        )
+        self._sim = sim
+        self._latency = latency if latency is not None else PairwiseLogNormalLatency()
+        self._rng = sim.streams.get("net.latency")
+
+    @property
+    def latency(self) -> LatencyModel:
+        """The latency model; assignable, e.g. to wrap it in a
+        :class:`~repro.net.latency.SpikeLatency` decorator."""
+        return self._latency
+
+    @latency.setter
+    def latency(self, model: LatencyModel) -> None:
+        self._latency = model
+
+    def send(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        incarnations = self._incarnations
+        if incarnations is not None:
+            self._post(
+                src,
+                dst,
+                message,
+                self._deliver_stamped,
+                (src, dst, message, incarnations.get(dst, 0)),
+            )
+            return
+        self._post(src, dst, message, self._deliver, (src, dst, message))
+
+    def send_tagged(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+        msg_id: int,
+        stamp: Optional[int] = None,
+    ) -> None:
+        if stamp is None:
+            self._post(
+                src,
+                dst,
+                message,
+                self._deliver_tagged,
+                (src, dst, message, msg_id),
+            )
+        else:
+            self._post(
+                src,
+                dst,
+                message,
+                self._deliver_tagged_stamped,
+                (src, dst, message, msg_id, stamp),
+            )
+
+    def send_ack(self, src: NodeId, dst: NodeId, message: Message, msg_id: int) -> None:
+        reliability = self.reliability
+        stamp = self.incarnation_stamp(dst)
+        if stamp is None:
+            self._post(src, dst, message, reliability._on_ack, (msg_id,))
+        else:
+            # Stamp the ack with the *sender's* current incarnation: if
+            # the sender restarts before the ack lands, the ack is stale
+            # by definition (the pending entry died with the crash) and
+            # must not be interpreted by the reborn sender.
+            self._post(
+                src,
+                dst,
+                message,
+                reliability._on_ack_stamped,
+                (msg_id, dst, stamp),
+            )
+
+    def _post(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+        callback: Callable,
+        args: tuple,
+    ) -> None:
+        """Route one message to an arbitrary delivery callback.
+
+        The event-queue pushes are inlined (one send per delivered message
+        makes the method-call overhead of ``EventQueue.push`` measurable);
+        accounting and loss go through the shared :meth:`_account` choke
+        point.  Delays from latency models are never negative, so a push
+        at ``now + delay`` can never land in the past.
+        """
+        sim = self._sim
+        queue = sim._queue
+        if src == dst:
+            entry = [sim._now, 0, queue._seq, callback, args]
+            queue._seq += 1
+            heappush(queue._heap, entry)
+            queue._live += 1
+            return
+        if not self._account(src, dst, message):
+            return
         if self.faults is not None:
-            counters.update(self.faults.counters())
-        return counters
+            self._cast(src, dst, callback, args, message)
+            return
+        delay = self._latency.sample(src, dst, self._rng)
+        entry = [sim._now + delay, 0, queue._seq, callback, args]
+        queue._seq += 1
+        heappush(queue._heap, entry)
+        queue._live += 1
+
+    def _cast(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        callback: Callable,
+        args: tuple,
+        message: Message,
+    ) -> None:
+        """Fault-model path: judge the message, then schedule each
+        surviving copy after its own latency draw."""
+        copies = self.faults.judge(src, dst)
+        if not copies:
+            self._lost.inc()
+            if self._trace is not None:
+                self._emit_msg(
+                    "msg.lost", message, src=src, dst=dst, reason="fault"
+                )
+            return
+        if copies > 1 and self._trace is not None:
+            self._emit_msg("msg.duplicated", message, src=src, dst=dst)
+        sim = self._sim
+        queue = sim._queue
+        for _ in range(copies):
+            delay = self._latency.sample(src, dst, self._rng)
+            entry = [sim._now + delay, 0, queue._seq, callback, args]
+            queue._seq += 1
+            heappush(queue._heap, entry)
+            queue._live += 1

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..errors import ConfigurationError, TopologyError
-from ..sim import Simulator
+from ..clock import Clock
 from ..types import NodeId
 from .ants import DiscoveryAnt, PruningAnt
 from .graph import OverlayGraph
@@ -126,7 +126,7 @@ class BlatantMaintainer:
                 self.graph.remove_link(nest, neighbor)
                 self.links_removed += 1
 
-    def start(self, sim: Simulator) -> Callable[[], None]:
+    def start(self, sim: Clock) -> Callable[[], None]:
         """Begin periodic online maintenance; returns a stop function."""
         if self._stop is not None:
             raise ConfigurationError("maintainer already started")

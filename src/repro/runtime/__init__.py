@@ -1,0 +1,35 @@
+"""Live asyncio runtime: run ARiA agents as real networked processes.
+
+The simulator proves the protocol's *logic*; this package proves its
+*portability*.  The exact same :class:`~repro.core.protocol.AriaAgent`,
+scheduler and cost code runs here unchanged, because both worlds sit
+behind two small seams:
+
+* the :class:`~repro.clock.Clock` protocol — implemented by the
+  discrete-event :class:`~repro.sim.Simulator` and, here, by
+  :class:`WallClock` over an asyncio event loop;
+* the :class:`~repro.net.Transport` interface — implemented by
+  :class:`~repro.net.SimTransport` and, here, by :class:`LiveTransport`
+  over HTTP+JSON between per-node asyncio servers.
+
+``repro serve`` (see :mod:`repro.runtime.serve`) boots an N-node overlay
+on localhost, runs a paper scenario against it in scaled wall time, and
+emits the same :class:`~repro.experiments.RunSummary`, trace-bus events
+and invariant verdicts as a simulated run.
+"""
+
+from .clock import WallClock
+from .codec import decode_envelope, decode_message, encode_envelope, encode_message
+from .serve import LiveRunConfig, run_live
+from .transport import LiveTransport
+
+__all__ = [
+    "LiveRunConfig",
+    "LiveTransport",
+    "WallClock",
+    "decode_envelope",
+    "decode_message",
+    "encode_envelope",
+    "encode_message",
+    "run_live",
+]

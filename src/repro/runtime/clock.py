@@ -1,0 +1,173 @@
+"""Wall-clock implementation of the :class:`~repro.clock.Clock` protocol.
+
+:class:`WallClock` maps *protocol seconds* — the unit every ARiA timer,
+deadline and ERT is expressed in — onto the asyncio event loop's
+monotonic clock, compressed by a ``time_scale`` factor: at
+``time_scale=300`` one wall second is five protocol minutes, so a paper
+scenario spanning hours of protocol time finishes in seconds of wall
+time while every relative timer (accept windows, INFORM rounds, probe
+intervals) keeps its protocol-time meaning.
+
+Semantics match the simulator where the protocol can observe them:
+
+* ``now`` is monotone non-decreasing (it inherits monotonicity from
+  ``loop.time()``);
+* callbacks run on the event loop, one at a time — handlers never
+  preempt each other, exactly like kernel event dispatch;
+* ``cancel`` is idempotent and safe after the timer fired;
+* ``streams`` hands out the same seed-derived named RNGs.
+
+The one deliberate divergence: scheduling *at or before* ``now`` is not
+an error but fires as soon as possible.  Real time moved while the
+caller computed the target — punishing that race would make every
+``call_at(now + x)`` fragile — whereas the simulator's frozen ``now``
+makes a past target a genuine bug worth raising on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+from ..errors import ConfigurationError
+from ..sim.rng import RandomStreams
+
+__all__ = ["WallClock"]
+
+
+class _WallRecurrence:
+    """State of one :meth:`WallClock.every` periodic schedule.
+
+    Mirrors the simulator's ``_Recurrence``: fires every ``interval``
+    protocol seconds from ``start`` until ``until``, and the returned
+    stop function cancels the pending occurrence.
+    """
+
+    __slots__ = ("clock", "interval", "callback", "args", "until", "handle", "stopped", "next_time")
+
+    def __init__(self, clock, interval, callback, args, start, until):
+        self.clock = clock
+        self.interval = interval
+        self.callback = callback
+        self.args = args
+        self.until = until
+        self.stopped = False
+        self.handle = None
+        self.next_time = start
+        self._schedule()
+
+    def _schedule(self):
+        if self.stopped:
+            return
+        if self.until is not None and self.next_time > self.until:
+            self.handle = None
+            return
+        self.handle = self.clock.call_at(self.next_time, self._fire)
+
+    def _fire(self):
+        if self.stopped:
+            return
+        self.next_time += self.interval
+        self._schedule()
+        self.callback(*self.args)
+
+    def stop(self):
+        self.stopped = True
+        if self.handle is not None:
+            self.clock.cancel(self.handle)
+            self.handle = None
+
+
+class WallClock:
+    """Protocol-seconds clock over an asyncio event loop.
+
+    ``time_scale`` is the compression factor: protocol seconds per wall
+    second.  ``1.0`` runs in real time; the live scenario defaults use a
+    few hundred so paper timescales (hours) fit a CI smoke job
+    (seconds).
+    """
+
+    def __init__(
+        self,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        seed: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        if time_scale <= 0:
+            raise ConfigurationError(f"time_scale {time_scale} must be > 0")
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self.time_scale = time_scale
+        self._origin = self._loop.time()
+        self.streams = RandomStreams(seed)
+        #: Fired timer callbacks (the live analogue of the simulator's
+        #: executed-events count surfaced in run summaries).
+        self.executed_events = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Clock protocol
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Elapsed protocol seconds since the clock was created."""
+        return (self._loop.time() - self._origin) * self.time_scale
+
+    def call_at(self, time: float, callback: Callable, *args, priority: int = 0):
+        """Run ``callback(*args)`` at protocol time ``time``.
+
+        A target at or before ``now`` fires as soon as possible (see the
+        module docstring); ``priority`` is accepted for interface parity
+        but real time has no same-instant ordering to refine.
+        """
+        wall_delay = max(0.0, (time - self.now) / self.time_scale)
+        return self._loop.call_later(wall_delay, self._run, callback, args)
+
+    def call_after(self, delay: float, callback: Callable, *args, priority: int = 0):
+        """Run ``callback(*args)`` after ``delay`` protocol seconds."""
+        if delay < 0:
+            raise ConfigurationError(f"negative delay {delay}")
+        return self._loop.call_later(
+            delay / self.time_scale, self._run, callback, args
+        )
+
+    def cancel(self, handle) -> None:
+        """Cancel a pending timer (idempotent, safe after firing)."""
+        handle.cancel()
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable,
+        *args,
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> Callable[[], None]:
+        """Run ``callback(*args)`` every ``interval`` protocol seconds.
+
+        Returns a zero-argument stop function, like
+        :meth:`~repro.sim.Simulator.every`.
+        """
+        if interval <= 0:
+            raise ConfigurationError(f"non-positive interval {interval}")
+        first = start if start is not None else self.now + interval
+        recurrence = _WallRecurrence(
+            self, interval, callback, args, first, until
+        )
+        return recurrence.stop
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Silence the clock: every timer still pending never fires.
+
+        Used at the end of a live run so periodic protocol loops cannot
+        outlive the scenario while in-flight HTTP deliveries drain.
+        """
+        self._stopped = True
+
+    def _run(self, callback: Callable, args: tuple) -> None:
+        if self._stopped:
+            return
+        self.executed_events += 1
+        callback(*args)

@@ -1,0 +1,181 @@
+"""JSON wire codec for protocol messages and transport envelopes.
+
+The simulator passes message *objects* between agents; the live runtime
+has to put them on an actual wire.  Every registered
+:class:`~repro.net.Message` subclass is encoded generically by walking
+its ``__slots__`` (the classes are plain slotted records, and their
+constructors take the slots in order), with two typed special cases:
+
+* :class:`~repro.workload.jobs.Job` payloads (carried by REQUEST /
+  INFORM / ASSIGN) expand into a nested object, their
+  :class:`~repro.grid.profiles.JobRequirements` enums serialized by
+  value;
+* everything else must already be JSON-representable (ints, floats,
+  bools, ``None``) — the codec refuses silently lossy encodings.
+
+The envelope wraps one encoded message with its routing metadata —
+source, destination, delivery kind (plain / reliability-tagged / ack),
+``msg_id`` and incarnation ``stamp`` — mirroring exactly the four
+delivery paths of the :class:`~repro.net.Transport` interface.
+
+Note the declared ``SIZE_BYTES`` wire sizes stay authoritative for
+traffic accounting even live: the JSON encoding is a convenience
+format, not a claim about an optimized binary protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Type
+
+from ..core.messages import Accept, Assign, Done, Inform, Probe, ProbeReply, Request, Track
+from ..errors import ConfigurationError
+from ..grid.profiles import Architecture, JobRequirements, OperatingSystem
+from ..net.message import Message
+from ..net.reliability import Ack
+from ..workload.jobs import Job
+
+__all__ = [
+    "MESSAGE_TYPES",
+    "decode_envelope",
+    "decode_message",
+    "encode_envelope",
+    "encode_message",
+]
+
+#: Every message type the live wire can carry, by class name.
+MESSAGE_TYPES: Dict[str, Type[Message]] = {
+    cls.__name__: cls
+    for cls in (Request, Accept, Inform, Assign, Track, Probe, ProbeReply, Done, Ack)
+}
+
+
+def _encode_job(job: Job) -> Dict[str, Any]:
+    req = job.requirements
+    return {
+        "job_id": job.job_id,
+        "requirements": {
+            "architecture": req.architecture.value,
+            "memory_gb": req.memory_gb,
+            "disk_gb": req.disk_gb,
+            "os": req.os.value,
+        },
+        "ert": job.ert,
+        "deadline": job.deadline,
+        "submit_time": job.submit_time,
+        "priority": job.priority,
+        "not_before": job.not_before,
+    }
+
+
+def _decode_job(payload: Dict[str, Any]) -> Job:
+    req = payload["requirements"]
+    return Job(
+        job_id=payload["job_id"],
+        requirements=JobRequirements(
+            architecture=Architecture(req["architecture"]),
+            memory_gb=req["memory_gb"],
+            disk_gb=req["disk_gb"],
+            os=OperatingSystem(req["os"]),
+        ),
+        ert=payload["ert"],
+        deadline=payload["deadline"],
+        submit_time=payload["submit_time"],
+        priority=payload["priority"],
+        not_before=payload["not_before"],
+    )
+
+
+def encode_message(message: Message) -> Dict[str, Any]:
+    """Encode one message as ``{"type": ..., "fields": {...}}``."""
+    name = message.__class__.__name__
+    if name not in MESSAGE_TYPES:
+        raise ConfigurationError(f"unregistered message type {name!r}")
+    fields: Dict[str, Any] = {}
+    for slot in message.__slots__:
+        value = getattr(message, slot)
+        if isinstance(value, Job):
+            fields[slot] = {"__job__": _encode_job(value)}
+        elif isinstance(value, tuple):
+            # e.g. broadcast ids: (origin node, sequence number).  JSON
+            # has no tuple, and a plain list would decode as unhashable.
+            if not all(
+                item is None or isinstance(item, (bool, int, float, str))
+                for item in value
+            ):
+                raise ConfigurationError(
+                    f"cannot encode non-scalar tuple in {name}.{slot}"
+                )
+            fields[slot] = {"__tuple__": list(value)}
+        elif value is None or isinstance(value, (bool, int, float, str)):
+            fields[slot] = value
+        else:
+            raise ConfigurationError(
+                f"cannot encode field {name}.{slot} of type "
+                f"{type(value).__name__}"
+            )
+    return {"type": name, "fields": fields}
+
+
+def decode_message(payload: Dict[str, Any]) -> Message:
+    """Rebuild a message object from :func:`encode_message` output."""
+    cls = MESSAGE_TYPES.get(payload["type"])
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown message type {payload['type']!r} on the wire"
+        )
+    fields = payload["fields"]
+    args = []
+    for slot in cls.__slots__:
+        value = fields[slot]
+        if isinstance(value, dict):
+            if "__job__" in value:
+                value = _decode_job(value["__job__"])
+            elif "__tuple__" in value:
+                value = tuple(value["__tuple__"])
+        args.append(value)
+    return cls(*args)
+
+
+def encode_envelope(
+    kind: str,
+    src: int,
+    dst: int,
+    message: Message,
+    msg_id: Any = None,
+    stamp: Any = None,
+) -> Dict[str, Any]:
+    """Wrap one message with its routing metadata.
+
+    ``kind`` is ``"send"`` (plain datagram), ``"tagged"`` (reliable,
+    carries ``msg_id`` and optionally the incarnation ``stamp`` of the
+    original transmission) or ``"ack"`` (reliability ack, settles
+    ``msg_id`` at the receiver).
+    """
+    if kind not in ("send", "tagged", "ack"):
+        raise ConfigurationError(f"unknown envelope kind {kind!r}")
+    envelope: Dict[str, Any] = {
+        "kind": kind,
+        "src": src,
+        "dst": dst,
+        "message": encode_message(message),
+    }
+    if msg_id is not None:
+        envelope["msg_id"] = msg_id
+    if stamp is not None:
+        envelope["stamp"] = stamp
+    return envelope
+
+
+def decode_envelope(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate and decode an envelope; ``message`` becomes an object."""
+    kind = payload.get("kind")
+    if kind not in ("send", "tagged", "ack"):
+        raise ConfigurationError(f"malformed envelope kind {kind!r}")
+    return {
+        "kind": kind,
+        "src": payload["src"],
+        "dst": payload["dst"],
+        "message": decode_message(payload["message"]),
+        "msg_id": payload.get("msg_id"),
+        "stamp": payload.get("stamp"),
+    }

@@ -1,0 +1,202 @@
+"""Minimal HTTP/1.1 over asyncio streams — zero dependencies.
+
+Just enough protocol for the live runtime's two exchanges: a GET of the
+agent card and a POST of one message envelope.  Every exchange is
+one-shot (``Connection: close``): the overlay's message rate at live
+scale is far below where connection reuse would matter, and one-shot
+connections keep both ends trivially correct under concurrent delivery.
+
+The server accepts any HTTP/1.1 client (``curl`` against a node's agent
+card works), and the client only needs to talk to this server, so both
+sides implement the intersection honestly: request line + headers +
+``Content-Length``-delimited bodies.  No chunked encoding, no
+keep-alive, no TLS.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["HttpServer", "http_request", "http_get_json", "http_post_json"]
+
+#: ``handler(method, path, body) -> (status, reason, body)``
+Handler = Callable[[str, str, bytes], Tuple[int, str, bytes]]
+
+_MAX_HEADER_BYTES = 16 * 1024
+_MAX_BODY_BYTES = 1024 * 1024
+
+
+class HttpServer:
+    """One node's HTTP endpoint: serves its agent card and inbox."""
+
+    def __init__(self, handler: Handler) -> None:
+        self._handler = handler
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start serving; ``port=0`` picks an ephemeral port."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, host=host, port=port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+
+    async def close(self) -> None:
+        """Stop listening and wait for the server socket to shut down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            method, path, body = await _read_request(reader)
+            status, reason, payload = self._handler(method, path, body)
+        except Exception:
+            status, reason, payload = 400, "Bad Request", b""
+        try:
+            writer.write(
+                (
+                    f"HTTP/1.1 {status} {reason}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("ascii")
+                + payload
+            )
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # client went away; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, bytes]:
+    head = await reader.readuntil(b"\r\n\r\n")
+    if len(head) > _MAX_HEADER_BYTES:
+        raise ConfigurationError("oversized request head")
+    lines = head.decode("latin-1").split("\r\n")
+    method, path, _version = lines[0].split(" ", 2)
+    length = 0
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    if length > _MAX_BODY_BYTES:
+        raise ConfigurationError("oversized request body")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, body
+
+
+async def _read_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, bytes]:
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    length = 0
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes = b"",
+    timeout: float = 5.0,
+) -> Tuple[int, bytes]:
+    """One HTTP exchange; raises on connect failure or timeout."""
+
+    async def _exchange() -> Tuple[int, bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                (
+                    f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {host}:{port}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("ascii")
+                + body
+            )
+            await writer.drain()
+            return await _read_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    return await asyncio.wait_for(_exchange(), timeout)
+
+
+async def http_get_json(
+    host: str,
+    port: int,
+    path: str,
+    timeout: float = 5.0,
+    retries: int = 5,
+    backoff: float = 0.05,
+) -> Dict[str, Any]:
+    """GET a JSON document, retrying with exponential backoff.
+
+    Discovery races server startup, so connect failures back off and
+    retry (``backoff``, doubling per attempt) before giving up.
+    """
+    delay = backoff
+    for attempt in range(retries + 1):
+        try:
+            status, body = await http_request(
+                host, port, "GET", path, timeout=timeout
+            )
+            if status == 200:
+                return json.loads(body.decode("utf-8"))
+            raise ConfigurationError(f"GET {path} returned HTTP {status}")
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            if attempt >= retries:
+                raise
+            await asyncio.sleep(delay)
+            delay *= 2
+
+
+async def http_post_json(
+    host: str,
+    port: int,
+    path: str,
+    payload: Dict[str, Any],
+    timeout: float = 5.0,
+) -> int:
+    """POST a JSON document once; returns the HTTP status."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    status, _ = await http_request(
+        host, port, "POST", path, body=body, timeout=timeout
+    )
+    return status

@@ -1,0 +1,298 @@
+"""Live HTTP+JSON implementation of the :class:`~repro.net.Transport` API.
+
+Each registered node gets its own asyncio HTTP server (an *endpoint*)
+that serves two routes:
+
+* ``GET /.well-known/agent.json`` — the node's **agent card**: identity,
+  protocol version and inbox route.  Discovery is card-driven: the
+  transport learns which node id lives at which address only by fetching
+  cards over HTTP, never by peeking at in-process state, so the
+  directory is built the way real peers would build it.
+* ``POST /message`` — the node's inbox.  The body is one envelope
+  (:mod:`repro.runtime.codec`) carrying a protocol message plus its
+  delivery kind, reliability tag and incarnation stamp; the server
+  decodes it and hands it to the exact same delivery methods
+  (``_deliver`` / ``_deliver_tagged`` / stamped variants) the simulated
+  transport uses, so drop, staleness and dedup semantics are shared code.
+
+Send-side, every non-local message funnels through the shared
+:meth:`~repro.net.Transport._account` choke point (traffic accounting +
+loss draw) and is then POSTed from a background task — the sending
+handler never blocks on the network, mirroring the simulator's
+fire-and-forget sends.  Latency is whatever localhost TCP provides; a
+destination whose server cannot be reached before ``send_timeout``
+counts as ``lost``, exactly like a datagram into a dead link.  Delivery
+to a node whose *handler* is unregistered (crashed / departed) still
+reaches its server and is dropped there with the usual
+``dropped_detached`` / ``dropped_unknown`` accounting.
+
+Retries and acks for control-plane messages come from the standard
+:class:`~repro.net.ReliabilityLayer` attached on top — its timers run in
+protocol seconds on the :class:`~repro.runtime.WallClock`, giving real
+timeouts and exponential backoff over the real network.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Set, Tuple
+
+from ..clock import Clock
+from ..errors import ConfigurationError
+from ..net.message import Message
+from ..net.transport import Transport
+from ..obs.metrics import MetricsRegistry
+from ..net.traffic import TrafficMonitor
+from ..types import NodeId
+from .codec import decode_envelope, encode_envelope
+from .http import HttpServer, http_get_json, http_post_json
+
+__all__ = ["LiveTransport", "AGENT_CARD_PATH", "MESSAGE_PATH"]
+
+AGENT_CARD_PATH = "/.well-known/agent.json"
+MESSAGE_PATH = "/message"
+
+#: Agent-card protocol tag; bump on wire-format changes.
+PROTOCOL_VERSION = "aria/1"
+
+
+class LiveTransport(Transport):
+    """HTTP+JSON transport between per-node asyncio servers."""
+
+    __slots__ = (
+        "_loop",
+        "_send_timeout",
+        "_servers",
+        "_directory",
+        "_tasks",
+    )
+
+    def __init__(
+        self,
+        clock: Clock,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        monitor: Optional[TrafficMonitor] = None,
+        loss_probability: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
+        send_timeout: float = 5.0,
+    ) -> None:
+        super().__init__(
+            clock,
+            monitor=monitor,
+            loss_probability=loss_probability,
+            registry=registry,
+        )
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        #: Wall-clock seconds before an undeliverable POST counts as lost.
+        self._send_timeout = send_timeout
+        self._servers: Dict[NodeId, HttpServer] = {}
+        #: Discovered node id -> (host, port), populated from agent cards.
+        self._directory: Dict[NodeId, Tuple[str, int]] = {}
+        self._tasks: Set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Endpoints and discovery
+    # ------------------------------------------------------------------
+    async def add_endpoint(
+        self, node_id: NodeId, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[str, int]:
+        """Start ``node_id``'s HTTP server; returns its bound address."""
+        if node_id in self._servers:
+            raise ConfigurationError(f"node {node_id} already has an endpoint")
+        server = HttpServer(self._make_handler(node_id))
+        await server.start(host=host, port=port)
+        self._servers[node_id] = server
+        return server.host, server.port
+
+    def agent_card(self, node_id: NodeId) -> Dict[str, Any]:
+        """The agent card served at :data:`AGENT_CARD_PATH`."""
+        server = self._servers[node_id]
+        return {
+            "name": f"aria-node-{node_id}",
+            "node_id": node_id,
+            "protocol": PROTOCOL_VERSION,
+            "transport": "http+json",
+            "url": f"http://{server.host}:{server.port}",
+            "endpoints": {"message": MESSAGE_PATH},
+        }
+
+    async def discover(self, addresses=None) -> Dict[NodeId, Tuple[str, int]]:
+        """Build the node directory by fetching agent cards over HTTP.
+
+        ``addresses`` is an iterable of ``(host, port)`` seeds; by
+        default every locally hosted endpoint is probed (the localhost
+        overlay's bootstrap list).  Each card's declared ``node_id``
+        keys the directory — the transport trusts the wire, not its own
+        process state, so the discovery path is exercised end to end.
+        """
+        if addresses is None:
+            addresses = [
+                (server.host, server.port)
+                for server in self._servers.values()
+            ]
+        cards = await asyncio.gather(
+            *(
+                http_get_json(host, port, AGENT_CARD_PATH)
+                for host, port in addresses
+            )
+        )
+        for (host, port), card in zip(addresses, cards):
+            if card.get("protocol") != PROTOCOL_VERSION:
+                raise ConfigurationError(
+                    f"peer at {host}:{port} speaks "
+                    f"{card.get('protocol')!r}, not {PROTOCOL_VERSION!r}"
+                )
+            self._directory[card["node_id"]] = (host, port)
+        return dict(self._directory)
+
+    async def drain(self) -> None:
+        """Wait for every in-flight outbound POST to settle."""
+        while self._tasks:
+            await asyncio.gather(*tuple(self._tasks), return_exceptions=True)
+
+    async def close(self) -> None:
+        """Shut down every endpoint server (after :meth:`drain`)."""
+        for server in self._servers.values():
+            await server.close()
+        self._servers.clear()
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def _make_handler(self, node_id: NodeId):
+        def handle(method: str, path: str, body: bytes):
+            if method == "GET" and path == AGENT_CARD_PATH:
+                card = json.dumps(self.agent_card(node_id)).encode("utf-8")
+                return 200, "OK", card
+            if method == "POST" and path == MESSAGE_PATH:
+                envelope = decode_envelope(json.loads(body.decode("utf-8")))
+                self._dispatch(envelope)
+                return 200, "OK", b'{"ok":true}'
+            return 404, "Not Found", b""
+
+        return handle
+
+    def _dispatch(self, envelope: Dict[str, Any]) -> None:
+        """Route one decoded envelope through the shared delivery paths."""
+        kind = envelope["kind"]
+        src = envelope["src"]
+        dst = envelope["dst"]
+        message = envelope["message"]
+        stamp = envelope["stamp"]
+        if kind == "send":
+            if stamp is None:
+                self._deliver(src, dst, message)
+            else:
+                self._deliver_stamped(src, dst, message, stamp)
+            return
+        if kind == "tagged":
+            msg_id = envelope["msg_id"]
+            if stamp is None:
+                self._deliver_tagged(src, dst, message, msg_id)
+            else:
+                self._deliver_tagged_stamped(src, dst, message, msg_id, stamp)
+            return
+        # kind == "ack": settle the sender-side pending entry directly.
+        reliability = self.reliability
+        if reliability is None:
+            return
+        if stamp is None:
+            reliability._on_ack(envelope["msg_id"])
+        else:
+            reliability._on_ack_stamped(envelope["msg_id"], dst, stamp)
+
+    # ------------------------------------------------------------------
+    # Send side (the Transport interface)
+    # ------------------------------------------------------------------
+    def send(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        incarnations = self._incarnations
+        if src == dst:
+            # Local loopback: free, lossless, delivered on the next loop
+            # iteration so handlers never re-enter each other.
+            if incarnations is None:
+                self._loop.call_soon(self._deliver, src, dst, message)
+            else:
+                self._loop.call_soon(
+                    self._deliver_stamped,
+                    src,
+                    dst,
+                    message,
+                    incarnations.get(dst, 0),
+                )
+            return
+        if not self._account(src, dst, message):
+            return
+        stamp = None if incarnations is None else incarnations.get(dst, 0)
+        self._post_envelope(
+            dst, encode_envelope("send", src, dst, message, stamp=stamp), message
+        )
+
+    def send_tagged(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+        msg_id: int,
+        stamp: Optional[int] = None,
+    ) -> None:
+        if not self._account(src, dst, message):
+            return
+        self._post_envelope(
+            dst,
+            encode_envelope(
+                "tagged", src, dst, message, msg_id=msg_id, stamp=stamp
+            ),
+            message,
+        )
+
+    def send_ack(self, src: NodeId, dst: NodeId, message: Message, msg_id: int) -> None:
+        if not self._account(src, dst, message):
+            return
+        stamp = self.incarnation_stamp(dst)
+        self._post_envelope(
+            dst,
+            encode_envelope(
+                "ack", src, dst, message, msg_id=msg_id, stamp=stamp
+            ),
+            message,
+        )
+
+    def _post_envelope(
+        self, dst: NodeId, envelope: Dict[str, Any], message: Message
+    ) -> None:
+        address = self._directory.get(dst)
+        if address is None:
+            # Never discovered: the live analogue of an unknown/detached
+            # destination, with the same drop accounting.
+            self._drop(dst, message)
+            return
+        task = self._loop.create_task(
+            self._post_http(address, envelope, dst, message)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _post_http(
+        self,
+        address: Tuple[str, int],
+        envelope: Dict[str, Any],
+        dst: NodeId,
+        message: Message,
+    ) -> None:
+        host, port = address
+        try:
+            await http_post_json(
+                host, port, MESSAGE_PATH, envelope, timeout=self._send_timeout
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            # Unreachable endpoint: a datagram into a dead link.
+            self._lost.inc()
+            if self._trace is not None:
+                self._emit_msg(
+                    "msg.lost",
+                    message,
+                    src=envelope["src"],
+                    dst=dst,
+                    reason="unreachable",
+                )

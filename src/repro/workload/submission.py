@@ -12,8 +12,8 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Sequence
 
+from ..clock import Clock
 from ..errors import ConfigurationError
-from ..sim import Simulator
 from ..types import MINUTE
 from .generator import JobGenerator
 
@@ -59,7 +59,7 @@ class SubmissionProcess:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         agents: Callable[[], Sequence["AriaAgent"]],
         generator: JobGenerator,
         schedule: SubmissionSchedule,

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.baselines import run_baseline
 from repro.baselines.gossip import CacheEntry, GossipConfig
 from repro.errors import ConfigurationError
-from repro.experiments import ScenarioScale
+from repro.experiments import ScenarioScale, run
 from repro.experiments.figures import scenario_summary
 
 TINY = ScenarioScale.tiny()
@@ -26,7 +25,7 @@ def test_gossip_config_validation():
 
 @pytest.fixture(scope="module")
 def gossip_run():
-    return run_baseline("gossip", TINY, seed=1)
+    return run("gossip", TINY, seed=1)
 
 
 def test_gossip_completes_the_workload(gossip_run):
@@ -53,8 +52,8 @@ def test_gossip_jobs_execute_where_assigned(gossip_run):
 
 
 def test_gossip_is_deterministic():
-    a = run_baseline("gossip", TINY, seed=4)
-    b = run_baseline("gossip", TINY, seed=4)
+    a = run("gossip", TINY, seed=4)
+    b = run("gossip", TINY, seed=4)
     assert (
         a.metrics.average_completion_time()
         == b.metrics.average_completion_time()
@@ -64,7 +63,7 @@ def test_gossip_is_deterministic():
 def test_stale_caches_herd_worse_than_aria():
     # The design's documented weakness: cached (stale) state spreads work
     # less evenly than ARiA's pull-based fresh costs.
-    gossip = run_baseline("gossip", TINY, seed=1)
+    gossip = run("gossip", TINY, seed=1)
     aria = scenario_summary("iMixed", TINY, (1,))
     gossip_fairness = gossip.metrics.load_fairness(TINY.nodes)
     assert gossip_fairness is not None

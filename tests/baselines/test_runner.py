@@ -2,16 +2,15 @@
 
 import pytest
 
-from repro.baselines import run_baseline
 from repro.errors import ConfigurationError
-from repro.experiments import ScenarioScale
+from repro.experiments import RunOptions, ScenarioScale, run
 
 TINY = ScenarioScale.tiny()
 
 
 @pytest.mark.parametrize("name", ["centralized", "multirequest", "random"])
 def test_baselines_complete_the_workload(name):
-    result = run_baseline(name, TINY, seed=1)
+    result = run(name, TINY, seed=1)
     metrics = result.metrics
     assert result.baseline == name
     assert metrics.completed_jobs + metrics.unschedulable_count() >= 0.9 * TINY.jobs
@@ -21,27 +20,29 @@ def test_baselines_complete_the_workload(name):
 
 def test_unknown_baseline_rejected():
     with pytest.raises(ConfigurationError):
-        run_baseline("oracle", TINY)
+        run("oracle", TINY)
 
 
 def test_baselines_share_workload_across_seeds():
     # Same seed => identical workload => identical submitted job set.
-    a = run_baseline("centralized", TINY, seed=3)
-    b = run_baseline("random", TINY, seed=3)
+    a = run("centralized", TINY, seed=3)
+    b = run("random", TINY, seed=3)
     jobs_a = {(r.job.job_id, r.job.ert) for r in a.metrics.records.values()}
     jobs_b = {(r.job.job_id, r.job.ert) for r in b.metrics.records.values()}
     assert jobs_a == jobs_b
 
 
 def test_multirequest_reports_revocations():
-    result = run_baseline("multirequest", TINY, seed=1, multirequest_k=3)
+    result = run(
+        "multirequest", TINY, seed=1, options=RunOptions(multirequest_k=3)
+    )
     assert result.revoked_copies > 0
     assert result.traffic.count_by_type.get("Cancel", 0) == result.revoked_copies
 
 
 def test_centralized_is_deterministic():
-    a = run_baseline("centralized", TINY, seed=5)
-    b = run_baseline("centralized", TINY, seed=5)
+    a = run("centralized", TINY, seed=5)
+    b = run("centralized", TINY, seed=5)
     assert (
         a.metrics.average_completion_time()
         == b.metrics.average_completion_time()

@@ -5,7 +5,7 @@ import pytest
 from repro.core import AriaAgent, AriaConfig
 from repro.grid import AccuracyModel, GridNode
 from repro.metrics import GridMetrics
-from repro.net import ConstantLatency, Transport
+from repro.net import ConstantLatency, SimTransport
 from repro.overlay import OverlayGraph
 from repro.scheduling import make_scheduler
 from repro.sim import Simulator
@@ -19,7 +19,7 @@ class MiniGrid:
     def __init__(self, policies, config=None, profiles=None, indices=None,
                  topology="mesh", latency=0.01, seed=0):
         self.sim = Simulator(seed=seed)
-        self.transport = Transport(self.sim, latency=ConstantLatency(latency))
+        self.transport = SimTransport(self.sim, latency=ConstantLatency(latency))
         self.metrics = GridMetrics()
         self.graph = OverlayGraph()
         self.config = config if config is not None else AriaConfig()

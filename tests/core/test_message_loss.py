@@ -12,8 +12,8 @@ import dataclasses
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.experiments import ScenarioScale, get_scenario, run_scenario
-from repro.net import ConstantLatency, Message, Transport
+from repro.experiments import ScenarioScale, get_scenario, run
+from repro.net import ConstantLatency, Message, SimTransport
 from repro.sim import Simulator
 
 TINY = ScenarioScale.tiny()
@@ -26,7 +26,7 @@ class Ping(Message):
 
 def test_transport_loss_rate_is_respected():
     sim = Simulator(seed=0)
-    transport = Transport(
+    transport = SimTransport(
         sim, latency=ConstantLatency(0.01), loss_probability=0.3
     )
     received = []
@@ -43,7 +43,7 @@ def test_transport_loss_rate_is_respected():
 
 def test_local_delivery_never_lost():
     sim = Simulator(seed=0)
-    transport = Transport(sim, loss_probability=0.9)
+    transport = SimTransport(sim, loss_probability=0.9)
     received = []
     transport.register(1, lambda src, msg: received.append(msg))
     for _ in range(50):
@@ -55,9 +55,9 @@ def test_local_delivery_never_lost():
 def test_loss_probability_validation():
     sim = Simulator(seed=0)
     with pytest.raises(ConfigurationError):
-        Transport(sim, loss_probability=1.0)
+        SimTransport(sim, loss_probability=1.0)
     with pytest.raises(ConfigurationError):
-        Transport(sim, loss_probability=-0.1)
+        SimTransport(sim, loss_probability=-0.1)
 
 
 def lossy_scenario(loss, failsafe=False):
@@ -70,7 +70,7 @@ def lossy_scenario(loss, failsafe=False):
 def test_retries_absorb_moderate_loss():
     from repro.experiments import build_grid
 
-    result = run_scenario(lossy_scenario(0.05), TINY, seed=2)
+    result = run(lossy_scenario(0.05), TINY, seed=2)
     metrics = result.metrics
     # 5% loss: the retry loop still gets almost every job placed and done.
     assert (

@@ -6,7 +6,7 @@ from repro.experiments import (
     ScenarioScale,
     average_series,
     get_scenario,
-    run_scenario_batch,
+    run,
     summarize_runs,
 )
 
@@ -30,7 +30,7 @@ def test_average_series_empty():
 
 
 def test_summarize_runs_averages_metrics():
-    runs = run_scenario_batch(get_scenario("Mixed"), TINY, seeds=(1, 2))
+    runs = [run(get_scenario("Mixed"), TINY, seed=s) for s in (1, 2)]
     summary = summarize_runs(runs)
     assert summary.runs == 2
     assert summary.scenario_name == "Mixed"
@@ -44,8 +44,8 @@ def test_summarize_runs_averages_metrics():
 
 
 def test_summarize_runs_rejects_mixed_scenarios():
-    a = run_scenario_batch(get_scenario("Mixed"), TINY, seeds=(1,))
-    b = run_scenario_batch(get_scenario("iMixed"), TINY, seeds=(1,))
+    a = [run(get_scenario("Mixed"), TINY, seed=1)]
+    b = [run(get_scenario("iMixed"), TINY, seed=1)]
     with pytest.raises(ValueError):
         summarize_runs(a + b)
 
@@ -58,7 +58,7 @@ def test_summarize_runs_rejects_empty():
 def test_summary_json_roundtrip(tmp_path):
     import json
 
-    runs = run_scenario_batch(get_scenario("Mixed"), TINY, seeds=(1,))
+    runs = [run(get_scenario("Mixed"), TINY, seed=1)]
     summary = summarize_runs(runs)
     path = tmp_path / "summary.json"
     summary.save(path)

@@ -11,7 +11,7 @@ import random
 
 import pytest
 
-from repro.experiments import FaultPlan, ScenarioScale, run
+from repro.experiments import FaultPlan, RunOptions, ScenarioScale, run
 
 TINY = ScenarioScale.tiny()
 
@@ -39,7 +39,12 @@ def _random_plan(seed: int, duration: float) -> FaultPlan:
 @pytest.mark.parametrize("seed", CHAOS_SEEDS)
 def test_invariants_hold_under_randomized_faults(seed):
     plan = _random_plan(seed, TINY.duration)
-    result = run(plan, TINY, seed=seed, reliability=True, failsafe=True)
+    result = run(
+        plan,
+        TINY,
+        seed=seed,
+        options=RunOptions(reliability=True, failsafe=True),
+    )
     assert result.extra_violations == []
     summary = result.summary()
     assert summary.violations == []
@@ -55,7 +60,10 @@ def test_violations_detected_without_reliability():
     for seed in range(6):
         plan = _random_plan(seed, TINY.duration)
         result = run(
-            plan, TINY, seed=seed, reliability=False, failsafe=False
+            plan,
+            TINY,
+            seed=seed,
+            options=RunOptions(reliability=False, failsafe=False),
         )
         if result.extra_violations:
             detected += 1

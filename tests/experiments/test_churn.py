@@ -3,8 +3,8 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.experiments import ScenarioScale
-from repro.experiments.churn import ChurnPlan, run_churn_experiment
+from repro.experiments import RunOptions, ScenarioScale, run
+from repro.experiments.churn import ChurnPlan
 
 TINY = ScenarioScale.tiny()
 
@@ -25,7 +25,7 @@ def test_churn_plan_validation():
 @pytest.fixture(scope="module")
 def graceful_churn():
     plan = ChurnPlan(interval=120.0, start=1800.0, end=14000.0)
-    return run_churn_experiment(TINY, seed=2, plan=plan)
+    return run(plan, TINY, seed=2)
 
 
 def test_graceful_churn_loses_no_jobs(graceful_churn):
@@ -54,8 +54,8 @@ def test_crash_churn_failsafe_recovers():
     plan = ChurnPlan(
         interval=180.0, start=1800.0, end=10000.0, crash_weight=1.0
     )
-    plain = run_churn_experiment(TINY, seed=3, plan=plan, failsafe=False)
-    safe = run_churn_experiment(TINY, seed=3, plan=plan, failsafe=True)
+    plain = run(plan, TINY, seed=3, options=RunOptions(failsafe=False))
+    safe = run(plan, TINY, seed=3, options=RunOptions(failsafe=True))
 
     def lost(metrics):
         return sum(

@@ -2,7 +2,6 @@
 
 import dataclasses
 import json
-import warnings
 from pathlib import Path
 
 import pytest
@@ -13,6 +12,7 @@ from repro.experiments import (
     CrashPlan,
     FaultPlan,
     ResultCache,
+    RunOptions,
     RunSummary,
     ScenarioScale,
     get_scenario,
@@ -52,7 +52,7 @@ def test_run_accepts_baseline_name():
 
 
 def test_run_accepts_crash_plan():
-    result = run(CrashPlan(), TINY, seed=0, failsafe=True)
+    result = run(CrashPlan(), TINY, seed=0, options=RunOptions(failsafe=True))
     assert result.metrics.completed_jobs > 0
 
 
@@ -69,16 +69,24 @@ def test_run_accepts_fault_plan():
 
 def test_fault_plan_rejects_unknown_options():
     with pytest.raises(ConfigurationError):
-        run(FaultPlan(), TINY, seed=0, config_overrides={})
+        run(FaultPlan(), TINY, seed=0, options=RunOptions(config_overrides={}))
 
 
 def test_fault_batch_round_trips_summaries(tmp_path):
     cache = ResultCache(tmp_path)
     first = run_batch(
-        FaultPlan(), TINY, seeds=(0, 1), cache=cache, reliability=True
+        FaultPlan(),
+        TINY,
+        seeds=(0, 1),
+        cache=cache,
+        options=RunOptions(reliability=True),
     )
     again = run_batch(
-        FaultPlan(), TINY, seeds=(0, 1), cache=cache, reliability=True
+        FaultPlan(),
+        TINY,
+        seeds=(0, 1),
+        cache=cache,
+        options=RunOptions(reliability=True),
     )
     assert [s.to_dict() for s in first] == [s.to_dict() for s in again]
     assert cache.hits == 2
@@ -116,9 +124,9 @@ def test_run_rejects_unknown_spec():
 
 def test_run_rejects_unknown_options():
     with pytest.raises(ConfigurationError):
-        run(get_scenario("Mixed"), TINY, seed=0, failsafe=True)
+        run(get_scenario("Mixed"), TINY, seed=0, options=RunOptions(failsafe=True))
     with pytest.raises(ConfigurationError):
-        run("centralized", TINY, seed=0, config_overrides={})
+        run("centralized", TINY, seed=0, options=RunOptions(config_overrides={}))
 
 
 # ----------------------------------------------------------------------
@@ -272,58 +280,33 @@ def test_result_summary_matches_validate_run():
 
 
 # ----------------------------------------------------------------------
-# Deprecated entry points still work (and warn)
+# Removed entry points raise with a migration hint
 # ----------------------------------------------------------------------
-def test_run_scenario_deprecated_but_functional():
-    from repro.experiments import run_scenario
-
-    with pytest.warns(DeprecationWarning):
-        result = run_scenario(get_scenario("Mixed"), TINY, seed=0)
-    assert result.metrics.completed_jobs > 0
-
-
-def test_run_scenario_batch_deprecated_but_functional():
-    from repro.experiments import run_scenario_batch
-
-    with pytest.warns(DeprecationWarning):
-        results = run_scenario_batch(
-            get_scenario("Mixed"), TINY, seeds=(0,)
-        )
-    assert [r.seed for r in results] == [0]
-
-
-def test_run_baseline_deprecated_but_functional():
-    from repro.baselines import run_baseline
-
-    with pytest.warns(DeprecationWarning):
-        result = run_baseline("random", TINY, seed=0)
-    assert result.baseline == "random"
-
-
-def test_run_crash_experiment_deprecated_but_functional():
-    from repro.experiments import run_crash_experiment
-
-    with pytest.warns(DeprecationWarning):
-        result = run_crash_experiment(False, TINY, seed=0)
-    assert result.metrics.completed_jobs > 0
-
-
-def test_run_churn_experiment_deprecated_but_functional():
-    from repro.experiments import run_churn_experiment
-
-    with pytest.warns(DeprecationWarning):
-        result = run_churn_experiment(TINY, 0, ChurnPlan())
-    assert result.metrics.completed_jobs > 0
-
-
-def test_deprecated_wrapper_matches_engine():
-    from repro.experiments import run_scenario
-
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        old = run_scenario(get_scenario("Mixed"), TINY, seed=0).summary()
-    new = run(get_scenario("Mixed"), TINY, seed=0).summary()
-    assert old.to_dict() == new.to_dict()
+@pytest.mark.parametrize(
+    "call",
+    [
+        lambda: __import__("repro.experiments", fromlist=["run_scenario"])
+        .run_scenario(get_scenario("Mixed"), TINY, seed=0),
+        lambda: __import__("repro.experiments", fromlist=["x"])
+        .run_scenario_batch(get_scenario("Mixed"), TINY, seeds=(0,)),
+        lambda: __import__("repro.baselines", fromlist=["x"])
+        .run_baseline("random", TINY, seed=0),
+        lambda: __import__("repro.experiments", fromlist=["x"])
+        .run_crash_experiment(False, TINY, seed=0),
+        lambda: __import__("repro.experiments", fromlist=["x"])
+        .run_churn_experiment(TINY, 0, ChurnPlan()),
+    ],
+    ids=[
+        "run_scenario",
+        "run_scenario_batch",
+        "run_baseline",
+        "run_crash_experiment",
+        "run_churn_experiment",
+    ],
+)
+def test_removed_wrappers_raise(call):
+    with pytest.raises(DeprecationWarning, match="use repro.experiments"):
+        call()
 
 
 # ----------------------------------------------------------------------

@@ -16,6 +16,7 @@ from repro.errors import ConfigurationError
 from repro.experiments import (
     FailureModel,
     FaultPlan,
+    RunOptions,
     ScenarioScale,
     run,
     run_batch,
@@ -80,9 +81,9 @@ def test_crash_only_model_reproduces_the_crash_plan_path():
         FailureModel.from_crash_plan(plan),
         TINY,
         seed=3,
-        adoption=False,
-        reliability=False,
-        deadline_slack=0.0,
+        options=RunOptions(
+            adoption=False, reliability=False, deadline_slack=0.0
+        ),
     )
     left = legacy.summary().to_dict()
     right = modeled.summary().to_dict()
@@ -102,7 +103,7 @@ def mixed_run():
         FailureModel.chaos(TINY.duration),
         TINY,
         seed=0,
-        fault_plan=FaultPlan.chaos(TINY.duration),
+        options=RunOptions(fault_plan=FaultPlan.chaos(TINY.duration)),
     )
 
 
@@ -123,7 +124,7 @@ def test_chaos_suite_holds_invariants_on_every_seed():
     model = FailureModel.chaos(TINY.duration)
     plan = FaultPlan.chaos(TINY.duration)
     for seed in CHAOS_SEEDS:
-        result = run(model, TINY, seed=seed, fault_plan=plan)
+        result = run(model, TINY, seed=seed, options=RunOptions(fault_plan=plan))
         assert result.extra_violations == [], (
             f"seed {seed}: {result.extra_violations}"
         )
@@ -137,7 +138,12 @@ def test_adoption_off_arm_surfaces_the_orphan_leak():
     plan = FaultPlan.chaos(TINY.duration)
     orphaned = adopted = 0
     for seed in CHAOS_SEEDS[:5]:
-        result = run(model, TINY, seed=seed, fault_plan=plan, adoption=False)
+        result = run(
+            model,
+            TINY,
+            seed=seed,
+            options=RunOptions(fault_plan=plan, adoption=False),
+        )
         orphaned += result.metrics.orphaned_jobs
         adopted += result.metrics.adopted_jobs
     assert orphaned > 0
@@ -167,7 +173,12 @@ def test_unknown_option_is_rejected():
 
 def test_fault_plan_option_must_be_a_fault_plan():
     with pytest.raises(ConfigurationError):
-        run(FailureModel(crash_fraction=0.1), TINY, seed=0, fault_plan={})
+        run(
+            FailureModel(crash_fraction=0.1),
+            TINY,
+            seed=0,
+            options=RunOptions(fault_plan={}),
+        )
 
 
 def test_model_is_cache_key_aware(tmp_path):

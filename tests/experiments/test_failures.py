@@ -3,8 +3,8 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.experiments import ScenarioScale
-from repro.experiments.failures import CrashPlan, run_crash_experiment
+from repro.experiments import RunOptions, ScenarioScale, run
+from repro.experiments.failures import CrashPlan
 
 TINY = ScenarioScale.tiny()
 
@@ -30,7 +30,9 @@ def test_crash_plan_validation():
 def crash_runs():
     plan = CrashPlan(fraction=0.25, start=3600.0)
     return {
-        failsafe: run_crash_experiment(failsafe, TINY, seed=1, plan=plan)
+        failsafe: run(
+            plan, TINY, seed=1, options=RunOptions(failsafe=failsafe)
+        )
         for failsafe in (False, True)
     }
 

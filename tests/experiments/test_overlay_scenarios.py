@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.experiments import ScenarioScale, get_scenario, run_scenario
+from repro.experiments import ScenarioScale, get_scenario, run
 
 TINY = ScenarioScale.tiny()
 
@@ -18,7 +18,7 @@ def overlay_scenario(kind):
 
 @pytest.mark.parametrize("kind", ["random_regular", "small_world", "scale_free"])
 def test_static_overlays_run_the_workload(kind):
-    result = run_scenario(overlay_scenario(kind), TINY, seed=1)
+    result = run(overlay_scenario(kind), TINY, seed=1)
     metrics = result.metrics
     assert metrics.completed_jobs >= 0.85 * TINY.jobs
     assert (
@@ -29,8 +29,8 @@ def test_static_overlays_run_the_workload(kind):
 def test_ring_overlay_strands_jobs():
     # A plain ring's diameter dwarfs the 9-hop flood horizon: discovery
     # fails for a visible share of jobs (the ablation's point).
-    ring_run = run_scenario(overlay_scenario("ring"), TINY, seed=1)
-    blatant_run = run_scenario(get_scenario("Mixed"), TINY, seed=1)
+    ring_run = run(overlay_scenario("ring"), TINY, seed=1)
+    blatant_run = run(get_scenario("Mixed"), TINY, seed=1)
     assert (
         ring_run.metrics.unschedulable_count()
         >= blatant_run.metrics.unschedulable_count()
@@ -39,7 +39,7 @@ def test_ring_overlay_strands_jobs():
 
 def test_unknown_overlay_rejected():
     with pytest.raises(ConfigurationError):
-        run_scenario(overlay_scenario("hypercube"), TINY, seed=1)
+        run(overlay_scenario("hypercube"), TINY, seed=1)
 
 
 def test_priority_scenarios_run():
@@ -49,7 +49,7 @@ def test_priority_scenarios_run():
         policies=("PRIORITY", "AGING"),
         priority_levels=(0, 1, 2),
     )
-    result = run_scenario(scenario, TINY, seed=1)
+    result = run(scenario, TINY, seed=1)
     assert result.metrics.completed_jobs > 0
     priorities = {
         r.job.priority for r in result.metrics.records.values()

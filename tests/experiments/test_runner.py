@@ -2,19 +2,19 @@
 
 import pytest
 
-from repro.experiments import ScenarioScale, get_scenario, run_scenario
+from repro.experiments import ScenarioScale, get_scenario, run
 
 TINY = ScenarioScale.tiny()
 
 
 @pytest.fixture(scope="module")
 def mixed_run():
-    return run_scenario(get_scenario("Mixed"), TINY, seed=1)
+    return run(get_scenario("Mixed"), TINY, seed=1)
 
 
 @pytest.fixture(scope="module")
 def imixed_run():
-    return run_scenario(get_scenario("iMixed"), TINY, seed=1)
+    return run(get_scenario("iMixed"), TINY, seed=1)
 
 
 def test_all_schedulable_jobs_complete(mixed_run):
@@ -65,8 +65,8 @@ def test_rescheduling_does_not_lose_jobs(imixed_run):
 
 
 def test_same_seed_reproduces_exactly():
-    a = run_scenario(get_scenario("Mixed"), TINY, seed=5)
-    b = run_scenario(get_scenario("Mixed"), TINY, seed=5)
+    a = run(get_scenario("Mixed"), TINY, seed=5)
+    b = run(get_scenario("Mixed"), TINY, seed=5)
     assert a.metrics.completed_jobs == b.metrics.completed_jobs
     assert a.completed_series == b.completed_series
     assert a.traffic.bytes_by_type == b.traffic.bytes_by_type
@@ -74,23 +74,23 @@ def test_same_seed_reproduces_exactly():
 
 
 def test_different_seeds_differ():
-    a = run_scenario(get_scenario("Mixed"), TINY, seed=5)
-    b = run_scenario(get_scenario("Mixed"), TINY, seed=6)
+    a = run(get_scenario("Mixed"), TINY, seed=5)
+    b = run(get_scenario("Mixed"), TINY, seed=6)
     assert a.completed_series != b.completed_series
 
 
 def test_expanding_grid_grows():
-    run = run_scenario(get_scenario("iExpanding"), TINY, seed=2)
-    assert run.final_node_count == TINY.nodes + TINY.expanding_extra_nodes
-    counts = [v for _, v in run.node_count_series]
+    result = run(get_scenario("iExpanding"), TINY, seed=2)
+    assert result.final_node_count == TINY.nodes + TINY.expanding_extra_nodes
+    counts = [v for _, v in result.node_count_series]
     assert counts[0] == TINY.nodes
-    assert counts[-1] == run.final_node_count
+    assert counts[-1] == result.final_node_count
     assert all(b >= a for a, b in zip(counts, counts[1:]))
 
 
 def test_deadline_scenario_produces_deadline_metrics():
-    run = run_scenario(get_scenario("DeadlineH"), TINY, seed=3)
-    m = run.metrics
+    result = run(get_scenario("DeadlineH"), TINY, seed=3)
+    m = result.metrics
     assert m.completed_jobs > 0
     records = list(m.records.values())
     assert all(r.job.has_deadline for r in records)
@@ -103,9 +103,7 @@ def test_traffic_report_covers_protocol_messages(imixed_run):
 
 
 def test_batch_runner():
-    from repro.experiments import run_scenario_batch
-
-    runs = run_scenario_batch(get_scenario("Mixed"), TINY, seeds=(1, 2))
+    runs = [run(get_scenario("Mixed"), TINY, seed=s) for s in (1, 2)]
     assert [r.seed for r in runs] == [1, 2]
 
 
@@ -113,7 +111,7 @@ def test_network_counters_surface_in_result_and_summary(mixed_run):
     import dataclasses
 
     lossy = dataclasses.replace(get_scenario("Mixed"), message_loss=0.2)
-    result = run_scenario(lossy, TINY, seed=1)
+    result = run(lossy, TINY, seed=1)
     assert result.network["lost"] > 0
     summary = result.summary()
     assert summary.extras["net_lost"] == float(result.network["lost"])

@@ -2,9 +2,14 @@
 
 import pytest
 
-from repro.experiments import ScenarioScale, get_scenario, run_scenario
-from repro.experiments.churn import ChurnPlan, run_churn_experiment
-from repro.experiments.failures import run_crash_experiment
+from repro.experiments import (
+    RunOptions,
+    ScenarioScale,
+    get_scenario,
+    run,
+)
+from repro.experiments.churn import ChurnPlan
+from repro.experiments.failures import CrashPlan
 from repro.experiments.validation import validate_run
 
 TINY = ScenarioScale.tiny()
@@ -14,24 +19,26 @@ TINY = ScenarioScale.tiny()
     "name", ["Mixed", "iMixed", "iDeadlineH", "iExpanding"]
 )
 def test_scenario_runs_validate_clean(name):
-    result = run_scenario(get_scenario(name), TINY, seed=4)
+    result = run(get_scenario(name), TINY, seed=4)
     assert validate_run(result) == []
 
 
 def test_crash_runs_validate_clean():
     for failsafe in (False, True):
-        result = run_crash_experiment(failsafe, TINY, seed=4)
+        result = run(
+            CrashPlan(), TINY, seed=4, options=RunOptions(failsafe=failsafe)
+        )
         assert validate_run(result) == []
 
 
 def test_churn_runs_validate_clean():
     plan = ChurnPlan(interval=180.0, start=1800.0, end=9000.0, crash_weight=0.5)
-    result = run_churn_experiment(TINY, seed=4, plan=plan, failsafe=True)
+    result = run(plan, TINY, seed=4, options=RunOptions(failsafe=True))
     assert validate_run(result) == []
 
 
 def test_validation_detects_corruption():
-    result = run_scenario(get_scenario("Mixed"), TINY, seed=4)
+    result = run(get_scenario("Mixed"), TINY, seed=4)
     record = next(r for r in result.metrics.records.values() if r.completed)
     # Corrupt the record: execution "started" before submission.
     record.start_time = record.submit_time - 100.0
@@ -40,7 +47,7 @@ def test_validation_detects_corruption():
 
 
 def test_validation_detects_overlap():
-    result = run_scenario(get_scenario("Mixed"), TINY, seed=4)
+    result = run(get_scenario("Mixed"), TINY, seed=4)
     completed = [r for r in result.metrics.records.values() if r.completed]
     a, b = completed[0], completed[1]
     # Force both executions onto one node at overlapping times.
@@ -53,7 +60,7 @@ def test_validation_detects_overlap():
 
 
 def test_validation_detects_placement_mismatch():
-    result = run_scenario(get_scenario("Mixed"), TINY, seed=4)
+    result = run(get_scenario("Mixed"), TINY, seed=4)
     record = next(r for r in result.metrics.records.values() if r.completed)
     record.start_node = 9999
     violations = validate_run(result)

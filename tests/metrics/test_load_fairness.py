@@ -54,13 +54,11 @@ def test_summary_carries_fairness():
     from repro.experiments import (
         ScenarioScale,
         get_scenario,
-        run_scenario_batch,
+        run,
         summarize_runs,
     )
 
-    runs = run_scenario_batch(
-        get_scenario("Mixed"), ScenarioScale.tiny(), seeds=(1,)
-    )
+    runs = [run(get_scenario("Mixed"), ScenarioScale.tiny(), seed=1)]
     summary = summarize_runs(runs)
     assert summary.load_fairness is not None
     assert 0 < summary.load_fairness <= 1.0

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments import FaultPlan, apply_fault_plan
-from repro.net import ConstantLatency, FaultInjector, Message, SpikeLatency, Transport
+from repro.net import ConstantLatency, FaultInjector, Message, SimTransport, SpikeLatency
 from repro.sim import Simulator
 
 
@@ -175,7 +175,7 @@ def test_fault_plan_normalizes_json_lists():
 
 def test_apply_fault_plan_attaches_injector_and_spikes():
     sim = Simulator(seed=1)
-    transport = Transport(sim, latency=ConstantLatency(0.05))
+    transport = SimTransport(sim, latency=ConstantLatency(0.05))
     plan = FaultPlan(delay_spike=0.1, delay_spike_mean=1.0)
     injector = apply_fault_plan(transport, plan)
     assert transport.faults is injector
@@ -184,7 +184,7 @@ def test_apply_fault_plan_attaches_injector_and_spikes():
 
 def test_transport_counts_fault_losses_as_lost():
     sim = Simulator(seed=1)
-    transport = Transport(sim, latency=ConstantLatency(0.01))
+    transport = SimTransport(sim, latency=ConstantLatency(0.01))
     apply_fault_plan(transport, FaultPlan(loss=0.5, duplicate=0.0))
     got = []
     transport.register(1, lambda src, msg: None)
@@ -201,7 +201,7 @@ def test_transport_counts_fault_losses_as_lost():
 
 def test_transport_delivers_duplicate_copies():
     sim = Simulator(seed=1)
-    transport = Transport(sim, latency=ConstantLatency(0.01))
+    transport = SimTransport(sim, latency=ConstantLatency(0.01))
     apply_fault_plan(transport, FaultPlan(loss=0.0, duplicate=0.9))
     got = []
     transport.register(1, lambda src, msg: None)

@@ -8,7 +8,7 @@ unreachable: ASSIGNs, retransmissions and acks addressed to the dead
 incarnation can never corrupt the reborn node's state.
 """
 
-from repro.net import ConstantLatency, Message, Transport
+from repro.net import ConstantLatency, Message, SimTransport
 from repro.net.reliability import ReliabilityLayer
 from repro.sim import Simulator
 
@@ -23,7 +23,7 @@ class Ping(Message):
 
 def make_transport(delay=0.05):
     sim = Simulator(seed=1)
-    transport = Transport(sim, latency=ConstantLatency(delay))
+    transport = SimTransport(sim, latency=ConstantLatency(delay))
     return sim, transport
 
 

@@ -9,7 +9,7 @@ from repro.net import (
     Message,
     ReliabilityConfig,
     ReliabilityLayer,
-    Transport,
+    SimTransport,
 )
 from repro.sim import Simulator
 
@@ -24,7 +24,7 @@ class Ping(Message):
 
 def make_layer(delay=0.05, seed=1, config=None, loss=0.0):
     sim = Simulator(seed=seed)
-    transport = Transport(
+    transport = SimTransport(
         sim, latency=ConstantLatency(delay), loss_probability=loss
     )
     layer = ReliabilityLayer(transport, config=config)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.net import ConstantLatency, Message, Transport
+from repro.net import ConstantLatency, Message, SimTransport
 from repro.sim import Simulator
 
 
@@ -17,7 +17,7 @@ class Ping(Message):
 
 def make_transport(delay=0.05):
     sim = Simulator(seed=1)
-    transport = Transport(sim, latency=ConstantLatency(delay))
+    transport = SimTransport(sim, latency=ConstantLatency(delay))
     return sim, transport
 
 

@@ -112,15 +112,19 @@ def test_explain_job_filters_by_job_id():
 
 def test_explainer_ties_a_faulted_job_to_its_dropped_messages():
     """A faulted run's timeline shows the loss/retry that explains it."""
-    from repro.experiments import FaultPlan, ScenarioScale, run
+    from repro.experiments import (
+        FaultPlan,
+        RunOptions,
+        ScenarioScale,
+        run,
+    )
 
     scale = ScenarioScale.tiny()
     result = run(
         FaultPlan.chaos(scale.duration),
         scale,
         seed=3,
-        scenario_name="iMixed",
-        reliability=True,
+        options=RunOptions(scenario_name="iMixed", reliability=True),
         trace=TraceConfig(level="transport", sink="memory"),
     )
     events = result.trace_events

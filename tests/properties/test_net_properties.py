@@ -9,7 +9,7 @@ from repro.net import (
     ConstantLatency,
     Message,
     PairwiseLogNormalLatency,
-    Transport,
+    SimTransport,
     UniformLatency,
 )
 from repro.sim import Simulator
@@ -43,7 +43,7 @@ def test_lognormal_latency_positive_and_stable(seed, median, sigma):
 @settings(max_examples=25)
 def test_transport_conserves_messages(seed, count):
     sim = Simulator(seed=seed)
-    transport = Transport(
+    transport = SimTransport(
         sim,
         latency=UniformLatency(0.001, 0.1),
         loss_probability=0.2 if seed % 2 else 0.0,
@@ -63,7 +63,7 @@ def test_transport_conserves_messages(seed, count):
 @settings(max_examples=20)
 def test_constant_latency_preserves_send_order(seed, count):
     sim = Simulator(seed=seed)
-    transport = Transport(sim, latency=ConstantLatency(0.01))
+    transport = SimTransport(sim, latency=ConstantLatency(0.01))
     received = []
     transport.register(1, lambda src, msg: None)
     transport.register(2, lambda src, msg: received.append(msg.tag))

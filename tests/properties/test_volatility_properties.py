@@ -9,9 +9,9 @@ coherence, placement, mutual exclusion, reservations.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.experiments import ScenarioScale, validate_run
-from repro.experiments.churn import ChurnPlan, run_churn_experiment
-from repro.experiments.failures import CrashPlan, run_crash_experiment
+from repro.experiments import RunOptions, ScenarioScale, run, validate_run
+from repro.experiments.churn import ChurnPlan
+from repro.experiments.failures import CrashPlan
 
 TINY = ScenarioScale.tiny()
 
@@ -24,7 +24,9 @@ TINY = ScenarioScale.tiny()
 @settings(max_examples=10, deadline=None)
 def test_crash_runs_always_validate(seed, fraction, failsafe):
     plan = CrashPlan(fraction=fraction, start=2000.0)
-    result = run_crash_experiment(failsafe, TINY, seed=seed, plan=plan)
+    result = run(
+        plan, TINY, seed=seed, options=RunOptions(failsafe=failsafe)
+    )
     assert validate_run(result) == []
     # Conservation under crashes: nothing completes twice and the counter
     # matches the records.
@@ -42,8 +44,8 @@ def test_churn_runs_always_validate(seed, crash_weight, interval, failsafe):
     plan = ChurnPlan(
         interval=interval, start=1500.0, end=12_000.0, crash_weight=crash_weight
     )
-    result = run_churn_experiment(
-        TINY, seed=seed, plan=plan, failsafe=failsafe
+    result = run(
+        plan, TINY, seed=seed, options=RunOptions(failsafe=failsafe)
     )
     assert validate_run(result) == []
 
@@ -52,7 +54,7 @@ def test_churn_runs_always_validate(seed, crash_weight, interval, failsafe):
 @settings(max_examples=6, deadline=None)
 def test_graceful_churn_never_loses_jobs(seed):
     plan = ChurnPlan(interval=150.0, start=1500.0, end=12_000.0)
-    result = run_churn_experiment(TINY, seed=seed, plan=plan)
+    result = run(plan, TINY, seed=seed)
     metrics = result.metrics
     lost = [
         r

@@ -1,0 +1,296 @@
+"""One behavioral contract, two wires.
+
+Every test here runs twice — once over the simulated transport, once
+over the live HTTP transport — through a tiny backend driver that hides
+only *how* messages move (event queue vs. localhost sockets) and *how*
+time passes (``sim.run()`` vs. awaited wall time).  The assertions are
+identical, which is the point: delivery, drop accounting, incarnation
+staleness and reliability semantics are properties of the
+:class:`~repro.net.Transport` contract, not of a backend.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.net import ConstantLatency, Message, SimTransport
+from repro.net.reliability import ReliabilityConfig, ReliabilityLayer
+from repro.runtime import LiveTransport, WallClock
+from repro.runtime.codec import MESSAGE_TYPES
+from repro.sim import Simulator
+
+
+class Ping(Message):
+    SIZE_BYTES = 64
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: str = "") -> None:
+        self.tag = tag
+
+
+@pytest.fixture(autouse=True)
+def _ping_on_the_wire():
+    """Let the live codec carry the test message type."""
+    MESSAGE_TYPES["Ping"] = Ping
+    yield
+    MESSAGE_TYPES.pop("Ping", None)
+
+
+#: Reliability policy quick enough for a test, lazy enough that a
+#: localhost round-trip never triggers a spurious retransmission.
+RELIABILITY = ReliabilityConfig(
+    ack_timeout=5.0, backoff=2.0, max_timeout=20.0, max_retries=3
+)
+
+
+class SimBackend:
+    """Drives the conformance scenario over the discrete-event kernel."""
+
+    name = "sim"
+
+    async def __aenter__(self):
+        self.sim = Simulator(seed=11)
+        self.transport = SimTransport(
+            self.sim, latency=ConstantLatency(0.01)
+        )
+        return self
+
+    async def __aexit__(self, *exc):
+        return False
+
+    def set_loss(self, probability):
+        self.transport.loss_probability = probability
+
+    async def ready(self, *node_ids):
+        """Bring the named endpoints up (a no-op in-process)."""
+
+    async def settle(self):
+        """Let every in-flight delivery (and timer) run to quiescence."""
+        self.sim.run()
+
+
+class LiveBackend:
+    """Drives the same scenario over real localhost HTTP servers."""
+
+    name = "live"
+
+    async def __aenter__(self):
+        loop = asyncio.get_running_loop()
+        self.clock = WallClock(loop, seed=11, time_scale=1.0)
+        self.transport = LiveTransport(self.clock, loop=loop, send_timeout=2.0)
+        return self
+
+    async def __aexit__(self, *exc):
+        self.clock.stop()
+        await self.transport.drain()
+        await self.transport.close()
+        return False
+
+    def set_loss(self, probability):
+        self.transport.loss_probability = probability
+
+    async def ready(self, *node_ids):
+        for node_id in node_ids:
+            await self.transport.add_endpoint(node_id)
+        await self.transport.discover()
+
+    async def settle(self):
+        # Outbound POSTs spawn tasks; handlers may send follow-ups (acks),
+        # so drain repeatedly until a full idle pass.
+        for _ in range(100):
+            await self.transport.drain()
+            await asyncio.sleep(0.01)
+            if not self.transport._tasks:
+                return
+        raise AssertionError("live transport never went quiet")
+
+
+BACKENDS = [SimBackend, LiveBackend]
+
+
+def both(test):
+    """Run an async conformance case against every backend."""
+    test = pytest.mark.parametrize(
+        "backend_cls", BACKENDS, ids=[b.name for b in BACKENDS]
+    )(test)
+    return test
+
+
+def drive(case, backend_cls):
+    async def main():
+        async with backend_cls() as backend:
+            await case(backend)
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# Delivery and accounting
+# ----------------------------------------------------------------------
+@both
+def test_send_delivers_and_accounts(backend_cls):
+    async def case(backend):
+        transport = backend.transport
+        got = []
+        transport.register(1, lambda src, msg: None)
+        transport.register(2, lambda src, msg: got.append((src, msg.tag)))
+        await backend.ready(1, 2)
+        transport.send(1, 2, Ping("hello"))
+        await backend.settle()
+        assert got == [(1, "hello")]
+        assert transport.monitor.bytes_by_type == {"Ping": Ping.SIZE_BYTES}
+        assert transport.monitor.count_by_type == {"Ping": 1}
+
+    drive(case, backend_cls)
+
+
+@both
+def test_local_send_is_asynchronous_and_free(backend_cls):
+    async def case(backend):
+        transport = backend.transport
+        got = []
+        transport.register(1, lambda src, msg: got.append(src))
+        await backend.ready(1)
+        transport.send(1, 1, Ping())
+        assert got == []  # never delivered synchronously
+        await backend.settle()
+        assert got == [1]
+        assert transport.monitor.total_bytes == 0
+
+    drive(case, backend_cls)
+
+
+@both
+def test_unknown_destination_counts_dropped_unknown(backend_cls):
+    async def case(backend):
+        transport = backend.transport
+        transport.register(1, lambda src, msg: None)
+        await backend.ready(1)
+        transport.send(1, 99, Ping())
+        await backend.settle()
+        assert transport.dropped_unknown == 1
+        assert transport.dropped_detached == 0
+        assert transport.network_counters()["dropped_unknown"] == 1
+
+    drive(case, backend_cls)
+
+
+@both
+def test_detached_destination_counts_dropped_detached(backend_cls):
+    async def case(backend):
+        transport = backend.transport
+        got = []
+        transport.register(1, lambda src, msg: None)
+        transport.register(2, lambda src, msg: got.append(msg))
+        await backend.ready(1, 2)
+        transport.unregister(2)
+        transport.send(1, 2, Ping())
+        await backend.settle()
+        assert got == []
+        assert transport.dropped_detached == 1
+        assert transport.network_counters()["dropped_detached"] == 1
+
+    drive(case, backend_cls)
+
+
+@both
+def test_loss_probability_loses_but_accounts(backend_cls):
+    async def case(backend):
+        transport = backend.transport
+        got = []
+        transport.register(1, lambda src, msg: None)
+        transport.register(2, lambda src, msg: got.append(msg))
+        await backend.ready(1, 2)
+        backend.set_loss(0.5)
+        for _ in range(40):
+            transport.send(1, 2, Ping())
+        await backend.settle()
+        assert transport.lost > 0
+        assert len(got) + transport.lost == 40
+        # Lost messages were still sent: accounting is send-side.
+        assert transport.monitor.count_by_type["Ping"] == 40
+
+    drive(case, backend_cls)
+
+
+# ----------------------------------------------------------------------
+# Incarnation staleness
+# ----------------------------------------------------------------------
+@both
+def test_stale_incarnation_stamp_is_rejected(backend_cls):
+    async def case(backend):
+        transport = backend.transport
+        got = []
+        transport.register(1, lambda src, msg: None)
+        transport.register(2, lambda src, msg: got.append(msg.tag))
+        await backend.ready(1, 2)
+        transport.enable_incarnations()
+        transport.bump_incarnation(2)  # node 2 restarted: incarnation 1
+        # A copy stamped before the restart must die on arrival ...
+        transport.send_tagged(1, 2, Ping("stale"), msg_id=7, stamp=0)
+        # ... while a copy addressed to the current incarnation lands.
+        transport.send_tagged(1, 2, Ping("fresh"), msg_id=8, stamp=1)
+        await backend.settle()
+        assert got == ["fresh"]
+        assert transport.dropped_stale == 1
+        assert transport.network_counters()["dropped_stale"] == 1
+
+    drive(case, backend_cls)
+
+
+@both
+def test_incarnation_stamp_reflects_current_incarnation(backend_cls):
+    async def case(backend):
+        transport = backend.transport
+        assert transport.incarnation_stamp(2) is None  # stamping off
+        transport.enable_incarnations()
+        assert transport.incarnation_stamp(2) == 0
+        assert transport.bump_incarnation(2) == 1
+        assert transport.incarnation_stamp(2) == 1
+
+    drive(case, backend_cls)
+
+
+# ----------------------------------------------------------------------
+# Reliability layer (acks, dedup) over either wire
+# ----------------------------------------------------------------------
+@both
+def test_reliable_send_delivers_once_and_settles(backend_cls):
+    async def case(backend):
+        transport = backend.transport
+        reliability = ReliabilityLayer(transport, RELIABILITY)
+        got = []
+        transport.register(1, lambda src, msg: None)
+        transport.register(2, lambda src, msg: got.append(msg.tag))
+        await backend.ready(1, 2)
+        reliability.send(1, 2, Ping("once"))
+        await backend.settle()
+        assert got == ["once"]
+        counters = transport.network_counters()
+        assert counters["reliable_delivered"] == 1
+        assert counters["reliable_acks"] == 1
+        assert counters["reliable_pending"] == 0
+        assert counters["reliable_gave_up"] == 0
+
+    drive(case, backend_cls)
+
+
+@both
+def test_duplicate_tagged_delivery_is_suppressed(backend_cls):
+    async def case(backend):
+        transport = backend.transport
+        ReliabilityLayer(transport, RELIABILITY)
+        got = []
+        transport.register(1, lambda src, msg: None)
+        transport.register(2, lambda src, msg: got.append(msg.tag))
+        await backend.ready(1, 2)
+        # The same (src, msg_id) arriving twice — a retransmitted copy —
+        # must reach the handler exactly once.
+        transport.send_tagged(1, 2, Ping("dup"), msg_id=5)
+        transport.send_tagged(1, 2, Ping("dup"), msg_id=5)
+        await backend.settle()
+        assert got == ["dup"]
+        counters = transport.network_counters()
+        assert counters["reliable_duplicates_suppressed"] == 1
+
+    drive(case, backend_cls)
