@@ -33,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import resource
 import sys
 import time
 
@@ -47,16 +48,48 @@ BENCH_FILE = os.path.join(
     "BENCH_hotpath.json",
 )
 
+def _large_smoke() -> ScenarioScale:
+    """Bench-only scale exercising the large-grid build path cheaply.
+
+    2 500 nodes crosses the ``_LARGE_GRID_NODES`` threshold — direct
+    chordal-ring overlay, capped REQUEST floods, small seen caches,
+    gc-frozen run — but with a short horizon so a run is ~2M events
+    (seconds, not minutes): fast enough for CI to gate on.
+    """
+    return ScenarioScale(
+        nodes=2_500, jobs=1_500, duration=30_000.0, sample_interval=300.0
+    )
+
+
 _SCALES = {
     "tiny": ScenarioScale.tiny,
     "small": ScenarioScale.small,
     "medium": ScenarioScale.medium,
+    "paper": ScenarioScale.paper,
+    "large-smoke": _large_smoke,
+    "large": ScenarioScale.large,
+    "huge": ScenarioScale.huge,
 }
+
+#: Scales that take minutes per run: always measured with a single rep.
+_SLOW_SCALES = {"paper", "large", "huge"}
+
+
+def _peak_rss_mb() -> float:
+    """Process peak RSS in MiB (``ru_maxrss`` is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 def measure_scale(scenario: str, scale_name: str, seed: int, reps: int) -> dict:
-    """Best-of-``reps`` measurement of one scenario run at one scale."""
+    """Best-of-``reps`` measurement of one scenario run at one scale.
+
+    ``peak_rss_mb`` is the process high-water mark after the scale's runs;
+    measuring scales in ascending size keeps the attribution honest (each
+    bigger scale sets a new high-water mark of its own).
+    """
     scale = _SCALES[scale_name]()
+    if scale_name in _SLOW_SCALES:
+        reps = 1
     best = None
     events = 0
     for _ in range(max(1, reps)):
@@ -70,6 +103,7 @@ def measure_scale(scenario: str, scale_name: str, seed: int, reps: int) -> dict:
         "executed_events": events,
         "wall_s": round(best, 4),
         "events_per_sec": round(events / best, 1),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
     }
 
 
@@ -126,22 +160,39 @@ def main(argv=None) -> int:
         "compared record (e.g. 50)",
     )
     parser.add_argument("--json", default=None, help="also write results to this path")
+    parser.add_argument(
+        "--scales",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated scales to measure (default: tiny,small,medium; "
+        f"known: {','.join(_SCALES)})",
+    )
     args = parser.parse_args(argv)
 
-    scales = ["tiny", "small"] if args.quick else ["tiny", "small", "medium"]
+    if args.scales:
+        scales = [name.strip() for name in args.scales.split(",") if name.strip()]
+        unknown = [name for name in scales if name not in _SCALES]
+        if unknown:
+            parser.error(f"unknown scales {unknown}; known: {sorted(_SCALES)}")
+    else:
+        scales = ["tiny", "small"] if args.quick else ["tiny", "small", "medium"]
     reps = 1 if args.quick else args.reps
 
     print(
         f"hot-path benchmark: {args.scenario} seed={args.seed} "
         f"reps={reps} scales={scales}"
     )
+    from repro.accel import describe
+
+    print(f"  {describe()}")
     current = {}
     for scale_name in scales:
         result = measure_scale(args.scenario, scale_name, args.seed, reps)
         current[scale_name] = result
         print(
             f"  {scale_name:<8s} {result['executed_events']:>10,d} events  "
-            f"{result['wall_s']:>8.3f} s  {result['events_per_sec']:>12,.0f} ev/s"
+            f"{result['wall_s']:>8.3f} s  {result['events_per_sec']:>12,.0f} ev/s  "
+            f"{result['peak_rss_mb']:>8,.0f} MB peak"
         )
 
     document = load_records()
@@ -170,9 +221,19 @@ def main(argv=None) -> int:
         print("\nno stored record to compare against")
 
     if args.record:
-        document.setdefault("records", []).append(
-            {"label": args.record, "seed": args.seed, "scales": current}
-        )
+        merged = None
+        for record in document.get("records") or []:
+            if record.get("label") == args.record:
+                merged = record
+                break
+        if merged is None:
+            document.setdefault("records", []).append(
+                {"label": args.record, "seed": args.seed, "scales": current}
+            )
+        else:
+            # Re-recording under an existing label merges scales, so slow
+            # scales (large/huge) can be appended by a separate invocation.
+            merged.setdefault("scales", {}).update(current)
         with open(BENCH_FILE, "w") as handle:
             json.dump(document, handle, indent=2)
             handle.write("\n")

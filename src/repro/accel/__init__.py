@@ -1,0 +1,152 @@
+"""Optional numpy acceleration for the simulator's hot numeric kernels.
+
+The package declares ``dependencies = []`` — numpy is strictly optional.
+Every kernel here has a pure-Python fallback, and the vectorized paths are
+**bit-identical** to the fallback: they perform the same IEEE-754 operations
+in the same order, so golden summaries do not move when numpy appears or
+disappears.
+
+That constraint shapes what may be vectorized:
+
+* ``numpy.add.accumulate`` on a 1-D float64 array is a sequential left fold
+  (`out[k] = out[k-1] + a[k]`), exactly matching a Python ``for`` loop —
+  safe for prefix sums of queue service times.
+* ``numpy.sum`` / ``numpy.add.reduce`` use *pairwise* summation with a
+  different rounding path — **never** used here.
+* Elementwise add/sub/compare round each lane independently, identical to
+  the scalar ops — safe for slack (`deadline - etc`) vectors.
+
+Control knob: the ``ARIA_ACCEL`` environment variable — ``auto`` (default:
+use numpy when importable), ``off`` (always pure Python), ``on`` (require
+numpy; raises at import of the fast path if missing).  Short sequences stay
+on the Python path regardless: below :data:`MIN_VECTOR_LEN` elements the
+array-conversion overhead dwarfs the vector win.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "HAS_NUMPY",
+    "MIN_VECTOR_LEN",
+    "accel_enabled",
+    "prefix_fold",
+    "completion_etcs",
+    "slack_values",
+]
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+
+    HAS_NUMPY = True
+except Exception:  # pragma: no cover - numpy genuinely absent
+    _np = None  # type: ignore[assignment]
+    HAS_NUMPY = False
+
+#: Sequences shorter than this always use the pure-Python fold: list ->
+#: ndarray -> list conversion costs more than it saves.  The two paths are
+#: bit-identical, so the threshold is a pure performance knob.
+MIN_VECTOR_LEN = 64
+
+def _resolve_enabled() -> bool:
+    """Resolve the ``ARIA_ACCEL`` gate against numpy availability."""
+    from ..errors import ConfigurationError
+
+    mode = os.environ.get("ARIA_ACCEL", "auto").strip().lower()
+    if mode not in ("auto", "on", "off"):
+        raise ConfigurationError(
+            f"ARIA_ACCEL={mode!r}: expected 'auto', 'on' or 'off'"
+        )
+    if mode == "on" and not HAS_NUMPY:
+        raise ConfigurationError("ARIA_ACCEL=on but numpy is not importable")
+    return HAS_NUMPY and mode != "off"
+
+
+_ENABLED = _resolve_enabled()
+
+
+def accel_enabled() -> bool:
+    """Whether the numpy fast paths are active in this process."""
+    return _ENABLED
+
+
+def _set_enabled(value: Optional[bool]) -> None:
+    """Test hook: force the fast path on/off; ``None`` restores the
+    environment-resolved default (must have numpy for ``on``)."""
+    global _ENABLED
+    if value is None:
+        _ENABLED = _resolve_enabled()
+        return
+    if value and not HAS_NUMPY:
+        raise RuntimeError("cannot enable accel without numpy")
+    _ENABLED = bool(value)
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+def prefix_fold(values: Sequence[float], base: float) -> List[float]:
+    """Left-fold prefix sums: ``[base + v0, base + v0 + v1, ...]``.
+
+    Matches the scalar loop ``acc += v`` bit-for-bit (numpy's
+    ``add.accumulate`` is a sequential fold, not pairwise).
+    """
+    if _ENABLED and len(values) >= MIN_VECTOR_LEN:
+        arr = _np.asarray(values, dtype=_np.float64).copy()
+        arr[0] = base + float(arr[0])
+        return _np.add.accumulate(arr).tolist()
+    out: List[float] = []
+    acc = base
+    for value in values:
+        acc += value
+        out.append(acc)
+    return out
+
+
+def completion_etcs(
+    ertps: Sequence[float], now: float, running_remaining: float
+) -> List[float]:
+    """Absolute completion times ``now + (running_remaining ⊕ ertps fold)``.
+
+    Bit-identical to::
+
+        elapsed = running_remaining
+        for e in ertps:
+            elapsed += e
+            out.append(now + elapsed)
+    """
+    if _ENABLED and len(ertps) >= MIN_VECTOR_LEN:
+        arr = _np.asarray(ertps, dtype=_np.float64).copy()
+        arr[0] = running_remaining + float(arr[0])
+        acc = _np.add.accumulate(arr)
+        # IEEE-754 addition is commutative: now + x == x + now per lane.
+        return (acc + now).tolist()
+    out: List[float] = []
+    elapsed = running_remaining
+    for ertp in ertps:
+        elapsed += ertp
+        out.append(now + elapsed)
+    return out
+
+
+def slack_values(
+    deadlines: Sequence[float], etcs: Sequence[float]
+) -> List[float]:
+    """Elementwise ``deadline - etc`` (each lane rounds independently)."""
+    if _ENABLED and len(deadlines) >= MIN_VECTOR_LEN:
+        d = _np.asarray(deadlines, dtype=_np.float64)
+        e = _np.asarray(etcs, dtype=_np.float64)
+        return (d - e).tolist()
+    return [d - e for d, e in zip(deadlines, etcs)]
+
+
+def describe() -> str:
+    """One-line status string for benchmarks and docs."""
+    if not HAS_NUMPY:
+        return "accel: numpy not installed (pure-Python fallback)"
+    state = "enabled" if _ENABLED else "disabled"
+    version: Optional[str] = getattr(_np, "__version__", None)
+    mode = os.environ.get("ARIA_ACCEL", "auto").strip().lower()
+    return f"accel: numpy {version} {state} (ARIA_ACCEL={mode})"

@@ -78,6 +78,18 @@ class AriaConfig:
     adoption: bool = False
     #: How many silent probe windows an assignee waits before adopting.
     adoption_windows: int = 3
+    #: Per-agent flood-dedup window size (entries per SeenCache).  The
+    #: default is generous for paper-scale grids; large-grid runs lower
+    #: it — a node only needs to remember the floods that can concurrently
+    #: pass through it, and 100k nodes × two 4096-entry caches would cost
+    #: tens of GB of RSS for dedup state that is > 99 % expired.
+    seen_cache_capacity: int = 4096
+    #: Upper bound on the per-agent static host-match cache (job ids seen
+    #: by REQUEST/INFORM floods).  The cache is pure memoization — when it
+    #: fills up it is simply cleared and re-warms, so results never
+    #: change; the bound keeps per-agent memory independent of how many
+    #: jobs flood past over a run's lifetime.
+    match_cache_limit: int = 4096
     #: Straggler defense: when > 0, an assignee gives every accepted job
     #: an execution deadline of ``estimate × slack`` and, once overdue,
     #: advertises the job with a cost penalty that grows with the delay,
@@ -106,5 +118,9 @@ class AriaConfig:
             raise ConfigurationError("departure_grace must be >= 0")
         if self.adoption_windows < 1:
             raise ConfigurationError("adoption_windows must be >= 1")
+        if self.seen_cache_capacity < 1:
+            raise ConfigurationError("seen_cache_capacity must be >= 1")
+        if self.match_cache_limit < 1:
+            raise ConfigurationError("match_cache_limit must be >= 1")
         if self.exec_deadline_slack < 0:
             raise ConfigurationError("exec_deadline_slack must be >= 0")

@@ -90,6 +90,48 @@ class _PendingRequest:
 class AriaAgent:
     """Protocol endpoint attached to one :class:`~repro.grid.GridNode`."""
 
+    __slots__ = (
+        "node",
+        "node_id",
+        "transport",
+        "graph",
+        "config",
+        "_inform_fanout",
+        "_request_fanout",
+        "_improvement_threshold",
+        "_deadline_slack",
+        "_adoption",
+        "metrics",
+        "sim",
+        "_trace",
+        "_rng",
+        "_pending",
+        "_seen_requests",
+        "_seen_informs",
+        "_job_initiators",
+        "_broadcast_seq",
+        "_inform_stop",
+        "_tracked",
+        "_probe_timeouts",
+        "_suspect",
+        "_failsafe_stop",
+        "_completed",
+        "_redelegated",
+        "incarnation",
+        "_last_probe",
+        "_adopted",
+        "_exec_deadlines",
+        "_deadline_overdue",
+        "failed",
+        "leaving",
+        "departed",
+        "_depart_timer",
+        "_match_cache",
+        "_match_cache_limit",
+        "_dispatch",
+        "grid_state",
+    )
+
     def __init__(
         self,
         node: GridNode,
@@ -122,8 +164,8 @@ class AriaAgent:
         self._trace = tracer
         self._rng = rng if rng is not None else self.sim.streams.get("aria")
         self._pending: Dict[JobId, _PendingRequest] = {}
-        self._seen_requests = SeenCache()
-        self._seen_informs = SeenCache()
+        self._seen_requests = SeenCache(config.seen_cache_capacity)
+        self._seen_informs = SeenCache(config.seen_cache_capacity)
         self._job_initiators: Dict[JobId, NodeId] = {}
         self._broadcast_seq = 0
         self._inform_stop = None
@@ -167,6 +209,11 @@ class AriaAgent:
         #: node's fixed profile/scheduler, so the verdict is computed once
         #: per job id; liveness (leaving/failed) stays outside the cache.
         self._match_cache: Dict[JobId, bool] = {}
+        self._match_cache_limit = config.match_cache_limit
+        #: Optional :class:`~repro.grid.state.GridState` this agent mirrors
+        #: its live bit into (assigned by the grid builder; ``None`` costs
+        #: one check per membership transition).
+        self.grid_state = None
         #: Message dispatch by exact type — one dict lookup per delivery
         #: instead of an isinstance chain.
         self._dispatch = {
@@ -261,6 +308,8 @@ class AriaAgent:
             self.transport.unregister(self.node_id)
         if leave_overlay and self.graph.has_node(self.node_id):
             self.graph.remove_node(self.node_id)
+        if self.grid_state is not None:
+            self.grid_state.set_live(int(self.node_id), False)
         lost = self.node.crash()
         for job in lost:
             self.metrics.job_lost(job.job_id, self.sim.now)
@@ -300,11 +349,13 @@ class AriaAgent:
             raise ProtocolError(f"node {self.node_id} departed for good")
         self.failed = False
         self.leaving = False
+        if self.grid_state is not None:
+            self.grid_state.set_live(int(self.node_id), True)
         self.incarnation += 1
         self.transport.bump_incarnation(self.node_id)
         self.node.revive()
-        self._seen_requests = SeenCache()
-        self._seen_informs = SeenCache()
+        self._seen_requests = SeenCache(self.config.seen_cache_capacity)
+        self._seen_informs = SeenCache(self.config.seen_cache_capacity)
         self._job_initiators.clear()
         self._suspect.clear()
         self.transport.register(self.node_id, self._on_message)
@@ -377,6 +428,8 @@ class AriaAgent:
         if self._departure_blocked():
             return  # a late ASSIGN arrived; its hand-off will re-trigger
         self.departed = True
+        if self.grid_state is not None:
+            self.grid_state.set_live(int(self.node_id), False)
         self.stop()
         self.transport.unregister(self.node_id)
         if self.graph.has_node(self.node_id):
@@ -628,6 +681,11 @@ class AriaAgent:
         cached = self._match_cache.get(job.job_id)
         if cached is None:
             cached = self._hosts_family(job) and self.node.can_execute(job)
+            if len(self._match_cache) >= self._match_cache_limit:
+                # Pure memoization: dropping entries only costs re-derival,
+                # so a flush-and-rewarm keeps memory bounded over runs that
+                # flood hundreds of thousands of job ids past each node.
+                self._match_cache.clear()
             self._match_cache[job.job_id] = cached
         return cached
 
@@ -711,6 +769,12 @@ class AriaAgent:
         the scheduler's ``(version, now, running_remaining)``-keyed caches.
         """
         scheduler = self.node.scheduler
+        if len(scheduler) == 0:
+            # Nothing waiting: the round would advertise nothing, consume
+            # no randomness and change no counter.  Returning here is
+            # observably identical and keeps the per-node periodic timer
+            # (nodes x rounds of them) a near-free event at 10^5 nodes.
+            return
         now = self.sim.now
         running_remaining = self.node.running_remaining()
         candidates = select_inform_candidates(

@@ -8,12 +8,21 @@ schedulers jobs with the least lateness are chosen."
 *Least lateness* uses the paper's Fig. 4 definition of lateness — the time
 left from (expected) completion to the deadline — so the jobs most at risk
 (smallest slack) are advertised first.
+
+Selection runs every INFORM round on every backlogged node, so it must not
+re-sort the whole waiting queue to pick 2 candidates:
+``heapq.nsmallest(count, ...)`` is O(n log count) and — per its documented
+contract — returns exactly ``sorted(...)[:count]``, so the picked
+candidates (and therefore every downstream message) are identical to the
+full sort.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import List
 
+from ..accel import slack_values
 from ..scheduling.base import DEADLINE, LocalScheduler, QueuedJob
 from ..scheduling.costs import completion_times
 
@@ -33,17 +42,16 @@ def select_inform_candidates(
     if scheduler.kind == DEADLINE:
         order = scheduler.ordered_queue()
         etcs = completion_times(order, now, running_remaining)
+        slacks = slack_values([entry.job.deadline for entry in order], etcs)
         slack = {
-            entry.job.job_id: entry.job.deadline - etc
-            for entry, etc in zip(order, etcs)
+            entry.job.job_id: value
+            for entry, value in zip(order, slacks)
         }
-        ranked = sorted(
-            waiting, key=lambda e: (slack[e.job.job_id], e.enqueue_time)
+        return heapq.nsmallest(
+            count, waiting, key=lambda e: (slack[e.job.job_id], e.enqueue_time)
         )
-    else:
-        # Batch: largest waiting time first (earliest enqueue first).
-        ranked = sorted(waiting, key=lambda e: e.enqueue_time)
-    return ranked[:count]
+    # Batch: largest waiting time first (earliest enqueue first).
+    return heapq.nsmallest(count, waiting, key=lambda e: e.enqueue_time)
 
 
 def current_queue_cost(

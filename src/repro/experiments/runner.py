@@ -10,6 +10,7 @@ samplers behind Figures 1/3/5/6.  Ten-run experiments use seeds
 
 from __future__ import annotations
 
+import gc
 import random
 from collections import OrderedDict
 from dataclasses import dataclass, field as dataclass_field
@@ -19,6 +20,7 @@ from ..core.config import AriaConfig
 from ..core.protocol import AriaAgent
 from ..grid.node import GridNode
 from ..grid.performance import AccuracyModel
+from ..grid.state import GridState
 from ..grid.resources import random_node_profile, random_performance_index
 from ..metrics.collector import GridMetrics
 from ..net.traffic import TrafficReport
@@ -48,6 +50,35 @@ __all__ = ["GridSetup", "RunResult", "build_grid", "run_scenario", "run_scenario
 _OVERLAY_CACHE: "OrderedDict[Tuple[int, int], OverlayGraph]" = OrderedDict()
 _OVERLAY_CACHE_SIZE = 8
 
+#: Above this many nodes the grid switches to its large-scale build: the
+#: BLATANT ant walk is replaced by a degree-equivalent chordal ring
+#: (convergence is O(nodes^2) — 67 s at 2 000 nodes and growing — while
+#: the ring builds in O(nodes) with the same average degree and a
+#: logarithmic diameter), and per-agent dedup caches are trimmed so
+#: aggregate memory stays proportional to the grid, not to the paper-scale
+#: defaults times 10^5 nodes.  Every stock preset up to ``paper`` (500
+#: nodes) sits below the threshold, so their seeded runs are unchanged.
+_LARGE_GRID_NODES = 2_000
+
+#: SeenCache capacity used for grids above ``_LARGE_GRID_NODES`` (unless
+#: explicitly overridden).  Floods reach a few thousand nodes, so each
+#: agent sees a small slice of all broadcasts; 512 remembered broadcast
+#: keys per cache keeps duplicate suppression effective while bounding
+#: the worst case at ~10^3 entries per node instead of ~10^4.
+_LARGE_GRID_SEEN_CAPACITY = 512
+
+#: REQUEST flood hop bound for grids above ``_LARGE_GRID_NODES``.  The
+#: paper's ≤9 hops / fanout 4 (§IV-E) floods the *entire* 500-node
+#: evaluation grid; applied unchanged to a 10k-node overlay the same
+#: policy costs ~22 000 messages per REQUEST (measured on a degree-4
+#: chordal ring) — per-job discovery overhead 40x the paper's, with no
+#: added scheduling value.  Six hops bounds a flood at ~1 500 messages
+#: reaching ~1 400 candidate nodes regardless of grid size — nearly 3x
+#: the paper's whole grid — so discovery quality per job matches the
+#: evaluation while total traffic stays proportional to jobs, not to
+#: jobs x nodes.  Explicit ``config_overrides`` still win.
+_LARGE_GRID_REQUEST_HOPS = 6
+
 
 def _converged_overlay(size: int, seed: int) -> OverlayGraph:
     key = (size, seed)
@@ -66,8 +97,21 @@ def _converged_overlay(size: int, seed: int) -> OverlayGraph:
 
 
 def _build_overlay(kind: str, size: int, seed: int) -> OverlayGraph:
-    """The scenario's overlay: BLATANT (default) or a static topology."""
+    """The scenario's overlay: BLATANT (default) or a static topology.
+
+    Above :data:`_LARGE_GRID_NODES` the "converged BLATANT" starting
+    point is stood in for by a chordal ring with the same average degree
+    (~4) and bounded path lengths — the properties BLATANT-S converges
+    to — because running the ant walk to convergence is quadratic in the
+    grid size.
+    """
     if kind == "blatant":
+        if size > _LARGE_GRID_NODES:
+            from ..overlay.topologies import chordal_ring
+
+            return chordal_ring(
+                size, random.Random(derive_seed(seed, "overlay.build"))
+            )
         return _converged_overlay(size, seed)
     from ..overlay.topologies import TOPOLOGY_BUILDERS
 
@@ -189,6 +233,9 @@ class GridSetup:
     #: Shared per-run metrics registry (always present; snapshotted into
     #: ``RunResult.telemetry`` when observability was requested).
     registry: Optional[MetricsRegistry] = None
+    #: Slab-backed aggregate node state (always present for grids built
+    #: here); the samplers and the submission process read it.
+    grid_state: Optional[GridState] = None
     #: The run's :class:`~repro.obs.Tracer`; ``None`` unless a
     #: ``TraceConfig`` with an active level was passed to ``build_grid``.
     tracer: Optional[Tracer] = None
@@ -212,10 +259,27 @@ class GridSetup:
 
         Closes the tracer (flushing its sink) even when the simulation
         fails, so a partial trace is still readable for post-mortems.
+
+        Large grids are frozen out of the cyclic collector for the
+        duration of the run: the built grid is millions of long-lived
+        objects the collector re-scans on every full pass without ever
+        finding a collectable cycle (per-event garbage is acyclic and
+        dies by refcount).  ``gc.freeze`` moves the built graph to the
+        permanent generation so those passes stay cheap; ``unfreeze``
+        in the ``finally`` restores normal collection so a long-lived
+        process reclaims the grid afterwards.  GC never changes
+        simulated outcomes — it only reclaims unreachable objects — and
+        the gate keeps golden-scale runs entirely untouched.
         """
+        freeze = self.scale.nodes > _LARGE_GRID_NODES
+        if freeze:
+            gc.collect()
+            gc.freeze()
         try:
             self.sim.run_until(self.scale.duration)
         finally:
+            if freeze:
+                gc.unfreeze()
             if self.tracer is not None:
                 self.tracer.close()
         telemetry: Dict[str, float] = {}
@@ -290,6 +354,19 @@ def build_grid(
         inform_count=scenario.inform_count,
         improvement_threshold=scenario.improvement_threshold,
     )
+    if scale.nodes > _LARGE_GRID_NODES:
+        import dataclasses
+
+        from ..overlay.flooding import FloodPolicy
+
+        config = dataclasses.replace(
+            config,
+            seen_cache_capacity=_LARGE_GRID_SEEN_CAPACITY,
+            request_flood=FloodPolicy(
+                max_hops=_LARGE_GRID_REQUEST_HOPS,
+                fanout=config.request_flood.fanout,
+            ),
+        )
     if config_overrides:
         import dataclasses
 
@@ -302,6 +379,7 @@ def build_grid(
     policy_rng = sim.streams.get("policies")
     nodes: List[GridNode] = []
     agents: List[AriaAgent] = []
+    state = GridState()
 
     def add_node(node_id: NodeId) -> None:
         node = GridNode(
@@ -315,6 +393,9 @@ def build_grid(
         agent = AriaAgent(
             node, transport, graph, config, metrics, tracer=agent_tracer
         )
+        state.register(node_id)
+        node.bind_state(state)
+        agent.grid_state = state
         agent.start()
         nodes.append(node)
         agents.append(agent)
@@ -344,28 +425,40 @@ def build_grid(
         reservation_probability=scenario.reservation_probability,
         reservation_delay_mean=scenario.reservation_delay_mean,
     )
+    # The live-agent pool only changes on membership events (join, crash,
+    # restart, departure) — tracked by ``GridState.membership_version`` —
+    # so the submission process reuses one cached list instead of
+    # filtering all agents on every submission (O(nodes * jobs) at scale).
+    live_cache: List[AriaAgent] = []
+    live_cache_version = [-1]
+
+    def live_agents() -> List[AriaAgent]:
+        version = state.membership_version
+        if version != live_cache_version[0]:
+            live_cache[:] = [
+                agent
+                for agent in agents
+                if not agent.failed and not agent.departed
+            ]
+            live_cache_version[0] = version
+        return live_cache
+
     SubmissionProcess(
         sim,
-        agents=lambda: [
-            agent
-            for agent in agents
-            if not agent.failed and not agent.departed
-        ],
+        agents=live_agents,
         generator=generator,
         schedule=schedule,
         rng=sim.streams.get("submission"),
     )
 
     # ------------------------------------------------------------------
-    # Probes — idle counts only consider live (non-crashed) nodes.
+    # Probes — idle counts only consider live (non-crashed) nodes.  Both
+    # counters are maintained incrementally by the GridState slab, so a
+    # sampler tick is O(1) instead of a walk over every agent.
     # ------------------------------------------------------------------
     idle = PeriodicSampler(
         sim,
-        lambda: sum(
-            agent.node.is_idle
-            for agent in agents
-            if not agent.failed and not agent.departed
-        ),
+        lambda: state.idle_live_count,
         interval=scale.sample_interval,
         start=0.0,
     )
@@ -377,9 +470,7 @@ def build_grid(
     )
     node_count = PeriodicSampler(
         sim,
-        lambda: sum(
-            1 for agent in agents if not agent.failed and not agent.departed
-        ),
+        lambda: state.live_count,
         interval=scale.sample_interval,
         start=0.0,
     )
@@ -400,6 +491,7 @@ def build_grid(
         node_count_sampler=node_count,
         add_node=add_node,
         registry=registry,
+        grid_state=state,
         tracer=tracer,
         obs=obs,
     )

@@ -10,8 +10,14 @@ the submission window, the per-node arrival rate, the queue backlog
 dynamics and therefore the shapes of all time series stay comparable to the
 paper's — only the statistics get noisier.
 
+Beyond the paper's size, the ``large`` (10 000 nodes) and ``huge``
+(100 000 nodes) presets scale *up*: same per-node arrival rate, 20× / 200×
+the traffic.  They are feasible thanks to slab-backed grid state, bounded
+per-agent caches and O(1) sampler probes — see ``docs/PERFORMANCE.md``.
+
 Set the environment variable ``ARIA_BENCH_SCALE`` to ``tiny``, ``small``,
-``medium`` or ``paper`` to choose the benchmark scale (default ``small``).
+``medium``, ``paper``, ``large`` or ``huge`` to choose the benchmark scale
+(default ``small``).
 """
 
 from __future__ import annotations
@@ -25,6 +31,13 @@ __all__ = ["ScenarioScale", "bench_scale_from_env"]
 
 #: The paper's node count; submission intervals in Table II refer to it.
 REFERENCE_NODES = 500
+
+#: Upper bound on ``duration / sample_interval``.  Each sampled series
+#: costs one probe event per tick, so an interval that does not scale with
+#: the duration would emit millions of probe events (and samples) on long
+#: runs.  The paper's cadence gives 250 points; 10 000 leaves generous
+#: headroom while keeping probe traffic negligible at any scale.
+MAX_SAMPLES_PER_SERIES = 10_000
 
 
 @dataclass(frozen=True)
@@ -52,6 +65,16 @@ class ScenarioScale:
             raise ConfigurationError("expanding_fraction out of [0, 1]")
         if not 0 <= self.expanding_start < self.expanding_end <= self.duration:
             raise ConfigurationError("invalid expanding window")
+        if self.sample_interval <= 0:
+            raise ConfigurationError("sample_interval must be positive")
+        if self.duration / self.sample_interval > MAX_SAMPLES_PER_SERIES:
+            raise ConfigurationError(
+                f"sample_interval {self.sample_interval!r} yields "
+                f"{self.duration / self.sample_interval:.0f} samples over "
+                f"duration {self.duration!r}; must not exceed "
+                f"{MAX_SAMPLES_PER_SERIES} — scale the interval with the "
+                f"duration"
+            )
 
     @property
     def interval_factor(self) -> float:
@@ -69,6 +92,16 @@ class ScenarioScale:
     def paper(cls) -> "ScenarioScale":
         """The paper's exact evaluation size (500 nodes, 1000 jobs)."""
         return cls()
+
+    @classmethod
+    def large(cls) -> "ScenarioScale":
+        """20× the paper: 10 000 nodes, 20 000 jobs, same load shape."""
+        return cls(nodes=10_000, jobs=20_000, sample_interval=600.0)
+
+    @classmethod
+    def huge(cls) -> "ScenarioScale":
+        """200× the paper: 100 000 nodes, 200 000 jobs, same load shape."""
+        return cls(nodes=100_000, jobs=200_000, sample_interval=600.0)
 
     @classmethod
     def medium(cls) -> "ScenarioScale":
@@ -92,6 +125,8 @@ class ScenarioScale:
 
 
 _SCALES = {
+    "huge": ScenarioScale.huge,
+    "large": ScenarioScale.large,
     "paper": ScenarioScale.paper,
     "medium": ScenarioScale.medium,
     "small": ScenarioScale.small,

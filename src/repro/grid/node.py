@@ -65,6 +65,25 @@ NodeJobCallback = Callable[["GridNode", RunningJob], None]
 class GridNode:
     """One grid site: resources, a local scheduler, and an executor."""
 
+    __slots__ = (
+        "node_id",
+        "sim",
+        "profile",
+        "performance_index",
+        "scheduler",
+        "accuracy",
+        "_art_rng",
+        "running",
+        "_completion_event",
+        "crashed",
+        "slowdown_factor",
+        "on_job_started",
+        "on_job_finished",
+        "completed_jobs",
+        "_state",
+        "_state_slot",
+    )
+
     def __init__(
         self,
         node_id: NodeId,
@@ -99,6 +118,25 @@ class GridNode:
         self.on_job_finished: List[NodeJobCallback] = []
         #: Completed-job counter (cheap probe for utilization series).
         self.completed_jobs = 0
+        #: Optional :class:`~repro.grid.state.GridState` slab this node
+        #: mirrors its idle bit into (``None`` costs one check per queue
+        #: transition).
+        self._state = None
+        self._state_slot = 0
+
+    def bind_state(self, state) -> None:
+        """Mirror this node's idle bit into ``state`` from now on."""
+        self._state = state
+        self._state_slot = int(self.node_id)
+        state.set_idle(self._state_slot, self.is_idle)
+
+    def _sync_state(self) -> None:
+        state = self._state
+        if state is not None:
+            state.set_idle(
+                self._state_slot,
+                self.running is None and len(self.scheduler) == 0,
+            )
 
     # ------------------------------------------------------------------
     # Matching and cost quoting
@@ -143,6 +181,7 @@ class GridNode:
             )
         self.scheduler.enqueue(job, self.ertp(job), self.sim.now)
         self._maybe_start()
+        self._sync_state()
 
     def withdraw_job(self, job_id: JobId) -> Optional[QueuedJob]:
         """Remove a *waiting* job for rescheduling elsewhere.
@@ -156,7 +195,9 @@ class GridNode:
             return None
         if job_id not in self.scheduler:
             return None
-        return self.scheduler.remove(job_id)
+        removed = self.scheduler.remove(job_id)
+        self._sync_state()
+        return removed
 
     def holds_job(self, job_id: JobId) -> bool:
         """Whether the job is waiting or running on this node."""
@@ -203,6 +244,7 @@ class GridNode:
         for callback in self.on_job_finished:
             callback(self, finished)
         self._maybe_start()
+        self._sync_state()
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -227,6 +269,7 @@ class GridNode:
             if entry is None:
                 break
             lost.append(entry.job)
+        self._sync_state()
         return lost
 
     def revive(self) -> None:

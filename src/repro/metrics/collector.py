@@ -44,6 +44,13 @@ class GridMetrics:
             "jobs.deadline_exceeded"
         )
         self._completion_time = self.registry.histogram("job.completion_time")
+        #: Time-resolved completion latency, decimated to bounded memory
+        #: (:class:`~repro.obs.BoundedSeries`): at 10^5+ completions an
+        #: unbounded per-event series would be the collector's dominant
+        #: allocation.
+        self.completion_series = self.registry.series(
+            "job.completion_time.series"
+        )
         #: Every completion as ``(job, node, incarnation)`` — including
         #: duplicates the records above refuse to double-book.  The
         #: invariant checker reads this to prove no job ran under two
@@ -143,6 +150,7 @@ class GridMetrics:
         record.finish_time = time
         self._completed_jobs.inc()
         self._completion_time.observe(record.completion_time)
+        self.completion_series.record(time, record.completion_time)
 
     def job_unschedulable(self, job_id: JobId, time: float) -> None:
         """Record that discovery gave up on the job (REQUEST retries spent)."""

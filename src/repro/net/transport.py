@@ -125,8 +125,9 @@ class Transport:
         self.faults = None
         #: Optional :class:`~repro.net.reliability.ReliabilityLayer`.
         self.reliability = None
-        #: ``None`` until :meth:`enable_incarnations`; then a map of
-        #: node id -> current incarnation number (missing means 0).
+        #: ``None`` until :meth:`enable_incarnations`; then an
+        #: :class:`~repro.grid.state.IncarnationSlab` mapping node id ->
+        #: current incarnation number (missing means 0).
         self._incarnations = None
         self._dropped_stale = self.registry.counter("net.dropped_stale")
         #: Optional :class:`~repro.obs.Tracer`, attached only when
@@ -211,7 +212,9 @@ class Transport:
         a stamp and can be rejected on arrival at the reborn node.
         """
         if self._incarnations is None:
-            self._incarnations = {}
+            from ..grid.state import IncarnationSlab
+
+            self._incarnations = IncarnationSlab()
 
     def bump_incarnation(self, node_id: NodeId) -> int:
         """Advance ``node_id`` to a fresh incarnation and return it.
@@ -221,7 +224,7 @@ class Transport:
         this point are unstamped and pass through).
         """
         if self._incarnations is None:
-            self._incarnations = {}
+            self.enable_incarnations()
         value = self._incarnations.get(node_id, 0) + 1
         self._incarnations[node_id] = value
         return value

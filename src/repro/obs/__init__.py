@@ -15,7 +15,7 @@ could not provide (see ``docs/OBSERVABILITY.md``):
   trace (also the ``repro explain-job`` CLI).
 """
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import BoundedSeries, Counter, Gauge, Histogram, MetricsRegistry
 from .timeline import JobTimeline, explain_job
 from .trace import (
     EVENTS,
@@ -32,6 +32,7 @@ from .trace import (
 )
 
 __all__ = [
+    "BoundedSeries",
     "Counter",
     "EVENTS",
     "Gauge",

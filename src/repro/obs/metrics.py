@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "BoundedSeries", "MetricsRegistry"]
 
 
 def _metric_key(name: str, labels: Dict[str, str]) -> str:
@@ -139,6 +139,59 @@ class Histogram:
             out[f"{self.key}.max"] = float(self.max)
 
 
+class BoundedSeries:
+    """A decimating ``(time, value)`` series with bounded memory.
+
+    Unbounded per-event series are the classic observability memory leak:
+    at 10^8 events a naive append-per-record list dwarfs the simulation
+    state itself.  ``BoundedSeries`` keeps at most ``max_points`` pairs —
+    when full, every second retained point is dropped and the series
+    switches to recording every 2nd (then 4th, 8th, ...) observation, so
+    memory stays O(max_points) while the series keeps uniform coverage of
+    the whole run.
+
+    The snapshot exposes ``count`` (observations offered), ``points``
+    (pairs retained) and ``stride`` so consumers can tell whether (and how
+    much) the series was decimated.
+    """
+
+    __slots__ = ("key", "max_points", "points", "count", "_stride")
+
+    def __init__(self, key: str, max_points: int = 4096) -> None:
+        if max_points < 2:
+            raise ConfigurationError(
+                f"series {key} needs max_points >= 2, got {max_points}"
+            )
+        self.key = key
+        self.max_points = max_points
+        self.points: List[Tuple[float, float]] = []
+        self.count = 0
+        self._stride = 1
+
+    def record(self, time: float, value: float) -> None:
+        """Offer one observation (kept only on the current stride)."""
+        count = self.count
+        self.count = count + 1
+        if count % self._stride:
+            return
+        points = self.points
+        points.append((float(time), float(value)))
+        if len(points) >= self.max_points:
+            del points[1::2]
+            self._stride *= 2
+
+    @property
+    def stride(self) -> int:
+        """Current decimation stride (1 until the cap is first reached)."""
+        return self._stride
+
+    def snapshot_into(self, out: Dict[str, float]) -> None:
+        """Write count / retained / stride samples into ``out``."""
+        out[f"{self.key}.count"] = float(self.count)
+        out[f"{self.key}.points"] = float(len(self.points))
+        out[f"{self.key}.stride"] = float(self._stride)
+
+
 class MetricsRegistry:
     """Factory and namespace for one run's metrics.
 
@@ -179,6 +232,12 @@ class MetricsRegistry:
     ) -> Histogram:
         """The histogram registered under ``name`` (+ labels)."""
         return self._get(Histogram, name, labels, buckets=buckets)
+
+    def series(
+        self, name: str, max_points: int = 4096, **labels: str
+    ) -> BoundedSeries:
+        """The bounded time series registered under ``name`` (+ labels)."""
+        return self._get(BoundedSeries, name, labels, max_points=max_points)
 
     def snapshot(self) -> Dict[str, float]:
         """Deterministic flat ``{key: value}`` view of every metric.

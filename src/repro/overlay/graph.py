@@ -26,12 +26,15 @@ class OverlayGraph:
     flooding hot path never re-materializes an unchanged adjacency list.
     """
 
-    __slots__ = ("_adj", "_link_count", "_views")
+    __slots__ = ("_adj", "_link_count", "_views", "_version", "_slab")
 
     def __init__(self) -> None:
         self._adj: Dict[NodeId, Dict[NodeId, None]] = {}
         self._link_count = 0
         self._views: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        #: Bumped on every structural mutation; keys the slab cache.
+        self._version = 0
+        self._slab = None
 
     # ------------------------------------------------------------------
     # Nodes
@@ -41,6 +44,7 @@ class OverlayGraph:
         if node in self._adj:
             raise TopologyError(f"node {node} already in overlay")
         self._adj[node] = {}
+        self._version += 1
 
     def remove_node(self, node: NodeId) -> None:
         """Remove a node and all its links."""
@@ -53,6 +57,7 @@ class OverlayGraph:
             del self._adj[other][node]
             views.pop(other, None)
         self._link_count -= len(neighbors)
+        self._version += 1
 
     def has_node(self, node: NodeId) -> bool:
         """Whether ``node`` is part of the overlay."""
@@ -89,6 +94,7 @@ class OverlayGraph:
         self._views.pop(a, None)
         self._views.pop(b, None)
         self._link_count += 1
+        self._version += 1
         return True
 
     def remove_link(self, a: NodeId, b: NodeId) -> None:
@@ -101,6 +107,7 @@ class OverlayGraph:
         self._views.pop(a, None)
         self._views.pop(b, None)
         self._link_count -= 1
+        self._version += 1
 
     def has_link(self, a: NodeId, b: NodeId) -> bool:
         """Whether the undirected link ``a -- b`` exists."""
@@ -155,6 +162,33 @@ class OverlayGraph:
         if not self._adj:
             return 0.0
         return 2.0 * self._link_count / len(self._adj)
+
+    def neighbor_slab(self) -> Tuple[List[NodeId], Dict[NodeId, int], List[int], List[int]]:
+        """Flat CSR adjacency: ``(ids, index_of, offsets, targets)``.
+
+        ``ids[i]`` is the i-th node in insertion order, ``index_of`` its
+        inverse, and ``targets[offsets[i]:offsets[i+1]]`` the dense
+        indices of ``ids[i]``'s neighbours in link-insertion order —
+        the same order :meth:`neighbors` yields.  Cached until the next
+        structural mutation, so BFS-heavy consumers (topology metrics,
+        BLATANT convergence checks) traverse integer arrays instead of
+        hashing node ids through nested dicts.
+        """
+        slab = self._slab
+        if slab is not None and slab[0] == self._version:
+            return slab[1]
+        adj = self._adj
+        ids = list(adj)
+        index_of = {node: index for index, node in enumerate(ids)}
+        offsets = [0] * (len(ids) + 1)
+        targets: List[int] = []
+        extend = targets.extend
+        for index, node in enumerate(ids):
+            extend(map(index_of.__getitem__, adj[node]))
+            offsets[index + 1] = len(targets)
+        csr = (ids, index_of, offsets, targets)
+        self._slab = (self._version, csr)
+        return csr
 
     def copy(self) -> "OverlayGraph":
         """Deep copy (used by pruning checks and what-if analyses)."""

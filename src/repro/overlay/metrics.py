@@ -30,19 +30,36 @@ def bfs_distances(
     """Hop distances from ``source`` to every reachable node (BFS).
 
     ``max_depth`` bounds the search radius; nodes farther away are omitted.
+
+    Runs over the graph's flat CSR slab
+    (:meth:`~repro.overlay.graph.OverlayGraph.neighbor_slab`): the search
+    walks integer offsets and a flat distance array instead of hashing node
+    ids through nested dicts.  Visit order matches the adjacency insertion
+    order, so the returned dict is identical (contents *and* order) to a
+    dict-based BFS.
     """
-    distances: Dict[NodeId, int] = {source: 0}
-    frontier = deque((source,))
+    ids, index_of, offsets, targets = graph.neighbor_slab()
+    start = index_of.get(source)
+    if start is None:
+        from ..errors import TopologyError
+
+        raise TopologyError(f"node {source} not in overlay")
+    dist = [-1] * len(ids)
+    dist[start] = 0
+    order = [start]
+    frontier = deque((start,))
     while frontier:
-        node = frontier.popleft()
-        depth = distances[node]
+        index = frontier.popleft()
+        depth = dist[index]
         if max_depth is not None and depth >= max_depth:
             continue
-        for neighbor in graph.neighbors(node):
-            if neighbor not in distances:
-                distances[neighbor] = depth + 1
-                frontier.append(neighbor)
-    return distances
+        next_depth = depth + 1
+        for target in targets[offsets[index] : offsets[index + 1]]:
+            if dist[target] < 0:
+                dist[target] = next_depth
+                order.append(target)
+                frontier.append(target)
+    return {ids[index]: dist[index] for index in order}
 
 
 def hop_distance(
@@ -51,19 +68,28 @@ def hop_distance(
     """Hop distance between two nodes, or ``None`` if unreachable in bound."""
     if a == b:
         return 0
-    distances: Dict[NodeId, int] = {a: 0}
-    frontier = deque((a,))
+    ids, index_of, offsets, targets = graph.neighbor_slab()
+    start = index_of.get(a)
+    if start is None:
+        from ..errors import TopologyError
+
+        raise TopologyError(f"node {a} not in overlay")
+    goal = index_of.get(b, -1)
+    dist = [-1] * len(ids)
+    dist[start] = 0
+    frontier = deque((start,))
     while frontier:
-        node = frontier.popleft()
-        depth = distances[node]
+        index = frontier.popleft()
+        depth = dist[index]
         if max_depth is not None and depth >= max_depth:
             continue
-        for neighbor in graph.neighbors(node):
-            if neighbor == b:
-                return depth + 1
-            if neighbor not in distances:
-                distances[neighbor] = depth + 1
-                frontier.append(neighbor)
+        next_depth = depth + 1
+        for target in targets[offsets[index] : offsets[index + 1]]:
+            if target == goal:
+                return next_depth
+            if dist[target] < 0:
+                dist[target] = next_depth
+                frontier.append(target)
     return None
 
 

@@ -21,6 +21,7 @@ from .metrics import is_connected
 
 __all__ = [
     "ring",
+    "chordal_ring",
     "random_regular",
     "small_world",
     "scale_free",
@@ -42,6 +43,33 @@ def ring(size: int, rng: random.Random = None) -> OverlayGraph:  # noqa: ARG001
     graph = _empty(size)
     for node in range(size):
         graph.add_link(NodeId(node), NodeId((node + 1) % size))
+    return graph
+
+
+def chordal_ring(
+    size: int, rng: random.Random, chords_per_node: int = 1
+) -> OverlayGraph:
+    """A ring plus ``chords_per_node`` random chords per node — O(size).
+
+    The cycle guarantees connectivity; the random chords act as the
+    shortcuts BLATANT-S's discovery ants would add, bringing the average
+    path length down to O(log size) at average degree
+    ``2 + 2 * chords_per_node`` (≈ 4 for the default, matching the paper's
+    converged overlay).  Unlike :func:`random_regular` and
+    :func:`small_world` this needs no connectivity checks or retries, so it
+    stays linear and is the stand-in used for 10k–100k-node overlays where
+    ant convergence is infeasible.
+    """
+    if chords_per_node < 1:
+        raise ConfigurationError("chordal_ring needs chords_per_node >= 1")
+    graph = _empty(size)
+    for node in range(size):
+        graph.add_link(NodeId(node), NodeId((node + 1) % size))
+    for node in range(size):
+        for _ in range(chords_per_node):
+            peer = rng.randrange(size)
+            if peer != node:
+                graph.add_link(NodeId(node), NodeId(peer))
     return graph
 
 
@@ -145,6 +173,7 @@ def scale_free(size: int, links_per_node: int, rng: random.Random) -> OverlayGra
 #: Registry used by the overlay-sensitivity ablation benchmark.
 TOPOLOGY_BUILDERS: Dict[str, Callable[..., OverlayGraph]] = {
     "ring": lambda size, rng: ring(size, rng),
+    "chordal_ring": lambda size, rng: chordal_ring(size, rng),
     "random_regular": lambda size, rng: random_regular(size, 4, rng),
     "small_world": lambda size, rng: small_world(size, 4, rng),
     "scale_free": lambda size, rng: scale_free(size, 2, rng),

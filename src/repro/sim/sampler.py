@@ -3,6 +3,15 @@
 The paper's figures 1, 3, 5 and 6 plot quantities sampled over simulated
 time (completed jobs, idle nodes).  :class:`PeriodicSampler` evaluates a
 probe function on a fixed cadence and accumulates ``(time, value)`` pairs.
+
+Memory is bounded: when a series reaches ``max_samples`` it is decimated —
+every second retained point is dropped and the effective sampling stride
+doubles — so an arbitrarily long (or arbitrarily finely sampled) run keeps
+at most ``max_samples`` points at a uniform, power-of-two multiple of the
+configured cadence.  The default cap is far above what any stock
+:class:`~repro.experiments.scale.ScenarioScale` emits (≤ 10 000 points per
+series), so decimation never triggers for the standard presets and their
+golden summaries are unaffected.
 """
 
 from __future__ import annotations
@@ -11,10 +20,13 @@ from typing import Callable, List, Tuple
 
 from .kernel import Simulator
 
-__all__ = ["PeriodicSampler", "TimeSeries"]
+__all__ = ["PeriodicSampler", "TimeSeries", "DEFAULT_MAX_SAMPLES"]
 
 #: A sampled time series: list of ``(simulated time, value)`` pairs.
 TimeSeries = List[Tuple[float, float]]
+
+#: Default per-series point cap; above the stock presets' worst case.
+DEFAULT_MAX_SAMPLES = 16_384
 
 
 class PeriodicSampler:
@@ -22,7 +34,12 @@ class PeriodicSampler:
 
     The first sample is taken at ``start`` (default: immediately, i.e. at
     the current simulated time), so series from different runs align.
+
+    ``max_samples`` bounds the retained series (see the module docstring);
+    ``0`` disables the bound.
     """
+
+    __slots__ = ("_sim", "_probe", "samples", "_stop", "_max", "_stride", "_tick")
 
     def __init__(
         self,
@@ -31,21 +48,40 @@ class PeriodicSampler:
         interval: float,
         start: float = None,  # type: ignore[assignment]
         until: float = None,  # type: ignore[assignment]
+        max_samples: int = DEFAULT_MAX_SAMPLES,
     ) -> None:
         self._sim = sim
         self._probe = probe
         self.samples: TimeSeries = []
+        self._max = max_samples
+        self._stride = 1
+        self._tick = 0
         first = sim.now if start is None else start
         self._stop = sim.every(
             interval, self._sample, start=first, until=until
         )
 
     def _sample(self) -> None:
-        self.samples.append((self._sim.now, float(self._probe())))
+        tick = self._tick
+        self._tick = tick + 1
+        if tick % self._stride:
+            return
+        samples = self.samples
+        samples.append((self._sim.now, float(self._probe())))
+        if self._max and len(samples) >= self._max:
+            # Decimate: keep every second point (ticks stay aligned to the
+            # doubled stride because retained ticks are multiples of it).
+            del samples[1::2]
+            self._stride *= 2
 
     def stop(self) -> None:
         """Stop sampling; already collected samples remain available."""
         self._stop()
+
+    @property
+    def stride(self) -> int:
+        """Current decimation stride (1 until the cap is first reached)."""
+        return self._stride
 
     def values(self) -> List[float]:
         """Just the sampled values, in time order."""

@@ -78,7 +78,10 @@ class SubmissionProcess:
         agents = self._agents()
         if not agents:
             raise ConfigurationError("no connected agents to submit to")
-        initiator = self._rng.choice(list(agents))
+        # ``choice`` only indexes the sequence, so the provider's sequence
+        # is used as-is — copying 10^5 agents per submission would make
+        # the workload generator itself O(nodes * jobs).
+        initiator = self._rng.choice(agents)
         job = self._generator.make_job(self._sim.now)
         initiator.submit(job)
         self.submitted += 1

@@ -24,14 +24,31 @@ def test_interval_factor_preserves_per_node_rate():
 
 
 def test_stock_scales_are_valid_and_ordered():
-    tiny, small, medium, paper = (
+    tiny, small, medium, paper, large, huge = (
         ScenarioScale.tiny(),
         ScenarioScale.small(),
         ScenarioScale.medium(),
         ScenarioScale.paper(),
+        ScenarioScale.large(),
+        ScenarioScale.huge(),
     )
-    assert tiny.nodes < small.nodes < medium.nodes < paper.nodes
-    assert tiny.jobs < small.jobs < medium.jobs < paper.jobs
+    assert (
+        tiny.nodes < small.nodes < medium.nodes < paper.nodes
+        < large.nodes < huge.nodes
+    )
+    assert (
+        tiny.jobs < small.jobs < medium.jobs < paper.jobs
+        < large.jobs < huge.jobs
+    )
+
+
+def test_scale_up_presets_keep_per_node_rate():
+    for factory in (ScenarioScale.large, ScenarioScale.huge):
+        scale = factory()
+        # Same load shape as the paper: jobs and nodes scale together ...
+        assert scale.jobs / scale.nodes == pytest.approx(1000 / 500)
+        # ... and the Table II intervals shrink by the node-count ratio.
+        assert scale.interval_factor == pytest.approx(500 / scale.nodes)
 
 
 def test_scale_validation():
@@ -43,6 +60,21 @@ def test_scale_validation():
         ScenarioScale(expanding_fraction=1.5)
     with pytest.raises(ConfigurationError):
         ScenarioScale(expanding_start=10.0, expanding_end=5.0)
+    with pytest.raises(ConfigurationError):
+        ScenarioScale(sample_interval=0.0)
+
+
+def test_sample_interval_must_scale_with_duration():
+    # 150 000 s at a 1 s cadence would emit 150k probe events per series.
+    with pytest.raises(ConfigurationError, match="sample_interval"):
+        ScenarioScale(sample_interval=1.0)
+    # The same cadence is fine once the duration shrinks to match.
+    ScenarioScale(
+        duration=5_000.0,
+        expanding_start=1_000.0,
+        expanding_end=4_000.0,
+        sample_interval=1.0,
+    )
 
 
 def test_bench_scale_from_env(monkeypatch):
@@ -52,6 +84,12 @@ def test_bench_scale_from_env(monkeypatch):
     assert bench_scale_from_env().nodes == 500
     monkeypatch.delenv("ARIA_BENCH_SCALE")
     assert bench_scale_from_env().nodes == ScenarioScale.small().nodes
+    monkeypatch.setenv("ARIA_BENCH_SCALE", "large")
+    assert bench_scale_from_env().nodes == 10_000
+    monkeypatch.setenv("ARIA_BENCH_SCALE", "huge")
+    assert bench_scale_from_env().nodes == 100_000
     monkeypatch.setenv("ARIA_BENCH_SCALE", "bogus")
-    with pytest.raises(ConfigurationError):
+    with pytest.raises(ConfigurationError) as err:
         bench_scale_from_env()
+    # The error names every preset, including the scale-up ones.
+    assert "large" in str(err.value) and "huge" in str(err.value)

@@ -84,3 +84,48 @@ def test_registry_len_and_contains():
     assert "a" in registry
     assert "b" not in registry
     assert len(registry) == 1
+
+
+def test_bounded_series_records_and_snapshots():
+    from repro.obs import BoundedSeries
+
+    series = BoundedSeries("s", max_points=4)
+    for i in range(3):
+        series.record(float(i), float(i * 10))
+    assert series.points == [(0.0, 0.0), (1.0, 10.0), (2.0, 20.0)]
+    out = {}
+    series.snapshot_into(out)
+    assert out == {"s.count": 3.0, "s.points": 3.0, "s.stride": 1.0}
+
+
+def test_bounded_series_decimates_at_cap():
+    from repro.obs import BoundedSeries
+
+    series = BoundedSeries("s", max_points=8)
+    for i in range(1000):
+        series.record(float(i), float(i))
+    assert series.count == 1000
+    assert len(series.points) <= 8
+    assert series.stride == 256
+    # Retained points are aligned to the final stride and time-ordered.
+    times = [time for time, _ in series.points]
+    assert times == sorted(times)
+    assert all(time % series.stride == 0 for time in times)
+
+
+def test_bounded_series_validates_cap():
+    from repro.obs import BoundedSeries
+
+    with pytest.raises(ConfigurationError):
+        BoundedSeries("s", max_points=1)
+
+
+def test_registry_series_factory_shares_instances():
+    from repro.obs import BoundedSeries
+
+    registry = MetricsRegistry()
+    series = registry.series("s", max_points=16)
+    assert registry.series("s") is series
+    assert isinstance(series, BoundedSeries)
+    with pytest.raises(ConfigurationError):
+        registry.counter("s")

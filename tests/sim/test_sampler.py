@@ -48,3 +48,47 @@ def test_default_start_is_current_time():
     sampler = PeriodicSampler(sim, lambda: 7.0, interval=1.0)
     sim.run_until(5.0)
     assert sampler.times() == [3.0, 4.0, 5.0]
+
+
+def test_sampler_decimates_at_cap():
+    sim = Simulator()
+    sampler = PeriodicSampler(
+        sim, lambda: sim.now, interval=1.0, start=0.0, max_samples=8
+    )
+    sim.run_until(100.0)
+    # 101 probe ticks against a cap of 8: the series decimated down to a
+    # power-of-two stride, stayed under the cap, and kept tick alignment.
+    assert sampler.stride == 16
+    assert len(sampler.samples) <= 8
+    assert sampler.times() == [0.0, 16.0, 32.0, 48.0, 64.0, 80.0, 96.0]
+    # Samples still carry the probe value from their own tick.
+    assert all(time == value for time, value in sampler.samples)
+
+
+def test_sampler_unbounded_when_cap_disabled():
+    sim = Simulator()
+    sampler = PeriodicSampler(
+        sim, lambda: 1.0, interval=1.0, start=0.0, max_samples=0
+    )
+    sim.run_until(50.0)
+    assert sampler.stride == 1
+    assert len(sampler.samples) == 51
+
+
+def test_sampler_default_cap_never_triggers_for_stock_scales():
+    from repro.experiments import ScenarioScale
+    from repro.experiments.scale import MAX_SAMPLES_PER_SERIES
+    from repro.sim.sampler import DEFAULT_MAX_SAMPLES
+
+    assert DEFAULT_MAX_SAMPLES > MAX_SAMPLES_PER_SERIES
+    for factory in (
+        ScenarioScale.tiny,
+        ScenarioScale.small,
+        ScenarioScale.medium,
+        ScenarioScale.paper,
+        ScenarioScale.large,
+        ScenarioScale.huge,
+    ):
+        scale = factory()
+        ticks = scale.duration / scale.sample_interval + 1
+        assert ticks < DEFAULT_MAX_SAMPLES

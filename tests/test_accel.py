@@ -1,0 +1,128 @@
+"""The optional-numpy accelerator must be invisible in results.
+
+The contract (docs/PERFORMANCE.md): with numpy installed the vector
+kernels in :mod:`repro.accel` run the hot arithmetic, and every simulated
+outcome — down to the last float bit — matches the pure-Python fallback.
+These tests exercise the kernels directly against their scalar
+definitions and then replay a full seeded scenario with the accelerator
+forced off, comparing canonical summary JSON against the accel-on run.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro import accel
+from repro.accel import (
+    MIN_VECTOR_LEN,
+    completion_etcs,
+    describe,
+    prefix_fold,
+    slack_values,
+)
+from repro.errors import ConfigurationError
+from repro.experiments import ScenarioScale, run
+
+
+@pytest.fixture
+def forced(request):
+    """Force the accel path on/off for one test, restoring the default."""
+
+    def force(value: bool) -> None:
+        if value and not accel.HAS_NUMPY:
+            pytest.skip("numpy not installed")
+        accel._set_enabled(value)
+
+    yield force
+    accel._set_enabled(None)
+
+
+def _scalar_prefix_fold(values, base):
+    out = []
+    acc = base
+    for value in values:
+        acc += value
+        out.append(acc)
+    return out
+
+
+def _random_values(seed, n):
+    rng = random.Random(seed)
+    # Mixed magnitudes provoke rounding differences in any kernel that
+    # dares reorder the summation (pairwise/np.sum would fail this).
+    return [rng.uniform(0.001, 3600.0) * 10 ** rng.randint(-3, 3) for _ in range(n)]
+
+
+@pytest.mark.parametrize("n", [0, 1, MIN_VECTOR_LEN - 1, MIN_VECTOR_LEN, 1000])
+def test_prefix_fold_bit_identical(forced, n):
+    values = _random_values(n, n)
+    expected = _scalar_prefix_fold(values, 37.25)
+    forced(False)
+    off = prefix_fold(values, 37.25)
+    forced(True)
+    on = prefix_fold(values, 37.25)
+    assert off == expected
+    assert on == expected  # exact float equality, not approx
+
+
+@pytest.mark.parametrize("n", [MIN_VECTOR_LEN, 777])
+def test_completion_etcs_bit_identical(forced, n):
+    ertps = _random_values(n + 1, n)
+    now, remaining = 12_345.678, 901.234
+    expected = [now + acc for acc in _scalar_prefix_fold(ertps, remaining)]
+    forced(False)
+    off = completion_etcs(ertps, now, remaining)
+    forced(True)
+    on = completion_etcs(ertps, now, remaining)
+    assert off == expected
+    assert on == expected
+
+
+def test_slack_values_bit_identical(forced):
+    n = MIN_VECTOR_LEN * 2
+    deadlines = _random_values(7, n)
+    etcs = _random_values(11, n)
+    expected = [d - e for d, e in zip(deadlines, etcs)]
+    forced(False)
+    off = slack_values(deadlines, etcs)
+    forced(True)
+    on = slack_values(deadlines, etcs)
+    assert off == expected
+    assert on == expected
+
+
+def test_env_gate(monkeypatch):
+    monkeypatch.setenv("ARIA_ACCEL", "off")
+    assert accel._resolve_enabled() is False
+    monkeypatch.setenv("ARIA_ACCEL", "auto")
+    assert accel._resolve_enabled() == accel.HAS_NUMPY
+    monkeypatch.setenv("ARIA_ACCEL", "on")
+    if accel.HAS_NUMPY:
+        assert accel._resolve_enabled() is True
+    else:
+        with pytest.raises(ConfigurationError):
+            accel._resolve_enabled()
+    monkeypatch.setenv("ARIA_ACCEL", "bogus")
+    with pytest.raises(ConfigurationError):
+        accel._resolve_enabled()
+
+
+def test_describe_mentions_state():
+    assert "numpy" in describe() or "python" in describe()
+
+
+#: (scenario, scale factory, seed) replayed under both arithmetic paths.
+_REPLAYS = [
+    ("iMixed", ScenarioScale.tiny, 0),
+    ("iDeadline", ScenarioScale.small, 1),
+]
+
+
+@pytest.mark.parametrize("scenario,scale,seed", _REPLAYS)
+def test_run_summary_identical_with_accel_on_and_off(forced, scenario, scale, seed):
+    forced(False)
+    off = run(scenario, scale(), seed=seed).summary().to_dict()
+    forced(True)
+    on = run(scenario, scale(), seed=seed).summary().to_dict()
+    assert json.dumps(on, sort_keys=True) == json.dumps(off, sort_keys=True)
