@@ -12,6 +12,8 @@ Everything the library does is reachable from the shell::
     python -m repro run iMixed --trace t.jsonl   # record a protocol trace
     python -m repro explain-job t.jsonl 17       # why did job 17 land there?
     python -m repro serve --nodes 8              # live HTTP overlay run
+    python -m repro serve --faults --chaos       # chaos on the live wire
+    python -m repro soak --wall-seconds 600      # soak + online invariants
 
 All commands accept ``--scale tiny|small|medium|paper`` and ``--seeds N``
 (N seeds starting at ``--seed-base``, default 0; the paper averages 10).
@@ -145,18 +147,18 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _parse_fault_plan(text: str, scale: ScenarioScale):
+def _parse_fault_plan(text: str, duration: float):
     """Build a :class:`FaultPlan` from the ``--faults`` argument value.
 
     ``"default"`` (the bare-flag value) is the representative
-    :meth:`FaultPlan.chaos` plan scaled to the run's duration; an inline
-    ``{...}`` string is parsed as JSON; anything else is a path to a JSON
-    file of ``FaultPlan`` fields.
+    :meth:`FaultPlan.chaos` plan scaled to the run's protocol-time
+    ``duration``; an inline ``{...}`` string is parsed as JSON; anything
+    else is a path to a JSON file of ``FaultPlan`` fields.
     """
     from .experiments import FaultPlan
 
     if text == "default":
-        return FaultPlan.chaos(scale.duration)
+        return FaultPlan.chaos(duration)
     import json
 
     if text.lstrip().startswith("{"):
@@ -203,13 +205,13 @@ def _cmd_run(args) -> int:
             adoption=not args.no_adoption,
             # Compose node failures with network faults in one run.
             fault_plan=(
-                _parse_fault_plan(args.faults, scale)
+                _parse_fault_plan(args.faults, scale.duration)
                 if args.faults is not None
                 else None
             ),
         )
     elif args.faults is not None:
-        spec = _parse_fault_plan(args.faults, scale)
+        spec = _parse_fault_plan(args.faults, scale.duration)
         options = RunOptions(
             scenario_name=args.scenario,
             reliability=not args.no_reliability,
@@ -310,8 +312,19 @@ def _cmd_run(args) -> int:
 
 def _cmd_serve(args) -> int:
     from .obs import TraceConfig
-    from .runtime import LiveRunConfig, run_live
+    from .runtime import LiveFailureSchedule, LiveRunConfig, run_live
 
+    fault_plan = (
+        _parse_fault_plan(args.faults, args.duration)
+        if args.faults is not None
+        else None
+    )
+    chaos = getattr(args, "chaos", False)
+    schedule = (
+        LiveFailureSchedule.chaos(args.duration / args.time_scale)
+        if chaos
+        else None
+    )
     config = LiveRunConfig(
         scenario_name=args.scenario,
         nodes=args.nodes,
@@ -320,6 +333,9 @@ def _cmd_serve(args) -> int:
         time_scale=args.time_scale,
         duration=args.duration,
         reliability=not args.no_reliability,
+        fault_plan=fault_plan,
+        failure_schedule=schedule,
+        failsafe=chaos or fault_plan is not None,
     )
     trace = (
         TraceConfig(level=args.trace_level or "protocol",
@@ -331,7 +347,9 @@ def _cmd_serve(args) -> int:
         f"live overlay: {config.nodes} HTTP nodes on {config.host}, "
         f"{config.jobs} jobs, scenario {config.scenario_name}, "
         f"time scale {config.time_scale:.0f}x "
-        f"(~{config.wall_duration():.0f}s wall)",
+        f"(~{config.wall_duration():.0f}s wall)"
+        + (", faults on" if fault_plan is not None else "")
+        + (", lifecycle chaos on" if schedule is not None else ""),
         file=sys.stderr,
     )
     result = run_live(config, obs=trace)
@@ -356,6 +374,83 @@ def _cmd_serve(args) -> int:
             print(f"VIOLATION: {violation}")
         return 1
     print("invariants: OK")
+    return 0
+
+
+def _cmd_soak(args) -> int:
+    from .experiments import OnlineInvariantChecker
+    from .obs import TraceConfig
+    from .runtime import LiveFailureSchedule, LiveRunConfig, run_live
+
+    wall = args.wall_seconds
+    duration = wall * args.time_scale
+    # One job submitted roughly every wall second over the first ~70% of
+    # the run, unless an explicit count was given.
+    jobs = args.jobs if args.jobs is not None else max(5, int(wall * 0.7))
+    fault_plan = (
+        _parse_fault_plan(args.faults, duration)
+        if args.faults is not None
+        else None
+    )
+    schedule = LiveFailureSchedule.chaos(wall) if args.chaos else None
+    config = LiveRunConfig(
+        scenario_name=args.scenario,
+        nodes=args.nodes,
+        jobs=jobs,
+        seed=args.seed_base,
+        time_scale=args.time_scale,
+        duration=duration,
+        submission_interval=args.time_scale,
+        reliability=True,
+        fault_plan=fault_plan,
+        failure_schedule=schedule,
+        failsafe=args.chaos or fault_plan is not None,
+    )
+    trace = TraceConfig(
+        level=args.trace_level,
+        sink="jsonl",
+        path=args.trace,
+        rotate_bytes=int(args.rotate_mb * 1024 * 1024),
+    )
+    checker = OnlineInvariantChecker(
+        on_violation=lambda text: print(
+            f"VIOLATION (online): {text}", file=sys.stderr
+        )
+    )
+    print(
+        f"soak: {config.nodes} HTTP nodes, {jobs} jobs over ~{wall:.0f}s "
+        f"wall, scenario {config.scenario_name}, time scale "
+        f"{config.time_scale:.0f}x, trace -> {args.trace} "
+        f"(rotate at {args.rotate_mb} MB), online invariant checker armed"
+        + (", faults on" if fault_plan is not None else "")
+        + (", lifecycle chaos on" if schedule is not None else "")
+        + (", SEEDED VIOLATION (self-test)" if args.seed_violation else ""),
+        file=sys.stderr,
+    )
+    result = run_live(
+        config,
+        obs=trace,
+        online_checker=checker,
+        seed_violation=args.seed_violation,
+    )
+    summary = result.summary()
+    metrics = result.metrics
+    rows = [
+        ["completed jobs", str(metrics.completed_jobs)],
+        ["unschedulable", str(metrics.unschedulable_count())],
+        ["reschedules", str(metrics.reschedules)],
+        ["final node count", str(result.final_node_count)],
+        ["timer events", str(result.executed_events)],
+        ["events checked online", str(checker.checked)],
+    ]
+    for key, value in sorted(result.network.items()):
+        rows.append([f"net {key}", str(value)])
+    print(render_table(["metric", "value"], rows))
+    if summary.violations:
+        for violation in summary.violations:
+            print(f"VIOLATION: {violation}")
+        return 1
+    print("invariants: OK (online + post-run)")
     return 0
 
 
@@ -617,7 +712,101 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="trace detail level (default protocol)",
     )
+    serve_parser.add_argument(
+        "--faults",
+        nargs="?",
+        const="default",
+        default=None,
+        metavar="PLAN",
+        help="inject network faults on the live wire (same plan syntax as "
+        "'run --faults'); arms the fail-safe extension so crashed "
+        "deliveries are recovered",
+    )
+    serve_parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="drive the representative live lifecycle schedule: one "
+        "crash-restart, one mid-run join, one graceful leave",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    soak_parser = sub.add_parser(
+        "soak",
+        help="long-running live overlay with streaming trace, /healthz "
+        "endpoints and incremental invariant checking; exits nonzero "
+        "on the first confirmed violation",
+    )
+    soak_parser.add_argument(
+        "scenario", nargs="?", default="iMixed", choices=sorted(SCENARIOS)
+    )
+    soak_parser.add_argument(
+        "--nodes", type=int, default=8, help="overlay size (default 8)"
+    )
+    soak_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="workload size (default: ~0.7 jobs per wall second)",
+    )
+    soak_parser.add_argument(
+        "--wall-seconds",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="how long the soak runs in wall time (default 60; set "
+        "minutes-to-hours for a real soak)",
+    )
+    soak_parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=300.0,
+        metavar="X",
+        help="protocol seconds per wall second (default 300)",
+    )
+    soak_parser.add_argument("--seed-base", type=int, default=0)
+    soak_parser.add_argument(
+        "--faults",
+        nargs="?",
+        const="default",
+        default=None,
+        metavar="PLAN",
+        help="inject network faults on the live wire (same plan syntax as "
+        "'run --faults')",
+    )
+    soak_parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="drive the representative live lifecycle schedule "
+        "(crash-restart + join + leave)",
+    )
+    soak_parser.add_argument(
+        "--trace",
+        default="soak-trace.jsonl",
+        metavar="PATH",
+        help="JSONL trace stream (default soak-trace.jsonl; rotated, see "
+        "--rotate-mb)",
+    )
+    soak_parser.add_argument(
+        "--trace-level",
+        choices=("protocol", "transport", "kernel"),
+        default="transport",
+        help="trace detail level (default transport, which the online "
+        "stale-delivery check needs)",
+    )
+    soak_parser.add_argument(
+        "--rotate-mb",
+        type=float,
+        default=64.0,
+        metavar="MB",
+        help="rotate the trace file at this size (default 64 MB)",
+    )
+    soak_parser.add_argument(
+        "--seed-violation",
+        action="store_true",
+        help="self-test: forge a duplicate job.finished mid-run and "
+        "verify the online checker flags it (the run exits nonzero)",
+    )
+    soak_parser.set_defaults(func=_cmd_soak)
 
     figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
     figure_parser.add_argument("figure", choices=sorted(_FIGURES))

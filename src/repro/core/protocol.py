@@ -274,6 +274,8 @@ class AriaAgent:
         if self.failed:
             raise ProtocolError(f"node {self.node_id} already failed")
         self.failed = True
+        if self._trace is not None:
+            self._trace.emit("node.crashed", self.sim.now, node=self.node_id)
         self.stop()
         # A dead node abandons its initiator duties too: pending discovery
         # retries, fail-safe probes and tracking state all die with it.
@@ -399,6 +401,31 @@ class AriaAgent:
         self._maybe_depart()
         return handed_off
 
+    def health_snapshot(self) -> Dict[str, object]:
+        """Liveness snapshot served by the live runtime's ``/healthz``.
+
+        Cheap enough to compute per request: scalar state plus the sizes
+        of the standing tables — queue depth, the running job, the
+        incarnation, tracking/pending load, and the age of the newest
+        fail-safe probe seen (``None`` until one arrives).
+        """
+        now = self.sim.now
+        running = self.node.running
+        last_probe_age = (
+            now - max(self._last_probe.values()) if self._last_probe else None
+        )
+        return {
+            "incarnation": self.incarnation,
+            "failed": self.failed,
+            "leaving": self.leaving,
+            "departed": self.departed,
+            "queue_depth": len(self.node.scheduler),
+            "running_job": None if running is None else running.job.job_id,
+            "tracked_jobs": len(self._tracked),
+            "pending_discoveries": len(self._pending),
+            "last_probe_age": last_probe_age,
+        }
+
     def _departure_blocked(self) -> bool:
         return (
             self.node.running is not None
@@ -431,6 +458,15 @@ class AriaAgent:
         if self.grid_state is not None:
             self.grid_state.set_live(int(self.node_id), False)
         self.stop()
+        # A departed initiator abandons its fail-safe tracking duties the
+        # same way a crashed one does: an outstanding probe timeout left
+        # armed here would fire after the node left the overlay and try to
+        # re-broadcast a REQUEST from a node the graph no longer knows.
+        for timeout in self._probe_timeouts.values():
+            self.sim.cancel(timeout)
+        self._probe_timeouts.clear()
+        self._tracked.clear()
+        self._suspect.clear()
         self.transport.unregister(self.node_id)
         if self.graph.has_node(self.node_id):
             self.graph.remove_node(self.node_id)

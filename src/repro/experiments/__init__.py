@@ -23,6 +23,7 @@ from .failures import (
 )
 from .faults import FaultPlan, apply_fault_plan, run_fault_experiment
 from .invariants import check_invariants
+from .invariants_online import OnlineInvariantChecker
 from .options import RunOptions
 from .report import fmt_hours, fmt_opt, render_series, render_table
 from .runner import (
@@ -44,6 +45,7 @@ __all__ = [
     "FailureModel",
     "FaultPlan",
     "GridSetup",
+    "OnlineInvariantChecker",
     "ResultCache",
     "RunOptions",
     "RunResult",

@@ -133,12 +133,22 @@ def apply_fault_plan(transport: Transport, plan: FaultPlan) -> FaultInjector:
     Loss/burst/duplication/partitions go through a
     :class:`~repro.net.faults.FaultInjector`; delay spikes decorate the
     transport's latency model with :class:`~repro.net.latency.SpikeLatency`.
+
+    Works on either backend: the injector is clock-generic, and the live
+    transport exposes the same assignable ``latency`` seam (``None`` —
+    real localhost TCP only — is treated as a zero base delay, so spikes
+    become pure injected delay on the wire).
     """
-    injector = FaultInjector(transport._sim, plan)
+    injector = FaultInjector(transport.clock, plan)
     transport.faults = injector
     if plan.delay_spike:
+        base = transport.latency
+        if base is None:
+            from ..net.latency import ConstantLatency
+
+            base = ConstantLatency(0.0)
         transport.latency = SpikeLatency(
-            transport.latency, plan.delay_spike, plan.delay_spike_mean
+            base, plan.delay_spike, plan.delay_spike_mean
         )
     return injector
 

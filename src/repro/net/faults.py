@@ -27,6 +27,13 @@ A :class:`FaultInjector` is attached to a transport via
 non-local message.  All randomness comes from the dedicated
 ``"net.faults"`` stream, so attaching an injector never perturbs the
 draws of an otherwise identical fault-free run.
+
+The injector is clock-generic: it only needs ``clock.now`` (protocol
+seconds, for partition windows) and ``clock.streams`` (the seeded RNG),
+so the same model judges messages on the discrete-event
+:class:`~repro.sim.Simulator` and on the live runtime's
+:class:`~repro.runtime.WallClock` — chaos plans written for the
+simulator shape the real wire unchanged.
 """
 
 from __future__ import annotations
@@ -34,7 +41,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional, Tuple
 
-from ..sim import Simulator
+from ..clock import Clock
 from ..types import NodeId
 
 __all__ = ["FaultInjector"]
@@ -47,11 +54,12 @@ class FaultInjector:
     <repro.experiments.faults.FaultPlan>` fields (``loss``, ``duplicate``,
     ``burst_enter``, ``burst_exit``, ``burst_loss``, ``partitions``,
     ``partition_fraction``); the injector copies the scalars so the plan
-    itself stays frozen and picklable.
+    itself stays frozen and picklable.  ``clock`` is any
+    :class:`~repro.clock.Clock` (simulator or wall clock).
     """
 
     __slots__ = (
-        "_sim",
+        "_clock",
         "_rng",
         "loss",
         "duplicate",
@@ -70,12 +78,12 @@ class FaultInjector:
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         plan,
         rng: Optional[random.Random] = None,
     ) -> None:
-        self._sim = sim
-        self._rng = rng if rng is not None else sim.streams.get("net.faults")
+        self._clock = clock
+        self._rng = rng if rng is not None else clock.streams.get("net.faults")
         self.loss = plan.loss
         self.duplicate = plan.duplicate
         self.burst_enter = plan.burst_enter
@@ -109,7 +117,7 @@ class FaultInjector:
         """Whether a partition window currently separates ``src``/``dst``."""
         if not self._windows:
             return False
-        now = self._sim._now
+        now = self._clock.now
         for start, end in self._windows:
             if start <= now < end:
                 return self._side_of(src) != self._side_of(dst)

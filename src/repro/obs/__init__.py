@@ -23,6 +23,7 @@ from .trace import (
     JsonlSink,
     MemorySink,
     PerfettoSink,
+    RotatingJsonlSink,
     TraceConfig,
     Tracer,
     iter_job_events,
@@ -43,6 +44,7 @@ __all__ = [
     "MemorySink",
     "MetricsRegistry",
     "PerfettoSink",
+    "RotatingJsonlSink",
     "TraceConfig",
     "Tracer",
     "explain_job",

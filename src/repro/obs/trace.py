@@ -49,6 +49,7 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "PerfettoSink",
+    "RotatingJsonlSink",
     "TraceConfig",
     "Tracer",
     "load_trace",
@@ -89,6 +90,7 @@ EVENTS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "job.unschedulable": ("protocol", ("job", "node")),
     "probe.sent": ("protocol", ("job", "node", "assignee")),
     "probe.miss": ("protocol", ("job", "node", "misses")),
+    "node.crashed": ("protocol", ("node",)),
     "node.restarted": ("protocol", ("node", "incarnation")),
     "job.orphaned": ("protocol", ("job", "node", "initiator")),
     "job.adopted": ("protocol", ("job", "node", "initiator")),
@@ -172,6 +174,63 @@ class JsonlSink:
 
     def close(self) -> None:
         """Flush and close the file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class RotatingJsonlSink:
+    """A :class:`JsonlSink` with size-based rotation for soak runs.
+
+    When the active file would exceed ``max_bytes`` it is rotated the
+    way :mod:`logging`'s rotating handler does: ``path.1`` becomes
+    ``path.2`` (up to ``backups``), the active file becomes ``path.1``,
+    and writing continues into a fresh ``path``.  The newest events are
+    therefore always in ``path`` itself, and total disk usage is bounded
+    by ``(backups + 1) * max_bytes`` plus one line of slack — which is
+    what lets a multi-hour soak stream a transport-level trace without
+    filling the disk.
+    """
+
+    def __init__(self, path, max_bytes: int = 64 * 1024 * 1024, backups: int = 3) -> None:
+        if max_bytes <= 0:
+            raise ConfigurationError(f"non-positive max_bytes {max_bytes}")
+        if backups < 1:
+            raise ConfigurationError(f"need >= 1 backup file, got {backups}")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.emitted = 0
+        self.rotations = 0
+        self._written = 0
+        self._handle = open(path, "w", encoding="utf-8", buffering=1 << 16)
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Write one event as a JSONL line, rotating files when full."""
+        line = json.dumps(event, separators=(",", ":")) + "\n"
+        if self._written and self._written + len(line) > self.max_bytes:
+            self._rotate()
+        self._handle.write(line)
+        self._written += len(line)
+        self.emitted += 1
+
+    def _rotate(self) -> None:
+        import os
+
+        self._handle.close()
+        for index in range(self.backups - 1, 0, -1):
+            source = f"{self.path}.{index}"
+            if os.path.exists(source):
+                os.replace(source, f"{self.path}.{index + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self._handle = open(
+            self.path, "w", encoding="utf-8", buffering=1 << 16
+        )
+        self._written = 0
+        self.rotations += 1
+
+    def close(self) -> None:
+        """Flush and close the active file (idempotent)."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None
@@ -285,6 +344,9 @@ class TraceConfig:
     events: Optional[Tuple[str, ...]] = None
     memory_capacity: int = 1_000_000
     telemetry: bool = True
+    #: When set (bytes) the jsonl sink rotates files at this size
+    #: (:class:`RotatingJsonlSink`) — soak runs bound their disk usage.
+    rotate_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.level not in LEVELS:
@@ -311,6 +373,16 @@ class TraceConfig:
             raise ConfigurationError(
                 f"non-positive memory_capacity {self.memory_capacity}"
             )
+        if self.rotate_bytes is not None:
+            if self.sink != "jsonl":
+                raise ConfigurationError(
+                    f"rotate_bytes requires the 'jsonl' sink, not "
+                    f"{self.sink!r}"
+                )
+            if self.rotate_bytes <= 0:
+                raise ConfigurationError(
+                    f"non-positive rotate_bytes {self.rotate_bytes}"
+                )
 
     def resolved(self, seed: int) -> "TraceConfig":
         """This config with any ``{seed}`` placeholder in ``path`` filled.
@@ -335,6 +407,7 @@ class TraceConfig:
             "events": list(self.events) if self.events is not None else None,
             "memory_capacity": self.memory_capacity,
             "telemetry": self.telemetry,
+            "rotate_bytes": self.rotate_bytes,
         }
 
     @classmethod
@@ -348,6 +421,8 @@ class TraceConfig:
     def make_sink(self):
         """Instantiate the configured sink."""
         if self.sink == "jsonl":
+            if self.rotate_bytes is not None:
+                return RotatingJsonlSink(self.path, self.rotate_bytes)
             return JsonlSink(self.path)
         if self.sink == "perfetto":
             return PerfettoSink(self.path)

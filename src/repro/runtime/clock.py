@@ -95,7 +95,15 @@ class WallClock:
     ) -> None:
         if time_scale <= 0:
             raise ConfigurationError(f"time_scale {time_scale} must be > 0")
-        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        if loop is None:
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                raise ConfigurationError(
+                    "WallClock must be constructed inside a running event "
+                    "loop (or be handed one explicitly)"
+                ) from None
+        self._loop = loop
         self.time_scale = time_scale
         self._origin = self._loop.time()
         self.streams = RandomStreams(seed)

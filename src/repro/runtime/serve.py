@@ -11,6 +11,20 @@ then lets real wall time pass and returns the same
 validation, the invariant checker and every downstream consumer work
 unchanged.
 
+Chaos rides the same seams.  A :class:`~repro.experiments.faults.FaultPlan`
+on the config attaches a :class:`~repro.net.faults.FaultInjector` to the
+live transport (bursts, duplication and partitions shaping real HTTP
+traffic) and injects ``FaultPlan`` delay spikes by delaying the
+background POST tasks.  A :class:`LiveFailureSchedule` drives the node
+lifecycle over real sockets: crash-restart tears an endpoint down and
+brings the node back after downtime under a fresh incarnation
+(re-discovered from its new agent card), joins start brand-new endpoints
+mid-run, and leaves walk the graceful-departure path before the endpoint
+is retired.  An :class:`~repro.experiments.OnlineInvariantChecker` can be
+teed into the trace stream to check invariants *while* the run is live —
+the run stops early on the first confirmed violation, which is what the
+``repro soak`` CLI mode builds on.
+
 Timing: everything protocol-side stays in protocol seconds; the
 ``time_scale`` compression maps them onto wall time (see
 :mod:`repro.runtime.clock`).  The defaults compress a ~2.5-hour protocol
@@ -25,6 +39,11 @@ knobs that make that true:
   wall value starts at ~50 ms and backs off from there;
 * the workload's mean ERT is scaled down so a handful of jobs exercises
   queueing and completion within the compressed horizon.
+
+The :class:`LiveFailureSchedule` is deliberately expressed in *wall*
+seconds: it narrates what an operator does to real machines ("kill node
+3 ten seconds in, bring it back five seconds later"), independent of the
+protocol-time compression in force.
 """
 
 from __future__ import annotations
@@ -32,7 +51,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.config import AriaConfig
 from ..core.protocol import AriaAgent
@@ -43,25 +62,106 @@ from ..grid.resources import random_node_profile, random_performance_index
 from ..metrics.collector import GridMetrics
 from ..net.reliability import ReliabilityConfig, ReliabilityLayer
 from ..obs.metrics import MetricsRegistry
-from ..obs.trace import TraceConfig, Tracer
+from ..obs.trace import MemorySink, TraceConfig, Tracer
+from ..overlay.blatant import BlatantConfig, BlatantMaintainer
 from ..scheduling.registry import make_scheduler
 from ..sim import PeriodicSampler
 from ..types import NodeId
 from ..workload.generator import ERT_DISTRIBUTION, JobGenerator
 from ..workload.submission import SubmissionProcess, SubmissionSchedule
 from ..experiments.catalog import get_scenario
+from ..experiments.faults import FaultPlan, apply_fault_plan
 from ..experiments.invariants import check_invariants
+from ..experiments.invariants_online import OnlineInvariantChecker
 from ..experiments.runner import RunResult, _build_overlay
 from ..experiments.scale import ScenarioScale
 from .clock import WallClock
 from .transport import LiveTransport
 
-__all__ = ["LiveRunConfig", "run_live"]
+__all__ = ["LiveFailureSchedule", "LiveRunConfig", "run_live"]
+
+
+@dataclass(frozen=True)
+class LiveFailureSchedule:
+    """When real node-lifecycle chaos happens, in *wall* seconds.
+
+    ``crash_restarts`` holds ``(at, downtime, victim_index)`` triples:
+    at wall second ``at`` the victim's endpoint is torn down and the
+    agent crashes; after ``downtime`` wall seconds it comes back under a
+    fresh incarnation on a brand-new port, is re-discovered from its
+    agent card and rejoins the overlay.  ``joins`` holds wall seconds at
+    which a brand-new node (fresh id, fresh endpoint) enters the grid
+    mid-run.  ``leaves`` holds ``(at, victim_index)`` pairs starting a
+    graceful departure; once the victim has departed its endpoint is
+    retired for good.  Victim indexes address the initial agent list
+    (wrapped modulo its length, so schedules compose with any node
+    count).
+    """
+
+    crash_restarts: Tuple[Tuple[float, float, int], ...] = ()
+    joins: Tuple[float, ...] = ()
+    leaves: Tuple[Tuple[float, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalise (JSON round trips turn the tuples into lists).
+        object.__setattr__(
+            self,
+            "crash_restarts",
+            tuple(
+                (float(at), float(downtime), int(victim))
+                for at, downtime, victim in self.crash_restarts
+            ),
+        )
+        object.__setattr__(
+            self, "joins", tuple(float(at) for at in self.joins)
+        )
+        object.__setattr__(
+            self,
+            "leaves",
+            tuple((float(at), int(victim)) for at, victim in self.leaves),
+        )
+        for at, downtime, victim in self.crash_restarts:
+            if at < 0 or downtime <= 0:
+                raise ConfigurationError(
+                    f"invalid crash-restart (at={at}, downtime={downtime})"
+                )
+            if victim < 0:
+                raise ConfigurationError(f"negative victim index {victim}")
+        for at in self.joins:
+            if at < 0:
+                raise ConfigurationError(f"negative join time {at}")
+        for at, victim in self.leaves:
+            if at < 0:
+                raise ConfigurationError(f"negative leave time {at}")
+            if victim < 0:
+                raise ConfigurationError(f"negative victim index {victim}")
+
+    def __bool__(self) -> bool:
+        """Whether the schedule contains any lifecycle event at all."""
+        return bool(self.crash_restarts or self.joins or self.leaves)
+
+    @classmethod
+    def chaos(cls, wall_duration: float) -> "LiveFailureSchedule":
+        """A representative lifecycle plan for a run of ``wall_duration``
+        wall seconds: one crash-restart a quarter in (down for ~15% of
+        the run), one brand-new join at 40%, one graceful leave at 60%.
+        """
+        if wall_duration <= 0:
+            raise ConfigurationError(
+                f"non-positive wall_duration {wall_duration}"
+            )
+        return cls(
+            crash_restarts=(
+                (0.25 * wall_duration, 0.15 * wall_duration, 1),
+            ),
+            joins=(0.4 * wall_duration,),
+            leaves=((0.6 * wall_duration, 2),),
+        )
 
 
 @dataclass(frozen=True)
 class LiveRunConfig:
-    """One live overlay run: scenario, size, and time compression."""
+    """One live overlay run: scenario, size, time compression, chaos."""
 
     scenario_name: str = "iMixed"
     nodes: int = 8
@@ -86,6 +186,14 @@ class LiveRunConfig:
     #: Stop early once every job completed and the grid has been quiet
     #: for this many wall seconds (0 disables early exit).
     early_exit_grace: float = 0.5
+    #: Network faults shaping the live wire (``None`` = clean network).
+    fault_plan: Optional[FaultPlan] = None
+    #: Node-lifecycle chaos in wall seconds (``None`` = stable fleet).
+    failure_schedule: Optional[LiveFailureSchedule] = None
+    #: Arm §III-D fail-safe tracking/probing plus orphan adoption, with
+    #: probe timings that fit the compressed horizon (on by necessity
+    #: for crash-restart chaos; off keeps the non-chaos default).
+    failsafe: bool = False
 
     def __post_init__(self) -> None:
         if self.nodes < 2:
@@ -102,6 +210,12 @@ class LiveRunConfig:
                 f"accept_wait {self.accept_wait}s at time_scale "
                 f"{self.time_scale} leaves a {window * 1000:.1f} ms wall "
                 "window — too tight for HTTP round-trips (need >= 10 ms)"
+            )
+        if self.failure_schedule is not None and not isinstance(
+            self.failure_schedule, LiveFailureSchedule
+        ):
+            raise ConfigurationError(
+                "failure_schedule must be a LiveFailureSchedule"
             )
 
     def wall_duration(self) -> float:
@@ -138,18 +252,34 @@ def _reliability_config(time_scale: float) -> ReliabilityConfig:
 def run_live(
     config: Optional[LiveRunConfig] = None,
     obs: Optional[TraceConfig] = None,
+    online_checker: Optional[OnlineInvariantChecker] = None,
+    seed_violation: bool = False,
 ) -> RunResult:
     """Run one live scenario to completion and collect the results.
 
     Synchronous entry point (owns the event loop); the run's invariant
     verdict lands in ``RunResult.extra_violations`` so ``.summary()``
     folds it into ``RunSummary.violations`` like any simulated run.
+
+    ``online_checker`` tees the trace stream through an
+    :class:`~repro.experiments.OnlineInvariantChecker`; the run stops at
+    the first violation it confirms, and its findings are prepended to
+    the post-run verdict.  ``seed_violation`` deliberately forges a
+    duplicate ``job.finished`` mid-run — the soak harness's self-test
+    that the online checker actually fires.
     """
     config = config if config is not None else LiveRunConfig()
-    return asyncio.run(_run_live(config, obs))
+    return asyncio.run(
+        _run_live(config, obs, online_checker, seed_violation)
+    )
 
 
-async def _run_live(config: LiveRunConfig, obs: Optional[TraceConfig]) -> RunResult:
+async def _run_live(
+    config: LiveRunConfig,
+    obs: Optional[TraceConfig],
+    online_checker: Optional[OnlineInvariantChecker] = None,
+    seed_violation: bool = False,
+) -> RunResult:
     loop = asyncio.get_running_loop()
     clock = WallClock(loop, seed=config.seed, time_scale=config.time_scale)
     registry = MetricsRegistry()
@@ -163,6 +293,7 @@ async def _run_live(config: LiveRunConfig, obs: Optional[TraceConfig]) -> RunRes
         expanding_end=config.duration * 2 / 3,
         sample_interval=max(1.0, config.duration / 25),
     )
+    schedule_plan = config.failure_schedule
 
     transport = LiveTransport(
         clock,
@@ -171,10 +302,29 @@ async def _run_live(config: LiveRunConfig, obs: Optional[TraceConfig]) -> RunRes
         registry=registry,
         send_timeout=config.send_timeout,
     )
+    if config.fault_plan is not None:
+        apply_fault_plan(transport, config.fault_plan)
+    if schedule_plan is not None and schedule_plan.crash_restarts:
+        # Armed before any message flies, so in-flight traffic around the
+        # first crash already carries incarnation stamps.
+        transport.enable_incarnations()
+
     tracer: Optional[Tracer] = None
     agent_tracer: Optional[Tracer] = None
     if obs is not None and obs.level != "off":
-        tracer = Tracer(obs)
+        sink = obs.make_sink()
+        if online_checker is not None:
+            online_checker.sink = sink
+            sink = online_checker
+        tracer = Tracer(obs, sink=sink)
+    elif online_checker is not None:
+        # No recording requested: trace purely to feed the checker (its
+        # downstream sink stays None, so events are checked and dropped).
+        tracer = Tracer(
+            TraceConfig(level="transport", sink="memory"),
+            sink=online_checker,
+        )
+    if tracer is not None:
         if tracer.wants_level("protocol"):
             agent_tracer = tracer
         if tracer.wants_level("transport"):
@@ -183,13 +333,21 @@ async def _run_live(config: LiveRunConfig, obs: Optional[TraceConfig]) -> RunRes
         ReliabilityLayer(transport, _reliability_config(config.time_scale))
 
     graph = _build_overlay(scenario.overlay, config.nodes, config.seed)
+    overrides: Dict[str, object] = {"accept_wait": config.accept_wait}
+    if config.failsafe:
+        overrides.update(
+            failsafe=True,
+            probe_interval=600.0,
+            probe_timeout=120.0,
+            adoption=True,
+        )
     aria_config = dataclasses.replace(
         AriaConfig(
             rescheduling=scenario.rescheduling,
             inform_count=scenario.inform_count,
             improvement_threshold=scenario.improvement_threshold,
         ),
-        accept_wait=config.accept_wait,
+        **overrides,
     )
     accuracy = AccuracyModel(
         epsilon=scenario.epsilon, optimistic_only=scenario.optimistic_only
@@ -218,6 +376,7 @@ async def _run_live(config: LiveRunConfig, obs: Optional[TraceConfig]) -> RunRes
             node, transport, graph, aria_config, metrics, tracer=agent_tracer
         )
         agent.start()
+        transport.set_health_provider(node_id, agent.health_snapshot)
         nodes.append(node)
         agents.append(agent)
 
@@ -276,6 +435,104 @@ async def _run_live(config: LiveRunConfig, obs: Optional[TraceConfig]) -> RunRes
     )
 
     # ------------------------------------------------------------------
+    # Lifecycle chaos: crash-restart / join / leave over real sockets.
+    # ------------------------------------------------------------------
+    chaos_tasks: List[asyncio.Task] = []
+    maintainer: Optional[BlatantMaintainer] = None
+    if schedule_plan is not None and schedule_plan:
+        maintainer = BlatantMaintainer(
+            graph, clock.streams.get("failures.overlay"), BlatantConfig()
+        )
+        maintainer.start(clock)
+        next_join_id = max(graph.nodes()) + 1
+
+        async def _crash_restart(
+            at: float, downtime: float, victim: int
+        ) -> None:
+            await asyncio.sleep(at)
+            agent = agents[victim % len(agents)]
+            if agent.failed or agent.departed:
+                return
+            agent.fail()
+            await transport.remove_endpoint(agent.node_id)
+            await asyncio.sleep(downtime)
+            host, port = await transport.add_endpoint(
+                agent.node_id, host=config.host
+            )
+            # Rejoin mirrors the simulator's churn path: re-discovery
+            # from the fresh card, overlay bootstrap links, then the
+            # agent restarts under its new incarnation.
+            await transport.discover([(host, port)])
+            maintainer.join(agent.node_id)
+            agent.restart()
+            transport.set_health_provider(
+                agent.node_id, agent.health_snapshot
+            )
+
+        async def _join(at: float, node_id: NodeId) -> None:
+            await asyncio.sleep(at)
+            host, port = await transport.add_endpoint(
+                node_id, host=config.host
+            )
+            maintainer.join(node_id)
+            node = GridNode(
+                node_id=node_id,
+                sim=clock,
+                profile=random_node_profile(profile_rng),
+                performance_index=random_performance_index(profile_rng),
+                scheduler=make_scheduler(
+                    policy_rng.choice(scenario.policies)
+                ),
+                accuracy=accuracy,
+            )
+            agent = AriaAgent(
+                node,
+                transport,
+                graph,
+                aria_config,
+                metrics,
+                tracer=agent_tracer,
+            )
+            await transport.discover([(host, port)])
+            agent.start()
+            transport.set_health_provider(node_id, agent.health_snapshot)
+            nodes.append(node)
+            agents.append(agent)
+
+        async def _leave(at: float, victim: int) -> None:
+            await asyncio.sleep(at)
+            agent = agents[victim % len(agents)]
+            if agent.failed or agent.departed or agent.leaving:
+                return
+            agent.leave()
+            while not agent.departed:
+                if agent.failed:
+                    return
+                await asyncio.sleep(0.05)
+            await transport.remove_endpoint(agent.node_id, forget=True)
+
+        for at, downtime, victim in schedule_plan.crash_restarts:
+            chaos_tasks.append(
+                loop.create_task(_crash_restart(at, downtime, victim))
+            )
+        for at in schedule_plan.joins:
+            chaos_tasks.append(loop.create_task(_join(at, next_join_id)))
+            next_join_id += 1
+        for at, victim in schedule_plan.leaves:
+            chaos_tasks.append(loop.create_task(_leave(at, victim)))
+
+    if seed_violation and tracer is not None:
+
+        async def _forge_duplicate() -> None:
+            await asyncio.sleep(0.3 * config.wall_duration())
+            # Two completions of one (bogus) job id: the exact signature
+            # the double-execution check must fire on.
+            tracer.emit("job.finished", clock.now, job=999_999_999, node=0)
+            tracer.emit("job.finished", clock.now, job=999_999_999, node=1)
+
+        chaos_tasks.append(loop.create_task(_forge_duplicate()))
+
+    # ------------------------------------------------------------------
     # Let wall time pass.
     # ------------------------------------------------------------------
     try:
@@ -286,9 +543,15 @@ async def _run_live(config: LiveRunConfig, obs: Optional[TraceConfig]) -> RunRes
             if remaining <= 0:
                 break
             await asyncio.sleep(min(0.1, remaining))
+            if online_checker is not None and online_checker.violations:
+                break  # stop on the first confirmed violation
             if not config.early_exit_grace:
                 continue
-            if metrics.completed_jobs >= config.jobs and not transport._tasks:
+            if (
+                metrics.completed_jobs >= config.jobs
+                and not transport._tasks
+                and not any(not task.done() for task in chaos_tasks)
+            ):
                 if quiet_since is None:
                     quiet_since = loop.time()
                 elif loop.time() - quiet_since >= config.early_exit_grace:
@@ -298,20 +561,32 @@ async def _run_live(config: LiveRunConfig, obs: Optional[TraceConfig]) -> RunRes
         clock.stop()
         await transport.drain()
     finally:
+        for task in chaos_tasks:
+            task.cancel()
+        if chaos_tasks:
+            await asyncio.gather(*chaos_tasks, return_exceptions=True)
         await transport.close()
         if tracer is not None:
             tracer.close()
 
+    allow_lost = bool(schedule_plan is not None and schedule_plan.crash_restarts)
     violations = check_invariants(
         _LiveSetup(metrics=metrics, scale=scale, agents=agents),
         expected_jobs=config.jobs,
+        allow_lost=allow_lost,
     )
+    if online_checker is not None:
+        violations = list(online_checker.violations) + violations
     telemetry: Dict[str, float] = {}
     if obs is not None and obs.telemetry:
         telemetry = registry.snapshot()
     trace_events: List[Dict[str, object]] = []
-    if tracer is not None and obs.sink == "memory":
-        trace_events = tracer.events
+    if obs is not None and obs.sink == "memory" and tracer is not None:
+        inner = (
+            online_checker.sink if online_checker is not None else tracer.sink
+        )
+        if isinstance(inner, MemorySink):
+            trace_events = inner.events
 
     return RunResult(
         scenario=scenario,
@@ -325,7 +600,9 @@ async def _run_live(config: LiveRunConfig, obs: Optional[TraceConfig]) -> RunRes
         idle_series=list(idle.samples),
         node_count_series=list(node_count.samples),
         submission_window=(schedule.times()[0], schedule.end),
-        final_node_count=len(nodes),
+        final_node_count=sum(
+            1 for agent in agents if not agent.failed and not agent.departed
+        ),
         executed_events=clock.executed_events,
         network=transport.network_counters(),
         extra_violations=violations,

@@ -1,7 +1,7 @@
 """Live HTTP+JSON implementation of the :class:`~repro.net.Transport` API.
 
 Each registered node gets its own asyncio HTTP server (an *endpoint*)
-that serves two routes:
+that serves three routes:
 
 * ``GET /.well-known/agent.json`` — the node's **agent card**: identity,
   protocol version and inbox route.  Discovery is card-driven: the
@@ -14,17 +14,34 @@ that serves two routes:
   decodes it and hands it to the exact same delivery methods
   (``_deliver`` / ``_deliver_tagged`` / stamped variants) the simulated
   transport uses, so drop, staleness and dedup semantics are shared code.
+  A body that fails to parse or decode — non-JSON, a truncated envelope,
+  an unknown ``kind`` — is answered with HTTP 400 and counted in the
+  ``rejected`` counter instead of poisoning the request task.
+* ``GET /healthz`` — a liveness snapshot for operators and the soak
+  harness: node id, protocol time, whether an inbox handler is attached,
+  plus whatever the node's registered health provider reports (queue
+  depth, incarnation, last-probe age — see
+  :meth:`~repro.core.protocol.AriaAgent.health_snapshot`).
 
 Send-side, every non-local message funnels through the shared
 :meth:`~repro.net.Transport._account` choke point (traffic accounting +
-loss draw) and is then POSTed from a background task — the sending
-handler never blocks on the network, mirroring the simulator's
-fire-and-forget sends.  Latency is whatever localhost TCP provides; a
+loss draw); if a :class:`~repro.net.faults.FaultInjector` is attached it
+is consulted next — exactly where :class:`~repro.net.SimTransport`
+consults it — so loss bursts, duplication and partitions shape the real
+wire with the same model and the same RNG stream as the simulator.  Each
+surviving copy is then POSTed from a background task; when an injected
+latency model is configured (``transport.latency``, protocol seconds)
+the task sleeps the scaled wall delay first, which is how ``FaultPlan``
+delay spikes reach real sockets.  The sending handler never blocks on
+the network, mirroring the simulator's fire-and-forget sends.  A
 destination whose server cannot be reached before ``send_timeout``
-counts as ``lost``, exactly like a datagram into a dead link.  Delivery
-to a node whose *handler* is unregistered (crashed / departed) still
-reaches its server and is dropped there with the usual
-``dropped_detached`` / ``dropped_unknown`` accounting.
+counts as ``lost``, exactly like a datagram into a dead link — which is
+also how a live *crashed* node manifests: its endpoint is torn down
+(:meth:`remove_endpoint`) while its directory entry goes stale, so
+in-flight traffic dies on connection refused.  Delivery to a node whose
+*handler* is unregistered (departed) still reaches its server and is
+dropped there with the usual ``dropped_detached`` / ``dropped_unknown``
+accounting.
 
 Retries and acks for control-plane messages come from the standard
 :class:`~repro.net.ReliabilityLayer` attached on top — its timers run in
@@ -36,10 +53,11 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..clock import Clock
 from ..errors import ConfigurationError
+from ..net.latency import LatencyModel
 from ..net.message import Message
 from ..net.transport import Transport
 from ..obs.metrics import MetricsRegistry
@@ -48,10 +66,11 @@ from ..types import NodeId
 from .codec import decode_envelope, encode_envelope
 from .http import HttpServer, http_get_json, http_post_json
 
-__all__ = ["LiveTransport", "AGENT_CARD_PATH", "MESSAGE_PATH"]
+__all__ = ["LiveTransport", "AGENT_CARD_PATH", "MESSAGE_PATH", "HEALTH_PATH"]
 
 AGENT_CARD_PATH = "/.well-known/agent.json"
 MESSAGE_PATH = "/message"
+HEALTH_PATH = "/healthz"
 
 #: Agent-card protocol tag; bump on wire-format changes.
 PROTOCOL_VERSION = "aria/1"
@@ -66,6 +85,12 @@ class LiveTransport(Transport):
         "_servers",
         "_directory",
         "_tasks",
+        "_latency",
+        "_latency_rng",
+        "_time_scale",
+        "_rejected",
+        "_health",
+        "last_discovery_failures",
     )
 
     def __init__(
@@ -83,13 +108,48 @@ class LiveTransport(Transport):
             loss_probability=loss_probability,
             registry=registry,
         )
-        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        if loop is None:
+            try:
+                loop = asyncio.get_running_loop()
+            except RuntimeError:
+                raise ConfigurationError(
+                    "LiveTransport must be constructed inside a running "
+                    "event loop (or be handed one explicitly)"
+                ) from None
+        self._loop = loop
         #: Wall-clock seconds before an undeliverable POST counts as lost.
         self._send_timeout = send_timeout
         self._servers: Dict[NodeId, HttpServer] = {}
         #: Discovered node id -> (host, port), populated from agent cards.
         self._directory: Dict[NodeId, Tuple[str, int]] = {}
         self._tasks: Set[asyncio.Task] = set()
+        #: Optional injected-delay model in *protocol* seconds (``None``
+        #: means only what localhost TCP provides).
+        self._latency: Optional[LatencyModel] = None
+        self._latency_rng = clock.streams.get("net.latency")
+        #: Protocol seconds per wall second, for scaling injected delays.
+        self._time_scale = float(getattr(clock, "time_scale", 1.0))
+        self._rejected = self.registry.counter("net.rejected")
+        #: Per-node health providers backing the ``/healthz`` route.
+        self._health: Dict[NodeId, Callable[[], Dict[str, Any]]] = {}
+        #: ``(host, port, reason)`` for seeds the last :meth:`discover`
+        #: round could not fetch a card from (after one retry).
+        self.last_discovery_failures: List[Tuple[str, int, str]] = []
+
+    # ------------------------------------------------------------------
+    # Injected latency
+    # ------------------------------------------------------------------
+    @property
+    def latency(self) -> Optional[LatencyModel]:
+        """Injected-delay model in protocol seconds; assignable, e.g. to
+        wrap it in a :class:`~repro.net.latency.SpikeLatency` decorator.
+        ``None`` (the default) injects nothing — messages travel at raw
+        localhost TCP speed."""
+        return self._latency
+
+    @latency.setter
+    def latency(self, model: Optional[LatencyModel]) -> None:
+        self._latency = model
 
     # ------------------------------------------------------------------
     # Endpoints and discovery
@@ -105,6 +165,25 @@ class LiveTransport(Transport):
         self._servers[node_id] = server
         return server.host, server.port
 
+    async def remove_endpoint(
+        self, node_id: NodeId, forget: bool = False
+    ) -> None:
+        """Tear down ``node_id``'s HTTP server (its health provider goes
+        with it).
+
+        With ``forget=False`` (a *crash*) the directory entry stays, so
+        peers keep POSTing into a dead address and see ``lost`` — the
+        live analogue of datagrams into a crashed host.  With
+        ``forget=True`` (a clean *departure*) the entry is removed and
+        subsequent sends drop as detached/unknown instead.
+        """
+        server = self._servers.pop(node_id, None)
+        self._health.pop(node_id, None)
+        if server is not None:
+            await server.close()
+        if forget:
+            self._directory.pop(node_id, None)
+
     def agent_card(self, node_id: NodeId) -> Dict[str, Any]:
         """The agent card served at :data:`AGENT_CARD_PATH`."""
         server = self._servers[node_id]
@@ -114,8 +193,27 @@ class LiveTransport(Transport):
             "protocol": PROTOCOL_VERSION,
             "transport": "http+json",
             "url": f"http://{server.host}:{server.port}",
-            "endpoints": {"message": MESSAGE_PATH},
+            "endpoints": {"message": MESSAGE_PATH, "health": HEALTH_PATH},
         }
+
+    def set_health_provider(
+        self, node_id: NodeId, provider: Callable[[], Dict[str, Any]]
+    ) -> None:
+        """Attach a callable whose dict is merged into ``node_id``'s
+        ``/healthz`` response (queue depth, incarnation, probe age...)."""
+        self._health[node_id] = provider
+
+    def _health_snapshot(self, node_id: NodeId) -> Dict[str, Any]:
+        snapshot: Dict[str, Any] = {
+            "node_id": node_id,
+            "protocol": PROTOCOL_VERSION,
+            "time": self.clock.now,
+            "inbox_registered": node_id in self._handlers,
+        }
+        provider = self._health.get(node_id)
+        if provider is not None:
+            snapshot.update(provider())
+        return snapshot
 
     async def discover(self, addresses=None) -> Dict[NodeId, Tuple[str, int]]:
         """Build the node directory by fetching agent cards over HTTP.
@@ -125,25 +223,71 @@ class LiveTransport(Transport):
         overlay's bootstrap list).  Each card's declared ``node_id``
         keys the directory — the transport trusts the wire, not its own
         process state, so the discovery path is exercised end to end.
+
+        Discovery is seed-fault-tolerant: a seed whose card cannot be
+        fetched (after one fresh retry on top of the HTTP layer's own
+        backoff) is skipped and reported in
+        :attr:`last_discovery_failures` rather than failing the round;
+        only a round in which *every* seed fails raises.  Two live seeds
+        claiming the same ``node_id`` in one round is a configuration
+        error (an impersonation / split-brain symptom) and raises instead
+        of silently overwriting the directory — while a single seed
+        re-claiming an id across rounds stays legal, which is how a
+        restarted node re-enters the directory.
         """
         if addresses is None:
             addresses = [
                 (server.host, server.port)
                 for server in self._servers.values()
             ]
+        addresses = list(addresses)
+
+        async def fetch(host: str, port: int):
+            for attempt in (0, 1):
+                try:
+                    return await http_get_json(host, port, AGENT_CARD_PATH)
+                except (
+                    ConfigurationError,
+                    ConnectionError,
+                    OSError,
+                    ValueError,
+                    asyncio.TimeoutError,
+                ) as exc:
+                    if attempt:
+                        return exc
+
         cards = await asyncio.gather(
-            *(
-                http_get_json(host, port, AGENT_CARD_PATH)
-                for host, port in addresses
-            )
+            *(fetch(host, port) for host, port in addresses)
         )
+        failures: List[Tuple[str, int, str]] = []
+        claimed: Dict[NodeId, Tuple[str, int]] = {}
         for (host, port), card in zip(addresses, cards):
+            if isinstance(card, Exception):
+                failures.append(
+                    (host, port, f"{card.__class__.__name__}: {card}")
+                )
+                continue
             if card.get("protocol") != PROTOCOL_VERSION:
                 raise ConfigurationError(
                     f"peer at {host}:{port} speaks "
                     f"{card.get('protocol')!r}, not {PROTOCOL_VERSION!r}"
                 )
-            self._directory[card["node_id"]] = (host, port)
+            node_id = card["node_id"]
+            prior = claimed.get(node_id)
+            if prior is not None and prior != (host, port):
+                raise ConfigurationError(
+                    f"node id {node_id} claimed by two peers in one round: "
+                    f"{prior[0]}:{prior[1]} and {host}:{port}"
+                )
+            claimed[node_id] = (host, port)
+        self.last_discovery_failures = failures
+        if failures and not claimed:
+            host, port, reason = failures[0]
+            raise ConfigurationError(
+                f"discovery failed for all {len(failures)} seed(s); "
+                f"first: {host}:{port} ({reason})"
+            )
+        self._directory.update(claimed)
         return dict(self._directory)
 
     async def drain(self) -> None:
@@ -156,6 +300,7 @@ class LiveTransport(Transport):
         for server in self._servers.values():
             await server.close()
         self._servers.clear()
+        self._health.clear()
 
     # ------------------------------------------------------------------
     # Server side
@@ -165,8 +310,18 @@ class LiveTransport(Transport):
             if method == "GET" and path == AGENT_CARD_PATH:
                 card = json.dumps(self.agent_card(node_id)).encode("utf-8")
                 return 200, "OK", card
+            if method == "GET" and path == HEALTH_PATH:
+                health = json.dumps(self._health_snapshot(node_id))
+                return 200, "OK", health.encode("utf-8")
             if method == "POST" and path == MESSAGE_PATH:
-                envelope = decode_envelope(json.loads(body.decode("utf-8")))
+                try:
+                    envelope = decode_envelope(json.loads(body.decode("utf-8")))
+                except (ValueError, KeyError, TypeError, ConfigurationError):
+                    # Non-JSON body, truncated envelope, unknown message
+                    # type or envelope kind: a malformed datagram, not a
+                    # server bug — reject it and count it.
+                    self._rejected.inc()
+                    return 400, "Bad Request", b'{"ok":false}'
                 self._dispatch(envelope)
                 return 200, "OK", b'{"ok":true}'
             return 404, "Not Found", b""
@@ -261,17 +416,43 @@ class LiveTransport(Transport):
     def _post_envelope(
         self, dst: NodeId, envelope: Dict[str, Any], message: Message
     ) -> None:
+        """Post-``_account`` wire path: fault verdict, injected delay per
+        surviving copy, then a background POST per copy."""
+        src = envelope["src"]
+        faults = self.faults
+        copies = 1
+        if faults is not None:
+            copies = faults.judge(src, dst)
+            if not copies:
+                self._lost.inc()
+                if self._trace is not None:
+                    self._emit_msg(
+                        "msg.lost", message, src=src, dst=dst, reason="fault"
+                    )
+                return
+            if copies > 1 and self._trace is not None:
+                self._emit_msg("msg.duplicated", message, src=src, dst=dst)
         address = self._directory.get(dst)
         if address is None:
             # Never discovered: the live analogue of an unknown/detached
             # destination, with the same drop accounting.
             self._drop(dst, message)
             return
-        task = self._loop.create_task(
-            self._post_http(address, envelope, dst, message)
-        )
-        self._tasks.add(task)
-        task.add_done_callback(self._tasks.discard)
+        latency = self._latency
+        for _ in range(copies):
+            delay = 0.0
+            if latency is not None:
+                # Latency models speak protocol seconds; the POST task
+                # sleeps the equivalent wall time before touching the wire.
+                delay = (
+                    latency.sample(src, dst, self._latency_rng)
+                    / self._time_scale
+                )
+            task = self._loop.create_task(
+                self._post_http(address, envelope, dst, message, delay)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
 
     async def _post_http(
         self,
@@ -279,7 +460,10 @@ class LiveTransport(Transport):
         envelope: Dict[str, Any],
         dst: NodeId,
         message: Message,
+        delay: float = 0.0,
     ) -> None:
+        if delay > 0.0:
+            await asyncio.sleep(delay)
         host, port = address
         try:
             await http_post_json(
@@ -296,3 +480,17 @@ class LiveTransport(Transport):
                     dst=dst,
                     reason="unreachable",
                 )
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    @property
+    def rejected(self) -> int:
+        """Inbound POSTs answered 400 (malformed body / unknown kind)."""
+        return self._rejected.value
+
+    def network_counters(self) -> Dict[str, int]:
+        """Base counters plus the live-only ``rejected`` count."""
+        counters = super().network_counters()
+        counters["rejected"] = self._rejected.value
+        return counters

@@ -79,6 +79,65 @@ def test_burst_lengths_follow_exit_probability():
     assert injector.burst_lost > 0
 
 
+def _mean_burst_length(burst_exit, total=60000, seed=5):
+    # With loss=0 a good-state judgment always delivers, so maximal runs
+    # of 0-verdicts are exactly the bad-state streaks of the chain.
+    plan = FaultPlan(
+        loss=0.0,
+        duplicate=0.0,
+        burst_enter=0.05,
+        burst_exit=burst_exit,
+        burst_loss=1.0,
+    )
+    _, injector = make_injector(plan, seed=seed)
+    verdicts = [injector.judge(1, 2) for _ in range(total)]
+    bursts = []
+    run = 0
+    for verdict in verdicts:
+        if verdict == 0:
+            run += 1
+        elif run:
+            bursts.append(run)
+            run = 0
+    if run:
+        bursts.append(run)
+    assert len(bursts) > 200  # enough samples to estimate the mean
+    return sum(bursts) / len(bursts)
+
+
+def test_mean_burst_length_tracks_one_over_exit_probability():
+    # Geometric(burst_exit) burst lengths: mean = 1/burst_exit.
+    assert 1.8 < _mean_burst_length(0.5) < 2.2
+    assert 3.5 < _mean_burst_length(0.25) < 4.5
+
+
+def test_counters_partition_the_judged_messages():
+    # Every 0-verdict lands in exactly one loss counter and every
+    # 2-verdict in the duplication counter: the counters reconcile
+    # against the verdict stream with nothing dropped or double-counted.
+    plan = FaultPlan(
+        loss=0.2,
+        duplicate=0.1,
+        burst_enter=0.05,
+        burst_exit=0.5,
+        burst_loss=1.0,
+        partitions=((0.0, 1_000_000.0),),
+        partition_fraction=0.3,
+    )
+    _, injector = make_injector(plan)
+    verdicts = [injector.judge(n % 7, (n + 1) % 7) for n in range(5000)]
+    counters = injector.counters()
+    lost = (
+        counters["fault_iid_lost"]
+        + counters["fault_burst_lost"]
+        + counters["fault_partition_dropped"]
+    )
+    assert lost == verdicts.count(0)
+    assert counters["fault_duplicated"] == verdicts.count(2)
+    assert lost + verdicts.count(1) + verdicts.count(2) == len(verdicts)
+    assert all(value > 0 for value in counters.values())
+
+
 def test_duplication_delivers_two_copies():
     _, injector = make_injector(FaultPlan(loss=0.0, duplicate=0.9))
     verdicts = [injector.judge(1, 2) for _ in range(300)]
@@ -124,6 +183,32 @@ def test_partition_sides_are_stable_for_the_run():
     first = [injector._side_of(n) for n in range(50)]
     again = [injector._side_of(n) for n in range(50)]
     assert first == again
+
+
+def test_partition_sides_are_sticky_across_windows():
+    # Two disjoint outage windows must cut the node set the *same* way:
+    # a node cannot observably move between data centres mid-run.
+    plan = FaultPlan(
+        loss=0.0,
+        duplicate=0.0,
+        partitions=((10.0, 20.0), (30.0, 40.0)),
+        partition_fraction=0.5,
+    )
+    sim, injector = make_injector(plan)
+    sides_first = {n: injector._side_of(n) for n in range(40)}
+
+    sim.call_at(35.0, lambda: None)
+    sim.run()
+    assert sim.now == 35.0  # inside the second window
+    assert {n: injector._side_of(n) for n in range(40)} == sides_first
+
+    minority = [n for n, side in sides_first.items() if side]
+    majority = [n for n, side in sides_first.items() if not side]
+    assert minority and majority  # fraction=0.5 over 40 nodes
+    # The second window cuts along the sides drawn for the first.
+    assert injector.judge(minority[0], majority[0]) == 0
+    if len(majority) >= 2:
+        assert injector.judge(majority[0], majority[1]) == 1
 
 
 # ----------------------------------------------------------------------
@@ -197,6 +282,60 @@ def test_transport_counts_fault_losses_as_lost():
     assert transport.lost > 0
     counters = transport.network_counters()
     assert counters["fault_iid_lost"] == transport.lost
+
+
+# ----------------------------------------------------------------------
+# Clock genericity: the same model judges on sim and wall clocks
+# ----------------------------------------------------------------------
+def test_injector_judges_over_a_wall_clock():
+    import asyncio
+
+    from repro.runtime import WallClock
+
+    async def main():
+        clock = WallClock(asyncio.get_running_loop(), seed=1)
+        try:
+            injector = FaultInjector(
+                clock, FaultPlan(loss=0.5, duplicate=0.0)
+            )
+            total = 2000
+            lost = sum(
+                1 for _ in range(total) if injector.judge(1, 2) == 0
+            )
+            assert 0.4 < lost / total < 0.6
+        finally:
+            clock.stop()
+
+    asyncio.run(main())
+
+
+def test_same_seed_gives_identical_verdicts_on_both_clocks():
+    # Both clocks derive the "net.faults" stream from the same seed, so
+    # a chaos plan written against the simulator shapes the live wire
+    # with the *same* per-message verdict sequence.
+    import asyncio
+
+    from repro.runtime import WallClock
+
+    plan = FaultPlan(
+        loss=0.2,
+        duplicate=0.1,
+        burst_enter=0.05,
+        burst_exit=0.5,
+        burst_loss=1.0,
+    )
+    sim_injector = FaultInjector(Simulator(seed=9), plan)
+    sim_verdicts = [sim_injector.judge(1, 2) for _ in range(500)]
+
+    async def main():
+        clock = WallClock(asyncio.get_running_loop(), seed=9)
+        try:
+            live_injector = FaultInjector(clock, plan)
+            return [live_injector.judge(1, 2) for _ in range(500)]
+        finally:
+            clock.stop()
+
+    assert asyncio.run(main()) == sim_verdicts
 
 
 def test_transport_delivers_duplicate_copies():

@@ -132,6 +132,79 @@ def test_jsonl_sink_roundtrips_through_load_trace(tmp_path):
     assert all(validate_event(e) == [] for e in events)
 
 
+def _rotating_event(index):
+    return {"t": float(index), "ev": "job.submitted", "job": index, "node": 0}
+
+
+def test_rotating_sink_rotates_and_bounds_disk(tmp_path):
+    from repro.obs import RotatingJsonlSink
+
+    path = tmp_path / "soak.jsonl"
+    line = len(json.dumps(_rotating_event(0), separators=(",", ":"))) + 1
+    # Room for two lines per file: every third append rotates.
+    sink = RotatingJsonlSink(str(path), max_bytes=2 * line + 5, backups=2)
+    for index in range(10):
+        sink.append(_rotating_event(index))
+    sink.close()
+
+    assert sink.emitted == 10
+    assert sink.rotations == 4
+    # The newest events are always in the active file ...
+    newest = [json.loads(l) for l in path.read_text().splitlines()]
+    assert [e["job"] for e in newest] == [8, 9]
+    # ... and the backup cascade keeps the next-newest, oldest dropped.
+    backup1 = (tmp_path / "soak.jsonl.1").read_text().splitlines()
+    backup2 = (tmp_path / "soak.jsonl.2").read_text().splitlines()
+    assert [json.loads(l)["job"] for l in backup1] == [6, 7]
+    assert [json.loads(l)["job"] for l in backup2] == [4, 5]
+    assert not (tmp_path / "soak.jsonl.3").exists()  # backups=2 bound
+
+
+def test_rotating_sink_without_overflow_is_a_plain_jsonl(tmp_path):
+    from repro.obs import RotatingJsonlSink, load_trace
+
+    path = tmp_path / "soak.jsonl"
+    sink = RotatingJsonlSink(str(path), max_bytes=1 << 20, backups=3)
+    for index in range(5):
+        sink.append(_rotating_event(index))
+    sink.close()
+    assert sink.rotations == 0
+    events = load_trace(path)
+    assert [e["job"] for e in events] == [0, 1, 2, 3, 4]
+    assert all(validate_event(e) == [] for e in events)
+
+
+def test_rotating_sink_validates_parameters(tmp_path):
+    from repro.obs import RotatingJsonlSink
+
+    with pytest.raises(ConfigurationError):
+        RotatingJsonlSink(str(tmp_path / "t.jsonl"), max_bytes=0)
+    with pytest.raises(ConfigurationError):
+        RotatingJsonlSink(str(tmp_path / "t.jsonl"), backups=0)
+
+
+def test_config_rotate_bytes_makes_a_rotating_sink(tmp_path):
+    from repro.obs import RotatingJsonlSink
+
+    config = TraceConfig(
+        sink="jsonl", path=str(tmp_path / "t.jsonl"), rotate_bytes=1 << 20
+    )
+    sink = config.make_sink()
+    try:
+        assert isinstance(sink, RotatingJsonlSink)
+        assert sink.max_bytes == 1 << 20
+    finally:
+        sink.close()
+    with pytest.raises(ConfigurationError):
+        TraceConfig(sink="memory", rotate_bytes=1 << 20)
+    with pytest.raises(ConfigurationError):
+        TraceConfig(
+            sink="jsonl", path=str(tmp_path / "t.jsonl"), rotate_bytes=-1
+        )
+    # rotate_bytes participates in the cache-key contract.
+    assert TraceConfig.from_dict(config.to_dict()) == config
+
+
 def test_perfetto_sink_writes_trace_event_json(tmp_path):
     path = tmp_path / "trace.json"
     sink = PerfettoSink(path)

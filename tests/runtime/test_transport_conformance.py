@@ -13,6 +13,7 @@ import asyncio
 
 import pytest
 
+from repro.experiments import FaultPlan, apply_fault_plan
 from repro.net import ConstantLatency, Message, SimTransport
 from repro.net.reliability import ReliabilityConfig, ReliabilityLayer
 from repro.runtime import LiveTransport, WallClock
@@ -209,6 +210,100 @@ def test_loss_probability_loses_but_accounts(backend_cls):
         assert len(got) + transport.lost == 40
         # Lost messages were still sent: accounting is send-side.
         assert transport.monitor.count_by_type["Ping"] == 40
+
+    drive(case, backend_cls)
+
+
+# ----------------------------------------------------------------------
+# Fault injection: the same FaultInjector shapes either wire
+# ----------------------------------------------------------------------
+@both
+def test_zero_probability_injector_is_transparent(backend_cls):
+    async def case(backend):
+        transport = backend.transport
+        apply_fault_plan(transport, FaultPlan(loss=0.0, duplicate=0.0))
+        got = []
+        transport.register(1, lambda src, msg: None)
+        transport.register(2, lambda src, msg: got.append(msg.tag))
+        await backend.ready(1, 2)
+        for n in range(20):
+            transport.send(1, 2, Ping(str(n)))
+        await backend.settle()
+        # Every message travelled the faulted path and none were touched.
+        assert sorted(got, key=int) == [str(n) for n in range(20)]
+        counters = transport.network_counters()
+        assert counters["fault_iid_lost"] == 0
+        assert counters["fault_burst_lost"] == 0
+        assert counters["fault_partition_dropped"] == 0
+        assert counters["fault_duplicated"] == 0
+        assert transport.lost == 0
+
+    drive(case, backend_cls)
+
+
+@both
+def test_injected_loss_accounts_on_either_wire(backend_cls):
+    async def case(backend):
+        transport = backend.transport
+        apply_fault_plan(transport, FaultPlan(loss=0.5, duplicate=0.0))
+        got = []
+        transport.register(1, lambda src, msg: None)
+        transport.register(2, lambda src, msg: got.append(msg))
+        await backend.ready(1, 2)
+        for _ in range(40):
+            transport.send(1, 2, Ping())
+        await backend.settle()
+        assert transport.lost > 0
+        assert len(got) + transport.lost == 40
+        counters = transport.network_counters()
+        assert counters["fault_iid_lost"] == transport.lost
+        # Fault losses are send-side: accounting happened regardless.
+        assert transport.monitor.count_by_type["Ping"] == 40
+
+    drive(case, backend_cls)
+
+
+@both
+def test_injected_duplication_delivers_copies_on_either_wire(backend_cls):
+    async def case(backend):
+        transport = backend.transport
+        apply_fault_plan(transport, FaultPlan(loss=0.0, duplicate=0.9))
+        got = []
+        transport.register(1, lambda src, msg: None)
+        transport.register(2, lambda src, msg: got.append(msg))
+        await backend.ready(1, 2)
+        for _ in range(40):
+            transport.send(1, 2, Ping())
+        await backend.settle()
+        duplicated = transport.network_counters()["fault_duplicated"]
+        assert duplicated > 0
+        assert len(got) == 40 + duplicated
+
+    drive(case, backend_cls)
+
+
+@both
+def test_delay_spikes_delay_but_never_lose(backend_cls):
+    async def case(backend):
+        transport = backend.transport
+        apply_fault_plan(
+            transport,
+            FaultPlan(
+                loss=0.0,
+                duplicate=0.0,
+                delay_spike=0.5,
+                delay_spike_mean=0.02,
+            ),
+        )
+        got = []
+        transport.register(1, lambda src, msg: None)
+        transport.register(2, lambda src, msg: got.append(msg))
+        await backend.ready(1, 2)
+        for _ in range(20):
+            transport.send(1, 2, Ping())
+        await backend.settle()
+        assert len(got) == 20
+        assert transport.lost == 0
 
     drive(case, backend_cls)
 

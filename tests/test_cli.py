@@ -203,3 +203,51 @@ def test_run_progress_reports_on_stderr(capsys):
     err = capsys.readouterr().err
     assert "[1/2] runs complete" in err
     assert "[2/2] runs complete" in err
+
+
+def test_serve_with_faults_and_chaos_exits_clean(capsys):
+    assert main(
+        [
+            "serve", "iMixed", "--nodes", "4", "--jobs", "2",
+            "--duration", "2400", "--time-scale", "600",
+            "--faults", "--chaos",
+        ]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "faults on" in captured.err
+    assert "lifecycle chaos on" in captured.err
+    assert "invariants: OK" in captured.out
+
+
+def test_soak_runs_clean_and_streams_a_trace(tmp_path, capsys):
+    trace_path = tmp_path / "soak.jsonl"
+    assert main(
+        [
+            "soak", "--nodes", "4", "--jobs", "2",
+            "--wall-seconds", "4", "--time-scale", "600",
+            "--trace", str(trace_path),
+        ]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "online invariant checker armed" in captured.err
+    assert "events checked online" in captured.out
+    assert "invariants: OK (online + post-run)" in captured.out
+    from repro.obs import load_trace, validate_event
+
+    events = load_trace(trace_path)
+    assert events
+    assert all(validate_event(event) == [] for event in events)
+
+
+def test_soak_seeded_violation_exits_nonzero(tmp_path, capsys):
+    assert main(
+        [
+            "soak", "--nodes", "4", "--jobs", "2",
+            "--wall-seconds", "4", "--time-scale", "600",
+            "--trace", str(tmp_path / "soak.jsonl"),
+            "--seed-violation",
+        ]
+    ) == 1
+    captured = capsys.readouterr()
+    assert "VIOLATION (online):" in captured.err
+    assert "double execution" in captured.out
