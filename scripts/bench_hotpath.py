@@ -16,6 +16,8 @@ Usage::
     PYTHONPATH=src python scripts/bench_hotpath.py --gate 50      # fail if < 50% of
                                                                   # the latest record
     PYTHONPATH=src python scripts/bench_hotpath.py --against "pre-PR2 baseline"
+    PYTHONPATH=src python scripts/bench_hotpath.py --trace-overhead small
+                                                  # trace-off vs trace-on ev/s
 
 Notes
 -----
@@ -107,6 +109,50 @@ def measure_scale(scenario: str, scale_name: str, seed: int, reps: int) -> dict:
     }
 
 
+def measure_trace_overhead(
+    scenario: str, scale_name: str, seed: int, reps: int
+) -> dict:
+    """Best-of-``reps`` events/sec with tracing off vs protocol-level on.
+
+    The traced arm records into a memory sink with telemetry disabled, so
+    the measured difference is the trace bus itself (emit filtering, dict
+    builds, ring-buffer appends) — not file IO.  ``overhead_pct`` is how
+    much events/sec the traced run gives up against the untraced one.
+    """
+    from repro.obs import TraceConfig
+
+    scale = _SCALES[scale_name]()
+    if scale_name in _SLOW_SCALES:
+        reps = 1
+    arms = (
+        ("off", None),
+        (
+            "protocol",
+            TraceConfig(level="protocol", sink="memory", telemetry=False),
+        ),
+    )
+    results: dict = {}
+    for mode, trace in arms:
+        best = None
+        events = 0
+        for _ in range(max(1, reps)):
+            start = time.perf_counter()
+            result = run(scenario, scale, seed=seed, trace=trace)
+            wall = time.perf_counter() - start
+            events = result.executed_events
+            if best is None or wall < best:
+                best = wall
+        results[mode] = {
+            "executed_events": events,
+            "wall_s": round(best, 4),
+            "events_per_sec": round(events / best, 1),
+        }
+    off = results["off"]["events_per_sec"]
+    on = results["protocol"]["events_per_sec"]
+    results["overhead_pct"] = round((off - on) / off * 100.0, 2)
+    return results
+
+
 def load_records(path: str = BENCH_FILE) -> dict:
     """The benchmark file contents (empty skeleton when absent)."""
     try:
@@ -161,6 +207,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--json", default=None, help="also write results to this path")
     parser.add_argument(
+        "--trace-overhead",
+        nargs="?",
+        const="small",
+        default=None,
+        metavar="SCALE",
+        help="also measure trace-off vs trace-on (protocol, memory sink) "
+        "events/sec at SCALE (default small) and store it with the record",
+    )
+    parser.add_argument(
         "--scales",
         default=None,
         metavar="NAMES",
@@ -195,6 +250,25 @@ def main(argv=None) -> int:
             f"{result['peak_rss_mb']:>8,.0f} MB peak"
         )
 
+    trace_overhead = None
+    if args.trace_overhead:
+        if args.trace_overhead not in _SCALES:
+            parser.error(
+                f"unknown scale {args.trace_overhead!r}; "
+                f"known: {sorted(_SCALES)}"
+            )
+        trace_overhead = measure_trace_overhead(
+            args.scenario, args.trace_overhead, args.seed, reps
+        )
+        off = trace_overhead["off"]
+        on = trace_overhead["protocol"]
+        print(
+            f"\ntrace overhead @ {args.trace_overhead}: "
+            f"off {off['events_per_sec']:,.0f} ev/s, "
+            f"protocol {on['events_per_sec']:,.0f} ev/s "
+            f"({trace_overhead['overhead_pct']:+.1f}%)"
+        )
+
     document = load_records()
     if document.get("scenario") is None:
         document["scenario"] = args.scenario
@@ -227,21 +301,27 @@ def main(argv=None) -> int:
                 merged = record
                 break
         if merged is None:
-            document.setdefault("records", []).append(
-                {"label": args.record, "seed": args.seed, "scales": current}
-            )
+            merged = {"label": args.record, "seed": args.seed, "scales": current}
+            document.setdefault("records", []).append(merged)
         else:
             # Re-recording under an existing label merges scales, so slow
             # scales (large/huge) can be appended by a separate invocation.
             merged.setdefault("scales", {}).update(current)
+        if trace_overhead is not None:
+            merged.setdefault("trace_overhead", {})[
+                args.trace_overhead
+            ] = trace_overhead
         with open(BENCH_FILE, "w") as handle:
             json.dump(document, handle, indent=2)
             handle.write("\n")
         print(f"\nrecorded {args.record!r} in {BENCH_FILE}")
 
     if args.json:
+        payload = {"scenario": args.scenario, "scales": current}
+        if trace_overhead is not None:
+            payload["trace_overhead"] = {args.trace_overhead: trace_overhead}
         with open(args.json, "w") as handle:
-            json.dump({"scenario": args.scenario, "scales": current}, handle, indent=2)
+            json.dump(payload, handle, indent=2)
             handle.write("\n")
 
     return 1 if failed else 0

@@ -1,22 +1,17 @@
 """Validate a recorded JSONL trace against the published event schema.
 
-Every line of the file must be a JSON object that passes
-``repro.obs.validate_event`` — known event name, ``t``/``ev`` present,
-every required field for that event, no fields outside the schema.  The
-CI trace-smoke job runs this over a freshly traced faulted run, which is
-what makes ``repro.obs.EVENTS`` a contract rather than documentation.
-
-Usage::
+Thin wrapper over :mod:`repro.obs.validate` (the importable core), kept
+so existing CI invocations and docs keep working::
 
     PYTHONPATH=src python scripts/validate_trace.py run.jsonl
     PYTHONPATH=src python scripts/validate_trace.py run.jsonl --max-problems 5
+    PYTHONPATH=src python scripts/validate_trace.py soak.jsonl --rotated
 
 Exits nonzero if any event fails validation (or the file is empty).
 """
 
 from __future__ import annotations
 
-import argparse
 import os
 import sys
 
@@ -24,43 +19,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 )
 
-from repro.obs import load_trace, validate_event  # noqa: E402
-
-
-def main(argv=None) -> int:
-    """Validate the trace file; returns the process exit code."""
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("path", help="JSONL trace file to validate")
-    parser.add_argument(
-        "--max-problems",
-        type=int,
-        default=20,
-        help="stop printing after this many problems (still counts all)",
-    )
-    args = parser.parse_args(argv)
-
-    events = load_trace(args.path)
-    if not events:
-        print(f"{args.path}: no events", file=sys.stderr)
-        return 1
-
-    problem_count = 0
-    counts: dict = {}
-    for line_number, event in enumerate(events, start=1):
-        problems = validate_event(event)
-        for problem in problems:
-            problem_count += 1
-            if problem_count <= args.max_problems:
-                print(f"{args.path}:{line_number}: {problem}", file=sys.stderr)
-        name = event.get("ev", "<missing>")
-        counts[name] = counts.get(name, 0) + 1
-
-    width = max(len(name) for name in counts)
-    for name in sorted(counts):
-        print(f"  {name:<{width}}  {counts[name]}")
-    print(f"{args.path}: {len(events)} events, {problem_count} problem(s)")
-    return 1 if problem_count else 0
-
+from repro.obs.validate import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -14,6 +14,8 @@ Everything the library does is reachable from the shell::
     python -m repro serve --nodes 8              # live HTTP overlay run
     python -m repro serve --faults --chaos       # chaos on the live wire
     python -m repro soak --wall-seconds 600      # soak + online invariants
+    python -m repro soak --top --chaos           # soak with live dashboard
+    python -m repro top --port-base 18200        # watch a running overlay
 
 All commands accept ``--scale tiny|small|medium|paper`` and ``--seeds N``
 (N seeds starting at ``--seed-base``, default 0; the paper averages 10).
@@ -336,6 +338,8 @@ def _cmd_serve(args) -> int:
         fault_plan=fault_plan,
         failure_schedule=schedule,
         failsafe=chaos or fault_plan is not None,
+        port_base=args.port_base,
+        dashboard=args.top,
     )
     trace = (
         TraceConfig(level=args.trace_level or "protocol",
@@ -405,6 +409,8 @@ def _cmd_soak(args) -> int:
         fault_plan=fault_plan,
         failure_schedule=schedule,
         failsafe=args.chaos or fault_plan is not None,
+        port_base=args.port_base,
+        dashboard=args.top,
     )
     trace = TraceConfig(
         level=args.trace_level,
@@ -541,13 +547,65 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    """Attach to an already-running live overlay and stream its dashboard."""
+    import asyncio
+    import time
+
+    from .obs import MetricsRegistry, TelemetryCollector, render_dashboard
+
+    if args.targets:
+        addresses = {}
+        for index, spec in enumerate(args.targets.split(",")):
+            host, _, port = spec.strip().rpartition(":")
+            addresses[index] = (host or "127.0.0.1", int(port))
+    else:
+        addresses = {
+            index: (args.host, args.port_base + index)
+            for index in range(args.nodes)
+        }
+    start = time.monotonic()
+    collector = TelemetryCollector(
+        MetricsRegistry(),
+        targets=lambda: addresses,
+        now=lambda: time.monotonic() - start,
+    )
+
+    async def watch() -> int:
+        while True:
+            await collector.scrape()
+            print(
+                "\x1b[2J\x1b[H"
+                + render_dashboard(collector, title="ARiA fleet (repro top)"),
+                end="",
+                flush=True,
+            )
+            if args.iterations and collector.rounds >= args.iterations:
+                return 0
+            await asyncio.sleep(args.interval)
+
+    try:
+        return asyncio.run(watch())
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_explain_job(args) -> int:
     import json
 
     from .errors import ConfigurationError
-    from .obs import explain_job, load_trace
+    from .obs import explain_job, load_rotated_trace
 
-    events = load_trace(args.trace)
+    try:
+        # Rotated soak traces stitch back together transparently; an
+        # unrotated trace is just its own single segment.
+        events = load_rotated_trace(args.trace)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not events:
+        print(f"error: no events found at {args.trace}", file=sys.stderr)
+        return 1
     try:
         timeline = explain_job(events, args.job_id)
     except ConfigurationError as exc:
@@ -728,6 +786,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive the representative live lifecycle schedule: one "
         "crash-restart, one mid-run join, one graceful leave",
     )
+    serve_parser.add_argument(
+        "--port-base",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="bind node i's endpoint to PORT+i instead of ephemeral "
+        "ports, so 'repro top' and external scrapers can find the "
+        "fleet's /metrics pages",
+    )
+    serve_parser.add_argument(
+        "--top",
+        action="store_true",
+        help="render the streaming fleet dashboard while the run is live",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     soak_parser = sub.add_parser(
@@ -806,6 +878,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="self-test: forge a duplicate job.finished mid-run and "
         "verify the online checker flags it (the run exits nonzero)",
     )
+    soak_parser.add_argument(
+        "--port-base",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="bind node i's endpoint to PORT+i instead of ephemeral "
+        "ports (lets 'repro top' and external scrapers attach)",
+    )
+    soak_parser.add_argument(
+        "--top",
+        action="store_true",
+        help="render the streaming fleet dashboard while the soak runs",
+    )
     soak_parser.set_defaults(func=_cmd_soak)
 
     figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
@@ -821,9 +906,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_progress(baseline_parser)
     baseline_parser.set_defaults(func=_cmd_baseline)
 
+    top_parser = sub.add_parser(
+        "top",
+        help="attach to a running live overlay and stream the fleet "
+        "dashboard (scrapes every node's /metrics)",
+    )
+    top_parser.add_argument(
+        "--port-base",
+        type=int,
+        default=18200,
+        metavar="PORT",
+        help="first node port of the overlay to watch (node i = PORT+i; "
+        "match the serve/soak --port-base, default 18200)",
+    )
+    top_parser.add_argument(
+        "--nodes", type=int, default=8, help="how many ports to scrape"
+    )
+    top_parser.add_argument("--host", default="127.0.0.1")
+    top_parser.add_argument(
+        "--targets",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="explicit scrape targets (overrides --port-base/--nodes)",
+    )
+    top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="wall seconds between scrape rounds (default 1)",
+    )
+    top_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N rounds (default 0 = run until interrupted)",
+    )
+    top_parser.set_defaults(func=_cmd_top)
+
     explain_parser = sub.add_parser(
         "explain-job",
-        help="reconstruct one job's timeline from a JSONL trace",
+        help="reconstruct one job's timeline from a JSONL trace "
+        "(rotated soak traces are stitched back together)",
     )
     explain_parser.add_argument("trace", help="trace file from 'run --trace'")
     explain_parser.add_argument("job_id", type=int)

@@ -160,6 +160,11 @@ class RunResult:
     trace_events: List[Dict[str, object]] = dataclass_field(
         default_factory=list
     )
+    #: Merged fleet time series from the live telemetry collector
+    #: (``{name: [(t, value), ...]}``); empty for simulated runs.
+    fleet_series: Dict[str, List[Tuple[float, float]]] = dataclass_field(
+        default_factory=dict
+    )
 
     def summary(self, validate: bool = True) -> RunSummary:
         """Condense this run into a picklable :class:`RunSummary`.
@@ -203,6 +208,7 @@ class RunResult:
             violations=violations,
             extras=extras,
             telemetry=self.telemetry,
+            fleet=self.fleet_series,
         )
 
 

@@ -84,6 +84,11 @@ class RunSummary:
     #: ``telemetry=True``; empty otherwise (and omitted from
     #: :meth:`to_dict` so untraced summaries stay byte-identical).
     telemetry: Dict[str, float] = field(default_factory=dict)
+    #: Merged fleet time series from the live telemetry collector
+    #: (``{name: [(t, value), ...]}``), populated only by live runs that
+    #: scraped their own ``/metrics`` pages; empty otherwise (and omitted
+    #: from :meth:`to_dict` so simulated summaries stay byte-identical).
+    fleet: Dict[str, TimeSeries] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Construction
@@ -107,6 +112,7 @@ class RunSummary:
         violations=(),
         extras: Optional[Dict[str, float]] = None,
         telemetry: Optional[Dict[str, float]] = None,
+        fleet: Optional[Dict[str, TimeSeries]] = None,
     ) -> "RunSummary":
         """Extract the scalar views from live ``metrics`` / ``traffic``.
 
@@ -147,6 +153,10 @@ class RunSummary:
             violations=list(violations),
             extras=dict(extras or {}),
             telemetry=dict(telemetry or {}),
+            fleet={
+                name: [tuple(p) for p in series]
+                for name, series in (fleet or {}).items()
+            },
         )
 
     # ------------------------------------------------------------------
@@ -171,6 +181,14 @@ class RunSummary:
             # Untraced runs never carry telemetry; omitting the empty dict
             # keeps their payloads byte-identical to earlier versions.
             del payload["telemetry"]
+        if not self.fleet:
+            # Same contract for the live-only fleet series.
+            del payload["fleet"]
+        else:
+            payload["fleet"] = {
+                name: [list(p) for p in series]
+                for name, series in self.fleet.items()
+            }
         return payload
 
     @classmethod
@@ -183,6 +201,10 @@ class RunSummary:
             data.get("submission_window", (0.0, 0.0))
         )
         data.setdefault("telemetry", {})
+        data["fleet"] = {
+            name: [tuple(point) for point in series]
+            for name, series in data.get("fleet", {}).items()
+        }
         return cls(**data)
 
     def save(self, path) -> None:

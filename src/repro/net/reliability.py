@@ -103,7 +103,7 @@ class _Pending:
     incarnation *k* must never reach incarnation *k+1*.
     """
 
-    __slots__ = ("src", "dst", "message", "attempt", "timer", "stamp")
+    __slots__ = ("src", "dst", "message", "attempt", "timer", "stamp", "sent_at")
 
     def __init__(
         self,
@@ -111,6 +111,7 @@ class _Pending:
         dst: NodeId,
         message: Message,
         stamp: Optional[int] = None,
+        sent_at: float = 0.0,
     ) -> None:
         self.src = src
         self.dst = dst
@@ -118,6 +119,7 @@ class _Pending:
         self.attempt = 0
         self.timer = None
         self.stamp = stamp
+        self.sent_at = sent_at
 
 
 class ReliabilityLayer:
@@ -154,6 +156,15 @@ class ReliabilityLayer:
             "reliable.duplicates_suppressed"
         )
         self._gave_up = registry.counter("reliable.gave_up")
+        #: Send-to-ack round-trip time of confirmed deliveries, in
+        #: protocol seconds — the live fleet's end-to-end reliability
+        #: latency signal on ``/metrics``.  Buckets sized for both the
+        #: simulator (multi-second latency draws) and the compressed live
+        #: wall clock (sub-second protocol-time round trips).
+        self._ack_rtt = registry.histogram(
+            "reliable.ack_rtt",
+            buckets=(0.1, 0.5, 2.0, 10.0, 60.0, 300.0, 1800.0),
+        )
         #: The transport's tracer (attached to it before this layer is
         #: constructed); ``None`` unless transport-level tracing is on.
         self._trace = transport._trace
@@ -215,7 +226,11 @@ class ReliabilityLayer:
         msg_id = self._next_id
         self._next_id += 1
         pending = _Pending(
-            src, dst, message, self.transport.incarnation_stamp(dst)
+            src,
+            dst,
+            message,
+            self.transport.incarnation_stamp(dst),
+            sent_at=self._clock.now,
         )
         self._pending[msg_id] = pending
         self._transmit(msg_id, pending)
@@ -259,6 +274,7 @@ class ReliabilityLayer:
         if pending.timer is not None:
             self._clock.cancel(pending.timer)
         self._delivered.inc()
+        self._ack_rtt.observe(self._clock.now - pending.sent_at)
 
     def _on_ack_stamped(self, msg_id: int, dst: NodeId, stamp: int) -> None:
         """Deliver an ack only if the acked sender's incarnation still

@@ -92,6 +92,11 @@ class Transport:
         "_incarnations",
         "_dropped_stale",
         "_trace",
+        "_trace_ctx",
+        "_job_traces",
+        "_next_trace",
+        "_last_send_ctx",
+        "_hop_latency",
     )
 
     def __init__(
@@ -133,6 +138,18 @@ class Transport:
         #: Optional :class:`~repro.obs.Tracer`, attached only when
         #: transport-level tracing is active (``None`` costs one check).
         self._trace = None
+        #: Causal-trace state, touched only while ``_trace`` is set: the
+        #: handler-scoped context restored around traced deliveries, a
+        #: per-job continuation map (so chains survive timer-driven sends
+        #: like ASSIGN after the accept window), the fresh-id counter, the
+        #: context of the message most recently judged by :meth:`_account`
+        #: (read back by the backend to stamp the in-flight copy), and the
+        #: lazily registered hop-latency histogram.
+        self._trace_ctx = None
+        self._job_traces: Dict[int, tuple] = {}
+        self._next_trace = 0
+        self._last_send_ctx = None
+        self._hop_latency = None
 
     # ------------------------------------------------------------------
     # The wire (implementation-specific)
@@ -305,6 +322,7 @@ class Transport:
         by_count[name] = by_count.get(name, 0) + 1
         if self._trace is not None:
             self._emit_msg("msg.sent", message, src=src, dst=dst)
+            self._trace_send(src, dst, message)
         if (
             self.loss_probability
             and self._loss_rng.random() < self.loss_probability
@@ -325,6 +343,108 @@ class Transport:
         self._trace.emit(
             event, self.clock.now, type=message.__class__.__name__, **fields
         )
+
+    # ------------------------------------------------------------------
+    # Causal tracing (active only while ``_trace`` is attached)
+    # ------------------------------------------------------------------
+    def _next_trace_ctx(self, job: Optional[int]) -> tuple:
+        """The ``(trace_id, hop)`` context for one outbound message.
+
+        Priority: continue the handler context (we are inside a traced
+        delivery — the reply is hop N+1 of the same chain); else continue
+        the job's last known chain (covers timer-driven sends like the
+        ASSIGN fired when the accept window closes, or Done after
+        execution); else start a fresh chain.  Trace ids come from a
+        plain counter — never an RNG — so traced runs stay bit-identical
+        to untraced ones.
+        """
+        ctx = self._trace_ctx
+        if ctx is not None:
+            ctx = (ctx[0], ctx[1] + 1)
+        elif job is not None:
+            prior = self._job_traces.get(job)
+            if prior is not None:
+                ctx = (prior[0], prior[1] + 1)
+        if ctx is None:
+            self._next_trace += 1
+            ctx = (f"t{self._next_trace}", 0)
+        if job is not None:
+            job_traces = self._job_traces
+            if len(job_traces) > 100_000:
+                # Bound the continuation map on long soaks: dropping old
+                # entries only starts fresh chains for ancient jobs.
+                for stale in list(job_traces)[:50_000]:
+                    del job_traces[stale]
+            job_traces[job] = ctx
+        return ctx
+
+    def _trace_send(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        """Stamp one outbound message with its causal context.
+
+        Called from :meth:`_account`'s traced branch only; the backend
+        reads :attr:`_last_send_ctx` back immediately to attach the
+        context to the scheduled delivery (sim) or wire envelope (live).
+        """
+        job = message_job_id(message)
+        ctx = self._next_trace_ctx(job)
+        now = self.clock.now
+        self._last_send_ctx = (ctx[0], ctx[1], now)
+        fields = {"trace": ctx[0], "hop": ctx[1]}
+        if job is not None:
+            fields["job"] = job
+        self._trace.emit(
+            "net.send",
+            now,
+            src=src,
+            dst=dst,
+            type=message.__class__.__name__,
+            **fields,
+        )
+
+    def _traced_dispatch(
+        self,
+        ctx: tuple,
+        sent_at: float,
+        src: NodeId,
+        dst: NodeId,
+        message: Message,
+        callback: Callable,
+        args: tuple,
+    ) -> None:
+        """Deliver one traced message: emit ``net.recv``, observe the hop
+        latency, and run the delivery callback under the restored causal
+        context so every send it triggers continues the chain."""
+        trace = self._trace
+        if trace is None:
+            callback(*args)
+            return
+        now = self.clock.now
+        latency = now - sent_at
+        histogram = self._hop_latency
+        if histogram is None:
+            histogram = self._hop_latency = self.registry.histogram(
+                "net.hop_latency",
+                buckets=(0.05, 0.2, 1.0, 5.0, 30.0, 120.0, 600.0),
+            )
+        histogram.observe(latency)
+        job = message_job_id(message)
+        fields = {"trace": ctx[0], "hop": ctx[1], "latency": latency}
+        if job is not None:
+            fields["job"] = job
+            self._job_traces[job] = ctx
+        trace.emit(
+            "net.recv",
+            now,
+            src=src,
+            dst=dst,
+            type=message.__class__.__name__,
+            **fields,
+        )
+        self._trace_ctx = ctx
+        try:
+            callback(*args)
+        finally:
+            self._trace_ctx = None
 
     # ------------------------------------------------------------------
     # Shared delivery-side bookkeeping
@@ -506,6 +626,13 @@ class SimTransport(Transport):
             return
         if not self._account(src, dst, message):
             return
+        if self._trace is not None:
+            # Wrap the delivery so the receive side emits ``net.recv``
+            # and restores the causal context; the entry keeps the same
+            # (time, seq) ordering, so traced runs replay identically.
+            tid, hop, sent_at = self._last_send_ctx
+            args = ((tid, hop), sent_at, src, dst, message, callback, args)
+            callback = self._traced_dispatch
         if self.faults is not None:
             self._cast(src, dst, callback, args, message)
             return

@@ -12,9 +12,18 @@ could not provide (see ``docs/OBSERVABILITY.md``):
   surfaced as ``RunSummary.telemetry``;
 * :mod:`repro.obs.timeline` — :func:`explain_job` /
   :class:`JobTimeline`, reconstructing one job's full lifecycle from a
-  trace (also the ``repro explain-job`` CLI).
+  trace (also the ``repro explain-job`` CLI);
+* :mod:`repro.obs.exposition` — Prometheus text-format rendering of a
+  registry (the live ``GET /metrics`` pages) and its parser;
+* :mod:`repro.obs.collector` — :class:`TelemetryCollector`, the fleet
+  scraper merging per-node pages into ``fleet.*`` series, plus the
+  ``repro top`` dashboard renderer;
+* :mod:`repro.obs.validate` — the importable trace-schema validator
+  behind ``scripts/validate_trace.py``.
 """
 
+from .collector import NodeSample, TelemetryCollector, render_dashboard
+from .exposition import CONTENT_TYPE, parse_prometheus, render_prometheus
 from .metrics import BoundedSeries, Counter, Gauge, Histogram, MetricsRegistry
 from .timeline import JobTimeline, explain_job
 from .trace import (
@@ -27,13 +36,18 @@ from .trace import (
     TraceConfig,
     Tracer,
     iter_job_events,
+    load_rotated_trace,
     load_trace,
+    merge_perfetto_traces,
     message_job_id,
+    rotated_trace_paths,
     validate_event,
 )
+from .validate import validate_trace_file
 
 __all__ = [
     "BoundedSeries",
+    "CONTENT_TYPE",
     "Counter",
     "EVENTS",
     "Gauge",
@@ -43,13 +57,22 @@ __all__ = [
     "LEVELS",
     "MemorySink",
     "MetricsRegistry",
+    "NodeSample",
     "PerfettoSink",
     "RotatingJsonlSink",
+    "TelemetryCollector",
     "TraceConfig",
     "Tracer",
     "explain_job",
     "iter_job_events",
+    "load_rotated_trace",
     "load_trace",
+    "merge_perfetto_traces",
     "message_job_id",
+    "parse_prometheus",
+    "render_dashboard",
+    "render_prometheus",
+    "rotated_trace_paths",
     "validate_event",
+    "validate_trace_file",
 ]

@@ -1,0 +1,194 @@
+"""Prometheus text-format exposition for a :class:`MetricsRegistry`.
+
+The live runtime serves each node's metrics as ``GET /metrics`` in the
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+(version ``0.0.4``) so any off-the-shelf scraper — or the in-repo
+:class:`~repro.obs.collector.TelemetryCollector` — can consume a fleet.
+
+Mapping from registry keys to Prometheus samples:
+
+* metric names are sanitised (``.`` and anything outside
+  ``[a-zA-Z0-9_:]`` becomes ``_``) and prefixed (default ``aria_``);
+* the registry's ``name{k=v,...}`` label syntax becomes proper
+  ``name{k="v",...}`` label sets;
+* :class:`~repro.obs.metrics.Counter` / ``Gauge`` render as single
+  samples with a ``# TYPE`` header;
+* :class:`~repro.obs.metrics.Histogram` renders the full Prometheus
+  histogram contract — cumulative ``_bucket{le="..."}`` samples ending
+  in ``le="+Inf"``, plus ``_sum`` and ``_count``;
+* :class:`~repro.obs.metrics.BoundedSeries` renders its latest value as
+  a gauge plus an ``_observations`` companion (the series *points* stay
+  in-process; exposition is a point-in-time format).
+
+``extra`` lets a caller merge transient per-request samples (per-node
+health gauges, traffic-by-type counts) into the same page without
+registering them; they render as untyped gauges.
+
+:func:`parse_prometheus` is the inverse used by the collector and the CI
+scrape check: it parses a page back into ``{sample_name: value}`` and
+raises on lines that are not valid exposition syntax.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import (
+    BoundedSeries,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = ["CONTENT_TYPE", "parse_prometheus", "render_prometheus"]
+
+#: The Content-Type a ``/metrics`` response must declare.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"  # metric name
+    r"(\{[^}]*\})?"  # optional label block
+    r"\s+(-?[0-9.eE+-]+|NaN|[+-]Inf)\s*$"  # value
+)
+
+
+def _split_key(key: str) -> Tuple[str, List[Tuple[str, str]]]:
+    """Split a registry key ``name{k=v,...}`` into name + label pairs."""
+    if "{" not in key:
+        return key, []
+    name, _, inner = key.partition("{")
+    pairs = []
+    for part in inner.rstrip("}").split(","):
+        label, _, value = part.partition("=")
+        pairs.append((label, value))
+    return name, pairs
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return prefix + _NAME_SANITIZER.sub("_", name)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_block(pairs: List[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{_NAME_SANITIZER.sub("_", k)}="{_escape_label(v)}"'
+        for k, v in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Page:
+    """Accumulates exposition lines, writing each ``# TYPE`` header once."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._typed: set = set()
+
+    def type_header(self, family: str, kind: str) -> None:
+        if family not in self._typed:
+            self._typed.add(family)
+            self.lines.append(f"# TYPE {family} {kind}")
+
+    def sample(
+        self,
+        family: str,
+        pairs: List[Tuple[str, str]],
+        value: float,
+        suffix: str = "",
+    ) -> None:
+        self.lines.append(
+            f"{family}{suffix}{_label_block(pairs)} {_fmt(value)}"
+        )
+
+
+def _render_histogram(
+    page: _Page, family: str, pairs: List[Tuple[str, str]], metric: Histogram
+) -> None:
+    page.type_header(family, "histogram")
+    cumulative = 0
+    for bound, count in zip(metric.buckets, metric.counts):
+        cumulative += count
+        page.sample(
+            family, pairs + [("le", _fmt(bound))], cumulative, "_bucket"
+        )
+    page.sample(family, pairs + [("le", "+Inf")], metric.count, "_bucket")
+    page.sample(family, pairs, metric.total, "_sum")
+    page.sample(family, pairs, metric.count, "_count")
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    extra: Optional[Dict[str, float]] = None,
+    prefix: str = "aria_",
+) -> str:
+    """Render a registry (plus optional ``extra`` samples) as one page.
+
+    ``extra`` maps registry-style keys (``name`` or ``name{k=v,...}``)
+    to numeric values; the per-node ``/metrics`` route uses it for the
+    health-snapshot gauges and traffic-by-type counts that are not
+    registry metrics.
+    """
+    page = _Page()
+    for key, metric in registry.metrics():
+        name, pairs = _split_key(key)
+        family = _prom_name(name, prefix)
+        if isinstance(metric, Counter):
+            page.type_header(family, "counter")
+            page.sample(family, pairs, metric.value)
+        elif isinstance(metric, Gauge):
+            page.type_header(family, "gauge")
+            page.sample(family, pairs, metric.value)
+        elif isinstance(metric, Histogram):
+            _render_histogram(page, family, pairs, metric)
+        elif isinstance(metric, BoundedSeries):
+            page.type_header(family, "gauge")
+            last = metric.points[-1][1] if metric.points else 0.0
+            page.sample(family, pairs, last)
+            page.type_header(f"{family}_observations", "gauge")
+            page.sample(f"{family}_observations", pairs, metric.count)
+    for key in sorted(extra or {}):
+        name, pairs = _split_key(key)
+        family = _prom_name(name, prefix)
+        page.type_header(family, "gauge")
+        page.sample(family, pairs, extra[key])
+    return "\n".join(page.lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse an exposition page back into ``{sample_name: value}``.
+
+    Sample names keep their label block verbatim (quotes included), so
+    ``aria_node_queue_depth{node="3"}`` is one key.  Comment and blank
+    lines are skipped; any other line that is not a valid sample raises
+    :class:`ValueError` — which is exactly what the CI scrape check
+    wants ("the exposition parses").
+    """
+    samples: Dict[str, float] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(
+                f"line {line_number}: not a Prometheus sample: {line!r}"
+            )
+        name, labels, value = match.groups()
+        samples[f"{name}{labels or ''}"] = float(value)
+    return samples

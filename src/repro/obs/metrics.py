@@ -250,6 +250,15 @@ class MetricsRegistry:
             self._metrics[key].snapshot_into(out)
         return dict(sorted(out.items()))
 
+    def metrics(self) -> List[Tuple[str, object]]:
+        """The registered metric objects as sorted ``(key, metric)`` pairs.
+
+        Unlike :meth:`snapshot` this exposes the live objects (so
+        histogram buckets are reachable) — the Prometheus exposition
+        renderer (:mod:`repro.obs.exposition`) is the intended consumer.
+        """
+        return sorted(self._metrics.items())
+
     def __len__(self) -> int:
         return len(self._metrics)
 

@@ -42,6 +42,14 @@ def _fmt_cost(value: Any) -> str:
     return f"{float(value):.3f}"
 
 
+def _format_wall(wall: Any) -> str:
+    """Render an epoch-seconds ``wall`` stamp as a UTC clock time."""
+    from datetime import datetime, timezone
+
+    moment = datetime.fromtimestamp(float(wall), tz=timezone.utc)
+    return f"{moment.strftime('%H:%M:%S')}.{moment.microsecond // 1000:03d}"
+
+
 class JobTimeline:
     """One job's reconstructed lifecycle, oldest event first.
 
@@ -90,7 +98,7 @@ class JobTimeline:
                 self.transitions.append(event)
             elif name.startswith("probe."):
                 self.probes.append(event)
-            elif name.startswith(("msg.", "retry.")):
+            elif name.startswith(("msg.", "retry.", "net.")):
                 self.network.append(event)
 
     # -- derived facts --------------------------------------------------
@@ -266,6 +274,17 @@ class JobTimeline:
         if name in ("msg.sent", "msg.delivered"):
             verb = "sent" if name == "msg.sent" else "delivered"
             return f"{event['type']} {event['src']}->{event['dst']} {verb}"
+        if name == "net.send":
+            return (
+                f"{event['type']} {event['src']}->{event['dst']} on the "
+                f"wire (trace {event['trace']} hop {event['hop']})"
+            )
+        if name == "net.recv":
+            return (
+                f"{event['type']} {event['src']}->{event['dst']} arrived "
+                f"(trace {event['trace']} hop {event['hop']}, "
+                f"{event['latency']:.3f}s hop latency)"
+            )
         return json.dumps(event, separators=(",", ":"))
 
     def to_text(self) -> str:
@@ -295,7 +314,17 @@ class JobTimeline:
             )
         lines.append("timeline:")
         for event in self.events:
-            lines.append(f"  t={event['t']:>12.3f}  {self._narrate(event)}")
+            # Live traces stamp each event with the real wall clock next
+            # to protocol time (see Tracer.wall_source); show it when
+            # present so operators can line events up with their logs.
+            wall = event.get("wall")
+            wall_column = (
+                f"  wall={_format_wall(wall)}" if wall is not None else ""
+            )
+            lines.append(
+                f"  t={event['t']:>12.3f}{wall_column}  "
+                f"{self._narrate(event)}"
+            )
         return "\n".join(lines)
 
 

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import ConfigurationError
 
@@ -52,8 +52,11 @@ __all__ = [
     "RotatingJsonlSink",
     "TraceConfig",
     "Tracer",
+    "load_rotated_trace",
     "load_trace",
+    "merge_perfetto_traces",
     "message_job_id",
+    "rotated_trace_paths",
     "validate_event",
 ]
 
@@ -103,14 +106,24 @@ EVENTS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "msg.duplicated": ("transport", ("src", "dst", "type")),
     "retry.sent": ("transport", ("src", "dst", "type", "msg_id", "attempt")),
     "retry.gave_up": ("transport", ("src", "dst", "type", "msg_id")),
+    # -- transport: causal hops (paired send/recv with a propagated
+    # trace id, so per-job cross-node chains and hop latencies are
+    # reconstructable from the merged fleet trace) ------------------------
+    "net.send": ("transport", ("src", "dst", "type", "trace", "hop")),
+    "net.recv": (
+        "transport",
+        ("src", "dst", "type", "trace", "hop", "latency"),
+    ),
     # -- kernel: per-event wall-clock spans ------------------------------
     "kernel.event": ("kernel", ("name", "wall_us", "dur_us")),
 }
 
 #: Optional fields allowed per event beyond the required schema.  The
 #: transport annotates message events with the ``job`` the message is
-#: about whenever the payload names one (Ack messages do not).
-_OPTIONAL_FIELDS = ("job",)
+#: about whenever the payload names one (Ack messages do not); live runs
+#: stamp every record with the ``wall`` clock (epoch seconds) when the
+#: tracer has a :attr:`Tracer.wall_source`.
+_OPTIONAL_FIELDS = ("job", "wall")
 
 
 def validate_event(event: Dict[str, Any]) -> List[str]:
@@ -264,21 +277,62 @@ class MemorySink:
 
 
 class PerfettoSink:
-    """Writes Chrome/Perfetto ``trace_event`` JSON for wall-clock profiling.
+    """Writes Chrome/Perfetto ``trace_event`` JSON for the whole overlay.
 
     ``kernel.event`` records (which carry wall-clock timestamps and
-    durations) become complete ``"X"`` slices; every other event becomes
-    an instant ``"i"`` mark at its *simulated* time scaled to
-    microseconds, so protocol activity and kernel hot spots can be read
-    off the same ``ui.perfetto.dev`` timeline.
+    durations) become complete ``"X"`` slices on the run-global track;
+    every other event becomes a mark at its *simulated* time scaled to
+    microseconds.  Tracks are node-aware: an event attributable to a node
+    lands on ``pid = node_id + 1`` (``pid 0`` is the run-global track),
+    with a ``process_name`` metadata record per node — so a multi-node
+    run loads into ``ui.perfetto.dev`` as one timeline with one lane per
+    node, and the mapping is stable across files merged with
+    :func:`merge_perfetto_traces`.
+
+    The paired causal-hop events get the full treatment: ``net.send`` /
+    ``net.recv`` become tiny ``"X"`` slices joined by Perfetto flow
+    arrows (``"s"`` / ``"f"`` with a stable id per ``(trace, hop)``), so
+    a job's cross-node chain renders as arrows hopping between node
+    lanes.
     """
+
+    #: Run-global track (kernel slices, events naming no node).
+    _GLOBAL_PID = 0
 
     def __init__(self, path) -> None:
         self.path = path
         self._events: List[Dict[str, Any]] = []
+        self._flow_ids: Dict[Tuple[Any, Any], int] = {}
+        self._pids: Set[int] = set()
+
+    @staticmethod
+    def _track(event: Dict[str, Any]) -> int:
+        """The pid lane one event belongs to (``node_id + 1``; 0 global).
+
+        Message events are attributed to the acting endpoint: the sender
+        for sends, the receiver for deliveries/drops.
+        """
+        node = event.get("node")
+        if node is None:
+            name = event["ev"]
+            if name in ("net.recv", "msg.delivered", "msg.dropped"):
+                node = event.get("dst")
+            else:
+                node = event.get("src")
+        if isinstance(node, int):
+            return node + 1
+        return PerfettoSink._GLOBAL_PID
+
+    def _flow_id(self, event: Dict[str, Any]) -> int:
+        key = (event["trace"], event["hop"])
+        flow = self._flow_ids.get(key)
+        if flow is None:
+            flow = len(self._flow_ids) + 1
+            self._flow_ids[key] = flow
+        return flow
 
     def append(self, event: Dict[str, Any]) -> None:
-        """Convert one trace-bus event into a ``trace_event`` entry."""
+        """Convert one trace-bus event into ``trace_event`` entries."""
         if "dur_us" in event:
             self._events.append(
                 {
@@ -286,21 +340,50 @@ class PerfettoSink:
                     "ph": "X",
                     "ts": event["wall_us"],
                     "dur": event["dur_us"],
-                    "pid": 0,
+                    "pid": self._GLOBAL_PID,
                     "tid": 0,
                     "cat": "kernel",
                 }
             )
             return
-        args = {
-            k: v for k, v in event.items() if k not in ("t", "ev")
-        }
+        name = event["ev"]
+        ts = event["t"] * 1e6
+        pid = self._track(event)
+        self._pids.add(pid)
+        args = {k: v for k, v in event.items() if k not in ("t", "ev")}
+        if name in ("net.send", "net.recv"):
+            # A 1 us slice gives the flow arrow something to bind to.
+            self._events.append(
+                {
+                    "name": f"{name} {event['type']}",
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": 1,
+                    "pid": pid,
+                    "tid": 0,
+                    "cat": "net",
+                    "args": args,
+                }
+            )
+            flow = {
+                "name": f"hop {event['trace']}/{event['hop']}",
+                "ph": "s" if name == "net.send" else "f",
+                "id": self._flow_id(event),
+                "ts": ts,
+                "pid": pid,
+                "tid": 0,
+                "cat": "net",
+            }
+            if name == "net.recv":
+                flow["bp"] = "e"
+            self._events.append(flow)
+            return
         self._events.append(
             {
-                "name": event["ev"],
+                "name": name,
                 "ph": "i",
-                "ts": event["t"] * 1e6,
-                "pid": 0,
+                "ts": ts,
+                "pid": pid,
                 "tid": 1,
                 "s": "t",
                 "cat": "protocol",
@@ -309,12 +392,66 @@ class PerfettoSink:
         )
 
     def close(self) -> None:
-        """Write the accumulated ``traceEvents`` document (idempotent)."""
+        """Write the accumulated ``traceEvents`` document (idempotent).
+
+        Events are sorted by timestamp so every track reads
+        monotonically, and each node lane gets a ``process_name``
+        metadata record.
+        """
         if self._events is None:
             return
+        self._events.sort(key=lambda entry: entry["ts"])
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": "run"
+                    if pid == self._GLOBAL_PID
+                    else f"node {pid - 1}"
+                },
+            }
+            for pid in sorted(self._pids | {self._GLOBAL_PID})
+        ]
         with open(self.path, "w", encoding="utf-8") as handle:
-            json.dump({"traceEvents": self._events}, handle)
+            json.dump({"traceEvents": metadata + self._events}, handle)
         self._events = None
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """The converted entries accumulated so far (before :meth:`close`)."""
+        return list(self._events or [])
+
+
+def merge_perfetto_traces(paths, out_path) -> int:
+    """Merge per-process Perfetto exports into one overlay timeline.
+
+    Node lanes are already globally identified (``pid = node_id + 1``),
+    so merging is concatenation: metadata records are deduplicated, the
+    rest is re-sorted by timestamp.  Returns the merged event count.
+    """
+    merged: List[Dict[str, Any]] = []
+    seen_meta: Set[Tuple[Any, Any]] = set()
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        for entry in document.get("traceEvents", []):
+            if entry.get("ph") == "M":
+                key = (entry.get("pid"), entry.get("name"))
+                if key in seen_meta:
+                    continue
+                seen_meta.add(key)
+                merged.append(entry)
+            else:
+                merged.append(entry)
+    metadata = [entry for entry in merged if entry.get("ph") == "M"]
+    rest = [entry for entry in merged if entry.get("ph") != "M"]
+    rest.sort(key=lambda entry: entry.get("ts", 0))
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": metadata + rest}, handle)
+    return len(metadata) + len(rest)
 
 
 # ----------------------------------------------------------------------
@@ -442,7 +579,7 @@ class Tracer:
     costs a single ``is None`` check at the instrumentation point.
     """
 
-    __slots__ = ("sink", "config", "_active")
+    __slots__ = ("sink", "config", "_active", "wall_source")
 
     def __init__(self, config: TraceConfig, sink=None) -> None:
         self.config = config
@@ -454,6 +591,11 @@ class Tracer:
             if LEVELS[level] <= max_level
             and (config.events is None or name in config.events)
         }
+        #: Optional wall-clock source (e.g. ``time.time``).  When set,
+        #: every record gains a ``wall`` field — live runs use it so
+        #: traces carry real timestamps next to protocol time.  Simulated
+        #: runs leave it ``None``, keeping traces deterministic.
+        self.wall_source: Optional[Callable[[], float]] = None
 
     def wants(self, event: str) -> bool:
         """Whether ``event`` would be recorded."""
@@ -473,6 +615,8 @@ class Tracer:
             return
         record: Dict[str, Any] = {"t": t, "ev": event}
         record.update(fields)
+        if self.wall_source is not None:
+            record["wall"] = self.wall_source()
         self.sink.append(record)
 
     def close(self) -> None:
@@ -502,6 +646,46 @@ def load_trace(path) -> List[Dict[str, Any]]:
             line = line.strip()
             if line:
                 events.append(json.loads(line))
+    return events
+
+
+def rotated_trace_paths(path) -> List[str]:
+    """Every segment of a (possibly rotated) trace, oldest first.
+
+    A soak run's :class:`RotatingJsonlSink` leaves ``path.N`` (oldest
+    backup) ... ``path.1`` (newest backup) plus the active ``path``; this
+    returns whichever of those exist in chronological order — for an
+    unrotated trace that is just ``[path]``.
+    """
+    import os
+
+    path = os.fspath(path)
+    backups: List[Tuple[int, str]] = []
+    directory, base = os.path.split(path)
+    prefix = base + "."
+    for name in os.listdir(directory or "."):
+        if name.startswith(prefix):
+            suffix = name[len(prefix):]
+            if suffix.isdigit():
+                backups.append(
+                    (int(suffix), os.path.join(directory, name))
+                )
+    ordered = [p for _n, p in sorted(backups, reverse=True)]
+    if os.path.exists(path):
+        ordered.append(path)
+    return ordered
+
+
+def load_rotated_trace(path) -> List[Dict[str, Any]]:
+    """Read a rotated JSONL trace (all segments, oldest events first).
+
+    The drop-in way to consume a soak trace: ``repro explain-job`` uses
+    it so a job whose lifecycle spans a rotation boundary still
+    reconstructs in full.
+    """
+    events: List[Dict[str, Any]] = []
+    for segment in rotated_trace_paths(path):
+        events.extend(load_trace(segment))
     return events
 
 

@@ -21,10 +21,11 @@ and invariant verdicts as a simulated run.
 from .clock import WallClock
 from .codec import decode_envelope, decode_message, encode_envelope, encode_message
 from .serve import LiveFailureSchedule, LiveRunConfig, run_live
-from .transport import HEALTH_PATH, LiveTransport
+from .transport import HEALTH_PATH, METRICS_PATH, LiveTransport
 
 __all__ = [
     "HEALTH_PATH",
+    "METRICS_PATH",
     "LiveFailureSchedule",
     "LiveRunConfig",
     "LiveTransport",

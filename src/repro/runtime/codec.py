@@ -143,6 +143,7 @@ def encode_envelope(
     message: Message,
     msg_id: Any = None,
     stamp: Any = None,
+    trace: Any = None,
 ) -> Dict[str, Any]:
     """Wrap one message with its routing metadata.
 
@@ -150,6 +151,12 @@ def encode_envelope(
     carries ``msg_id`` and optionally the incarnation ``stamp`` of the
     original transmission) or ``"ack"`` (reliability ack, settles
     ``msg_id`` at the receiver).
+
+    ``trace`` is the optional causal context — ``{"id", "hop",
+    "sent_at"}`` — stamped on the wire when transport-level tracing is
+    active, so the receiving process can emit the paired ``net.recv``
+    event and continue the sender's trace chain.  Untraced runs omit the
+    field entirely (the wire format is unchanged when tracing is off).
     """
     if kind not in ("send", "tagged", "ack"):
         raise ConfigurationError(f"unknown envelope kind {kind!r}")
@@ -163,6 +170,8 @@ def encode_envelope(
         envelope["msg_id"] = msg_id
     if stamp is not None:
         envelope["stamp"] = stamp
+    if trace is not None:
+        envelope["trace"] = trace
     return envelope
 
 
@@ -178,4 +187,5 @@ def decode_envelope(payload: Dict[str, Any]) -> Dict[str, Any]:
         "message": decode_message(payload["message"]),
         "msg_id": payload.get("msg_id"),
         "stamp": payload.get("stamp"),
+        "trace": payload.get("trace"),
     }

@@ -23,8 +23,11 @@ from ..errors import ConfigurationError
 
 __all__ = ["HttpServer", "http_request", "http_get_json", "http_post_json"]
 
-#: ``handler(method, path, body) -> (status, reason, body)``
-Handler = Callable[[str, str, bytes], Tuple[int, str, bytes]]
+#: ``handler(method, path, body) -> (status, reason, body)`` or
+#: ``(status, reason, body, content_type)`` — the 3-tuple form defaults
+#: to ``application/json``; routes serving another format (the
+#: Prometheus ``/metrics`` page) return the 4-tuple.
+Handler = Callable[[str, str, bytes], Tuple]
 
 _MAX_HEADER_BYTES = 16 * 1024
 _MAX_BODY_BYTES = 1024 * 1024
@@ -57,16 +60,21 @@ class HttpServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        content_type = "application/json"
         try:
             method, path, body = await _read_request(reader)
-            status, reason, payload = self._handler(method, path, body)
+            result = self._handler(method, path, body)
+            if len(result) == 4:
+                status, reason, payload, content_type = result
+            else:
+                status, reason, payload = result
         except Exception:
             status, reason, payload = 400, "Bad Request", b""
         try:
             writer.write(
                 (
                     f"HTTP/1.1 {status} {reason}\r\n"
-                    "Content-Type: application/json\r\n"
+                    f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(payload)}\r\n"
                     "Connection: close\r\n"
                     "\r\n"

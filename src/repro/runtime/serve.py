@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -61,6 +62,7 @@ from ..grid.performance import AccuracyModel
 from ..grid.resources import random_node_profile, random_performance_index
 from ..metrics.collector import GridMetrics
 from ..net.reliability import ReliabilityConfig, ReliabilityLayer
+from ..obs.collector import TelemetryCollector, render_dashboard
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import MemorySink, TraceConfig, Tracer
 from ..overlay.blatant import BlatantConfig, BlatantMaintainer
@@ -181,6 +183,17 @@ class LiveRunConfig:
     #: Attach the reliability layer (real acks, timeouts, backoff).
     reliability: bool = True
     host: str = "127.0.0.1"
+    #: Deterministic endpoint ports: the i-th initial node listens on
+    #: ``port_base + i`` (``None`` = ephemeral ports).  Restarted and
+    #: mid-run-joined nodes always bind ephemeral ports — a crash-restart
+    #: landing on a new port is part of what re-discovery must handle.
+    port_base: Optional[int] = None
+    #: Wall seconds between telemetry-collector scrape rounds over the
+    #: fleet's ``/metrics`` pages (0 disables the collector).
+    scrape_interval: float = 1.0
+    #: Render the streaming fleet dashboard (``repro top`` view) to
+    #: stdout on every scrape round.
+    dashboard: bool = False
     #: Wall seconds before an outbound POST counts as lost.
     send_timeout: float = 5.0
     #: Stop early once every job completed and the grid has been quiet
@@ -210,6 +223,17 @@ class LiveRunConfig:
                 f"accept_wait {self.accept_wait}s at time_scale "
                 f"{self.time_scale} leaves a {window * 1000:.1f} ms wall "
                 "window — too tight for HTTP round-trips (need >= 10 ms)"
+            )
+        if self.port_base is not None and not (
+            0 < self.port_base <= 65535 - self.nodes
+        ):
+            raise ConfigurationError(
+                f"port_base {self.port_base} leaves no room for "
+                f"{self.nodes} ports"
+            )
+        if self.scrape_interval < 0:
+            raise ConfigurationError(
+                f"negative scrape_interval {self.scrape_interval}"
             )
         if self.failure_schedule is not None and not isinstance(
             self.failure_schedule, LiveFailureSchedule
@@ -317,6 +341,10 @@ async def _run_live(
             online_checker.sink = sink
             sink = online_checker
         tracer = Tracer(obs, sink=sink)
+        # Live events additionally carry the real wall clock, so
+        # ``repro explain-job`` can narrate operator time next to
+        # protocol time.
+        tracer.wall_source = time.time
     elif online_checker is not None:
         # No recording requested: trace purely to feed the checker (its
         # downstream sink stays None, so events are checked and dropped).
@@ -355,9 +383,15 @@ async def _run_live(
 
     # One HTTP endpoint per node, then card-driven discovery builds the
     # address directory over the wire before any agent exists.
-    for node_id in graph.nodes():
-        await transport.add_endpoint(node_id, host=config.host)
+    for index, node_id in enumerate(graph.nodes()):
+        port = 0 if config.port_base is None else config.port_base + index
+        await transport.add_endpoint(node_id, host=config.host, port=port)
     await transport.discover()
+    transport.set_metrics_provider(
+        lambda: {
+            "jobs.missed_deadlines": float(metrics.missed_deadline_count())
+        }
+    )
 
     profile_rng = clock.streams.get("profiles")
     policy_rng = clock.streams.get("policies")
@@ -433,6 +467,33 @@ async def _run_live(
         interval=scale.sample_interval,
         start=0.0,
     )
+
+    # ------------------------------------------------------------------
+    # Fleet telemetry: scrape every node's /metrics on an interval and
+    # merge the rounds into fleet.* series (the `repro top` feed).
+    # ------------------------------------------------------------------
+    collector: Optional[TelemetryCollector] = None
+    collector_task: Optional[asyncio.Task] = None
+    if config.scrape_interval > 0:
+        collector = TelemetryCollector(
+            registry,
+            targets=lambda: dict(transport._directory),
+            now=lambda: clock.now,
+        )
+        on_round = None
+        if config.dashboard:
+
+            def on_round(c: TelemetryCollector) -> None:
+                # Clear + home, then the whole frame in one write.
+                print(
+                    "\x1b[2J\x1b[H" + render_dashboard(c),
+                    end="",
+                    flush=True,
+                )
+
+        collector_task = loop.create_task(
+            collector.run(config.scrape_interval, on_round=on_round)
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle chaos: crash-restart / join / leave over real sockets.
@@ -561,6 +622,9 @@ async def _run_live(
         clock.stop()
         await transport.drain()
     finally:
+        if collector_task is not None:
+            collector_task.cancel()
+            await asyncio.gather(collector_task, return_exceptions=True)
         for task in chaos_tasks:
             task.cancel()
         if chaos_tasks:
@@ -608,4 +672,7 @@ async def _run_live(
         extra_violations=violations,
         telemetry=telemetry,
         trace_events=trace_events,
+        fleet_series=(
+            collector.series_points() if collector is not None else {}
+        ),
     )

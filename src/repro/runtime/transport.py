@@ -60,17 +60,25 @@ from ..errors import ConfigurationError
 from ..net.latency import LatencyModel
 from ..net.message import Message
 from ..net.transport import Transport
+from ..obs.exposition import CONTENT_TYPE, render_prometheus
 from ..obs.metrics import MetricsRegistry
 from ..net.traffic import TrafficMonitor
 from ..types import NodeId
 from .codec import decode_envelope, encode_envelope
 from .http import HttpServer, http_get_json, http_post_json
 
-__all__ = ["LiveTransport", "AGENT_CARD_PATH", "MESSAGE_PATH", "HEALTH_PATH"]
+__all__ = [
+    "LiveTransport",
+    "AGENT_CARD_PATH",
+    "MESSAGE_PATH",
+    "HEALTH_PATH",
+    "METRICS_PATH",
+]
 
 AGENT_CARD_PATH = "/.well-known/agent.json"
 MESSAGE_PATH = "/message"
 HEALTH_PATH = "/healthz"
+METRICS_PATH = "/metrics"
 
 #: Agent-card protocol tag; bump on wire-format changes.
 PROTOCOL_VERSION = "aria/1"
@@ -90,6 +98,7 @@ class LiveTransport(Transport):
         "_time_scale",
         "_rejected",
         "_health",
+        "_metrics_provider",
         "last_discovery_failures",
     )
 
@@ -132,6 +141,11 @@ class LiveTransport(Transport):
         self._rejected = self.registry.counter("net.rejected")
         #: Per-node health providers backing the ``/healthz`` route.
         self._health: Dict[NodeId, Callable[[], Dict[str, Any]]] = {}
+        #: Optional run-level extra samples merged into every node's
+        #: ``/metrics`` page (see :meth:`set_metrics_provider`).
+        self._metrics_provider: Optional[
+            Callable[[], Dict[str, float]]
+        ] = None
         #: ``(host, port, reason)`` for seeds the last :meth:`discover`
         #: round could not fetch a card from (after one retry).
         self.last_discovery_failures: List[Tuple[str, int, str]] = []
@@ -193,7 +207,11 @@ class LiveTransport(Transport):
             "protocol": PROTOCOL_VERSION,
             "transport": "http+json",
             "url": f"http://{server.host}:{server.port}",
-            "endpoints": {"message": MESSAGE_PATH, "health": HEALTH_PATH},
+            "endpoints": {
+                "message": MESSAGE_PATH,
+                "health": HEALTH_PATH,
+                "metrics": METRICS_PATH,
+            },
         }
 
     def set_health_provider(
@@ -202,6 +220,46 @@ class LiveTransport(Transport):
         """Attach a callable whose dict is merged into ``node_id``'s
         ``/healthz`` response (queue depth, incarnation, probe age...)."""
         self._health[node_id] = provider
+
+    def set_metrics_provider(
+        self, provider: Callable[[], Dict[str, float]]
+    ) -> None:
+        """Attach a callable whose flat ``{key: value}`` dict is merged
+        into every node's ``/metrics`` page as extra gauges (run-level
+        samples like deadline misses and traffic-by-type counts that are
+        not registry metrics)."""
+        self._metrics_provider = provider
+
+    def _metrics_page(self, node_id: NodeId) -> str:
+        """The Prometheus exposition served at :data:`METRICS_PATH`.
+
+        One page = the shared run registry (protocol counters, transport
+        drops, reliability tallies, hop latencies) + this node's health
+        snapshot rendered as ``aria_node_*{node="..."}`` gauges + any
+        run-level provider samples.
+        """
+        node = str(node_id)
+        extra: Dict[str, float] = {}
+        snapshot = self._health_snapshot(node_id)
+        for key, value in snapshot.items():
+            if isinstance(value, (bool, int, float)):
+                extra[f"node_{key}{{node={node}}}"] = float(value)
+        if "queue_depth" in snapshot:
+            # Derived idleness: nothing running and nothing queued.
+            idle = (
+                snapshot.get("running_job") is None
+                and not snapshot.get("queue_depth")
+            )
+            extra[f"node_idle{{node={node}}}"] = float(idle)
+        monitor = self.monitor
+        for name, count in monitor.count_by_type.items():
+            extra[f"traffic_messages{{type={name}}}"] = float(count)
+        for name, total in monitor.bytes_by_type.items():
+            extra[f"traffic_bytes{{type={name}}}"] = float(total)
+        provider = self._metrics_provider
+        if provider is not None:
+            extra.update(provider())
+        return render_prometheus(self.registry, extra=extra)
 
     def _health_snapshot(self, node_id: NodeId) -> Dict[str, Any]:
         snapshot: Dict[str, Any] = {
@@ -313,6 +371,9 @@ class LiveTransport(Transport):
             if method == "GET" and path == HEALTH_PATH:
                 health = json.dumps(self._health_snapshot(node_id))
                 return 200, "OK", health.encode("utf-8")
+            if method == "GET" and path == METRICS_PATH:
+                page = self._metrics_page(node_id).encode("utf-8")
+                return 200, "OK", page, CONTENT_TYPE
             if method == "POST" and path == MESSAGE_PATH:
                 try:
                     envelope = decode_envelope(json.loads(body.decode("utf-8")))
@@ -329,7 +390,14 @@ class LiveTransport(Transport):
         return handle
 
     def _dispatch(self, envelope: Dict[str, Any]) -> None:
-        """Route one decoded envelope through the shared delivery paths."""
+        """Route one decoded envelope through the shared delivery paths.
+
+        The delivery callback is resolved first, then invoked — through
+        :meth:`~repro.net.Transport._traced_dispatch` when the envelope
+        carries a ``trace`` stamp and tracing is on here too, so the
+        receiving process emits the paired ``net.recv`` event and runs
+        the handler under the sender's causal context.
+        """
         kind = envelope["kind"]
         src = envelope["src"]
         dst = envelope["dst"]
@@ -337,25 +405,41 @@ class LiveTransport(Transport):
         stamp = envelope["stamp"]
         if kind == "send":
             if stamp is None:
-                self._deliver(src, dst, message)
+                callback, args = self._deliver, (src, dst, message)
             else:
-                self._deliver_stamped(src, dst, message, stamp)
-            return
-        if kind == "tagged":
+                callback = self._deliver_stamped
+                args = (src, dst, message, stamp)
+        elif kind == "tagged":
             msg_id = envelope["msg_id"]
             if stamp is None:
-                self._deliver_tagged(src, dst, message, msg_id)
+                callback = self._deliver_tagged
+                args = (src, dst, message, msg_id)
             else:
-                self._deliver_tagged_stamped(src, dst, message, msg_id, stamp)
-            return
-        # kind == "ack": settle the sender-side pending entry directly.
-        reliability = self.reliability
-        if reliability is None:
-            return
-        if stamp is None:
-            reliability._on_ack(envelope["msg_id"])
+                callback = self._deliver_tagged_stamped
+                args = (src, dst, message, msg_id, stamp)
         else:
-            reliability._on_ack_stamped(envelope["msg_id"], dst, stamp)
+            # kind == "ack": settle the sender-side pending entry directly.
+            reliability = self.reliability
+            if reliability is None:
+                return
+            if stamp is None:
+                callback, args = reliability._on_ack, (envelope["msg_id"],)
+            else:
+                callback = reliability._on_ack_stamped
+                args = (envelope["msg_id"], dst, stamp)
+        trace = envelope.get("trace")
+        if trace is not None and self._trace is not None:
+            self._traced_dispatch(
+                (trace["id"], trace["hop"]),
+                trace["sent_at"],
+                src,
+                dst,
+                message,
+                callback,
+                args,
+            )
+        else:
+            callback(*args)
 
     # ------------------------------------------------------------------
     # Send side (the Transport interface)
@@ -380,7 +464,12 @@ class LiveTransport(Transport):
             return
         stamp = None if incarnations is None else incarnations.get(dst, 0)
         self._post_envelope(
-            dst, encode_envelope("send", src, dst, message, stamp=stamp), message
+            dst,
+            encode_envelope(
+                "send", src, dst, message, stamp=stamp,
+                trace=self._wire_trace(),
+            ),
+            message,
         )
 
     def send_tagged(
@@ -396,7 +485,8 @@ class LiveTransport(Transport):
         self._post_envelope(
             dst,
             encode_envelope(
-                "tagged", src, dst, message, msg_id=msg_id, stamp=stamp
+                "tagged", src, dst, message, msg_id=msg_id, stamp=stamp,
+                trace=self._wire_trace(),
             ),
             message,
         )
@@ -408,10 +498,20 @@ class LiveTransport(Transport):
         self._post_envelope(
             dst,
             encode_envelope(
-                "ack", src, dst, message, msg_id=msg_id, stamp=stamp
+                "ack", src, dst, message, msg_id=msg_id, stamp=stamp,
+                trace=self._wire_trace(),
             ),
             message,
         )
+
+    def _wire_trace(self) -> Optional[Dict[str, Any]]:
+        """The causal context the preceding :meth:`_account` call stamped
+        in ``_last_send_ctx``, shaped as the envelope ``trace`` field —
+        ``None`` (field omitted) when transport tracing is off."""
+        if self._trace is None:
+            return None
+        tid, hop, sent_at = self._last_send_ctx
+        return {"id": tid, "hop": hop, "sent_at": sent_at}
 
     def _post_envelope(
         self, dst: NodeId, envelope: Dict[str, Any], message: Message

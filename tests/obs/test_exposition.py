@@ -1,0 +1,99 @@
+"""Prometheus exposition: rendering contract and the parser inverse."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, parse_prometheus, render_prometheus
+from repro.obs.exposition import CONTENT_TYPE
+
+
+def test_content_type_declares_the_text_format_version():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_counter_renders_with_type_header_and_sanitised_name():
+    registry = MetricsRegistry()
+    registry.counter("jobs.completed").inc(7)
+    page = render_prometheus(registry)
+    assert "# TYPE aria_jobs_completed counter\n" in page
+    assert "\naria_jobs_completed 7\n" in page
+
+
+def test_gauge_labels_become_quoted_label_sets():
+    registry = MetricsRegistry()
+    registry.gauge("node.queue_depth", node="3").set(4)
+    page = render_prometheus(registry)
+    assert 'aria_node_queue_depth{node="3"} 4' in page.splitlines()
+
+
+def test_type_header_written_once_per_family():
+    registry = MetricsRegistry()
+    registry.gauge("node.idle", node="0").set(1)
+    registry.gauge("node.idle", node="1").set(0)
+    page = render_prometheus(registry)
+    assert page.count("# TYPE aria_node_idle gauge") == 1
+
+
+def test_histogram_renders_the_full_prometheus_contract():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("net.hop_latency", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 0.7, 5.0):
+        histogram.observe(value)
+    lines = render_prometheus(registry).splitlines()
+    assert "# TYPE aria_net_hop_latency histogram" in lines
+    # Buckets are cumulative and end in +Inf = total count.
+    assert 'aria_net_hop_latency_bucket{le="0.1"} 1' in lines
+    assert 'aria_net_hop_latency_bucket{le="1"} 3' in lines
+    assert 'aria_net_hop_latency_bucket{le="+Inf"} 4' in lines
+    assert "aria_net_hop_latency_sum 6.25" in lines
+    assert "aria_net_hop_latency_count 4" in lines
+
+
+def test_bounded_series_renders_last_value_plus_observation_count():
+    registry = MetricsRegistry()
+    series = registry.series("fleet.queue_depth")
+    series.record(1.0, 5.0)
+    series.record(2.0, 9.0)
+    lines = render_prometheus(registry).splitlines()
+    assert "aria_fleet_queue_depth 9" in lines
+    assert "aria_fleet_queue_depth_observations 2" in lines
+
+
+def test_extra_samples_render_as_untyped_gauges():
+    registry = MetricsRegistry()
+    page = render_prometheus(
+        registry, extra={"node_uptime{node=2}": 12.5, "traffic_Request": 3}
+    )
+    lines = page.splitlines()
+    assert "# TYPE aria_node_uptime gauge" in lines
+    assert 'aria_node_uptime{node="2"} 12.5' in lines
+    assert "aria_traffic_Request 3" in lines
+
+
+def test_parse_is_the_inverse_of_render():
+    registry = MetricsRegistry()
+    registry.counter("jobs.completed").inc(11)
+    registry.gauge("node.queue_depth", node="5").set(2)
+    registry.histogram("net.hop_latency", buckets=(1.0,)).observe(0.5)
+    samples = parse_prometheus(render_prometheus(registry))
+    assert samples["aria_jobs_completed"] == 11
+    assert samples['aria_node_queue_depth{node="5"}'] == 2
+    assert samples['aria_net_hop_latency_bucket{le="+Inf"}'] == 1
+    assert samples["aria_net_hop_latency_count"] == 1
+
+
+def test_parse_skips_comments_and_blank_lines():
+    samples = parse_prometheus("# HELP x y\n\n# TYPE aria_up gauge\naria_up 1\n")
+    assert samples == {"aria_up": 1.0}
+
+
+@pytest.mark.parametrize(
+    "page",
+    [
+        "not a metric line",
+        "aria_up one\n",
+        "3aria_bad_name 1\n",
+    ],
+)
+def test_parse_raises_on_malformed_lines(page):
+    with pytest.raises(ValueError):
+        parse_prometheus(page)

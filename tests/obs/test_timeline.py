@@ -144,3 +144,16 @@ def test_explainer_ties_a_faulted_job_to_its_dropped_messages():
     )
     text = timeline.to_text()
     assert "LOST" in text or "retransmission" in text
+
+
+def test_to_text_shows_wall_clock_column_for_live_traces():
+    events = _lifecycle()
+    for event in events:
+        event["wall"] = 1_700_000_000.0 + event["t"]
+        assert validate_event(event) == [], event
+    text = JobTimeline(JOB, events).to_text()
+    # Every timeline line carries the wall stamp as a UTC clock time.
+    timeline_lines = [l for l in text.splitlines() if l.startswith("  t=")]
+    assert timeline_lines
+    assert all("wall=" in line for line in timeline_lines)
+    assert "wall=22:13:20.000" in timeline_lines[0]

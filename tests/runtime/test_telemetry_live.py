@@ -1,0 +1,148 @@
+"""Fleet telemetry on the live runtime: ``/metrics`` pages over real
+HTTP, propagated causal trace ids on the wire, and the collector's
+merged fleet series.
+
+The expensive fixture runs a 4-node overlay with a transport-level
+memory trace, fail-safe mode on (so initiators learn about completion
+via ``Done`` — the last leg of the cross-node causal chain) and the
+telemetry collector scraping every 250 ms.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs import CONTENT_TYPE, TraceConfig, parse_prometheus
+from repro.runtime import (
+    METRICS_PATH,
+    LiveRunConfig,
+    LiveTransport,
+    WallClock,
+    run_live,
+)
+
+CONFIG = LiveRunConfig(
+    nodes=4,
+    jobs=4,
+    time_scale=300.0,
+    duration=3_000.0,
+    failsafe=True,
+    scrape_interval=0.25,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    return run_live(
+        CONFIG, obs=TraceConfig(level="transport", sink="memory")
+    )
+
+
+def _sends(result):
+    return [e for e in result.trace_events if e["ev"] == "net.send"]
+
+
+def test_metrics_endpoint_serves_prometheus_over_http():
+    """A raw socket GET sees the 0.0.4 content type and a parseable page."""
+
+    async def main():
+        loop = asyncio.get_running_loop()
+        clock = WallClock(loop, seed=0)
+        transport = LiveTransport(clock, loop=loop)
+        try:
+            host, port = await transport.add_endpoint(7)
+            assert transport.agent_card(7)["endpoints"]["metrics"] == METRICS_PATH
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                f"GET {METRICS_PATH} HTTP/1.1\r\nHost: {host}\r\n"
+                "Connection: close\r\n\r\n".encode("ascii")
+            )
+            await writer.drain()
+            response = (await reader.read()).decode("utf-8")
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            clock.stop()
+            await transport.close()
+
+        head, _, body = response.partition("\r\n\r\n")
+        assert " 200 " in head.splitlines()[0]
+        assert f"Content-Type: {CONTENT_TYPE}" in head
+        samples = parse_prometheus(body)
+        # The node's own health snapshot renders as labelled gauges.
+        assert samples['aria_node_node_id{node="7"}'] == 7
+        assert samples['aria_node_inbox_registered{node="7"}'] == 0
+
+    asyncio.run(main())
+
+
+def test_every_wire_send_pairs_with_a_traced_recv(traced_run):
+    sends = _sends(traced_run)
+    recvs = [e for e in traced_run.trace_events if e["ev"] == "net.recv"]
+    assert sends and recvs
+    sent = {(e["trace"], e["hop"]) for e in sends}
+    for recv in recvs:
+        assert (recv["trace"], recv["hop"]) in sent
+        assert recv["latency"] >= 0
+    # A send right at the horizon may never land; everything else pairs.
+    assert len(recvs) >= 0.8 * len(sends)
+
+
+def test_one_job_chain_survives_across_nodes(traced_run):
+    """At least one job's REQUEST -> ACCEPT -> ASSIGN -> Done all ride
+    one propagated trace id — the acceptance-critical causal chain."""
+    by_trace = {}
+    for send in _sends(traced_run):
+        by_trace.setdefault(send["trace"], []).append(send)
+    chains = [
+        sends
+        for sends in by_trace.values()
+        if {"Request", "Accept", "Assign", "Done"}
+        <= {e["type"] for e in sends}
+    ]
+    assert chains, "no trace carried a full Request->Accept->Assign->Done chain"
+    sends = sorted(chains[0], key=lambda e: (e["t"], e["hop"]))
+    first = {}
+    for send in sends:
+        first.setdefault(send["type"], (send["t"], send["hop"]))
+    order = [first[t] for t in ("Request", "Accept", "Assign", "Done")]
+    assert order == sorted(order), "chain legs out of causal order"
+    # Hops really advanced across the chain (not re-stamped at 0).
+    assert first["Done"][1] > first["Request"][1]
+
+
+def test_live_events_carry_wall_clock_stamps(traced_run):
+    stamped = [e for e in traced_run.trace_events if "wall" in e]
+    assert len(stamped) == len(traced_run.trace_events)
+    walls = [e["wall"] for e in sorted(stamped, key=lambda e: e["t"])]
+    assert all(w > 1e9 for w in walls)  # epoch seconds, not protocol time
+
+
+def test_hop_latency_histogram_lands_in_telemetry(traced_run):
+    assert traced_run.telemetry["net.hop_latency.count"] > 0
+
+
+def test_collector_merged_fleet_series_into_the_result(traced_run):
+    series = traced_run.fleet_series
+    assert "fleet.nodes_up" in series and series["fleet.nodes_up"]
+    assert max(v for _, v in series["fleet.nodes_up"]) == CONFIG.nodes
+    completed = [v for _, v in series["fleet.completed_jobs"]]
+    # The last scrape round may precede the final completion by up to
+    # one interval; it can never overshoot the run's own tally.
+    assert max(completed) >= 1
+    assert completed[-1] <= traced_run.metrics.completed_jobs
+
+
+def test_fleet_series_round_trip_through_the_summary(traced_run):
+    from repro.experiments.summary import RunSummary
+
+    summary = traced_run.summary()
+    payload = summary.to_dict()
+    assert payload["fleet"]  # live runs persist the merged series
+    restored = RunSummary.from_dict(payload)
+    assert restored.fleet == summary.fleet
+    # Simulated summaries (no collector) omit the key entirely, so the
+    # golden files stay byte-identical.
+    bare = dict(payload)
+    del bare["fleet"]
+    assert RunSummary.from_dict(bare).fleet == {}

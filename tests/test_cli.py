@@ -251,3 +251,42 @@ def test_soak_seeded_violation_exits_nonzero(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "VIOLATION (online):" in captured.err
     assert "double execution" in captured.out
+
+
+def test_explain_job_reads_rotated_soak_segments(tmp_path, capsys):
+    trace_path = tmp_path / "soak.jsonl"
+    assert main(
+        ["run", "Mixed", "--scale", "tiny", "--trace", str(trace_path)]
+    ) == 0
+    # Simulate a soak rotation: every event lands in backup segment .1,
+    # leaving a fresh (empty) active file — the explainer must stitch.
+    (tmp_path / "soak.jsonl.1").write_text(trace_path.read_text())
+    trace_path.write_text("")
+    from repro.obs import load_rotated_trace
+
+    job_id = next(
+        event["job"]
+        for event in load_rotated_trace(str(trace_path))
+        if event["ev"] == "job.finished"
+    )
+    capsys.readouterr()
+    assert main(["explain-job", str(trace_path), str(job_id)]) == 0
+    assert "timeline:" in capsys.readouterr().out
+
+
+def test_explain_job_missing_trace_errors(tmp_path, capsys):
+    assert main(["explain-job", str(tmp_path / "nope.jsonl"), "1"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_top_renders_down_nodes_without_servers(capsys):
+    assert main(
+        [
+            "top", "--targets", "127.0.0.1:9,127.0.0.1:13",
+            "--iterations", "1", "--interval", "0",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "ARiA fleet (repro top)" in out
+    assert "down" in out
+    assert "scrape failures 2" in out
