@@ -312,10 +312,105 @@ def _cmd_run(args) -> int:
     return exit_code
 
 
+def _cmd_procs(args, soak: bool) -> int:
+    """The ``--procs`` branch shared by ``serve`` and ``soak``: the
+    process-isolated overlay under the supervisor."""
+    from .experiments import OnlineInvariantChecker
+    from .runtime import ProcRunConfig, ProcessFailureSchedule, run_procs
+
+    if soak:
+        wall = args.wall_seconds
+        duration = wall * args.time_scale
+        jobs = args.jobs if args.jobs is not None else max(5, int(wall * 0.7))
+        submission_interval = args.time_scale
+    else:
+        duration = args.duration
+        wall = duration / args.time_scale
+        jobs = args.jobs
+        submission_interval = 30.0
+    fault_plan = (
+        _parse_fault_plan(args.faults, duration)
+        if args.faults is not None
+        else None
+    )
+    schedule = (
+        ProcessFailureSchedule.chaos(wall)
+        if getattr(args, "chaos", False)
+        else None
+    )
+    config = ProcRunConfig(
+        scenario_name=args.scenario,
+        nodes=args.nodes,
+        jobs=jobs,
+        seed=args.seed_base,
+        time_scale=args.time_scale,
+        duration=duration,
+        submission_interval=submission_interval,
+        reliability=not getattr(args, "no_reliability", False),
+        port_base=args.port_base,
+        group_size=args.group_size,
+        run_dir=args.run_dir,
+        trace_level=args.trace_level or "transport",
+        rotate_bytes=int(getattr(args, "rotate_mb", 64.0) * 1024 * 1024),
+        dashboard=args.top,
+        fault_plan=fault_plan,
+        failure_schedule=schedule,
+        seed_violation=getattr(args, "seed_violation", False),
+        merged_trace_path=args.trace,
+    )
+    checker = OnlineInvariantChecker(
+        on_violation=lambda text: print(
+            f"VIOLATION (merged trace): {text}", file=sys.stderr
+        )
+    )
+    print(
+        f"process overlay: {config.nodes} nodes in "
+        f"{config.worker_count()} OS processes on {config.host}, "
+        f"{jobs} jobs, scenario {config.scenario_name}, time scale "
+        f"{config.time_scale:.0f}x (~{config.wall_duration():.0f}s wall), "
+        f"supervisor armed (max {config.max_restarts} restarts/worker)"
+        + (", faults on" if fault_plan is not None else "")
+        + (", process chaos on (SIGKILL/SIGSTOP)" if schedule else "")
+        + (
+            ", SEEDED VIOLATION (self-test)"
+            if config.seed_violation
+            else ""
+        ),
+        file=sys.stderr,
+    )
+    result = run_procs(config, online_checker=checker)
+    rows = [
+        ["jobs submitted", str(result.submitted)],
+        ["jobs completed", str(result.completed)],
+        ["events checked (merged)", str(result.checked_events)],
+        ["torn trace lines", str(result.torn_lines)],
+        ["supervisor restarts", str(result.supervisor["restarts"])],
+        ["worker states", " ".join(result.supervisor["states"])],
+        ["journal recoveries", str(len(result.recovered))],
+        ["run dir", result.run_dir],
+        ["merged trace", result.merged_trace_path],
+    ]
+    print(render_table(["metric", "value"], rows))
+    if result.interrupted:
+        print(
+            "interrupted: run cut short by signal; trace and journals "
+            "flushed",
+            file=sys.stderr,
+        )
+    if result.violations:
+        for violation in result.violations:
+            print(f"VIOLATION: {violation}")
+        return 1
+    print("invariants: OK (merged multi-process trace)")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .obs import TraceConfig
     from .runtime import LiveFailureSchedule, LiveRunConfig, run_live
 
+    if args.procs:
+        return _cmd_procs(args, soak=False)
     fault_plan = (
         _parse_fault_plan(args.faults, args.duration)
         if args.faults is not None
@@ -386,6 +481,8 @@ def _cmd_soak(args) -> int:
     from .obs import TraceConfig
     from .runtime import LiveFailureSchedule, LiveRunConfig, run_live
 
+    if args.procs:
+        return _cmd_procs(args, soak=True)
     wall = args.wall_seconds
     duration = wall * args.time_scale
     # One job submitted roughly every wall second over the first ~70% of
@@ -452,6 +549,12 @@ def _cmd_soak(args) -> int:
     for key, value in sorted(result.network.items()):
         rows.append([f"net {key}", str(value)])
     print(render_table(["metric", "value"], rows))
+    if result.interrupted:
+        print(
+            "interrupted: soak cut short by signal; trace flushed and "
+            "closed, conservation checks relaxed",
+            file=sys.stderr,
+        )
     if summary.violations:
         for violation in summary.violations:
             print(f"VIOLATION: {violation}")
@@ -800,6 +903,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render the streaming fleet dashboard while the run is live",
     )
+    serve_parser.add_argument(
+        "--procs",
+        action="store_true",
+        help="run every node (group) as its own OS process under a "
+        "supervisor with crash recovery and durable journals; --chaos "
+        "then means real SIGKILL/SIGSTOP process chaos",
+    )
+    serve_parser.add_argument(
+        "--group-size",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --procs: nodes per worker process (default 1, full "
+        "per-node isolation)",
+    )
+    serve_parser.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="with --procs: scratch directory for address files, "
+        "journals and per-process traces (default: fresh temp dir)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     soak_parser = sub.add_parser(
@@ -890,6 +1015,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--top",
         action="store_true",
         help="render the streaming fleet dashboard while the soak runs",
+    )
+    soak_parser.add_argument(
+        "--procs",
+        action="store_true",
+        help="soak the process-isolated overlay: per-node OS processes, "
+        "supervisor crash recovery, durable journals; --chaos then "
+        "means real SIGKILL/SIGSTOP process chaos and --seed-violation "
+        "forges a cross-process duplicate",
+    )
+    soak_parser.add_argument(
+        "--group-size",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --procs: nodes per worker process (default 1)",
+    )
+    soak_parser.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="with --procs: scratch directory for address files, "
+        "journals and per-process traces (default: fresh temp dir)",
     )
     soak_parser.set_defaults(func=_cmd_soak)
 

@@ -1,6 +1,7 @@
 """The ARiA protocol: messages, configuration, and per-node agents."""
 
 from .config import AriaConfig
+from .journal import DurableJournal
 from .messages import (
     Accept,
     Assign,
@@ -20,6 +21,7 @@ __all__ = [
     "AriaConfig",
     "Assign",
     "Done",
+    "DurableJournal",
     "Inform",
     "Probe",
     "ProbeReply",

@@ -117,6 +117,7 @@ class AriaAgent:
         "_failsafe_stop",
         "_completed",
         "_redelegated",
+        "journal",
         "incarnation",
         "_last_probe",
         "_adopted",
@@ -183,6 +184,11 @@ class AriaAgent:
         # entries outside every replay window are evicted (docs/FAULTS.md).
         self._completed = CompletionLog()
         self._redelegated: Dict[JobId, NodeId] = {}
+        #: Optional :class:`~repro.core.journal.DurableJournal` backing
+        #: the completion log and incarnation counter on disk (attached
+        #: by :meth:`bind_journal` in the process-isolated runtime;
+        #: ``None`` costs one check per completion).
+        self.journal = None
         #: Restart generation: bumped by :meth:`restart`, stamped into
         #: transport deliveries so the past cannot talk to the present.
         self.incarnation = 0
@@ -355,6 +361,8 @@ class AriaAgent:
             self.grid_state.set_live(int(self.node_id), True)
         self.incarnation += 1
         self.transport.bump_incarnation(self.node_id)
+        if self.journal is not None:
+            self.journal.record_incarnation(self.incarnation)
         self.node.revive()
         self._seen_requests = SeenCache(self.config.seen_cache_capacity)
         self._seen_informs = SeenCache(self.config.seen_cache_capacity)
@@ -370,6 +378,52 @@ class AriaAgent:
                 incarnation=self.incarnation,
             )
         self.start()
+
+    def bind_journal(self, journal) -> int:
+        """Attach a :class:`~repro.core.journal.DurableJournal` and
+        recover its state; returns the incarnation this agent now runs as.
+
+        This is what makes crash-restart honest across *real* process
+        deaths: the in-memory completion log that :meth:`restart`
+        preserves dies with the OS process, so a journal-less reborn
+        process would answer fail-safe probes with "never heard of that
+        job" and trigger cross-incarnation double execution.  Recovery
+        replays every journaled completion into the probe-reconciliation
+        memory, resumes the incarnation counter strictly past every one
+        that ever ran here (pinning it into the transport's slab so
+        stamping works from the first message), and narrates itself on
+        the trace bus: one ``journal.recovered`` summary plus a
+        ``journal.replayed`` entry per restored completion (capped),
+        which is the pre-/post-kill evidence the chaos gauntlet checks.
+
+        Call before :meth:`start`, on a freshly constructed agent.
+        """
+        self.journal = journal
+        incarnation = journal.boot()
+        recovered = list(journal.completions)
+        for job_id, finished_at, _incarnation in recovered:
+            self._completed.add(job_id, finished_at)
+        if incarnation:
+            self.incarnation = incarnation
+            self.transport.set_incarnation(self.node_id, incarnation)
+            self.metrics.node_restarted(self.node_id, self.sim.now)
+        if self._trace is not None and (incarnation or recovered):
+            self._trace.emit(
+                "journal.recovered",
+                self.sim.now,
+                node=self.node_id,
+                incarnation=incarnation,
+                entries=len(recovered),
+            )
+            for job_id, _finished_at, entry_incarnation in recovered[-64:]:
+                self._trace.emit(
+                    "journal.replayed",
+                    self.sim.now,
+                    job=job_id,
+                    node=self.node_id,
+                    incarnation=entry_incarnation,
+                )
+        return incarnation
 
     def leave(self) -> int:
         """Begin a graceful departure (the volatile-resource case).
@@ -1006,6 +1060,9 @@ class AriaAgent:
             return
         self._job_initiators[job.job_id] = message.initiator
         self._redelegated.pop(job.job_id, None)
+        # The wire copy may be this process's first sight of the job
+        # (metrics are sharded per OS process in the isolated runtime).
+        self.metrics.ensure_job(job, message.initiator, job.submit_time)
         self.metrics.job_assigned(
             job.job_id, self.node_id, self.sim.now, message.reschedule
         )
@@ -1071,13 +1128,25 @@ class AriaAgent:
         job_id = finished.job.job_id
         initiator = self._job_initiators.pop(job_id, None)
         self._completed.add(job_id, self.sim.now)
+        if self.journal is not None:
+            # Write-ahead: the completion reaches the disk before anyone
+            # (metrics, trace, the Done to the initiator) hears of it, so
+            # a kill between here and the announcement can only lose the
+            # announcement — never the memory that the job already ran.
+            self.journal.record_completion(
+                job_id, self.sim.now, self.incarnation
+            )
         self._forget_execution_state(job_id)
         self.metrics.job_finished(
             job_id, node.node_id, self.sim.now, incarnation=self.incarnation
         )
         if self._trace is not None:
             self._trace.emit(
-                "job.finished", self.sim.now, job=job_id, node=node.node_id
+                "job.finished",
+                self.sim.now,
+                job=job_id,
+                node=node.node_id,
+                incarnation=self.incarnation,
             )
         if self.config.failsafe and initiator is not None:
             if initiator == self.node_id:

@@ -38,3 +38,12 @@ class ProtocolError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid scenario or protocol configuration."""
+
+
+class JournalError(ReproError):
+    """Durable-journal failure.
+
+    Raised when a journal file is already locked by a live process (a
+    second incarnation of the same node racing the first) or when the
+    journal body is corrupt beyond the tolerated torn tail.
+    """

@@ -165,6 +165,9 @@ class RunResult:
     fleet_series: Dict[str, List[Tuple[float, float]]] = dataclass_field(
         default_factory=dict
     )
+    #: Whether a live run was cut short by SIGINT/SIGTERM (the soak
+    #: graceful-shutdown path); always ``False`` for simulated runs.
+    interrupted: bool = False
 
     def summary(self, validate: bool = True) -> RunSummary:
         """Condense this run into a picklable :class:`RunSummary`.

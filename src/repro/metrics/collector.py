@@ -114,6 +114,21 @@ class GridMetrics:
             job=job, initiator=initiator, submit_time=time
         )
 
+    def ensure_job(self, job: Job, initiator: NodeId, time: float) -> None:
+        """Create ``job``'s lifecycle record if this collector has none.
+
+        The process-isolated runtime shards metrics per OS process, so a
+        job delegated over the wire reaches an assignee whose collector
+        never saw the submission — the wire copy carries everything the
+        record needs.  No-op when the record already exists, which keeps
+        simulated and single-process runs (one collector sees every
+        submission) byte-identical.
+        """
+        if job.job_id not in self.records:
+            self.records[job.job_id] = JobRecord(
+                job=job, initiator=initiator, submit_time=time
+            )
+
     def _record(self, job_id: JobId) -> JobRecord:
         record = self.records.get(job_id)
         if record is None:

@@ -134,6 +134,7 @@ class ReliabilityLayer:
         transport: Transport,
         config: Optional[ReliabilityConfig] = None,
         rng: Optional[random.Random] = None,
+        msg_id_base: int = 0,
     ) -> None:
         self.transport = transport
         self.config = config if config is not None else ReliabilityConfig()
@@ -143,10 +144,19 @@ class ReliabilityLayer:
             if rng is not None
             else self._clock.streams.get("net.reliability")
         )
-        self._next_id = 0
+        #: msg_ids count up from ``msg_id_base``.  When several layers
+        #: share one wire — the process-isolated runtime runs one layer
+        #: per OS process — each layer must be given a disjoint id space
+        #: (e.g. keyed by worker index and incarnation), or two senders'
+        #: ids would collide at a common receiver.
+        self._next_id = msg_id_base
         self._pending: Dict[int, _Pending] = {}
-        #: Receiver-side dedup state: msg_ids already delivered, per local
-        #: endpoint (so one layer serves every node of the grid).
+        #: Receiver-side dedup state: ``(src, msg_id)`` pairs already
+        #: delivered, per local endpoint (so one layer serves every node
+        #: of the grid).  Keying by sender matters once peers live in
+        #: other processes: their layers allocate msg_ids independently,
+        #: and a bare msg_id from one sender must not suppress a fresh
+        #: message from another.
         self._seen: Dict[NodeId, set] = {}
         registry = transport.registry
         self._retransmissions = registry.counter("reliable.retransmissions")
@@ -299,10 +309,10 @@ class ReliabilityLayer:
         seen = self._seen.get(dst)
         if seen is None:
             seen = self._seen[dst] = set()
-        if msg_id in seen:
+        if (src, msg_id) in seen:
             self._duplicates_suppressed.inc()
             return False
-        seen.add(msg_id)
+        seen.add((src, msg_id))
         return True
 
     # ------------------------------------------------------------------

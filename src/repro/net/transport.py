@@ -246,6 +246,22 @@ class Transport:
         self._incarnations[node_id] = value
         return value
 
+    def set_incarnation(self, node_id: NodeId, value: int) -> None:
+        """Pin ``node_id``'s current incarnation (enabling stamping).
+
+        Two callers: a process worker that recovered its incarnation
+        counter from a :class:`~repro.core.journal.DurableJournal` at
+        boot, and live discovery when a peer's agent card advertises a
+        fresher incarnation than the local slab knows.  Only moves the
+        counter forward — a stale card can never roll a node back to a
+        dead incarnation.
+        """
+        if self._incarnations is None:
+            self.enable_incarnations()
+        value = int(value)
+        if value > self._incarnations.get(node_id, 0):
+            self._incarnations[node_id] = value
+
     def incarnation_stamp(self, dst: NodeId) -> Optional[int]:
         """The stamp a message to ``dst`` would carry right now
         (``None`` while stamping is disabled)."""

@@ -16,10 +16,13 @@ The merge rules mirror what the samples mean:
   are **summed** across the nodes that answered — they are disjoint
   per-node state;
 * run-level counters (``aria_jobs_completed``, ``aria_net_lost``,
-  ``aria_jobs_missed_deadlines``) are **maxed** — every node of a
-  single-process overlay serves the same shared registry, and max is
-  also the right merge for genuinely distributed fleets where counts
-  race each other;
+  ``aria_jobs_missed_deadlines``) are **maxed within a registry group
+  and summed across groups** — every node of a single-process overlay
+  serves the same shared registry (one group, plain max), while a
+  process-isolated fleet has one registry per worker process, so the
+  collector takes the max within each worker's nodes and sums the
+  worker maxima (``group_of`` maps a node id to its group key; the
+  default ``None`` keeps the old single-group behaviour);
 * a node whose scrape fails (connection refused, timeout, unparseable
   page) contributes an ``up=False`` :class:`NodeSample` and bumps the
   ``fleet.scrape_failures`` counter — a *crashed node is a data point*,
@@ -99,11 +102,16 @@ class TelemetryCollector:
         now: Callable[[], float],
         timeout: float = 2.0,
         max_points: int = 2048,
+        group_of: Optional[Callable[[NodeId], Any]] = None,
     ) -> None:
         self.registry = registry
         self._targets = targets
         self._now = now
         self._timeout = timeout
+        #: Node → metrics-registry group.  Nodes sharing a registry (one
+        #: worker process) must be maxed together, distinct registries
+        #: summed — ``None`` treats the whole fleet as one registry.
+        self._group_of = group_of
         self._series = {
             name: registry.series(name, max_points=max_points)
             for name in (
@@ -127,6 +135,11 @@ class TelemetryCollector:
     def observe(self, t: float, samples: List[NodeSample]) -> None:
         """Merge one round of per-node samples into the fleet series."""
         merged: Dict[str, float] = {name: 0.0 for name in self._series}
+        # Run-level counters: max within each registry group, then sum
+        # the group maxima (see the module docstring's merge rules).
+        counter_groups: Dict[str, Dict[Any, float]] = {
+            series: {} for series in _MAXED.values()
+        }
         for sample in samples:
             if not sample.up:
                 self._scrape_failures.inc()
@@ -136,10 +149,19 @@ class TelemetryCollector:
                 value = sample.own(gauge)
                 if value is not None:
                     merged[series] += value
+            group = (
+                self._group_of(sample.node_id)
+                if self._group_of is not None
+                else None
+            )
             for key, series in _MAXED.items():
                 value = sample.samples.get(key)
-                if value is not None and value > merged[series]:
-                    merged[series] = value
+                if value is not None:
+                    groups = counter_groups[series]
+                    if value > groups.get(group, 0.0):
+                        groups[group] = value
+        for series, groups in counter_groups.items():
+            merged[series] = sum(groups.values())
         for name, series in self._series.items():
             series.record(t, merged[name])
         self.last_samples = sorted(samples, key=lambda s: s.node_id)

@@ -98,6 +98,9 @@ EVENTS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "job.orphaned": ("protocol", ("job", "node", "initiator")),
     "job.adopted": ("protocol", ("job", "node", "initiator")),
     "deadline.exceeded": ("protocol", ("job", "node", "overdue")),
+    # -- protocol: durable-journal recovery (process-isolated runtime) ----
+    "journal.recovered": ("protocol", ("node", "incarnation", "entries")),
+    "journal.replayed": ("protocol", ("job", "node", "incarnation")),
     # -- transport: per-message network activity -------------------------
     "msg.sent": ("transport", ("src", "dst", "type")),
     "msg.delivered": ("transport", ("src", "dst", "type")),
@@ -122,8 +125,11 @@ EVENTS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
 #: transport annotates message events with the ``job`` the message is
 #: about whenever the payload names one (Ack messages do not); live runs
 #: stamp every record with the ``wall`` clock (epoch seconds) when the
-#: tracer has a :attr:`Tracer.wall_source`.
-_OPTIONAL_FIELDS = ("job", "wall")
+#: tracer has a :attr:`Tracer.wall_source`; journal-backed executors
+#: stamp ``job.finished`` with the ``incarnation`` that ran the job, so
+#: a merged multi-process trace shows completion entries surviving a
+#: kill verbatim.
+_OPTIONAL_FIELDS = ("job", "wall", "incarnation")
 
 
 def validate_event(event: Dict[str, Any]) -> List[str]:

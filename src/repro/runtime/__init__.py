@@ -16,23 +16,59 @@ behind two small seams:
 on localhost, runs a paper scenario against it in scaled wall time, and
 emits the same :class:`~repro.experiments.RunSummary`, trace-bus events
 and invariant verdicts as a simulated run.
+
+One rung further, :mod:`repro.runtime.proc` (``repro serve --procs``)
+runs the overlay as *separate OS processes* under a supervisor with
+crash recovery and durable journals — real process deaths, real
+recovery from disk and wire.
 """
 
 from .clock import WallClock
-from .codec import decode_envelope, decode_message, encode_envelope, encode_message
+from .codec import (
+    decode_envelope,
+    decode_job,
+    decode_message,
+    encode_envelope,
+    encode_job,
+    encode_message,
+)
+from .proc import (
+    ProcRunConfig,
+    ProcRunResult,
+    ProcessFailureSchedule,
+    Supervisor,
+    WorkerSpec,
+    run_procs,
+    worker_main,
+)
 from .serve import LiveFailureSchedule, LiveRunConfig, run_live
-from .transport import HEALTH_PATH, METRICS_PATH, LiveTransport
+from .transport import (
+    HEALTH_PATH,
+    METRICS_PATH,
+    SUBMIT_PATH,
+    LiveTransport,
+)
 
 __all__ = [
     "HEALTH_PATH",
     "METRICS_PATH",
+    "SUBMIT_PATH",
     "LiveFailureSchedule",
     "LiveRunConfig",
     "LiveTransport",
+    "ProcRunConfig",
+    "ProcRunResult",
+    "ProcessFailureSchedule",
+    "Supervisor",
     "WallClock",
+    "WorkerSpec",
     "decode_envelope",
+    "decode_job",
     "decode_message",
     "encode_envelope",
+    "encode_job",
     "encode_message",
     "run_live",
+    "run_procs",
+    "worker_main",
 ]

@@ -92,9 +92,12 @@ class WallClock:
         loop: Optional[asyncio.AbstractEventLoop] = None,
         seed: int = 0,
         time_scale: float = 1.0,
+        start_at: float = 0.0,
     ) -> None:
         if time_scale <= 0:
             raise ConfigurationError(f"time_scale {time_scale} must be > 0")
+        if start_at < 0:
+            raise ConfigurationError(f"negative start_at {start_at}")
         if loop is None:
             try:
                 loop = asyncio.get_running_loop()
@@ -105,7 +108,11 @@ class WallClock:
                 ) from None
         self._loop = loop
         self.time_scale = time_scale
-        self._origin = self._loop.time()
+        # ``start_at`` shifts protocol time so ``now`` starts there
+        # instead of at 0 — a process worker restarted mid-run resumes on
+        # the fleet's shared timeline, so its trace timestamps and timer
+        # arithmetic line up with peers that never died.
+        self._origin = self._loop.time() - start_at / time_scale
         self.streams = RandomStreams(seed)
         #: Fired timer callbacks (the live analogue of the simulator's
         #: executed-events count surfaced in run summaries).

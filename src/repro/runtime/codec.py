@@ -37,8 +37,10 @@ from ..workload.jobs import Job
 __all__ = [
     "MESSAGE_TYPES",
     "decode_envelope",
+    "decode_job",
     "decode_message",
     "encode_envelope",
+    "encode_job",
     "encode_message",
 ]
 
@@ -49,7 +51,13 @@ MESSAGE_TYPES: Dict[str, Type[Message]] = {
 }
 
 
-def _encode_job(job: Job) -> Dict[str, Any]:
+def encode_job(job: Job) -> Dict[str, Any]:
+    """Encode one :class:`~repro.workload.jobs.Job` descriptor.
+
+    Public alongside the message codec because the process-isolated
+    runtime submits jobs over the wire too (``POST /submit`` carries a
+    bare job, not a protocol message).
+    """
     req = job.requirements
     return {
         "job_id": job.job_id,
@@ -67,7 +75,8 @@ def _encode_job(job: Job) -> Dict[str, Any]:
     }
 
 
-def _decode_job(payload: Dict[str, Any]) -> Job:
+def decode_job(payload: Dict[str, Any]) -> Job:
+    """Rebuild a job descriptor from :func:`encode_job` output."""
     req = payload["requirements"]
     return Job(
         job_id=payload["job_id"],
@@ -94,7 +103,7 @@ def encode_message(message: Message) -> Dict[str, Any]:
     for slot in message.__slots__:
         value = getattr(message, slot)
         if isinstance(value, Job):
-            fields[slot] = {"__job__": _encode_job(value)}
+            fields[slot] = {"__job__": encode_job(value)}
         elif isinstance(value, tuple):
             # e.g. broadcast ids: (origin node, sequence number).  JSON
             # has no tuple, and a plain list would decode as unhashable.
@@ -129,7 +138,7 @@ def decode_message(payload: Dict[str, Any]) -> Message:
         value = fields[slot]
         if isinstance(value, dict):
             if "__job__" in value:
-                value = _decode_job(value["__job__"])
+                value = decode_job(value["__job__"])
             elif "__tuple__" in value:
                 value = tuple(value["__tuple__"])
         args.append(value)

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import signal
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -596,14 +597,41 @@ async def _run_live(
     # ------------------------------------------------------------------
     # Let wall time pass.
     # ------------------------------------------------------------------
+    # SIGINT/SIGTERM cut the run short *gracefully*: the wait loop exits,
+    # the normal teardown path flushes and closes the trace sink (every
+    # recorded segment stays parseable) and the final summary is still
+    # produced — an interrupted soak is a shorter soak, not a corrupt
+    # one.  Job-conservation checks are relaxed for interrupted runs
+    # (in-flight jobs never got their chance to finish).
+    interrupted = False
+    stop_event = asyncio.Event()
+
+    def _on_signal() -> None:
+        nonlocal interrupted
+        interrupted = True
+        stop_event.set()
+
+    installed_signals: List[int] = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, _on_signal)
+        except (NotImplementedError, RuntimeError, ValueError):
+            continue  # non-POSIX loop or nested handler: run uncovered
+        installed_signals.append(signum)
     try:
         deadline = loop.time() + config.wall_duration()
         quiet_since: Optional[float] = None
-        while True:
+        while not stop_event.is_set():
             remaining = deadline - loop.time()
             if remaining <= 0:
                 break
-            await asyncio.sleep(min(0.1, remaining))
+            try:
+                await asyncio.wait_for(
+                    stop_event.wait(), timeout=min(0.1, remaining)
+                )
+                break
+            except asyncio.TimeoutError:
+                pass
             if online_checker is not None and online_checker.violations:
                 break  # stop on the first confirmed violation
             if not config.early_exit_grace:
@@ -622,6 +650,8 @@ async def _run_live(
         clock.stop()
         await transport.drain()
     finally:
+        for signum in installed_signals:
+            loop.remove_signal_handler(signum)
         if collector_task is not None:
             collector_task.cancel()
             await asyncio.gather(collector_task, return_exceptions=True)
@@ -636,8 +666,10 @@ async def _run_live(
     allow_lost = bool(schedule_plan is not None and schedule_plan.crash_restarts)
     violations = check_invariants(
         _LiveSetup(metrics=metrics, scale=scale, agents=agents),
-        expected_jobs=config.jobs,
-        allow_lost=allow_lost,
+        # An interrupted run stopped mid-flight: jobs that never got to
+        # run are not conservation violations.
+        expected_jobs=None if interrupted else config.jobs,
+        allow_lost=allow_lost or interrupted,
     )
     if online_checker is not None:
         violations = list(online_checker.violations) + violations
@@ -675,4 +707,5 @@ async def _run_live(
         fleet_series=(
             collector.series_points() if collector is not None else {}
         ),
+        interrupted=interrupted,
     )

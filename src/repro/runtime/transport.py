@@ -52,11 +52,12 @@ timeouts and exponential backoff over the real network.
 from __future__ import annotations
 
 import asyncio
+import errno
 import json
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..clock import Clock
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ReproError
 from ..net.latency import LatencyModel
 from ..net.message import Message
 from ..net.transport import Transport
@@ -64,7 +65,7 @@ from ..obs.exposition import CONTENT_TYPE, render_prometheus
 from ..obs.metrics import MetricsRegistry
 from ..net.traffic import TrafficMonitor
 from ..types import NodeId
-from .codec import decode_envelope, encode_envelope
+from .codec import decode_envelope, decode_job, encode_envelope
 from .http import HttpServer, http_get_json, http_post_json
 
 __all__ = [
@@ -73,12 +74,19 @@ __all__ = [
     "MESSAGE_PATH",
     "HEALTH_PATH",
     "METRICS_PATH",
+    "SUBMIT_PATH",
 ]
 
 AGENT_CARD_PATH = "/.well-known/agent.json"
 MESSAGE_PATH = "/message"
 HEALTH_PATH = "/healthz"
 METRICS_PATH = "/metrics"
+SUBMIT_PATH = "/submit"
+
+#: Wall seconds between the two binding attempts on a pinned port that
+#: answered ``EADDRINUSE`` — long enough for a dying previous owner to
+#: release the socket, short enough not to stall a supervisor restart.
+_REBIND_DELAY = 0.2
 
 #: Agent-card protocol tag; bump on wire-format changes.
 PROTOCOL_VERSION = "aria/1"
@@ -98,6 +106,7 @@ class LiveTransport(Transport):
         "_time_scale",
         "_rejected",
         "_health",
+        "_submit",
         "_metrics_provider",
         "last_discovery_failures",
     )
@@ -141,6 +150,9 @@ class LiveTransport(Transport):
         self._rejected = self.registry.counter("net.rejected")
         #: Per-node health providers backing the ``/healthz`` route.
         self._health: Dict[NodeId, Callable[[], Dict[str, Any]]] = {}
+        #: Per-node submission handlers backing the ``POST /submit``
+        #: route (the process-isolated runtime's job entry point).
+        self._submit: Dict[NodeId, Callable[[Any], None]] = {}
         #: Optional run-level extra samples merged into every node's
         #: ``/metrics`` page (see :meth:`set_metrics_provider`).
         self._metrics_provider: Optional[
@@ -171,11 +183,33 @@ class LiveTransport(Transport):
     async def add_endpoint(
         self, node_id: NodeId, host: str = "127.0.0.1", port: int = 0
     ) -> Tuple[str, int]:
-        """Start ``node_id``'s HTTP server; returns its bound address."""
+        """Start ``node_id``'s HTTP server; returns its bound address.
+
+        Ephemeral binding (``port=0``, the default) can never collide.
+        A *pinned* port can — parallel CI jobs, or a supervisor restart
+        racing the dying previous incarnation's socket — so it is
+        retried once after a short grace, then falls back to an
+        ephemeral port rather than failing the node: live discovery
+        re-reads the bound address from the agent card either way.
+        """
         if node_id in self._servers:
             raise ConfigurationError(f"node {node_id} already has an endpoint")
         server = HttpServer(self._make_handler(node_id))
-        await server.start(host=host, port=port)
+        if port:
+            try:
+                await server.start(host=host, port=port)
+            except OSError as exc:
+                if exc.errno != errno.EADDRINUSE:
+                    raise
+                await asyncio.sleep(_REBIND_DELAY)
+                try:
+                    await server.start(host=host, port=port)
+                except OSError as retry_exc:
+                    if retry_exc.errno != errno.EADDRINUSE:
+                        raise
+                    await server.start(host=host, port=0)
+        else:
+            await server.start(host=host, port=port)
         self._servers[node_id] = server
         return server.host, server.port
 
@@ -193,15 +227,23 @@ class LiveTransport(Transport):
         """
         server = self._servers.pop(node_id, None)
         self._health.pop(node_id, None)
+        self._submit.pop(node_id, None)
         if server is not None:
             await server.close()
         if forget:
             self._directory.pop(node_id, None)
 
     def agent_card(self, node_id: NodeId) -> Dict[str, Any]:
-        """The agent card served at :data:`AGENT_CARD_PATH`."""
+        """The agent card served at :data:`AGENT_CARD_PATH`.
+
+        When incarnation stamping is active the card also advertises the
+        node's current incarnation: it is how a *remote* process learns
+        that a reborn peer moved on — re-discovery max-merges the card
+        value into the local slab, and until that happens sends keep
+        stamping the dead incarnation and are correctly dropped stale.
+        """
         server = self._servers[node_id]
-        return {
+        card: Dict[str, Any] = {
             "name": f"aria-node-{node_id}",
             "node_id": node_id,
             "protocol": PROTOCOL_VERSION,
@@ -211,8 +253,20 @@ class LiveTransport(Transport):
                 "message": MESSAGE_PATH,
                 "health": HEALTH_PATH,
                 "metrics": METRICS_PATH,
+                "submit": SUBMIT_PATH,
             },
         }
+        incarnations = self._incarnations
+        if incarnations is not None:
+            card["incarnation"] = incarnations.get(node_id, 0)
+        return card
+
+    def set_submit_handler(
+        self, node_id: NodeId, handler: Callable[[Any], None]
+    ) -> None:
+        """Attach the callable ``POST /submit`` hands decoded jobs to
+        (typically :meth:`~repro.core.protocol.AriaAgent.submit`)."""
+        self._submit[node_id] = handler
 
     def set_health_provider(
         self, node_id: NodeId, provider: Callable[[], Dict[str, Any]]
@@ -338,6 +392,12 @@ class LiveTransport(Transport):
                     f"{prior[0]}:{prior[1]} and {host}:{port}"
                 )
             claimed[node_id] = (host, port)
+            incarnation = card.get("incarnation")
+            if incarnation is not None and self._incarnations is not None:
+                # A reborn peer's card advertises its recovered
+                # incarnation; merging it (forward-only) is how senders
+                # in *other processes* stop stamping the dead one.
+                self.set_incarnation(node_id, incarnation)
         self.last_discovery_failures = failures
         if failures and not claimed:
             host, port, reason = failures[0]
@@ -359,6 +419,7 @@ class LiveTransport(Transport):
             await server.close()
         self._servers.clear()
         self._health.clear()
+        self._submit.clear()
 
     # ------------------------------------------------------------------
     # Server side
@@ -384,6 +445,23 @@ class LiveTransport(Transport):
                     self._rejected.inc()
                     return 400, "Bad Request", b'{"ok":false}'
                 self._dispatch(envelope)
+                return 200, "OK", b'{"ok":true}'
+            if method == "POST" and path == SUBMIT_PATH:
+                handler = self._submit.get(node_id)
+                if handler is None:
+                    return 404, "Not Found", b'{"ok":false}'
+                try:
+                    job = decode_job(json.loads(body.decode("utf-8"))["job"])
+                except (ValueError, KeyError, TypeError, ConfigurationError):
+                    self._rejected.inc()
+                    return 400, "Bad Request", b'{"ok":false}'
+                try:
+                    handler(job)
+                except ReproError:
+                    # Refused (failed / departed / leaving node, or a
+                    # duplicate submission of a job some node already
+                    # took): the submitter picks another entry point.
+                    return 409, "Conflict", b'{"ok":false}'
                 return 200, "OK", b'{"ok":true}'
             return 404, "Not Found", b""
 

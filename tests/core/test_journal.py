@@ -1,0 +1,142 @@
+"""Unit tests for the durable write-ahead journal.
+
+The journal is the piece that makes the cross-incarnation
+no-double-execution invariant survive *real* process deaths: fsync'd
+completion records, an incarnation counter in the same file, torn-tail
+tolerance for SIGKILL-mid-write, and a file lock standing in for the
+"two live incarnations of one node" race.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.journal import DurableJournal
+from repro.errors import JournalError
+
+
+def _path(tmp_path):
+    return os.path.join(str(tmp_path), "node-0.jsonl")
+
+
+def test_fresh_journal_boots_incarnation_zero(tmp_path):
+    with DurableJournal(_path(tmp_path)) as journal:
+        assert journal.incarnation is None
+        assert journal.completions == []
+        assert journal.boot() == 0
+        assert journal.incarnation == 0
+
+
+def test_reopen_bumps_incarnation(tmp_path):
+    path = _path(tmp_path)
+    with DurableJournal(path) as journal:
+        assert journal.boot() == 0
+    # Second boot: the previous incarnation is on disk, so this is a
+    # crash recovery and the counter moves past it.
+    with DurableJournal(path) as journal:
+        assert journal.boot() == 1
+    with DurableJournal(path) as journal:
+        assert journal.boot() == 2
+
+
+def test_completions_survive_reopen(tmp_path):
+    path = _path(tmp_path)
+    with DurableJournal(path) as journal:
+        journal.boot()
+        journal.record_completion(7, 123.5, 0)
+        journal.record_completion(9, 200.0, 0)
+    with DurableJournal(path) as journal:
+        assert journal.completions == [(7, 123.5, 0), (9, 200.0, 0)]
+        assert journal.boot() == 1
+        journal.record_completion(11, 300.0, 1)
+    with DurableJournal(path) as journal:
+        assert [job for job, _t, _inc in journal.completions] == [7, 9, 11]
+        assert journal.completions[-1][2] == 1
+
+
+def test_torn_tail_is_dropped_and_truncated(tmp_path):
+    path = _path(tmp_path)
+    with DurableJournal(path) as journal:
+        journal.boot()
+        journal.record_completion(7, 123.5, 0)
+    # Simulate SIGKILL mid-write: a partial record with no newline.
+    with open(path, "ab") as handle:
+        handle.write(b'{"k":"done","job":8,')
+    with DurableJournal(path) as journal:
+        assert journal.torn_bytes == len(b'{"k":"done","job":8,')
+        assert [job for job, _t, _inc in journal.completions] == [7]
+        # The torn bytes were truncated away, so appending after
+        # recovery produces a well-formed file.
+        assert journal.boot() == 1
+        journal.record_completion(9, 50.0, 1)
+    with open(path, "rb") as handle:
+        lines = handle.read().splitlines()
+    for line in lines:
+        json.loads(line)  # every line parses after the repair
+    with DurableJournal(path) as journal:
+        assert [job for job, _t, _inc in journal.completions] == [7, 9]
+
+
+def test_interior_corruption_raises(tmp_path):
+    path = _path(tmp_path)
+    with DurableJournal(path) as journal:
+        journal.boot()
+    # Newline-terminated garbage is not a torn tail: the file is
+    # corrupt and silently skipping records would be data loss.
+    with open(path, "ab") as handle:
+        handle.write(b"not json\n")
+    with pytest.raises(JournalError):
+        DurableJournal(path)
+
+
+def test_second_open_is_rejected_while_locked(tmp_path):
+    path = _path(tmp_path)
+    first = DurableJournal(path)
+    try:
+        # A second live incarnation of the same node must not be able to
+        # claim the journal while the first still holds it.
+        with pytest.raises(JournalError):
+            DurableJournal(path)
+    finally:
+        first.close()
+    # Once the first incarnation is gone the journal opens normally.
+    with DurableJournal(path) as journal:
+        assert journal.boot() == 0
+
+
+def test_lock_can_be_disabled_for_readers(tmp_path):
+    path = _path(tmp_path)
+    first = DurableJournal(path)
+    try:
+        first.boot()
+        first.record_completion(3, 10.0, 0)
+        reader = DurableJournal(path, lock=False)
+        try:
+            assert [job for job, _t, _inc in reader.completions] == [3]
+        finally:
+            reader.close()
+    finally:
+        first.close()
+
+
+def test_append_after_close_raises(tmp_path):
+    journal = DurableJournal(_path(tmp_path))
+    journal.boot()
+    journal.close()
+    with pytest.raises(JournalError):
+        journal.record_completion(1, 1.0, 0)
+    journal.close()  # idempotent
+
+
+def test_unknown_record_kinds_are_skipped(tmp_path):
+    path = _path(tmp_path)
+    with DurableJournal(path) as journal:
+        journal.boot()
+    # A future version may add record kinds; an old reader must not
+    # choke on them.
+    with open(path, "ab") as handle:
+        handle.write(b'{"k":"future","x":1}\n')
+    with DurableJournal(path) as journal:
+        assert journal.incarnation == 0
+        assert journal.completions == []
